@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` module reproduces one paper artifact (see DESIGN.md's
+experiment index).  Modules double as standalone scripts: running
+``python benchmarks/bench_X.py`` prints the regenerated table; running
+them under ``pytest --benchmark-only`` records timings.
+"""
+
+import pytest
+
+from repro.core import parse_database, parse_theory
+
+PUBLICATION_THEORY_TEXT = """
+Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+Keywords(x, k1, k2) -> hasTopic(x, k1)
+hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), Scientific(z2), citedIn(y,x) -> Scientific(z)
+hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)
+"""
+
+PUBLICATION_DATA_TEXT = (
+    "Publication(p1). Publication(p2). citedIn(p1,p2). hasAuthor(p1,a1). "
+    "hasAuthor(p2,a1). hasAuthor(p2,a2). hasTopic(p1,t1). Scientific(t1)."
+)
+
+EXAMPLE7_TEXT = """
+A(x) -> exists y. R(x, y)
+R(x, y) -> S(y, y)
+S(x, y) -> exists z. T(x, y, z)
+T(x, x, y) -> B(x)
+C(x), R(x, y), B(y) -> D(x)
+"""
+
+
+@pytest.fixture(scope="session")
+def publication_theory():
+    return parse_theory(PUBLICATION_THEORY_TEXT)
+
+
+@pytest.fixture(scope="session")
+def publication_database():
+    return parse_database(PUBLICATION_DATA_TEXT)
+
+
+@pytest.fixture(scope="session")
+def example7_theory():
+    return parse_theory(EXAMPLE7_TEXT)

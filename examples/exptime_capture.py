@@ -1,0 +1,86 @@
+"""Section 8: weakly guarded rules as a machine (Theorems 4 and 5).
+
+1. Compile an alternating Turing machine into a weakly guarded theory;
+   the chase materializes the machine's computation tree over labeled
+   nulls and derives acceptance — agreement with a reference simulator is
+   checked word by word (Theorem 4).
+2. Run the stratified weakly guarded Σsucc program that invents a total
+   order of the domain of an *arbitrary* database, and use it to answer
+   the non-monotone domain-parity query (Theorem 5).
+
+Run with ``python examples/exptime_capture.py``.
+"""
+
+from repro.capture import (
+    BLANK,
+    StringSignature,
+    Transition,
+    TuringMachine,
+    accepts,
+    compile_machine,
+    domain_size_is_even,
+    encode_word,
+    good_orderings,
+    machine_accepts_via_chase,
+)
+from repro.core import parse_database
+from repro.guardedness import is_weakly_guarded
+
+
+def majority_machine() -> TuringMachine:
+    """An alternating machine: universal split checking that both the
+    first and the last-scanned cell hold '1' (toy alternation)."""
+    return TuringMachine(
+        states=("q0", "here", "right", "qa", "qr"),
+        alphabet=("0", "1", BLANK),
+        initial_state="q0",
+        kinds={
+            "q0": "forall",
+            "here": "exists",
+            "right": "exists",
+            "qa": "accept",
+            "qr": "reject",
+        },
+        delta={
+            ("q0", "1"): (Transition("here", "1", 0), Transition("right", "1", 1)),
+            ("q0", "0"): (Transition("here", "0", 0), Transition("right", "0", 1)),
+            ("here", "1"): (Transition("qa", "1", 0),),
+            ("here", "0"): (Transition("qr", "0", 0),),
+            ("right", "1"): (Transition("right", "1", 1),),
+            ("right", "0"): (Transition("right", "0", 1),),
+            ("right", BLANK): (Transition("qa", BLANK, 0),),
+        },
+    )
+
+
+def main() -> None:
+    print("=== Theorem 4: an ATM compiled to weakly guarded rules ===")
+    machine = majority_machine()
+    signature = StringSignature(1, ("0", "1"))
+    compiled = compile_machine(machine, signature)
+    print(f"compiled theory: {len(compiled.theory)} rules, "
+          f"weakly guarded: {is_weakly_guarded(compiled.theory)}")
+    print()
+    print(f"  {'word':>8}  {'reference':>9}  {'chase':>6}")
+    for word in ("1", "0", "10", "11", "101"):
+        database = encode_word(list(word), signature, domain_size=len(word) + 2)
+        reference = accepts(machine, list(word), len(word) + 2)
+        derived = machine_accepts_via_chase(compiled, database)
+        print(f"  {word:>8}  {str(reference):>9}  {str(derived):>6}")
+    print()
+
+    print("=== Theorem 5: Σsucc invents an order, then answers parity ===")
+    for n in (2, 3):
+        database = parse_database(" ".join(f"Item(c{i})." for i in range(n)))
+        _, orders = good_orderings(database)
+        distinct = {tuple(c.name for c in seq) for seq in orders.values()}
+        print(f"n={n}: Σsucc generated {len(distinct)} total orderings "
+              f"(n! = {1 if n < 2 else n * (n - 1)})")
+        print(f"      domain size even? {domain_size_is_even(database)}")
+    print()
+    print("the parity query is non-monotone — inexpressible without the")
+    print("stratified negation that Theorem 5 adds to weakly guarded rules.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""The paper's running example (Examples 1–6, Figure 2), end to end.
+
+Builds the publication ontology Σp, chases it over the sample database,
+prints the chase tree of Figure 2, verifies Proposition 2, and runs the
+Theorem 1 translation — the frontier-guarded theory becomes a nearly
+guarded one with the same certain answers.
+
+Run with ``python examples/publication_ontology.py``.
+"""
+
+from repro import (
+    ChaseBudget,
+    Query,
+    build_chase_tree,
+    certain_answers,
+    classify,
+    normalize,
+    parse_database,
+    parse_theory,
+    rewrite_frontier_guarded,
+)
+from repro.chase import verify_proposition2
+from repro.guardedness import is_nearly_guarded
+
+SIGMA_P = """
+# σ1: every publication has at least two keywords
+Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+# σ2: the first keyword is the main topic
+Keywords(x, k1, k2) -> hasTopic(x, k1)
+# σ3: a topic is scientific if a paper on it cites a scientific paper
+#     sharing a coauthor
+hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), Scientific(z2), citedIn(y,x) -> Scientific(z)
+# σ4: the query — authors of scientific publications
+hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)
+"""
+
+DATA = """
+Publication(p1). Publication(p2). citedIn(p1,p2).
+hasAuthor(p1,a1). hasAuthor(p2,a1). hasAuthor(p2,a2).
+hasTopic(p1,t1). Scientific(t1).
+"""
+
+
+def main() -> None:
+    theory = parse_theory(SIGMA_P)
+    database = parse_database(DATA)
+
+    print("=== Example 1: the publication ontology Σp ===")
+    print(theory)
+    print()
+    print("classification:", classify(theory).names())
+    print()
+
+    print("=== Example 2 / Figure 2: the chase and its tree ===")
+    normal = normalize(theory).theory
+    tree, chased = build_chase_tree(normal, database)
+    print(tree.render())
+    print()
+    print("Proposition 2 invariants:", verify_proposition2(tree, normal, database))
+    print()
+
+    answers = certain_answers(Query(normal, "Q"), database)
+    print("answers to (Σp, Q):", sorted(t[0].name for t in answers))
+    print("(the paper: a1 and a2 — a2 through the anonymous keyword of p2)")
+    print()
+
+    print("=== Theorem 1: Σp → nearly guarded rew(Σp) ===")
+    rewritten = rewrite_frontier_guarded(normal, max_rules=400_000)
+    print(f"rew(Σp): {len(rewritten)} rules, nearly guarded: "
+          f"{is_nearly_guarded(rewritten)}")
+    translated = certain_answers(
+        Query(rewritten, "Q"),
+        database,
+        budget=ChaseBudget(max_steps=3_000_000, max_atoms=3_000_000),
+    )
+    print("rew(Σp) answers:", sorted(t[0].name for t in translated))
+    print("answers preserved:", answers == translated)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: rules, databases, the chase, classification, translation.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    ChaseBudget,
+    Query,
+    certain_answers,
+    chase,
+    classify,
+    guarded_to_datalog,
+    parse_database,
+    parse_theory,
+)
+from repro.datalog import datalog_answers
+
+
+def main() -> None:
+    # 1. Write a theory in the paper's syntax: bare names are variables,
+    #    quoted names are constants, `exists` introduces labeled nulls.
+    theory = parse_theory(
+        """
+        Employee(x) -> exists d. WorksIn(x, d)
+        WorksIn(x, d) -> Department(d)
+        Manager(x, d), WorksIn(y, d) -> Colleagues(x, y)
+        """
+    )
+    database = parse_database(
+        """
+        Employee(alice). Employee(bob).
+        Manager(carol, sales). WorksIn(alice, sales).
+        """
+    )
+
+    # 2. Where does the theory sit in Figure 1's lattice?
+    print("classification:", classify(theory).names())
+
+    # 3. Run the chase and inspect what was invented.
+    result = chase(theory, database, budget=ChaseBudget(max_steps=10_000))
+    print(f"chase: {len(result.database)} atoms, "
+          f"{result.nulls_created} invented nulls, complete={result.complete}")
+
+    # 4. Certain answers: tuples of constants entailed in every model.
+    answers = certain_answers(Query(theory, "Colleagues"), database)
+    print("Colleagues:", sorted((a.name, b.name) for a, b in answers))
+
+    # 5. Guarded theories translate to plain Datalog (Theorem 3) — same
+    #    answers, evaluated by the semi-naive engine.
+    guarded = parse_theory(
+        """
+        Employee(x) -> exists d. WorksIn(x, d)
+        WorksIn(x, d) -> Placed(x)
+        """
+    )
+    datalog = guarded_to_datalog(guarded)
+    print("dat(Σ):")
+    for rule in datalog:
+        print("   ", rule)
+    placed = datalog_answers(Query(datalog, "Placed"), database)
+    print("Placed:", sorted(t[0].name for t in placed))
+
+
+if __name__ == "__main__":
+    main()

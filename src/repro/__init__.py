@@ -1,0 +1,113 @@
+"""repro — a reproduction of *Expressiveness of Guarded Existential Rule
+Languages* (Gottlob, Rudolph, Šimkus; PODS 2014).
+
+The package implements, from scratch:
+
+* the existential-rule core (terms/atoms/rules/theories/databases, a text
+  syntax, homomorphism search) — :mod:`repro.core`;
+* the oblivious/restricted/stratified chase and the chase tree of
+  Section 4 — :mod:`repro.chase`;
+* the guardedness lattice of Figure 1 (guarded, frontier-guarded, weakly
+  and nearly variants), affected positions, normalization and proper form
+  — :mod:`repro.guardedness`;
+* every translation of Sections 5–7: FG→NG (Thm 1), NFG→NG (Prop 4),
+  WFG→WG (Thm 2), guarded→Datalog (Thm 3), NG→Datalog (Prop 6), ACDom
+  axiomatization (Prop 5), partial grounding and the five-step CQ
+  pipeline — :mod:`repro.translate`;
+* a semi-naive Datalog engine with stratified negation —
+  :mod:`repro.datalog`;
+* the Section 8 capture machinery: Turing machines, string databases,
+  Σsucc/Σcode, the PTime (semipositive Datalog) and ExpTime (weakly
+  guarded) capture compilers — :mod:`repro.capture`;
+* executable separation witnesses — :mod:`repro.expressiveness`.
+
+Quickstart::
+
+    from repro import parse_theory, parse_database, Query, certain_answers
+
+    theory = parse_theory("Publication(x) -> exists k. HasKeyword(x, k)")
+    database = parse_database("Publication(p1).")
+    answers = certain_answers(Query(theory, "HasKeyword"), database)
+"""
+
+from .core import (
+    ACDOM,
+    Atom,
+    Constant,
+    Database,
+    NegatedAtom,
+    Null,
+    ParseError,
+    Query,
+    Rule,
+    Theory,
+    Variable,
+    parse_atom,
+    parse_database,
+    parse_rule,
+    parse_theory,
+)
+from .chase import (
+    ChaseBudget,
+    ChaseResult,
+    build_chase_tree,
+    certain_answers,
+    chase,
+    entails,
+    stratified_answers,
+    stratified_chase,
+)
+from .datalog import datalog_answers, evaluate, stratify
+from .guardedness import classify, is_guarded, is_weakly_guarded, normalize
+from .queries import ConjunctiveQuery, answer_cq, knowledge_base_query
+from .translate import (
+    answer_query,
+    guarded_to_datalog,
+    nearly_guarded_to_datalog,
+    rewrite_frontier_guarded,
+    rewrite_weakly_frontier_guarded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACDOM",
+    "Atom",
+    "ChaseBudget",
+    "ChaseResult",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "NegatedAtom",
+    "Null",
+    "ParseError",
+    "Query",
+    "Rule",
+    "Theory",
+    "Variable",
+    "answer_cq",
+    "answer_query",
+    "build_chase_tree",
+    "certain_answers",
+    "chase",
+    "classify",
+    "datalog_answers",
+    "entails",
+    "evaluate",
+    "guarded_to_datalog",
+    "is_guarded",
+    "is_weakly_guarded",
+    "knowledge_base_query",
+    "nearly_guarded_to_datalog",
+    "normalize",
+    "parse_atom",
+    "parse_database",
+    "parse_rule",
+    "parse_theory",
+    "rewrite_frontier_guarded",
+    "rewrite_weakly_frontier_guarded",
+    "stratified_answers",
+    "stratified_chase",
+    "stratify",
+    "__version__",
+]

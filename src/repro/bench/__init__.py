@@ -1,0 +1,27 @@
+"""Workload generators shared by tests and benchmarks."""
+
+from .generators import (
+    Signature,
+    chain_database,
+    cycle_database,
+    grid_database,
+    random_database,
+    random_datalog_theory,
+    random_frontier_guarded_theory,
+    random_guarded_theory,
+    random_signature,
+    random_weakly_guarded_theory,
+)
+
+__all__ = [
+    "Signature",
+    "chain_database",
+    "cycle_database",
+    "grid_database",
+    "random_database",
+    "random_datalog_theory",
+    "random_frontier_guarded_theory",
+    "random_guarded_theory",
+    "random_signature",
+    "random_weakly_guarded_theory",
+]

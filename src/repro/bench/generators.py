@@ -1,0 +1,279 @@
+"""Random workload generators.
+
+Tests and benchmarks validate every translation by answer-preservation on
+randomized instances; this module provides seeded generators for
+
+* databases over a given signature (controlled size/shape),
+* guarded theories (every rule carries a full guard),
+* frontier-guarded theories (cyclic bodies, guarded frontiers — the
+  Example 3/5 shapes),
+* weakly (frontier-)guarded theories via class-checked construction,
+* plain Datalog programs.
+
+Generators use :class:`random.Random` instances, never the global RNG, so
+every workload is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from ..core.theory import Theory
+from ..guardedness.classify import (
+    is_frontier_guarded,
+    is_guarded,
+    is_weakly_frontier_guarded,
+    is_weakly_guarded,
+)
+
+__all__ = [
+    "Signature",
+    "random_signature",
+    "random_database",
+    "random_guarded_theory",
+    "random_frontier_guarded_theory",
+    "random_datalog_theory",
+    "random_weakly_guarded_theory",
+    "chain_database",
+    "cycle_database",
+    "grid_database",
+]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A relational signature: name → arity."""
+
+    arities: dict[str, int]
+
+    def relations(self) -> list[str]:
+        return sorted(self.arities)
+
+    def arity(self, name: str) -> int:
+        return self.arities[name]
+
+    def max_arity(self) -> int:
+        return max(self.arities.values(), default=0)
+
+
+def random_signature(
+    rng: random.Random,
+    n_relations: int = 4,
+    max_arity: int = 3,
+    min_arity: int = 1,
+) -> Signature:
+    arities = {
+        f"P{i}": rng.randint(min_arity, max_arity) for i in range(n_relations)
+    }
+    return Signature(arities)
+
+
+def random_database(
+    rng: random.Random,
+    signature: Signature,
+    n_constants: int = 6,
+    n_atoms: int = 12,
+) -> Database:
+    constants = [Constant(f"c{i}") for i in range(n_constants)]
+    atoms = []
+    for _ in range(n_atoms):
+        relation = rng.choice(signature.relations())
+        arity = signature.arity(relation)
+        args = tuple(rng.choice(constants) for _ in range(arity))
+        atoms.append(Atom(relation, args))
+    return Database(atoms)
+
+
+def _variables(count: int) -> list[Variable]:
+    return [Variable(f"x{i}") for i in range(count)]
+
+
+def random_guarded_theory(
+    rng: random.Random,
+    signature: Signature,
+    n_rules: int = 5,
+    existential_probability: float = 0.5,
+    extra_body_atoms: int = 2,
+) -> Theory:
+    """Guarded rules: a guard atom over fresh variables, side atoms over
+    subsets of the guard's variables, heads over guard variables plus
+    optional existential variables."""
+    rules = []
+    relations = signature.relations()
+    for _ in range(n_rules):
+        guard_relation = rng.choice(relations)
+        guard_vars = _variables(signature.arity(guard_relation))
+        guard = Atom(guard_relation, tuple(guard_vars))
+        body = [guard]
+        for _ in range(rng.randint(0, extra_body_atoms)):
+            relation = rng.choice(relations)
+            args = tuple(rng.choice(guard_vars) for _ in range(signature.arity(relation)))
+            body.append(Atom(relation, args))
+        head_relation = rng.choice(relations)
+        head_arity = signature.arity(head_relation)
+        if rng.random() < existential_probability:
+            evar = Variable("z")
+            pool = guard_vars + [evar]
+            while True:
+                args = tuple(rng.choice(pool) for _ in range(head_arity))
+                if evar in args:
+                    break
+            rules.append(Rule(tuple(body), (Atom(head_relation, args),), (evar,)))
+        else:
+            args = tuple(rng.choice(guard_vars) for _ in range(head_arity))
+            rules.append(Rule(tuple(body), (Atom(head_relation, args),)))
+    theory = Theory(rules)
+    assert is_guarded(theory)
+    return theory
+
+
+def random_frontier_guarded_theory(
+    rng: random.Random,
+    signature: Signature,
+    n_rules: int = 5,
+    existential_probability: float = 0.4,
+    chain_length: int = 3,
+) -> Theory:
+    """Frontier-guarded rules with non-guarded bodies.
+
+    Bodies are chains/cycles over binary projections of the signature's
+    relations (the Example 3/5 shape); the frontier is kept inside a single
+    frontier-guard atom."""
+    rules = []
+    relations = signature.relations()
+    binary = [name for name in relations if signature.arity(name) >= 2]
+    if not binary:
+        raise ValueError("need at least one relation of arity ≥ 2")
+    for _ in range(n_rules):
+        length = rng.randint(2, chain_length)
+        chain_vars = _variables(length + 1)
+        body = []
+        for i in range(length):
+            relation = rng.choice(binary)
+            arity = signature.arity(relation)
+            args = [chain_vars[i], chain_vars[i + 1]]
+            while len(args) < arity:
+                args.append(rng.choice([chain_vars[i], chain_vars[i + 1]]))
+            body.append(Atom(relation, tuple(args)))
+        if rng.random() < 0.5:  # close the cycle
+            relation = rng.choice(binary)
+            arity = signature.arity(relation)
+            args = [chain_vars[-1], chain_vars[0]]
+            while len(args) < arity:
+                args.append(rng.choice([chain_vars[-1], chain_vars[0]]))
+            body.append(Atom(relation, tuple(args)))
+        # frontier: variables of one body atom
+        frontier_guard = rng.choice(body)
+        frontier_pool = sorted(frontier_guard.argument_variables(), key=lambda v: v.name)
+        head_relation = rng.choice(relations)
+        head_arity = signature.arity(head_relation)
+        if rng.random() < existential_probability:
+            evar = Variable("z")
+            pool = frontier_pool + [evar]
+            while True:
+                args = tuple(rng.choice(pool) for _ in range(head_arity))
+                if evar in args:
+                    break
+            rules.append(Rule(tuple(body), (Atom(head_relation, args),), (evar,)))
+        else:
+            args = tuple(rng.choice(frontier_pool) for _ in range(head_arity))
+            rules.append(Rule(tuple(body), (Atom(head_relation, args),)))
+    theory = Theory(rules)
+    assert is_frontier_guarded(theory)
+    return theory
+
+
+def random_datalog_theory(
+    rng: random.Random,
+    signature: Signature,
+    n_rules: int = 5,
+    max_body_atoms: int = 3,
+    max_variables: int = 4,
+) -> Theory:
+    """Safe Datalog rules with arbitrary (non-guarded) joins."""
+    rules = []
+    relations = signature.relations()
+    for _ in range(n_rules):
+        variables = _variables(rng.randint(2, max_variables))
+        body = []
+        for _ in range(rng.randint(1, max_body_atoms)):
+            relation = rng.choice(relations)
+            args = tuple(
+                rng.choice(variables) for _ in range(signature.arity(relation))
+            )
+            body.append(Atom(relation, args))
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        head_relation = rng.choice(relations)
+        args = tuple(
+            rng.choice(body_vars) for _ in range(signature.arity(head_relation))
+        )
+        rules.append(Rule(tuple(body), (Atom(head_relation, args),)))
+    return Theory(rules)
+
+
+def random_weakly_guarded_theory(
+    rng: random.Random,
+    signature: Signature,
+    n_rules: int = 5,
+    max_attempts: int = 200,
+    frontier_only: bool = False,
+) -> Theory:
+    """A weakly (frontier-)guarded theory that is *not* plain (frontier-)
+    guarded, by rejection sampling over mixed rule shapes.
+
+    Mixes guarded existential rules (creating affected positions) with
+    Datalog join rules whose unsafe variables happen to be covered by one
+    atom; retries until the class check passes."""
+    check = is_weakly_frontier_guarded if frontier_only else is_weakly_guarded
+    for _ in range(max_attempts):
+        guarded_part = random_guarded_theory(
+            rng, signature, n_rules=max(1, n_rules // 2),
+            existential_probability=0.8,
+        )
+        datalog_part = random_datalog_theory(
+            rng, signature, n_rules=max(1, n_rules - len(guarded_part)),
+        )
+        candidate = Theory(tuple(guarded_part.rules) + tuple(datalog_part.rules))
+        if check(candidate):
+            return candidate
+    raise RuntimeError("failed to sample a weakly guarded theory")
+
+
+# ----------------------------------------------------------------------
+# structured databases used by the complexity benchmarks
+# ----------------------------------------------------------------------
+def chain_database(relation: str, length: int, prefix: str = "c") -> Database:
+    """``relation(c0,c1), …`` — a path of the given length."""
+    constants = [Constant(f"{prefix}{i}") for i in range(length + 1)]
+    return Database(
+        Atom(relation, (constants[i], constants[i + 1])) for i in range(length)
+    )
+
+
+def cycle_database(relation: str, length: int, prefix: str = "c") -> Database:
+    constants = [Constant(f"{prefix}{i}") for i in range(length)]
+    return Database(
+        Atom(relation, (constants[i], constants[(i + 1) % length]))
+        for i in range(length)
+    )
+
+
+def grid_database(relation: str, rows: int, cols: int) -> Database:
+    """Edges of a rows×cols grid (both directions of adjacency)."""
+    atoms = []
+    for r in range(rows):
+        for c in range(cols):
+            here = Constant(f"g{r}_{c}")
+            if c + 1 < cols:
+                atoms.append(Atom(relation, (here, Constant(f"g{r}_{c+1}"))))
+            if r + 1 < rows:
+                atoms.append(Atom(relation, (here, Constant(f"g{r+1}_{c}"))))
+    return Database(atoms)

@@ -1,0 +1,83 @@
+"""Section 8 capture machinery: Turing machines, string databases, orders,
+codings, and the PTime/ExpTime capture compilers."""
+
+from .coding import CodeSignature, coded_string_signature, sigma_code, symbol_name
+from .exptime import CompiledMachine, compile_machine, machine_accepts_via_chase
+from .generic import (
+    EVEN_OUTPUT,
+    ODD_OUTPUT,
+    domain_parity_theory,
+    domain_size_is_even,
+    parity_rules,
+)
+from .order import (
+    SCALAR_MAX,
+    SCALAR_MIN,
+    SCALAR_SUCC,
+    good_ordering_budget,
+    good_orderings,
+    lex_tuple_order_rules,
+    sigma_succ,
+)
+from .ptime import (
+    CompiledPolytimeMachine,
+    compile_polytime_machine,
+    polytime_accepts,
+)
+from .string_db import (
+    FIRST,
+    LAST,
+    NEXT,
+    PAD,
+    StringSignature,
+    decode_word,
+    encode_word,
+    is_string_database,
+)
+from .turing import (
+    BLANK,
+    Configuration,
+    Transition,
+    TuringMachine,
+    accepts,
+    run_deterministic,
+)
+
+__all__ = [
+    "BLANK",
+    "CodeSignature",
+    "CompiledMachine",
+    "CompiledPolytimeMachine",
+    "Configuration",
+    "EVEN_OUTPUT",
+    "FIRST",
+    "LAST",
+    "NEXT",
+    "ODD_OUTPUT",
+    "PAD",
+    "SCALAR_MAX",
+    "SCALAR_MIN",
+    "SCALAR_SUCC",
+    "StringSignature",
+    "Transition",
+    "TuringMachine",
+    "accepts",
+    "coded_string_signature",
+    "compile_machine",
+    "compile_polytime_machine",
+    "decode_word",
+    "domain_parity_theory",
+    "domain_size_is_even",
+    "encode_word",
+    "good_ordering_budget",
+    "good_orderings",
+    "is_string_database",
+    "lex_tuple_order_rules",
+    "machine_accepts_via_chase",
+    "parity_rules",
+    "polytime_accepts",
+    "run_deterministic",
+    "sigma_code",
+    "sigma_succ",
+    "symbol_name",
+]

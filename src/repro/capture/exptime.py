@@ -1,0 +1,320 @@
+"""Theorem 4: weakly guarded capture of exponential-time string queries.
+
+Compiles an alternating Turing machine into a weakly guarded theory that,
+chased over a string database ``D`` of degree ``k``, derives the 0-ary
+output atom iff the machine accepts ``w(D)``.
+
+Construction (the paper's proof routes through alternating polynomial
+space = ExpTime; this is its deterministic-chase realization):
+
+* every machine configuration is a **labeled null** ``u`` created by an
+  existential rule; the tape content is spread over atoms
+  ``Cell_a(u, ~p)`` whose position arguments ``~p`` are ``k``-tuples of
+  *constants* (safe, non-affected positions),
+* a transition from ``u`` creates the successor configuration ``u'``
+  through a binary atom ``Step_i_q_a(u, u')`` — the only atoms that ever
+  hold **two** nulls.  Every rule's unsafe variables are ``{u}`` or
+  ``{u, u'}``, and each rule has a body atom containing them — weak
+  guardedness holds by construction and is asserted,
+* acceptance is a least fixpoint over ``Step`` edges; universal states
+  require both branches (two auxiliary per-branch atoms — three nulls
+  never co-occur, keeping the rules weakly guarded),
+* the chase therefore materializes the machine's computation tree: up to
+  ``|Ω|^(d^k) · …`` configurations — exponential in the database, matching
+  the ExpTime data complexity of weakly guarded rules.
+
+The tape has exactly ``d^k`` cells (the string database's tuples): the
+machine runs in space ``n^k`` and alternating time — i.e. deterministic
+``2^poly`` time, genuinely beyond Datalog's PTime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.rules import Rule
+from ..core.terms import Variable
+from ..core.theory import Query, Theory
+from ..chase.runner import ChaseBudget, chase
+from ..guardedness.classify import is_weakly_guarded
+from .string_db import FIRST, LAST, NEXT, PAD, StringSignature
+from .turing import ACCEPT, BLANK, EXISTENTIAL, REJECT, UNIVERSAL, TuringMachine
+
+__all__ = ["CompiledMachine", "compile_machine", "machine_accepts_via_chase"]
+
+_PREFIX = "TM"
+
+
+def _symbol_token(machine: TuringMachine, symbol: str) -> str:
+    return f"s{machine.alphabet.index(symbol)}"
+
+
+def _state_token(machine: TuringMachine, state: str) -> str:
+    return f"q{machine.states.index(state)}"
+
+
+@dataclass
+class CompiledMachine:
+    """A machine compiled to a weakly guarded theory."""
+
+    machine: TuringMachine
+    signature: StringSignature
+    theory: Theory
+    output: str
+
+    def query(self) -> Query:
+        return Query(self.theory, self.output)
+
+
+class _Builder:
+    def __init__(self, machine: TuringMachine, signature: StringSignature) -> None:
+        self.machine = machine
+        self.k = signature.degree
+        self.signature = signature.with_pad()
+        self.rules: list[Rule] = []
+        self.u = Variable("u")
+        self.u1 = Variable("u1")
+        self.u2 = Variable("u2")
+
+    # -- relation names -------------------------------------------------
+    def conf0(self) -> str:
+        return f"{_PREFIX}_Conf0"
+
+    def conf(self) -> str:
+        return f"{_PREFIX}_Conf"
+
+    def state_rel(self, state: str) -> str:
+        return f"{_PREFIX}_State_{_state_token(self.machine, state)}"
+
+    def cell_rel(self, symbol: str) -> str:
+        return f"{_PREFIX}_Cell_{_symbol_token(self.machine, symbol)}"
+
+    def head_rel(self) -> str:
+        return f"{_PREFIX}_Head"
+
+    def step_rel(self, branch: int, state: str, symbol: str) -> str:
+        return (
+            f"{_PREFIX}_Step{branch}_"
+            f"{_state_token(self.machine, state)}_"
+            f"{_symbol_token(self.machine, symbol)}"
+        )
+
+    def branch_accept_rel(self, branch: int, state: str, symbol: str) -> str:
+        return (
+            f"{_PREFIX}_AccB{branch}_"
+            f"{_state_token(self.machine, state)}_"
+            f"{_symbol_token(self.machine, symbol)}"
+        )
+
+    def accept_rel(self) -> str:
+        return f"{_PREFIX}_Accept"
+
+    def lt_rel(self) -> str:
+        return f"{_PREFIX}_Lt"
+
+    def neq_rel(self) -> str:
+        return f"{_PREFIX}_Neq"
+
+    # -- variable tuples ------------------------------------------------
+    def tuple_vars(self, stem: str) -> tuple[Variable, ...]:
+        return tuple(Variable(f"{stem}{i}") for i in range(self.k))
+
+    # -- rule groups ------------------------------------------------------
+    def emit_initialization(self) -> None:
+        u = self.u
+        self.rules.append(Rule((), (Atom(self.conf0(), (u,)),), (u,)))
+        conf0 = Atom(self.conf0(), (u,))
+        self.rules.append(Rule((conf0,), (Atom(self.conf(), (u,)),)))
+        self.rules.append(
+            Rule((conf0,), (Atom(self.state_rel(self.machine.initial_state), (u,)),))
+        )
+        p = self.tuple_vars("p")
+        self.rules.append(
+            Rule((conf0, Atom(FIRST, p)), (Atom(self.head_rel(), (u,) + p),))
+        )
+        # input symbols → initial cells; the pad symbol becomes blank
+        for symbol in self.signature.symbols:
+            tape_symbol = BLANK if symbol == PAD else symbol
+            self.rules.append(
+                Rule(
+                    (conf0, Atom(symbol, p)),
+                    (Atom(self.cell_rel(tape_symbol), (u,) + p),),
+                )
+            )
+
+    def emit_order_helpers(self) -> None:
+        x = self.tuple_vars("x")
+        y = self.tuple_vars("y")
+        z = self.tuple_vars("z")
+        lt, neq = self.lt_rel(), self.neq_rel()
+        self.rules.append(Rule((Atom(NEXT, x + y),), (Atom(lt, x + y),)))
+        self.rules.append(
+            Rule((Atom(lt, x + y), Atom(lt, y + z)), (Atom(lt, x + z),))
+        )
+        self.rules.append(Rule((Atom(lt, x + y),), (Atom(neq, x + y),)))
+        self.rules.append(Rule((Atom(lt, x + y),), (Atom(neq, y + x),)))
+
+    def emit_transitions(self) -> None:
+        machine = self.machine
+        u, u1 = self.u, self.u1
+        p = self.tuple_vars("p")
+        q = self.tuple_vars("q")
+        r = self.tuple_vars("r")
+        accept = self.accept_rel()
+        for (state, symbol), choices in sorted(machine.delta.items()):
+            kind = machine.kind(state)
+            if kind in (ACCEPT, REJECT):
+                continue
+            state_atom = Atom(self.state_rel(state), (u,))
+            head_atom = Atom(self.head_rel(), (u,) + p)
+            scan_atom = Atom(self.cell_rel(symbol), (u,) + p)
+            for branch, choice in enumerate(choices, start=1):
+                step = self.step_rel(branch, state, symbol)
+                step_atom = Atom(step, (u, u1))
+                # spawn the successor configuration — only when the head
+                # move is feasible (a move off the tape halts the machine,
+                # matching the reference simulator)
+                spawn_body = (state_atom, head_atom, scan_atom)
+                if choice.move == 1:
+                    spawn_body = spawn_body + (Atom(NEXT, p + q),)
+                elif choice.move == -1:
+                    spawn_body = spawn_body + (Atom(NEXT, q + p),)
+                self.rules.append(Rule(spawn_body, (step_atom,), (u1,)))
+                self.rules.append(
+                    Rule((step_atom,), (Atom(self.conf(), (u1,)),))
+                )
+                self.rules.append(
+                    Rule(
+                        (step_atom,),
+                        (Atom(self.state_rel(choice.state), (u1,)),),
+                    )
+                )
+                # write under the head
+                self.rules.append(
+                    Rule(
+                        (step_atom, head_atom),
+                        (Atom(self.cell_rel(choice.symbol), (u1,) + p),),
+                    )
+                )
+                # move the head
+                if choice.move == 0:
+                    move_body = (step_atom, head_atom)
+                    new_head = Atom(self.head_rel(), (u1,) + p)
+                elif choice.move == 1:
+                    move_body = (step_atom, head_atom, Atom(NEXT, p + q))
+                    new_head = Atom(self.head_rel(), (u1,) + q)
+                else:
+                    move_body = (step_atom, head_atom, Atom(NEXT, q + p))
+                    new_head = Atom(self.head_rel(), (u1,) + q)
+                self.rules.append(Rule(move_body, (new_head,)))
+                # copy the rest of the tape
+                for other in machine.alphabet:
+                    self.rules.append(
+                        Rule(
+                            (
+                                step_atom,
+                                head_atom,
+                                Atom(self.cell_rel(other), (u,) + r),
+                                Atom(self.neq_rel(), r + p),
+                            ),
+                            (Atom(self.cell_rel(other), (u1,) + r),),
+                        )
+                    )
+            # acceptance propagation
+            if kind == UNIVERSAL and len(choices) == 2:
+                for branch in (1, 2):
+                    step_atom = Atom(self.step_rel(branch, state, symbol), (u, u1))
+                    self.rules.append(
+                        Rule(
+                            (step_atom, Atom(accept, (u1,))),
+                            (Atom(self.branch_accept_rel(branch, state, symbol), (u,)),),
+                        )
+                    )
+                self.rules.append(
+                    Rule(
+                        (
+                            Atom(self.branch_accept_rel(1, state, symbol), (u,)),
+                            Atom(self.branch_accept_rel(2, state, symbol), (u,)),
+                        ),
+                        (Atom(accept, (u,)),),
+                    )
+                )
+            else:
+                # existential state, or a universal state with one choice
+                for branch in range(1, len(choices) + 1):
+                    step_atom = Atom(self.step_rel(branch, state, symbol), (u, u1))
+                    self.rules.append(
+                        Rule(
+                            (step_atom, Atom(accept, (u1,))),
+                            (Atom(accept, (u,)),),
+                        )
+                    )
+
+    def emit_acceptance(self, output: str) -> None:
+        u = self.u
+        for state in self.machine.states:
+            if self.machine.kind(state) == ACCEPT:
+                self.rules.append(
+                    Rule(
+                        (Atom(self.state_rel(state), (u,)),),
+                        (Atom(self.accept_rel(), (u,)),),
+                    )
+                )
+        self.rules.append(
+            Rule(
+                (Atom(self.conf0(), (u,)), Atom(self.accept_rel(), (u,))),
+                (Atom(output, ()),),
+            )
+        )
+
+
+def compile_machine(
+    machine: TuringMachine,
+    signature: StringSignature,
+    *,
+    output: str = "TM_Accepts",
+) -> CompiledMachine:
+    """Compile an ATM into a weakly guarded theory over string databases of
+    the given signature.  The result is asserted weakly guarded."""
+    for symbol in signature.symbols:
+        if symbol != PAD and symbol not in machine.alphabet:
+            raise ValueError(
+                f"string symbol {symbol!r} is not in the machine's alphabet"
+            )
+    builder = _Builder(machine, signature)
+    builder.emit_initialization()
+    builder.emit_order_helpers()
+    builder.emit_transitions()
+    builder.emit_acceptance(output)
+    theory = Theory(builder.rules)
+    if not is_weakly_guarded(theory):
+        raise AssertionError("compiled machine must be weakly guarded")
+    return CompiledMachine(machine, signature.with_pad(), theory, output)
+
+
+def machine_accepts_via_chase(
+    compiled: CompiledMachine,
+    database: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+) -> bool:
+    """Run the chase of the compiled theory over a string database and
+    report whether the 0-ary output atom was derived.
+
+    Raises ``RuntimeError`` if the budget truncates the chase before the
+    output is derived (the machine may loop or exceed the budget)."""
+    result = chase(
+        compiled.theory,
+        database,
+        policy="restricted",
+        budget=budget or ChaseBudget(max_steps=500_000),
+    )
+    derived = Atom(compiled.output, ()) in result.database
+    if not derived and not result.complete:
+        raise RuntimeError(
+            f"chase truncated ({result.truncated_reason}); acceptance unknown"
+        )
+    return derived

@@ -1,0 +1,194 @@
+"""Order generation (Theorem 5) and lexicographic tuple orders.
+
+**Σsucc** — the stratified weakly guarded program from the proof of
+Theorem 5 (rules (1)–(12)).  It grows, for every input database, an
+infinite forest of candidate orderings of the active domain; each ordering
+is named by a labeled null ``u``, and ``Good(u)`` holds exactly when
+``Min(·,u)/Succ(·,·,u)/Max(·,u)`` describe a total order of the domain.
+
+The paper overloads the name ``Succ`` with arities 3 and 4; we call the
+4-ary extension relation ``Ext(x, y, u, v)`` ("ordering ``v`` extends
+``u`` by putting ``y`` after ``x``") and add the copying rule
+``Ext(x,y,u,v) → Succ(x,y,v)`` — see DESIGN.md.
+
+The chase of Σsucc is infinite (every ordering keeps extending); however
+an ordering without repetitions has at most ``n = |dom|`` elements, and
+orderings with repetitions can never become ``Good``, so truncating the
+chase at null depth ``n + 1`` preserves the ``Good`` orderings exactly.
+:func:`good_ordering_budget` computes that budget and
+:func:`good_orderings` extracts the generated total orders.
+
+**Lexicographic tuple orders** — plain Datalog rules turning a scalar
+order (``Succ1/Min1/Max1``) into the ``First/Next/Last`` successor
+structure on ``k``-tuples required by string databases (the classic
+construction the paper cites from [16]); used by ``Σcode``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.atoms import Atom, NegatedAtom
+from ..core.database import Database
+from ..core.rules import Rule
+from ..core.terms import Constant, Null, Variable
+from ..core.theory import ACDOM, Theory
+from ..chase.runner import ChaseBudget, ChaseResult
+from ..chase.stratified import stratified_chase
+from .string_db import FIRST, LAST, NEXT
+
+__all__ = [
+    "sigma_succ",
+    "good_ordering_budget",
+    "good_orderings",
+    "lex_tuple_order_rules",
+    "SCALAR_SUCC",
+    "SCALAR_MIN",
+    "SCALAR_MAX",
+]
+
+#: Scalar-order relations consumed by the lexicographic construction.
+SCALAR_SUCC = "Succ1"
+SCALAR_MIN = "Min1"
+SCALAR_MAX = "Max1"
+
+
+def sigma_succ() -> Theory:
+    """The Σsucc program — rules (1)–(12) of the Theorem 5 proof."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    x2, y2 = Variable("x2"), Variable("y2")
+    u, v = Variable("u"), Variable("v")
+
+    def a(name, *args):
+        return Atom(name, tuple(args))
+
+    rules = [
+        # (1) every constant starts an ordering
+        Rule((a(ACDOM, x),), (a("Min", x, u), a("New", x, u)), (u,)),
+        # (2) extend an ordering by any constant (Ext is the paper's 4-ary
+        # Succ; see module docstring)
+        Rule(
+            (a("New", x, u), a(ACDOM, y)),
+            (a("Ext", x, y, u, v), a("New", y, v)),
+            (v,),
+        ),
+        # Ext records the new edge in the extended ordering
+        Rule((a("Ext", x, y, u, v),), (a("Succ", x, y, v),)),
+        # (3) the new element becomes old
+        Rule((a("New", x, u),), (a("Old", x, u),)),
+        # (4) old elements persist through extensions
+        Rule((a("Ext", x, y, u, v), a("Old", x2, u)), (a("Old", x2, v),)),
+        # (5) the minimum persists
+        Rule((a("Ext", x, y, u, v), a("Min", x2, u)), (a("Min", x2, v),)),
+        # (6) successor edges persist
+        Rule(
+            (a("Ext", x, y, u, v), a("Succ", x2, y2, u)),
+            (a("Succ", x2, y2, v),),
+        ),
+        # (7)–(8) Lt is the transitive closure of Succ per ordering
+        Rule((a("Succ", x, y, u),), (a("Lt", x, y, u),)),
+        Rule((a("Lt", x, y, u), a("Lt", y, z, u)), (a("Lt", x, z, u),)),
+        # (9) a cycle marks a repetition
+        Rule((a("Lt", x, x, u),), (a("Repetition", u),)),
+        # (10) a missing constant marks an omission
+        Rule(
+            (a("Old", y, u), a(ACDOM, x), NegatedAtom(a("Old", x, u))),
+            (a("Omission", u),),
+        ),
+        # (11) orderings without repetition or omission are good
+        Rule(
+            (
+                a("Old", x, u),
+                NegatedAtom(a("Repetition", u)),
+                NegatedAtom(a("Omission", u)),
+            ),
+            (a("Good", u),),
+        ),
+        # (12) the last element of a good ordering is its maximum
+        Rule((a("New", x, u), a("Good", u)), (a("Max", x, u),)),
+    ]
+    return Theory(rules)
+
+
+def good_ordering_budget(database: Database, slack: int = 1) -> ChaseBudget:
+    """A chase budget whose depth cut provably preserves ``Good``.
+
+    An ordering null at depth ``d`` represents a sequence of ``d``
+    elements; sequences longer than ``n = |active domain|`` necessarily
+    repeat an element and can never become good, so ``max_depth = n +
+    slack`` loses nothing."""
+    n = len(database.active_constants())
+    return ChaseBudget(max_steps=None, max_depth=n + slack)
+
+
+def good_orderings(
+    database: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+    extra_theory: Theory = Theory(()),
+) -> tuple[ChaseResult, dict[Null, list[Constant]]]:
+    """Chase Σsucc (optionally extended with downstream rules) and decode
+    every good ordering: null ``u`` → the ordered list of constants."""
+    theory = Theory(tuple(sigma_succ().rules) + tuple(extra_theory.rules))
+    result = stratified_chase(
+        theory,
+        database,
+        budget=budget or good_ordering_budget(database),
+        policy="restricted",
+    )
+    db = result.database
+    orderings: dict[Null, list[Constant]] = {}
+    for good in db.atoms_for(("Good", 1, 0)):
+        (u,) = good.args
+        if not isinstance(u, Null):
+            continue
+        minimum = [
+            atom.args[0]
+            for atom in db.atoms_matching(("Min", 2, 0), {1: u})
+        ]
+        successor = {
+            atom.args[0]: atom.args[1]
+            for atom in db.atoms_matching(("Succ", 3, 0), {2: u})
+        }
+        if len(minimum) != 1:
+            continue
+        sequence = [minimum[0]]
+        while sequence[-1] in successor:
+            sequence.append(successor[sequence[-1]])
+        orderings[u] = [c for c in sequence if isinstance(c, Constant)]
+    return result, orderings
+
+
+def lex_tuple_order_rules(k: int) -> Theory:
+    """Datalog rules defining ``First/Next/Last`` on ``k``-tuples from a
+    scalar order ``Succ1/Min1/Max1`` (the [16] construction).
+
+    The lexicographic successor of ``(x1,…,xk)`` increments the last
+    non-maximal position ``j`` and resets the suffix: one rule per ``j``."""
+    if k < 1:
+        raise ValueError("k must be ≥ 1")
+    rules: list[Rule] = []
+    m = Variable("m")
+    big = Variable("M")
+
+    # First_k(m,…,m) ← Min1(m);  Last_k(M,…,M) ← Max1(M)
+    rules.append(Rule((Atom(SCALAR_MIN, (m,)),), (Atom(FIRST, (m,) * k),)))
+    rules.append(Rule((Atom(SCALAR_MAX, (big,)),), (Atom(LAST, (big,) * k),)))
+
+    for j in range(k):
+        prefix = tuple(Variable(f"x{i}") for i in range(j))
+        here_from = Variable("a")
+        here_to = Variable("b")
+        suffix_from = tuple(Variable(f"hi{i}") for i in range(j + 1, k))
+        suffix_to = tuple(Variable(f"lo{i}") for i in range(j + 1, k))
+        body: list[Atom] = [Atom(SCALAR_SUCC, (here_from, here_to))]
+        for variable in suffix_from:
+            body.append(Atom(SCALAR_MAX, (variable,)))
+        for variable in suffix_to:
+            body.append(Atom(SCALAR_MIN, (variable,)))
+        for variable in prefix:
+            body.append(Atom(ACDOM, (variable,)))
+        left = prefix + (here_from,) + suffix_from
+        right = prefix + (here_to,) + suffix_to
+        rules.append(Rule(tuple(body), (Atom(NEXT, left + right),)))
+    return Theory(rules)

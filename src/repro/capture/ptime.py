@@ -1,0 +1,151 @@
+"""PTime capture: DTM simulation in (semi)positive Datalog on ordered
+string databases.
+
+The classic Vardi/Papadimitriou result the paper leans on in Section 8:
+on ordered databases, semipositive Datalog captures PTime.  We realize the
+machine-simulation half: a deterministic TM that runs within ``d^k`` steps
+on a ``d^k``-cell tape compiles to a *positive* Datalog program over
+string databases of degree ``k`` — time steps and tape positions are both
+``k``-tuples ordered by the input ``Next`` relation.  (Input negation only
+enters through ``Σcode``, :mod:`repro.capture.coding`, which builds the
+string database from a raw ordered database.)
+
+Relations: ``PT_State_q(~t)``, ``PT_Head(~t, ~p)``, ``PT_Cell_a(~t, ~p)``
+and the 0-ary output.  All rules are plain Datalog, so evaluation is
+polynomial — contrast with the weakly guarded ExpTime simulation of
+:mod:`repro.capture.exptime` (experiment E8/E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.rules import Rule
+from ..core.terms import Variable
+from ..core.theory import Query, Theory
+from ..datalog.engine import evaluate
+from .string_db import FIRST, LAST, NEXT, PAD, StringSignature
+from .turing import ACCEPT, BLANK, REJECT, TuringMachine
+
+__all__ = ["CompiledPolytimeMachine", "compile_polytime_machine", "polytime_accepts"]
+
+_PREFIX = "PT"
+
+
+@dataclass
+class CompiledPolytimeMachine:
+    machine: TuringMachine
+    signature: StringSignature
+    theory: Theory
+    output: str
+
+    def query(self) -> Query:
+        return Query(self.theory, self.output)
+
+
+def compile_polytime_machine(
+    machine: TuringMachine,
+    signature: StringSignature,
+    *,
+    output: str = "PT_Accepts",
+) -> CompiledPolytimeMachine:
+    """Compile a DTM into positive Datalog over string databases.
+
+    The simulation covers ``d^k - 1`` steps (one per Next edge on time
+    tuples); the machine must be deterministic."""
+    if not machine.is_deterministic():
+        raise ValueError("the PTime capture compiles deterministic machines")
+    signature = signature.with_pad()
+    k = signature.degree
+
+    def state_rel(state: str) -> str:
+        return f"{_PREFIX}_State_q{machine.states.index(state)}"
+
+    def cell_rel(symbol: str) -> str:
+        return f"{_PREFIX}_Cell_s{machine.alphabet.index(symbol)}"
+
+    head_rel = f"{_PREFIX}_Head"
+    lt_rel = f"{_PREFIX}_Lt"
+    neq_rel = f"{_PREFIX}_Neq"
+
+    def tuple_vars(stem: str) -> tuple[Variable, ...]:
+        return tuple(Variable(f"{stem}{i}") for i in range(k))
+
+    t = tuple_vars("t")
+    t2 = tuple_vars("u")
+    p = tuple_vars("p")
+    q = tuple_vars("q")
+    r = tuple_vars("r")
+    x = tuple_vars("x")
+    y = tuple_vars("y")
+    z = tuple_vars("z")
+
+    rules: list[Rule] = []
+
+    # order helpers on tuples
+    rules.append(Rule((Atom(NEXT, x + y),), (Atom(lt_rel, x + y),)))
+    rules.append(Rule((Atom(lt_rel, x + y), Atom(lt_rel, y + z)), (Atom(lt_rel, x + z),)))
+    rules.append(Rule((Atom(lt_rel, x + y),), (Atom(neq_rel, x + y),)))
+    rules.append(Rule((Atom(lt_rel, x + y),), (Atom(neq_rel, y + x),)))
+
+    # initialization at time First
+    first_t = Atom(FIRST, t)
+    rules.append(Rule((first_t,), (Atom(state_rel(machine.initial_state), t),)))
+    rules.append(Rule((first_t, Atom(FIRST, p)), (Atom(head_rel, t + p),)))
+    for symbol in signature.symbols:
+        tape_symbol = BLANK if symbol == PAD else symbol
+        rules.append(
+            Rule((first_t, Atom(symbol, p)), (Atom(cell_rel(tape_symbol), t + p),))
+        )
+
+    # transitions — one step per Next edge on time tuples
+    for (state, symbol), choices in sorted(machine.delta.items()):
+        if machine.kind(state) in (ACCEPT, REJECT):
+            continue
+        (choice,) = choices
+        premise = (
+            Atom(state_rel(state), t),
+            Atom(head_rel, t + p),
+            Atom(cell_rel(symbol), t + p),
+            Atom(NEXT, t + t2),
+        )
+        # a transition only happens when the head move is feasible — a move
+        # off either tape end halts the machine (matching the reference
+        # simulator), so the feasibility atom gates *every* rule
+        if choice.move == 1:
+            premise = premise + (Atom(NEXT, p + q),)
+            new_head = Atom(head_rel, t2 + q)
+        elif choice.move == -1:
+            premise = premise + (Atom(NEXT, q + p),)
+            new_head = Atom(head_rel, t2 + q)
+        else:
+            new_head = Atom(head_rel, t2 + p)
+        rules.append(Rule(premise, (Atom(state_rel(choice.state), t2),)))
+        rules.append(Rule(premise, (Atom(cell_rel(choice.symbol), t2 + p),)))
+        rules.append(Rule(premise, (new_head,)))
+        for other in machine.alphabet:
+            rules.append(
+                Rule(
+                    premise
+                    + (Atom(cell_rel(other), t + r), Atom(neq_rel, r + p)),
+                    (Atom(cell_rel(other), t2 + r),),
+                )
+            )
+
+    # acceptance at any time
+    for state in machine.states:
+        if machine.kind(state) == ACCEPT:
+            rules.append(Rule((Atom(state_rel(state), t),), (Atom(output, ()),)))
+
+    return CompiledPolytimeMachine(machine, signature, Theory(rules), output)
+
+
+def polytime_accepts(
+    compiled: CompiledPolytimeMachine, database: Database
+) -> bool:
+    """Evaluate the compiled Datalog program; True iff the output holds."""
+    fixpoint = evaluate(compiled.theory, database)
+    return Atom(compiled.output, ()) in fixpoint

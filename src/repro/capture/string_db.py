@@ -1,0 +1,163 @@
+"""String databases (Definition 20).
+
+A string database of degree ``k`` over a symbol set ``Ω`` consists of
+
+* ``k``-ary relations ``σ ∈ Ω`` — exactly one holds per ``k``-tuple over
+  the domain,
+* ``First_k``, ``Last_k`` (``k``-ary) and ``Next_2k`` (``2k``-ary) —
+  a successor structure on ``k``-tuples induced by some total order.
+
+``w(D)`` reads off the encoded word: the ``i``-th symbol is the relation
+holding on the ``i``-th tuple.  This module encodes words into string
+databases (lexicographic tuple order over fresh constants, padding with a
+designated pad symbol up to ``|Dom|^k``) and decodes them back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.terms import Constant
+
+__all__ = [
+    "FIRST",
+    "LAST",
+    "NEXT",
+    "PAD",
+    "StringSignature",
+    "encode_word",
+    "decode_word",
+    "is_string_database",
+]
+
+FIRST = "First"
+LAST = "Last"
+NEXT = "Next"
+
+#: Default padding symbol appended to fill the domain up to ``|Dom|^k``.
+PAD = "Pad"
+
+
+@dataclass(frozen=True)
+class StringSignature:
+    """Degree and symbol set of a family of string databases."""
+
+    degree: int
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be ≥ 1")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError("duplicate symbols")
+
+    def with_pad(self) -> "StringSignature":
+        if PAD in self.symbols:
+            return self
+        return StringSignature(self.degree, self.symbols + (PAD,))
+
+
+def _tuples(constants: Sequence[Constant], degree: int) -> list[tuple[Constant, ...]]:
+    """All ``degree``-tuples in lexicographic order of constant indexes."""
+    return list(itertools.product(constants, repeat=degree))
+
+
+def encode_word(
+    word: Sequence[str],
+    signature: StringSignature,
+    *,
+    prefix: str = "d",
+    domain_size: int | None = None,
+) -> Database:
+    """Encode a word as a string database of the signature's degree.
+
+    The domain size is the least ``d`` with ``d^k ≥ len(word)`` (at least
+    2, per the paper's assumption); positions beyond the word carry the
+    pad symbol."""
+    signature = signature.with_pad()
+    for symbol in word:
+        if symbol not in signature.symbols:
+            raise ValueError(f"symbol {symbol!r} not in signature")
+    k = signature.degree
+    if domain_size is None:
+        domain_size = max(2, math.ceil(len(word) ** (1.0 / k)))
+        while domain_size**k < len(word):
+            domain_size += 1
+    if domain_size**k < len(word):
+        raise ValueError("domain too small for the word")
+    constants = [Constant(f"{prefix}{i}") for i in range(domain_size)]
+    tuples = _tuples(constants, k)
+
+    atoms: list[Atom] = []
+    for index, position in enumerate(tuples):
+        symbol = word[index] if index < len(word) else PAD
+        atoms.append(Atom(symbol, position))
+    atoms.append(Atom(FIRST, tuples[0]))
+    atoms.append(Atom(LAST, tuples[-1]))
+    for left, right in zip(tuples, tuples[1:]):
+        atoms.append(Atom(NEXT, left + right))
+    return Database(atoms)
+
+
+def decode_word(
+    database: Database, signature: StringSignature, *, strip_pad: bool = True
+) -> list[str]:
+    """``w(D)`` — extract the encoded word by walking the Next chain."""
+    signature = signature.with_pad()
+    k = signature.degree
+    first_atoms = list(database.atoms_for((FIRST, k, 0)))
+    if len(first_atoms) != 1:
+        raise ValueError("string database must have exactly one First tuple")
+    current = first_atoms[0].args
+
+    successor: dict[tuple, tuple] = {}
+    for atom in database.atoms_for((NEXT, 2 * k, 0)):
+        successor[atom.args[:k]] = atom.args[k:]
+
+    symbol_of: dict[tuple, str] = {}
+    for symbol in signature.symbols:
+        for atom in database.atoms_for((symbol, k, 0)):
+            if atom.args in symbol_of:
+                raise ValueError(f"two symbols on tuple {atom.args}")
+            symbol_of[atom.args] = symbol
+
+    word: list[str] = []
+    seen: set[tuple] = set()
+    while True:
+        if current in seen:
+            raise ValueError("Next relation contains a cycle")
+        seen.add(current)
+        if current not in symbol_of:
+            raise ValueError(f"no symbol on tuple {current}")
+        word.append(symbol_of[current])
+        if current not in successor:
+            break
+        current = successor[current]
+    if strip_pad:
+        while word and word[-1] == PAD:
+            word.pop()
+    return word
+
+
+def is_string_database(database: Database, signature: StringSignature) -> bool:
+    """Check the Definition 20 conditions."""
+    signature = signature.with_pad()
+    k = signature.degree
+    constants = sorted(database.constants())
+    tuples = set(_tuples(constants, k))
+    covered: dict[tuple, int] = {}
+    for symbol in signature.symbols:
+        for atom in database.atoms_for((symbol, k, 0)):
+            covered[atom.args] = covered.get(atom.args, 0) + 1
+    if set(covered) != tuples or any(count != 1 for count in covered.values()):
+        return False
+    try:
+        word = decode_word(database, signature, strip_pad=False)
+    except ValueError:
+        return False
+    return len(word) == len(tuples)

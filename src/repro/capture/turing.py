@@ -1,0 +1,230 @@
+"""Turing machines — the yardstick for the Section 8 capture results.
+
+Provides a small model of (alternating) Turing machines with binary
+branching and a reference simulator:
+
+* :class:`TuringMachine` — states, tape alphabet, transition table with at
+  most two choices per (state, symbol), a kind per state (existential,
+  universal, accepting, rejecting).  A deterministic machine is the
+  special case with one choice everywhere and only existential states.
+* :func:`run_deterministic` — step-by-step DTM execution.
+* :func:`accepts` — alternating acceptance by memoized exploration of the
+  (finite, budgeted) configuration graph.
+
+Theorem 4's construction compiles these machines into weakly guarded
+theories (:mod:`repro.capture.exptime`); equality of ``accepts`` and the
+chase-derived answer is the capture experiment (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "BLANK",
+    "Transition",
+    "TuringMachine",
+    "Configuration",
+    "run_deterministic",
+    "accepts",
+]
+
+#: The designated blank tape symbol.
+BLANK = "_"
+
+EXISTENTIAL = "exists"
+UNIVERSAL = "forall"
+ACCEPT = "accept"
+REJECT = "reject"
+
+_MOVES = {-1, 0, 1}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition choice: write ``symbol``, move ``move``, go to
+    ``state``."""
+
+    state: str
+    symbol: str
+    move: int
+
+    def __post_init__(self) -> None:
+        if self.move not in _MOVES:
+            raise ValueError(f"move must be -1, 0 or 1, got {self.move}")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration over a bounded tape."""
+
+    state: str
+    head: int
+    tape: tuple[str, ...]
+
+    def scanned(self) -> str:
+        return self.tape[self.head]
+
+
+@dataclass
+class TuringMachine:
+    """An alternating Turing machine with branching degree ≤ 2.
+
+    ``delta[(state, symbol)]`` lists the available choices (1 or 2); pairs
+    without an entry halt (and reject unless the state accepts).  State
+    kinds: ``"exists"`` (accept iff some choice accepts), ``"forall"``
+    (accept iff all choices accept), ``"accept"``, ``"reject"``.
+    """
+
+    states: tuple[str, ...]
+    alphabet: tuple[str, ...]
+    initial_state: str
+    kinds: dict[str, str]
+    delta: dict[tuple[str, str], tuple[Transition, ...]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if BLANK not in self.alphabet:
+            self.alphabet = tuple(self.alphabet) + (BLANK,)
+        if self.initial_state not in self.states:
+            raise ValueError("initial state must be a state")
+        for state in self.states:
+            kind = self.kinds.get(state)
+            if kind not in (EXISTENTIAL, UNIVERSAL, ACCEPT, REJECT):
+                raise ValueError(f"state {state} has invalid kind {kind!r}")
+        for (state, symbol), choices in self.delta.items():
+            if state not in self.states:
+                raise ValueError(f"unknown state {state} in delta")
+            if symbol not in self.alphabet:
+                raise ValueError(f"unknown symbol {symbol} in delta")
+            if not 1 <= len(choices) <= 2:
+                raise ValueError("branching degree must be 1 or 2")
+            for choice in choices:
+                if choice.state not in self.states:
+                    raise ValueError(f"unknown target state {choice.state}")
+                if choice.symbol not in self.alphabet:
+                    raise ValueError(f"unknown write symbol {choice.symbol}")
+
+    # ------------------------------------------------------------------
+    def is_deterministic(self) -> bool:
+        return all(len(choices) == 1 for choices in self.delta.values()) and all(
+            self.kinds[state] != UNIVERSAL for state in self.states
+        )
+
+    def kind(self, state: str) -> str:
+        return self.kinds[state]
+
+    def initial_configuration(self, word: Iterable[str], tape_length: int) -> Configuration:
+        tape = list(word)
+        if len(tape) > tape_length:
+            raise ValueError("word longer than tape")
+        tape += [BLANK] * (tape_length - len(tape))
+        for symbol in tape:
+            if symbol not in self.alphabet:
+                raise ValueError(f"symbol {symbol!r} not in alphabet")
+        return Configuration(self.initial_state, 0, tuple(tape))
+
+    def successors(self, config: Configuration) -> list[Configuration]:
+        """Successor configurations on the *bounded* tape: a move off
+        either end is simply unavailable (the compiled theories behave the
+        same way — no Next/previous tuple exists)."""
+        choices = self.delta.get((config.state, config.scanned()), ())
+        result = []
+        for choice in choices:
+            position = config.head + choice.move
+            if not 0 <= position < len(config.tape):
+                continue
+            tape = list(config.tape)
+            tape[config.head] = choice.symbol
+            result.append(Configuration(choice.state, position, tuple(tape)))
+        return result
+
+
+def run_deterministic(
+    machine: TuringMachine,
+    word: Iterable[str],
+    tape_length: int,
+    max_steps: int = 100_000,
+) -> tuple[bool, int]:
+    """Run a DTM; returns (accepted, steps).  Raises on nondeterminism or
+    when the step budget is exhausted."""
+    if not machine.is_deterministic():
+        raise ValueError("machine is not deterministic")
+    config = machine.initial_configuration(word, tape_length)
+    for step in range(max_steps):
+        kind = machine.kind(config.state)
+        if kind == ACCEPT:
+            return True, step
+        if kind == REJECT:
+            return False, step
+        successors = machine.successors(config)
+        if not successors:
+            return False, step
+        config = successors[0]
+    raise RuntimeError("step budget exhausted")
+
+
+def accepts(
+    machine: TuringMachine,
+    word: Iterable[str],
+    tape_length: int,
+    max_configs: int = 200_000,
+) -> bool:
+    """Alternating acceptance by depth-first search with memoization.
+
+    Cycles count as non-accepting (the compiled chase semantics agrees:
+    acceptance is a least fixpoint over the configuration tree)."""
+    initial = machine.initial_configuration(word, tape_length)
+    memo: dict[Configuration, bool] = {}
+    on_stack: set[Configuration] = set()
+    visited = 0
+
+    def search(config: Configuration) -> tuple[bool, bool]:
+        """Returns (accepting, tainted): ``tainted`` marks a negative
+        result that assumed an on-stack configuration rejects — such
+        results are not memoized (they may flip on another path)."""
+        nonlocal visited
+        if config in memo:
+            return memo[config], False
+        if config in on_stack:
+            return False, True
+        visited += 1
+        if visited > max_configs:
+            raise RuntimeError("configuration budget exhausted")
+        kind = machine.kind(config.state)
+        if kind == ACCEPT:
+            memo[config] = True
+            return True, False
+        if kind == REJECT:
+            memo[config] = False
+            return False, False
+        on_stack.add(config)
+        successors = machine.successors(config)
+        tainted = False
+        if not successors:
+            outcome = False
+        elif kind == EXISTENTIAL:
+            outcome = False
+            for child in successors:
+                child_outcome, child_tainted = search(child)
+                tainted = tainted or child_tainted
+                if child_outcome:
+                    outcome = True
+                    break
+        else:
+            outcome = True
+            for child in successors:
+                child_outcome, child_tainted = search(child)
+                tainted = tainted or child_tainted
+                if not child_outcome:
+                    outcome = False
+                    break
+        on_stack.discard(config)
+        if outcome or not tainted:
+            memo[config] = outcome
+            tainted = False
+        return outcome, tainted
+
+    return search(initial)[0]

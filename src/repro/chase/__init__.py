@@ -1,0 +1,54 @@
+"""Chase engines: oblivious, restricted, stratified, and the chase tree."""
+
+from .chase_tree import (
+    ChaseTree,
+    ChaseTreeNode,
+    build_chase_tree,
+    tree_decomposition,
+    verify_proposition2,
+)
+from .runner import (
+    OBLIVIOUS,
+    RESTRICTED,
+    SKOLEM,
+    ChaseBudget,
+    ChaseResult,
+    answers_in,
+    certain_answers,
+    chase,
+    entails,
+)
+from .core_db import core_of, cores_isomorphic, is_core
+from .stratified import stratified_answers, stratified_chase
+from .termination import (
+    chase_terminates,
+    is_jointly_acyclic,
+    is_weakly_acyclic,
+    position_dependency_graph,
+)
+
+__all__ = [
+    "OBLIVIOUS",
+    "RESTRICTED",
+    "SKOLEM",
+    "ChaseBudget",
+    "ChaseResult",
+    "ChaseTree",
+    "ChaseTreeNode",
+    "answers_in",
+    "build_chase_tree",
+    "certain_answers",
+    "chase",
+    "chase_terminates",
+    "core_of",
+    "cores_isomorphic",
+    "entails",
+    "is_core",
+    "is_jointly_acyclic",
+    "is_weakly_acyclic",
+    "position_dependency_graph",
+    "stratified_answers",
+    "stratified_chase",
+    "tree_decomposition",
+    "verify_proposition2",
+]

@@ -1,0 +1,391 @@
+"""The chase engine.
+
+Implements the (oblivious) chase of Section 2 and the restricted (standard)
+chase as an optimisation.  ``chase(Σ, D)`` is the union of a fair, possibly
+infinite sequence of rule applications; it is a *universal solution*:
+``Σ, D |= α`` iff ``α ∈ chase(Σ, D)`` for ground ``α``.
+
+Because weakly guarded theories can have infinite chases, the engine runs
+under an explicit :class:`ChaseBudget`; the returned :class:`ChaseResult`
+records whether a fixpoint was reached (``complete``) or which budget cut
+the run short.  Fairness is breadth-first: triggers are enumerated against
+a per-round snapshot, so every applicable trigger is eventually fired.
+
+Rules with negated body literals are supported *only* as building blocks of
+the stratified semantics (:mod:`repro.chase.stratified`): a negated literal
+``¬A(~t)`` is satisfied when the instantiated atom is absent from the
+current database.  For stratified theories evaluated stratum-by-stratum
+this coincides with Definition 23.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom, NegatedAtom
+from ..core.database import Database
+from ..core.homomorphism import extends_to_head, homomorphisms
+from ..core.rules import Rule
+from ..core.terms import Constant, Null, Term, Variable
+from ..core.theory import Query, Theory
+
+__all__ = [
+    "ChaseBudget",
+    "ChaseResult",
+    "chase",
+    "entails",
+    "certain_answers",
+    "OBLIVIOUS",
+    "RESTRICTED",
+    "SKOLEM",
+]
+
+OBLIVIOUS = "oblivious"
+RESTRICTED = "restricted"
+SKOLEM = "skolem"
+
+#: Default guard against runaway chases; generous enough for the test scale.
+_DEFAULT_MAX_STEPS = 200_000
+
+
+@dataclass(frozen=True)
+class ChaseBudget:
+    """Resource limits for a chase run.
+
+    ``None`` means unlimited.  ``max_depth`` bounds null nesting: a null
+    created by a trigger whose body image contains a depth-``d`` null has
+    depth ``d + 1``; triggers that would exceed the bound are skipped and
+    the run is marked incomplete.
+    """
+
+    max_steps: Optional[int] = _DEFAULT_MAX_STEPS
+    max_atoms: Optional[int] = None
+    max_nulls: Optional[int] = None
+    max_depth: Optional[int] = None
+    max_rounds: Optional[int] = None
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    database: Database
+    complete: bool
+    steps: int
+    rounds: int
+    nulls_created: int
+    truncated_reason: Optional[str] = None
+    null_depths: dict[Null, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.complete
+
+
+class _Engine:
+    def __init__(
+        self,
+        theory: Theory,
+        database: Database,
+        policy: str,
+        budget: ChaseBudget,
+        null_prefix: str,
+        allow_negation: bool,
+    ) -> None:
+        if policy not in (OBLIVIOUS, RESTRICTED, SKOLEM):
+            raise ValueError(f"unknown chase policy {policy!r}")
+        self.theory = theory
+        self.database = database.copy()
+        self.database.ensure_acdom_frozen()
+        self.policy = policy
+        self.budget = budget
+        self.allow_negation = allow_negation
+        self.null_counter = 0
+        self.null_prefix = null_prefix
+        self.fired: set[tuple[int, tuple[Term, ...]]] = set()
+        # skolem policy: one null per (rule, existential var, frontier image)
+        self.skolem_cache: dict[tuple, Null] = {}
+        self.depths: dict[Term, int] = {}
+        self.steps = 0
+        self.rounds = 0
+        self.nulls_created = 0
+        self.truncated: Optional[str] = None
+        # relation → [(rule index, body atom index)] for delta-driven
+        # trigger discovery; rules are only visited when a delta atom
+        # matches one of their body relations.
+        self._body_index: dict[tuple, list[tuple[int, int]]] = {}
+        for rule_index, rule in enumerate(theory):
+            for atom_index, atom in enumerate(rule.positive_body()):
+                self._body_index.setdefault(atom.relation_key, []).append(
+                    (rule_index, atom_index)
+                )
+        if not allow_negation:
+            for rule in theory:
+                if rule.has_negation():
+                    raise ValueError(
+                        "plain chase does not support negation; "
+                        "use repro.chase.stratified for stratified theories"
+                    )
+
+    # ------------------------------------------------------------------
+    def _fresh_null(self) -> Null:
+        while True:
+            null = Null(f"{self.null_prefix}{self.null_counter}")
+            self.null_counter += 1
+            if null not in self.database.terms():
+                return null
+
+    def _depth(self, term: Term) -> int:
+        return self.depths.get(term, 0)
+
+    def _over_budget(self) -> Optional[str]:
+        budget = self.budget
+        if budget.max_steps is not None and self.steps >= budget.max_steps:
+            return "max_steps"
+        if budget.max_atoms is not None and len(self.database) >= budget.max_atoms:
+            return "max_atoms"
+        if budget.max_nulls is not None and self.nulls_created >= budget.max_nulls:
+            return "max_nulls"
+        return None
+
+    def _negation_blocked(self, rule: Rule, assignment: dict[Variable, Term]) -> bool:
+        for negated in rule.negative_body():
+            grounded = negated.atom.substitute(assignment)
+            if grounded in self.database:
+                return True
+        return False
+
+    def _trigger_key(self, rule_index: int, rule: Rule, assignment) -> tuple:
+        ordered = tuple(
+            assignment[variable]
+            for variable in sorted(rule.uvars(), key=lambda v: v.name)
+        )
+        return (rule_index, ordered)
+
+    def _enumerate_triggers(
+        self, delta: Optional[set[Atom]]
+    ) -> list[tuple[int, Rule, dict[Variable, Term]]]:
+        """Unfired triggers against the current database.
+
+        ``delta=None`` (first round) enumerates everything; afterwards a
+        trigger must use at least one atom added in the previous round
+        (semi-naive discovery — every new trigger involves a new atom)."""
+        triggers = []
+        seen_keys: set[tuple] = set()
+
+        def consider(rule_index: int, rule: Rule, assignment) -> None:
+            key = self._trigger_key(rule_index, rule, assignment)
+            if key in self.fired or key in seen_keys:
+                return
+            if self._negation_blocked(rule, assignment):
+                return
+            seen_keys.add(key)
+            triggers.append((rule_index, rule, assignment))
+
+        if delta is None:
+            for rule_index, rule in enumerate(self.theory):
+                body = list(rule.positive_body())
+                for assignment in homomorphisms(body, self.database):
+                    consider(rule_index, rule, assignment)
+        else:
+            delta_by_relation: dict[tuple, list[Atom]] = {}
+            for fact in delta:
+                delta_by_relation.setdefault(fact.relation_key, []).append(fact)
+            rules = self.theory.rules
+            for relation_key, facts in delta_by_relation.items():
+                for rule_index, atom_index in self._body_index.get(
+                    relation_key, ()
+                ):
+                    rule = rules[rule_index]
+                    body = list(rule.positive_body())
+                    for assignment in homomorphisms(
+                        body, self.database, forced=(atom_index, facts)
+                    ):
+                        consider(rule_index, rule, assignment)
+        # deterministic firing order
+        triggers.sort(
+            key=lambda item: (
+                item[0],
+                tuple(
+                    str(item[2][variable])
+                    for variable in sorted(item[1].uvars(), key=lambda v: v.name)
+                ),
+            )
+        )
+        return triggers
+
+    def _apply(
+        self, rule_index: int, rule: Rule, assignment: dict[Variable, Term]
+    ) -> set[Atom]:
+        """Fire one trigger.  Returns the atoms actually added."""
+        key = self._trigger_key(rule_index, rule, assignment)
+        self.fired.add(key)
+        if self.policy == RESTRICTED and extends_to_head(
+            rule.head, rule.exist_vars, self.database, assignment
+        ):
+            return set()
+        trigger_depth = max(
+            (self._depth(term) for term in assignment.values()), default=0
+        )
+        if rule.exist_vars and self.budget.max_depth is not None:
+            if trigger_depth + 1 > self.budget.max_depth:
+                self.truncated = "max_depth"
+                return set()
+        mapping: dict[Term, Term] = dict(assignment)
+        frontier_image = tuple(
+            assignment[v] for v in sorted(rule.frontier(), key=lambda v: v.name)
+        )
+        for variable in rule.exist_vars:
+            if self.policy == SKOLEM:
+                skolem_key = (rule_index, variable.name, frontier_image)
+                null = self.skolem_cache.get(skolem_key)
+                if null is None:
+                    null = self._fresh_null()
+                    self.skolem_cache[skolem_key] = null
+                    self.depths[null] = trigger_depth + 1
+                    self.nulls_created += 1
+            else:
+                null = self._fresh_null()
+                self.depths[null] = trigger_depth + 1
+                self.nulls_created += 1
+            mapping[variable] = null
+        added: set[Atom] = set()
+        for atom in rule.head:
+            grounded = atom.substitute(mapping)
+            if self.database.add(grounded):
+                added.add(grounded)
+        self.steps += 1
+        return added
+
+    def run(self) -> ChaseResult:
+        delta: Optional[set[Atom]] = None
+        while True:
+            reason = self._over_budget()
+            if reason is not None:
+                self.truncated = reason
+                break
+            if (
+                self.budget.max_rounds is not None
+                and self.rounds >= self.budget.max_rounds
+            ):
+                self.truncated = "max_rounds"
+                break
+            triggers = self._enumerate_triggers(delta)
+            if not triggers:
+                break
+            self.rounds += 1
+            stop = False
+            round_added: set[Atom] = set()
+            for rule_index, rule, assignment in triggers:
+                reason = self._over_budget()
+                if reason is not None:
+                    self.truncated = reason
+                    stop = True
+                    break
+                round_added |= self._apply(rule_index, rule, assignment)
+            delta = round_added
+            if stop:
+                break
+        complete = self.truncated is None
+        return ChaseResult(
+            database=self.database,
+            complete=complete,
+            steps=self.steps,
+            rounds=self.rounds,
+            nulls_created=self.nulls_created,
+            truncated_reason=self.truncated,
+            null_depths={
+                term: depth
+                for term, depth in self.depths.items()
+                if isinstance(term, Null)
+            },
+        )
+
+
+def chase(
+    theory: Theory,
+    database: Database,
+    *,
+    policy: str = OBLIVIOUS,
+    budget: Optional[ChaseBudget] = None,
+    null_prefix: str = "n",
+    _allow_negation: bool = False,
+) -> ChaseResult:
+    """Run the chase of ``database`` with ``theory``.
+
+    ``policy=OBLIVIOUS`` fires every trigger exactly once (the paper's
+    definition, Section 2); ``policy=RESTRICTED`` skips triggers whose head
+    is already satisfied — smaller results, same certain answers;
+    ``policy=SKOLEM`` (semi-oblivious) reuses one null per (rule,
+    existential variable, frontier image) — the semantics under which
+    joint acyclicity guarantees termination.
+    """
+    engine = _Engine(
+        theory,
+        database,
+        policy,
+        budget or ChaseBudget(),
+        null_prefix,
+        _allow_negation,
+    )
+    return engine.run()
+
+
+def entails(
+    theory: Theory,
+    database: Database,
+    atom: Atom,
+    *,
+    budget: Optional[ChaseBudget] = None,
+    policy: str = RESTRICTED,
+) -> bool:
+    """Check ``Σ, D |= α`` for a ground atom ``α`` via the chase.
+
+    Uses the restricted chase by default (sound and complete for ground
+    atomic entailment when the chase terminates).  Raises ``RuntimeError``
+    when the budget is exhausted before the atom is derived — in that case
+    entailment is unknown.
+    """
+    if not atom.is_ground():
+        raise ValueError(f"entailment is defined for ground atoms, got {atom}")
+    result = chase(theory, database, policy=policy, budget=budget)
+    if atom in result.database:
+        return True
+    if not result.complete:
+        raise RuntimeError(
+            f"chase truncated ({result.truncated_reason}); entailment undecided"
+        )
+    return False
+
+
+def certain_answers(
+    query: Query,
+    database: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+    policy: str = RESTRICTED,
+) -> set[tuple[Constant, ...]]:
+    """``ans((Σ,Q), D)`` — constant tuples ``~c`` with ``Q(~c)`` in the chase.
+
+    Per Section 2 only all-constant tuples are answers; tuples containing
+    nulls are filtered out.  Raises ``RuntimeError`` on budget exhaustion
+    (the answer set would be unreliable).
+    """
+    result = chase(query.theory, database, policy=policy, budget=budget)
+    if not result.complete:
+        raise RuntimeError(
+            f"chase truncated ({result.truncated_reason}); answers unreliable"
+        )
+    return answers_in(result.database, query.output)
+
+
+def answers_in(database: Database, output: str) -> set[tuple[Constant, ...]]:
+    """Extract all-constant ``output`` tuples from a database."""
+    tuples: set[tuple[Constant, ...]] = set()
+    for key in database.relations():
+        if key[0] != output:
+            continue
+        for atom in database.atoms_for(key):
+            if all(isinstance(term, Constant) for term in atom.args):
+                tuples.add(tuple(atom.args))  # type: ignore[arg-type]
+    return tuples

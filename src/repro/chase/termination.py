@@ -1,0 +1,193 @@
+"""Static chase-termination analysis: weak and joint acyclicity.
+
+The paper's related work (Section 9, [23] = Krötzsch & Rudolph, IJCAI'11)
+contrasts guardedness with *acyclicity*-based decidable fragments, whose
+chases terminate on every database.  This module implements the two
+classic members so users can decide when the plain chase is a complete
+decision procedure (no budgets needed):
+
+* **weak acyclicity** (Fagin et al.): build the position dependency graph
+  — a regular edge ``p → q`` whenever a universal variable can be copied
+  from body position ``p`` to head position ``q``, and a *special* edge
+  ``p ⇒ q′`` whenever a value in ``p`` can cause a fresh null in ``q′``.
+  The theory is weakly acyclic iff no cycle passes through a special
+  edge; then the restricted and skolem chases terminate polynomially.
+
+* **joint acyclicity** (strictly more general): track, per existential
+  variable ``z``, the set ``Mov(z)`` of positions its nulls can reach;
+  draw ``z → z′`` when the nulls of ``z`` can feed every body occurrence
+  of some frontier variable of the rule introducing ``z′``.  Acyclicity
+  of this graph guarantees chase termination.
+
+Both analyses ignore negated literals (they only suppress inferences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.rules import Rule
+from ..core.terms import Variable
+from ..core.theory import Theory
+from ..guardedness.affected import Position, positions_of
+
+__all__ = [
+    "PositionGraph",
+    "position_dependency_graph",
+    "is_weakly_acyclic",
+    "is_jointly_acyclic",
+    "chase_terminates",
+]
+
+
+@dataclass
+class PositionGraph:
+    """The weak-acyclicity position dependency graph."""
+
+    regular: set[tuple[Position, Position]] = field(default_factory=set)
+    special: set[tuple[Position, Position]] = field(default_factory=set)
+
+    def nodes(self) -> set[Position]:
+        found: set[Position] = set()
+        for edge_set in (self.regular, self.special):
+            for source, target in edge_set:
+                found.add(source)
+                found.add(target)
+        return found
+
+    def has_cycle_through_special(self) -> bool:
+        """Is there a cycle using at least one special edge?
+
+        Standard check: for each special edge ``(u, v)``, test whether
+        ``u`` is reachable from ``v`` over all edges."""
+        successors: dict[Position, set[Position]] = {}
+        for source, target in self.regular | self.special:
+            successors.setdefault(source, set()).add(target)
+
+        def reachable(start: Position, goal: Position) -> bool:
+            stack, seen = [start], {start}
+            while stack:
+                node = stack.pop()
+                if node == goal:
+                    return True
+                for nxt in successors.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return False
+
+        return any(reachable(v, u) for u, v in self.special)
+
+
+def position_dependency_graph(theory: Theory) -> PositionGraph:
+    """Build the weak-acyclicity graph over argument positions."""
+    graph = PositionGraph()
+    for rule in theory:
+        body_atoms = rule.positive_body()
+        evars = rule.evars()
+        head_evar_positions: set[Position] = set()
+        for evar in evars:
+            head_evar_positions |= positions_of(rule.head, evar)
+        for variable in rule.uvars():
+            body_positions = positions_of(body_atoms, variable)
+            if not body_positions:
+                continue
+            head_positions = positions_of(rule.head, variable)
+            if not head_positions:
+                continue
+            for source in body_positions:
+                for target in head_positions:
+                    graph.regular.add((source, target))
+                for target in head_evar_positions:
+                    graph.special.add((source, target))
+    return graph
+
+
+def is_weakly_acyclic(theory: Theory) -> bool:
+    """Weak acyclicity — the restricted/skolem chase terminates on every
+    database (in polynomially many steps)."""
+    return not position_dependency_graph(theory).has_cycle_through_special()
+
+
+def _existential_move_sets(theory: Theory) -> dict[tuple[int, Variable], set[Position]]:
+    """``Mov(z)`` per (rule index, existential variable): the positions the
+    nulls invented for ``z`` may reach, as a least fixpoint."""
+    moves: dict[tuple[int, Variable], set[Position]] = {}
+    for index, rule in enumerate(theory):
+        for evar in rule.exist_vars:
+            moves[(index, evar)] = set(positions_of(rule.head, evar))
+    changed = True
+    while changed:
+        changed = False
+        for key, move_set in moves.items():
+            for rule in theory:
+                for variable in rule.uvars():
+                    body_positions = positions_of(rule.positive_body(), variable)
+                    if not body_positions or not body_positions <= move_set:
+                        continue
+                    head_positions = positions_of(rule.head, variable)
+                    if not head_positions <= move_set:
+                        move_set |= head_positions
+                        changed = True
+    return moves
+
+
+def is_jointly_acyclic(theory: Theory) -> bool:
+    """Joint acyclicity ([23]) — subsumes weak acyclicity.
+
+    Edge ``z → z′`` when the nulls of ``z`` can instantiate *every* body
+    occurrence of some frontier variable of the rule introducing ``z′``;
+    termination is guaranteed when this graph is acyclic."""
+    moves = _existential_move_sets(theory)
+    rules = list(theory)
+    edges: dict[tuple[int, Variable], set[tuple[int, Variable]]] = {
+        key: set() for key in moves
+    }
+    for source_key, move_set in moves.items():
+        for target_index, rule in enumerate(rules):
+            if not rule.exist_vars:
+                continue
+            for variable in rule.frontier():
+                body_positions = positions_of(rule.positive_body(), variable)
+                if body_positions and body_positions <= move_set:
+                    for evar in rule.exist_vars:
+                        edges[source_key].add((target_index, evar))
+                    break
+    # cycle detection
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {key: WHITE for key in moves}
+
+    def visit(key) -> bool:
+        color[key] = GRAY
+        for nxt in edges.get(key, ()):
+            if color[nxt] == GRAY:
+                return True
+            if color[nxt] == WHITE and visit(nxt):
+                return True
+        color[key] = BLACK
+        return False
+
+    return not any(color[key] == WHITE and visit(key) for key in moves)
+
+
+def chase_terminates(theory: Theory) -> tuple[bool, str]:
+    """Best-effort static termination verdict.
+
+    Returns ``(True, reason)`` when a sufficient criterion fires and
+    ``(False, "unknown")`` otherwise — the problem is undecidable in
+    general, so False means *not proven*, not *non-terminating*.
+
+    Scope of the verdicts: ``datalog`` covers every chase policy;
+    ``weakly-acyclic`` and ``jointly-acyclic`` guarantee termination of
+    the *skolem* (semi-oblivious) and restricted chases — the oblivious
+    chase may still diverge (it invents a fresh null per trigger even for
+    repeated frontier images, e.g. on ``P2(x,y) → ∃z P1(z)`` fed back by
+    ``P1(x) → P2(x,x)``)."""
+    if theory.is_datalog():
+        return True, "datalog"
+    if is_weakly_acyclic(theory):
+        return True, "weakly-acyclic"
+    if is_jointly_acyclic(theory):
+        return True, "jointly-acyclic"
+    return False, "unknown"

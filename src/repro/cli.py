@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro classify theory.rules
+    repro chase theory.rules data.db --policy restricted --max-steps 10000
+    repro answer theory.rules data.db --output Q
+    repro translate theory.rules --target datalog
+    repro termination theory.rules
+
+Theories use the rule syntax of :mod:`repro.core.parser`; databases use
+the data syntax (bare names are constants).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .chase.runner import ChaseBudget, certain_answers, chase
+from .chase.termination import chase_terminates
+from .core.database import Database
+from .core.parser import parse_database, parse_theory, render_theory
+from .core.theory import Query, Theory
+from .guardedness.classify import classify
+from .guardedness.normalize import normalize
+from .translate.annotations import rewrite_weakly_frontier_guarded
+from .translate.expansion import rewrite_frontier_guarded
+from .translate.pipeline import answer_query
+from .translate.saturation import guarded_to_datalog, nearly_guarded_to_datalog
+
+__all__ = ["main"]
+
+
+def _load_theory(path: str) -> Theory:
+    return parse_theory(Path(path).read_text())
+
+
+def _load_database(path: str) -> Database:
+    return parse_database(Path(path).read_text())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    theory = _load_theory(args.theory)
+    labels = classify(theory)
+    print(f"{len(theory)} rules over {len(theory.relations())} relations")
+    names = labels.names()
+    if names:
+        for name in names:
+            print(f"  {name}")
+    else:
+        print("  (none of the Figure 1 classes)")
+    return 0
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    theory = _load_theory(args.theory)
+    database = _load_database(args.database)
+    budget = ChaseBudget(max_steps=args.max_steps, max_depth=args.max_depth)
+    result = chase(theory, database, policy=args.policy, budget=budget)
+    status = "complete" if result.complete else f"truncated ({result.truncated_reason})"
+    print(
+        f"# chase {status}: {len(result.database)} atoms, "
+        f"{result.nulls_created} nulls, {result.steps} steps"
+    )
+    for atom in sorted(result.database):
+        print(atom)
+    return 0 if result.complete else 1
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    theory = _load_theory(args.theory)
+    database = _load_database(args.database)
+    query = Query(theory, args.output)
+    if args.strategy == "chase":
+        answers = certain_answers(
+            query, database, budget=ChaseBudget(max_steps=args.max_steps)
+        )
+    else:
+        answers = answer_query(
+            query, database, budget=ChaseBudget(max_steps=args.max_steps)
+        )
+    for answer in sorted(answers, key=str):
+        print("(" + ", ".join(term.name for term in answer) + ")")
+    print(f"# {len(answers)} answers", file=sys.stderr)
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    theory = _load_theory(args.theory)
+    if args.target == "datalog":
+        labels = classify(theory)
+        if labels.guarded:
+            result = guarded_to_datalog(theory, max_rules=args.max_rules)
+        else:
+            result = nearly_guarded_to_datalog(
+                normalize(theory).theory, max_rules=args.max_rules
+            )
+    elif args.target == "nearly-guarded":
+        result = rewrite_frontier_guarded(
+            normalize(theory).theory, max_rules=args.max_rules
+        )
+    elif args.target == "weakly-guarded":
+        result = rewrite_weakly_frontier_guarded(
+            theory, max_rules=args.max_rules
+        ).theory
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.target)
+    print(render_theory(result))
+    print(f"# {len(result)} rules", file=sys.stderr)
+    return 0
+
+
+def _cmd_termination(args: argparse.Namespace) -> int:
+    theory = _load_theory(args.theory)
+    terminates, reason = chase_terminates(theory)
+    print(f"terminates: {'yes' if terminates else 'unknown'} ({reason})")
+    return 0 if terminates else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Guarded existential rules: classify, chase, translate, answer.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p = commands.add_parser("classify", help="Figure 1 class membership")
+    p.add_argument("theory")
+    p.set_defaults(handler=_cmd_classify)
+
+    p = commands.add_parser("chase", help="run the chase and print the result")
+    p.add_argument("theory")
+    p.add_argument("database")
+    p.add_argument("--policy", choices=("oblivious", "restricted"), default="restricted")
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--max-depth", type=int, default=None)
+    p.set_defaults(handler=_cmd_chase)
+
+    p = commands.add_parser("answer", help="certain answers for an output relation")
+    p.add_argument("theory")
+    p.add_argument("database")
+    p.add_argument("--output", required=True, help="output relation name")
+    p.add_argument(
+        "--strategy", choices=("auto", "chase"), default="auto",
+        help="auto = dispatch on guardedness class (Section 7 pipeline etc.)",
+    )
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.set_defaults(handler=_cmd_answer)
+
+    p = commands.add_parser("translate", help="run a paper translation")
+    p.add_argument("theory")
+    p.add_argument(
+        "--target",
+        choices=("datalog", "nearly-guarded", "weakly-guarded"),
+        required=True,
+    )
+    p.add_argument("--max-rules", type=int, default=100_000)
+    p.set_defaults(handler=_cmd_translate)
+
+    p = commands.add_parser("termination", help="static chase-termination check")
+    p.add_argument("theory")
+    p.set_defaults(handler=_cmd_termination)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

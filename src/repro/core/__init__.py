@@ -1,0 +1,67 @@
+"""Core model: terms, atoms, rules, theories, databases, homomorphisms."""
+
+from .atoms import Atom, Literal, NegatedAtom, RelationKey
+from .database import Database
+from .homomorphism import (
+    database_homomorphism,
+    databases_homomorphically_equivalent,
+    extends_to_head,
+    first_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    satisfies_rule,
+)
+from .parser import (
+    ParseError,
+    parse_atom,
+    parse_database,
+    parse_rule,
+    parse_term,
+    parse_theory,
+)
+from .rules import Rule, RuleError, canonical_rule_key, rename_apart
+from .terms import (
+    Constant,
+    Null,
+    Term,
+    Variable,
+    fresh_null_factory,
+    fresh_variable_factory,
+    is_ground_term,
+)
+from .theory import ACDOM, Query, Theory
+
+__all__ = [
+    "ACDOM",
+    "Atom",
+    "Constant",
+    "Database",
+    "Literal",
+    "NegatedAtom",
+    "Null",
+    "ParseError",
+    "Query",
+    "RelationKey",
+    "Rule",
+    "RuleError",
+    "Term",
+    "Theory",
+    "Variable",
+    "canonical_rule_key",
+    "database_homomorphism",
+    "databases_homomorphically_equivalent",
+    "extends_to_head",
+    "first_homomorphism",
+    "fresh_null_factory",
+    "fresh_variable_factory",
+    "has_homomorphism",
+    "homomorphisms",
+    "is_ground_term",
+    "parse_atom",
+    "parse_database",
+    "parse_rule",
+    "parse_term",
+    "parse_theory",
+    "rename_apart",
+    "satisfies_rule",
+]

@@ -1,0 +1,180 @@
+"""Atoms, annotated relation names, and literals.
+
+An atom is ``R(t1, …, tn)`` for a relation name ``R`` and terms ``ti``
+(Section 2 of the paper).  The paper additionally uses *annotated* relation
+names of the form ``R[~t](~v)`` (Section 2, "Relation name annotations"),
+where the annotation ``~t`` is a tuple of terms carried inside the relation
+name.  Annotations are the vehicle of the weakly-frontier-guarded →
+weakly-guarded translation (Definitions 17/18): terms in non-affected
+positions are tucked away into the annotation, processed as opaque payload
+by the frontier-guarded machinery, and finally restored.
+
+We therefore model an atom as ``(relation, args, annotation)`` where the
+effective relation identity is the pair ``(relation, len(annotation))``;
+two atoms with the same name but different annotation arity denote
+different relations.
+
+``NegatedAtom`` wraps an atom for use in rule bodies of stratified theories
+(Definition 22).  Negation never occurs in heads or databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Union
+
+from .terms import Constant, Null, Term, Variable
+
+__all__ = ["Atom", "NegatedAtom", "Literal", "RelationKey", "substitute_terms"]
+
+#: Identity of a relation: name, argument arity, annotation arity.
+RelationKey = tuple[str, int, int]
+
+
+def substitute_terms(
+    terms: tuple[Term, ...], mapping: Mapping[Term, Term]
+) -> tuple[Term, ...]:
+    """Apply ``mapping`` to each term, leaving unmapped terms untouched."""
+    return tuple(mapping.get(term, term) for term in terms)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A (possibly annotated) atom ``R[annotation](args)``."""
+
+    relation: str
+    args: tuple[Term, ...]
+    annotation: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.relation, str) or not self.relation:
+            raise ValueError(f"relation name must be non-empty, got {self.relation!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "annotation", tuple(self.annotation))
+        for term in self.args + self.annotation:
+            if not isinstance(term, (Constant, Variable, Null)):
+                raise TypeError(f"atom argument is not a term: {term!r}")
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def relation_key(self) -> RelationKey:
+        """The effective relation identity (name, arity, annotation arity)."""
+        return (self.relation, len(self.args), len(self.annotation))
+
+    @property
+    def all_terms(self) -> tuple[Term, ...]:
+        """Argument terms followed by annotation terms."""
+        return self.args + self.annotation
+
+    def terms(self) -> set[Term]:
+        """``terms(α)`` — the set of terms occurring in the atom."""
+        return set(self.all_terms)
+
+    def variables(self) -> set[Variable]:
+        """``vars(α) = terms(α) ∩ Δv``."""
+        return {term for term in self.all_terms if isinstance(term, Variable)}
+
+    def argument_variables(self) -> set[Variable]:
+        """Variables occurring in argument positions (not the annotation)."""
+        return {term for term in self.args if isinstance(term, Variable)}
+
+    def annotation_variables(self) -> set[Variable]:
+        """Variables occurring in the annotation only."""
+        return {term for term in self.annotation if isinstance(term, Variable)}
+
+    def constants(self) -> set[Constant]:
+        return {term for term in self.all_terms if isinstance(term, Constant)}
+
+    def nulls(self) -> set[Null]:
+        return {term for term in self.all_terms if isinstance(term, Null)}
+
+    def is_ground(self) -> bool:
+        """Ground atoms carry no variables (constants and nulls allowed)."""
+        return not self.variables()
+
+    def is_constant_free(self) -> bool:
+        return not self.constants()
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply a term substitution to arguments and annotation."""
+        return Atom(
+            self.relation,
+            substitute_terms(self.args, mapping),
+            substitute_terms(self.annotation, mapping),
+        )
+
+    def rename_relation(self, relation: str) -> "Atom":
+        return Atom(relation, self.args, self.annotation)
+
+    def with_annotation(self, annotation: Iterable[Term]) -> "Atom":
+        return Atom(self.relation, self.args, tuple(annotation))
+
+    def without_annotation(self) -> "Atom":
+        """Drop the annotation, keeping only argument positions."""
+        return Atom(self.relation, self.args)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for term in self.args)
+        if self.annotation:
+            note = ", ".join(str(term) for term in self.annotation)
+            return f"{self.relation}[{note}]({args})"
+        return f"{self.relation}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+    def __lt__(self, other: "Atom") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self):
+        return (
+            self.relation,
+            len(self.args),
+            tuple(str(term) for term in self.args),
+            tuple(str(term) for term in self.annotation),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NegatedAtom:
+    """A negated body literal ``¬R(~t)`` (Definition 22)."""
+
+    atom: Atom
+
+    @property
+    def relation(self) -> str:
+        return self.atom.relation
+
+    @property
+    def relation_key(self) -> RelationKey:
+        return self.atom.relation_key
+
+    def variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def terms(self) -> set[Term]:
+        return self.atom.terms()
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "NegatedAtom":
+        return NegatedAtom(self.atom.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+    def __repr__(self) -> str:
+        return f"NegatedAtom({self.atom})"
+
+
+Literal = Union[Atom, NegatedAtom]

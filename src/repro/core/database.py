@@ -1,0 +1,184 @@
+"""Databases — indexed sets of ground atoms.
+
+A database (Section 2) is a set of atoms over constants and labeled nulls.
+This module provides an indexed, mutable fact store used by the chase and
+the Datalog engine:
+
+* a per-relation index (``atoms_for``),
+* a per-(relation, position, term) index used by the homomorphism search,
+* the *active constant domain* backing the built-in ``ACDom`` relation.
+
+Per the paper, ``ACDom(c)`` holds exactly for the constants occurring in a
+non-ACDom atom of the *input* database.  Because the chase must keep this
+extension fixed while it adds inferred atoms, the store distinguishes the
+constants present at construction (or at an explicit :meth:`freeze_acdom`)
+from constants introduced later by rules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom, RelationKey
+from .terms import Constant, Null, Term, Variable
+from .theory import ACDOM
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A mutable, indexed set of ground atoms."""
+
+    def __init__(self, atoms: Iterable[Atom] = (), freeze_acdom: bool = True) -> None:
+        self._atoms: set[Atom] = set()
+        self._by_relation: dict[RelationKey, set[Atom]] = defaultdict(set)
+        self._by_position: dict[tuple[RelationKey, int, Term], set[Atom]] = defaultdict(set)
+        self._acdom: Optional[frozenset[Constant]] = None
+        for atom in atoms:
+            self.add(atom)
+        if freeze_acdom:
+            self.freeze_acdom()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, atom: Atom) -> bool:
+        """Insert an atom; returns True if it was new."""
+        if not isinstance(atom, Atom):
+            raise TypeError(f"databases contain atoms, got {atom!r}")
+        if not atom.is_ground():
+            raise ValueError(f"databases contain only ground atoms, got {atom}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        key = atom.relation_key
+        self._by_relation[key].add(atom)
+        for position, term in enumerate(atom.all_terms):
+            self._by_position[(key, position, term)].add(atom)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def freeze_acdom(self) -> None:
+        """Fix the ACDom extension to the constants currently present."""
+        self._acdom = frozenset(self._constants_now())
+
+    def ensure_acdom_frozen(self) -> None:
+        """Freeze the ACDom extension unless already frozen.
+
+        The chase calls this once at start-up so that atoms it adds later
+        (and constants introduced by rules) never enlarge ``ACDom`` — per
+        the paper the extension is fixed by the *input* database.
+        """
+        if self._acdom is None:
+            self.freeze_acdom()
+
+    @property
+    def acdom_frozen(self) -> bool:
+        return self._acdom is not None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset(self._atoms)
+
+    def atoms_for(self, key: RelationKey) -> frozenset[Atom]:
+        """All atoms of the given relation identity."""
+        return frozenset(self._by_relation.get(key, ()))
+
+    def atoms_matching(
+        self, key: RelationKey, bindings: Mapping[int, Term]
+    ) -> set[Atom]:
+        """Atoms of ``key`` whose position ``i`` holds ``bindings[i]``.
+
+        Uses the positional index: intersects the smallest candidate sets.
+        An empty ``bindings`` returns all atoms of the relation.
+        """
+        if not bindings:
+            return set(self._by_relation.get(key, ()))
+        candidate_sets = [
+            self._by_position.get((key, position, term), set())
+            for position, term in bindings.items()
+        ]
+        candidate_sets.sort(key=len)
+        result = set(candidate_sets[0])
+        for candidates in candidate_sets[1:]:
+            result &= candidates
+            if not result:
+                break
+        return result
+
+    def relations(self) -> set[RelationKey]:
+        return {key for key, atoms in self._by_relation.items() if atoms}
+
+    def _constants_now(self) -> set[Constant]:
+        found: set[Constant] = set()
+        for atom in self._atoms:
+            if atom.relation == ACDOM:
+                continue
+            found |= atom.constants()
+        return found
+
+    def active_constants(self) -> frozenset[Constant]:
+        """The (frozen) extension of ``ACDom``."""
+        if self._acdom is not None:
+            return self._acdom
+        return frozenset(self._constants_now())
+
+    def terms(self) -> set[Term]:
+        result: set[Term] = set()
+        for atom in self._atoms:
+            result |= atom.terms()
+        return result
+
+    def nulls(self) -> set[Null]:
+        return {term for term in self.terms() if isinstance(term, Null)}
+
+    def constants(self) -> set[Constant]:
+        return {term for term in self.terms() if isinstance(term, Constant)}
+
+    # ------------------------------------------------------------------
+    # comparisons and copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "Database":
+        clone = Database(freeze_acdom=False)
+        for atom in self._atoms:
+            clone.add(atom)
+        clone._acdom = self._acdom
+        return clone
+
+    def restrict_to_relations(self, names: set[str]) -> "Database":
+        """A new database keeping only atoms whose relation name is in ``names``."""
+        restricted = Database(
+            (atom for atom in self._atoms if atom.relation in names),
+            freeze_acdom=False,
+        )
+        restricted._acdom = self._acdom
+        return restricted
+
+    def ground_atoms(self) -> frozenset[Atom]:
+        """Atoms whose terms are all constants (no nulls)."""
+        return frozenset(atom for atom in self._atoms if not atom.nulls())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(atom) for atom in sorted(self._atoms)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._atoms)} atoms)"

@@ -1,0 +1,286 @@
+"""Text syntax for rules, theories, and databases.
+
+The concrete syntax mirrors the paper's notation::
+
+    Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+    Keywords(x, k1, k2) -> hasTopic(x, k1)
+    hasTopic(x,z), hasAuthor(x,u), not Blocked(u) -> Scientific(z)
+    -> Scientific("t1")                       # a fact rule with a constant
+
+Conventions:
+
+* **In rules** bare identifiers denote *variables*; constants are written in
+  double quotes (``"t1"``) or as bare integers (``42``).
+* **In databases** bare identifiers denote *constants*; labeled nulls are
+  written ``_:n1``.  Atoms are separated by newlines, commas or periods.
+* ``exists y1, y2 .`` introduces existential head variables; ``not`` (or
+  ``!``) negates a body literal; ``->`` separates body and head; ``#``
+  starts a comment; annotated atoms are written ``R[a, b](x, y)``.
+
+The parser is a small hand-rolled recursive-descent scanner — no third
+party dependency, precise error positions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from .atoms import Atom, Literal, NegatedAtom
+from .database import Database
+from .rules import Rule
+from .terms import Constant, Null, Term, Variable
+from .theory import Theory
+
+__all__ = [
+    "ParseError",
+    "parse_term",
+    "parse_atom",
+    "parse_rule",
+    "parse_theory",
+    "parse_database",
+    "render_term",
+    "render_atom",
+    "render_rule",
+    "render_theory",
+]
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with a human-readable position."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<null>_:[A-Za-z0-9_]+)
+  | (?P<string>"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>[0-9]+)
+  | (?P<punct>[(),.\[\]!])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "not"}
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(f"unexpected character {text[position]!r}", text, position)
+            kind = match.lastgroup
+            assert kind is not None
+            if kind not in ("ws", "comment"):
+                self.tokens.append((kind, match.group(), position))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[tuple[str, str, int]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> tuple[str, str, int]:
+        token = self.next()
+        if token[1] != value:
+            raise ParseError(f"expected {value!r}, found {token[1]!r}", self.text, token[2])
+        return token
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_term(tokens: _Tokenizer, data_mode: bool) -> Term:
+    kind, value, position = tokens.next()
+    if kind == "string":
+        return Constant(value[1:-1])
+    if kind == "int":
+        return Constant(value)
+    if kind == "null":
+        if not data_mode:
+            raise ParseError("labeled nulls are not allowed in rules", tokens.text, position)
+        return Null(value[2:])
+    if kind == "name":
+        if value in _KEYWORDS:
+            raise ParseError(f"keyword {value!r} cannot be a term", tokens.text, position)
+        return Constant(value) if data_mode else Variable(value)
+    raise ParseError(f"expected a term, found {value!r}", tokens.text, position)
+
+
+def _parse_atom(tokens: _Tokenizer, data_mode: bool) -> Atom:
+    kind, relation, position = tokens.next()
+    if kind != "name":
+        raise ParseError(f"expected a relation name, found {relation!r}", tokens.text, position)
+    annotation: list[Term] = []
+    if tokens.accept("["):
+        if not tokens.accept("]"):
+            annotation.append(_parse_term(tokens, data_mode))
+            while tokens.accept(","):
+                annotation.append(_parse_term(tokens, data_mode))
+            tokens.expect("]")
+    tokens.expect("(")
+    args: list[Term] = []
+    if not tokens.accept(")"):
+        args.append(_parse_term(tokens, data_mode))
+        while tokens.accept(","):
+            args.append(_parse_term(tokens, data_mode))
+        tokens.expect(")")
+    return Atom(relation, tuple(args), tuple(annotation))
+
+
+def _parse_literal(tokens: _Tokenizer) -> Literal:
+    if tokens.accept("not") or tokens.accept("!"):
+        return NegatedAtom(_parse_atom(tokens, data_mode=False))
+    return _parse_atom(tokens, data_mode=False)
+
+
+def _parse_rule(tokens: _Tokenizer) -> Rule:
+    body: list[Literal] = []
+    token = tokens.peek()
+    if token is not None and token[1] != "->":
+        body.append(_parse_literal(tokens))
+        while tokens.accept(","):
+            body.append(_parse_literal(tokens))
+    tokens.expect("->")
+    exist_vars: list[Variable] = []
+    if tokens.accept("exists"):
+        kind, value, position = tokens.next()
+        if kind != "name":
+            raise ParseError("expected a variable after 'exists'", tokens.text, position)
+        exist_vars.append(Variable(value))
+        while tokens.accept(","):
+            kind, value, position = tokens.next()
+            if kind != "name":
+                raise ParseError("expected a variable after ','", tokens.text, position)
+            exist_vars.append(Variable(value))
+        tokens.expect(".")
+    head: list[Atom] = [_parse_atom(tokens, data_mode=False)]
+    while tokens.accept(","):
+        head.append(_parse_atom(tokens, data_mode=False))
+    return Rule(tuple(body), tuple(head), tuple(exist_vars))
+
+
+def parse_term(text: str, data_mode: bool = False) -> Term:
+    """Parse a single term (variable in rule mode, constant in data mode)."""
+    tokens = _Tokenizer(text)
+    term = _parse_term(tokens, data_mode)
+    if not tokens.at_end():
+        raise ParseError("trailing input after term", text, tokens.peek()[2])
+    return term
+
+
+def parse_atom(text: str, data_mode: bool = False) -> Atom:
+    """Parse a single atom."""
+    tokens = _Tokenizer(text)
+    atom = _parse_atom(tokens, data_mode)
+    if not tokens.at_end():
+        raise ParseError("trailing input after atom", text, tokens.peek()[2])
+    return atom
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (``body -> head`` with optional ``exists``)."""
+    tokens = _Tokenizer(text)
+    rule = _parse_rule(tokens)
+    tokens.accept(".")
+    if not tokens.at_end():
+        raise ParseError("trailing input after rule", text, tokens.peek()[2])
+    return rule
+
+
+def parse_theory(text: str) -> Theory:
+    """Parse a newline-separated list of rules into a theory."""
+    rules: list[Rule] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            rules.append(parse_rule(line))
+        except ParseError as error:
+            raise ParseError(
+                f"in theory line {line_number}: {error.args[0]}", raw_line, 0
+            ) from error
+    return Theory(rules)
+
+
+def parse_database(text: str) -> Database:
+    """Parse atoms (newline-, comma- or period-separated) into a database."""
+    tokens = _Tokenizer(text)
+    atoms: list[Atom] = []
+    while not tokens.at_end():
+        atoms.append(_parse_atom(tokens, data_mode=True))
+        while tokens.accept(",") or tokens.accept("."):
+            pass
+    return Database(atoms)
+
+
+# ----------------------------------------------------------------------
+# faithful rendering (inverse of the rule-mode parser)
+# ----------------------------------------------------------------------
+def render_term(term: Term) -> str:
+    """Render a term so that rule-mode parsing reads it back exactly:
+    variables bare, constants quoted, nulls in ``_:name`` form."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        return f'"{term.name}"'
+    return f"_:{term.name}"
+
+
+def render_atom(atom: Atom) -> str:
+    """Parseable rendering of an atom (rule mode)."""
+    args = ", ".join(render_term(term) for term in atom.args)
+    if atom.annotation:
+        note = ", ".join(render_term(term) for term in atom.annotation)
+        return f"{atom.relation}[{note}]({args})"
+    return f"{atom.relation}({args})"
+
+
+def render_rule(rule: Rule) -> str:
+    """Parseable rendering of a rule — ``parse_rule(render_rule(r)) == r``."""
+    parts = []
+    for literal in rule.body:
+        if isinstance(literal, NegatedAtom):
+            parts.append(f"not {render_atom(literal.atom)}")
+        else:
+            parts.append(render_atom(literal))
+    body = ", ".join(parts)
+    head = ", ".join(render_atom(atom) for atom in rule.head)
+    if rule.exist_vars:
+        bound = ", ".join(v.name for v in rule.exist_vars)
+        head = f"exists {bound}. {head}"
+    return f"{body} -> {head}" if body else f"-> {head}"
+
+
+def render_theory(theory: Theory) -> str:
+    """Parseable rendering — ``parse_theory(render_theory(t)) == t``."""
+    return "\n".join(render_rule(rule) for rule in theory)

@@ -1,0 +1,307 @@
+"""Existential rules (tuple-generating dependencies).
+
+A rule (paper Equation (1)) has the shape::
+
+    B1 ∧ … ∧ Bn  →  ∃ y1, …, yk . H1 ∧ … ∧ Hm      (n ≥ 0, m ≥ 1)
+
+with the derived variable sets of Section 2:
+
+* ``uvars(σ)``  — universal variables: all variables of the body,
+* ``evars(σ)``  — existential variables ``y1 … yk``,
+* ``fvars(σ)``  — the *frontier*: head variables that are not existential.
+
+All rules are *safe*: ``fvars(σ) ⊆ vars(body(σ))`` and, for stratified
+theories (Definition 22), every variable of a negative body literal occurs
+in some positive body literal.
+
+The class is immutable; rewriting passes construct new rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Atom, Literal, NegatedAtom, RelationKey
+from .terms import Constant, Null, Term, Variable
+
+__all__ = ["Rule", "RuleError", "rename_apart", "canonical_rule_key"]
+
+
+class RuleError(ValueError):
+    """Raised when a rule violates a structural requirement (e.g. safety)."""
+
+
+def _as_atom_tuple(atoms: Iterable[Atom], where: str) -> tuple[Atom, ...]:
+    result = tuple(atoms)
+    for atom in result:
+        if not isinstance(atom, Atom):
+            raise RuleError(f"{where} must contain only positive atoms, got {atom!r}")
+    return result
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An existential rule, possibly with negated body literals."""
+
+    body: tuple[Literal, ...]
+    head: tuple[Atom, ...]
+    exist_vars: tuple[Variable, ...] = ()
+
+    def __init__(
+        self,
+        body: Iterable[Literal],
+        head: Iterable[Atom],
+        exist_vars: Iterable[Variable] = (),
+    ) -> None:
+        body_tuple = tuple(body)
+        head_tuple = _as_atom_tuple(head, "head")
+        exist_tuple = tuple(sorted(set(exist_vars), key=lambda v: v.name))
+        object.__setattr__(self, "body", body_tuple)
+        object.__setattr__(self, "head", head_tuple)
+        object.__setattr__(self, "exist_vars", exist_tuple)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.head:
+            raise RuleError("a rule must have at least one head atom (m ≥ 1)")
+        for literal in self.body:
+            if not isinstance(literal, (Atom, NegatedAtom)):
+                raise RuleError(f"body literal is not an atom or negated atom: {literal!r}")
+            if any(isinstance(term, Null) for term in literal.terms()):
+                raise RuleError(f"rules must not contain labeled nulls: {literal}")
+        for atom in self.head:
+            if any(isinstance(term, Null) for term in atom.terms()):
+                raise RuleError(f"rules must not contain labeled nulls: {atom}")
+        evars = set(self.exist_vars)
+        body_vars = self.body_variables()
+        positive_vars = self.positive_body_variables()
+        if evars & body_vars:
+            overlap = ", ".join(sorted(v.name for v in evars & body_vars))
+            raise RuleError(f"existential variables must not occur in the body: {overlap}")
+        frontier = self.frontier()
+        if not frontier <= positive_vars:
+            missing = ", ".join(sorted(v.name for v in frontier - positive_vars))
+            raise RuleError(f"unsafe rule: frontier variables not in positive body: {missing}")
+        for literal in self.body:
+            if isinstance(literal, NegatedAtom):
+                if not literal.variables() <= positive_vars:
+                    raise RuleError(
+                        f"unsafe negation: variables of {literal} not covered by "
+                        "positive body literals"
+                    )
+        unused = evars - set().union(*(atom.variables() for atom in self.head))
+        if unused:
+            names = ", ".join(sorted(v.name for v in unused))
+            raise RuleError(f"existential variables must occur in the head: {names}")
+
+    # ------------------------------------------------------------------
+    # component accessors (paper notation)
+    # ------------------------------------------------------------------
+    def positive_body(self) -> tuple[Atom, ...]:
+        """``body(σ)`` restricted to positive literals."""
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    def negative_body(self) -> tuple[NegatedAtom, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, NegatedAtom))
+
+    def body_variables(self) -> set[Variable]:
+        """Variables of all body literals (positive and negative)."""
+        result: set[Variable] = set()
+        for literal in self.body:
+            result |= literal.variables()
+        return result
+
+    def positive_body_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in self.positive_body():
+            result |= atom.variables()
+        return result
+
+    def head_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in self.head:
+            result |= atom.variables()
+        return result
+
+    def uvars(self) -> set[Variable]:
+        """``uvars(σ) = vars(body(σ))`` — the universal variables."""
+        return self.body_variables()
+
+    def evars(self) -> set[Variable]:
+        """``evars(σ)`` — the existential variables."""
+        return set(self.exist_vars)
+
+    def frontier(self) -> set[Variable]:
+        """``fvars(σ) = vars(head(σ)) \\ evars(σ)``."""
+        return self.head_variables() - set(self.exist_vars)
+
+    def argument_frontier(self) -> set[Variable]:
+        """Frontier variables occurring in head *argument* positions.
+
+        Annotation variables are opaque payload (safely annotated
+        theories): guarding and the rc/rnc machinery quantify over this
+        set, not over :meth:`frontier`."""
+        found: set[Variable] = set()
+        for atom in self.head:
+            found |= atom.argument_variables()
+        return found - set(self.exist_vars)
+
+    def variables(self) -> set[Variable]:
+        """``vars(σ)`` — every variable of the rule."""
+        return self.body_variables() | self.head_variables()
+
+    def constants(self) -> set[Constant]:
+        result: set[Constant] = set()
+        for literal in self.body:
+            result |= {t for t in literal.terms() if isinstance(t, Constant)}
+        for atom in self.head:
+            result |= atom.constants()
+        return result
+
+    def relation_keys(self) -> set[RelationKey]:
+        keys = {atom.relation_key for atom in self.positive_body()}
+        keys |= {neg.relation_key for neg in self.negative_body()}
+        keys |= {atom.relation_key for atom in self.head}
+        return keys
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    def is_datalog(self) -> bool:
+        """``evars(σ) = ∅`` — Datalog rules have no existential variables."""
+        return not self.exist_vars
+
+    def is_fact(self) -> bool:
+        """A fact has an empty body and a ground singleton head."""
+        return not self.body and len(self.head) == 1 and self.head[0].is_ground()
+
+    def has_negation(self) -> bool:
+        return any(isinstance(lit, NegatedAtom) for lit in self.body)
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Rule":
+        """Apply a substitution; existential variables are renamed if mapped
+        to variables and must never be mapped to non-variables."""
+        new_exist = []
+        for variable in self.exist_vars:
+            image = mapping.get(variable, variable)
+            if not isinstance(image, Variable):
+                raise RuleError(
+                    f"existential variable {variable} cannot be instantiated by {image}"
+                )
+            new_exist.append(image)
+        return Rule(
+            tuple(lit.substitute(mapping) for lit in self.body),
+            tuple(atom.substitute(mapping) for atom in self.head),
+            tuple(new_exist),
+        )
+
+    def rename_variables(self, mapping: Mapping[Variable, Variable]) -> "Rule":
+        return self.substitute(dict(mapping))
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        head = ", ".join(str(atom) for atom in self.head)
+        if self.exist_vars:
+            bound = ", ".join(v.name for v in self.exist_vars)
+            head = f"exists {bound}. {head}"
+        return f"{body} -> {head}" if body else f"-> {head}"
+
+    def __repr__(self) -> str:
+        return f"Rule({self})"
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.head, self.exist_vars))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return (
+            self.body == other.body
+            and self.head == other.head
+            and self.exist_vars == other.exist_vars
+        )
+
+
+# ----------------------------------------------------------------------
+# variable management utilities
+# ----------------------------------------------------------------------
+def rename_apart(rule: Rule, taken: set[Variable], prefix: str = "r") -> Rule:
+    """Rename the rule's variables so they are disjoint from ``taken``."""
+    mapping: dict[Variable, Variable] = {}
+    counter = itertools.count()
+    used = set(taken)
+    for variable in sorted(rule.variables(), key=lambda v: v.name):
+        if variable in taken:
+            while True:
+                candidate = Variable(f"{prefix}{next(counter)}")
+                if candidate not in used and candidate not in rule.variables():
+                    break
+            mapping[variable] = candidate
+            used.add(candidate)
+    if not mapping:
+        return rule
+    return rule.rename_variables(mapping)
+
+
+def canonical_rule_key(rule: Rule) -> tuple:
+    """A canonical, variable-renaming-invariant key for a rule.
+
+    Used for de-duplication in the saturation closure (Definition 19) and
+    the expansion (Definition 12).  Variables are renamed to ``x0, x1, …``
+    in order of first occurrence in a sorted literal listing; body and head
+    are treated as sets (sorted canonical tuples).
+    """
+    order: dict[Variable, int] = {}
+
+    def canon_term(term: Term):
+        if isinstance(term, Variable):
+            if term not in order:
+                order[term] = len(order)
+            return ("v", order[term])
+        if isinstance(term, Constant):
+            return ("c", term.name)
+        return ("n", term.name)
+
+    def canon_literal(literal: Literal):
+        negated = isinstance(literal, NegatedAtom)
+        atom = literal.atom if negated else literal
+        return (
+            negated,
+            atom.relation,
+            tuple(canon_term(t) for t in atom.args),
+            tuple(canon_term(t) for t in atom.annotation),
+        )
+
+    # Two-pass canonicalisation: first sort literals by a renaming-invariant
+    # shadow key, then assign variable indices in that order.
+    def shadow(literal: Literal):
+        negated = isinstance(literal, NegatedAtom)
+        atom = literal.atom if negated else literal
+        return (
+            negated,
+            atom.relation,
+            tuple(
+                ("v",) if isinstance(t, Variable) else ("c", t.name)
+                if isinstance(t, Constant)
+                else ("n", t.name)
+                for t in atom.all_terms
+            ),
+        )
+
+    body_sorted = sorted(rule.body, key=shadow)
+    head_sorted = sorted(rule.head, key=shadow)
+    body_key = tuple(canon_literal(lit) for lit in body_sorted)
+    head_key = tuple(canon_literal(atom) for atom in head_sorted)
+    evar_key = tuple(sorted(order[v] for v in rule.exist_vars if v in order))
+    return (body_key, head_key, evar_key)

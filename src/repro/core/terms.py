@@ -1,0 +1,151 @@
+"""Terms of the existential-rule language.
+
+The paper (Section 2) works with three mutually disjoint infinite sets:
+constants ``Δc``, labeled nulls ``Δn`` and variables ``Δv``.  We model each
+by a small frozen dataclass.  Terms are immutable, hashable and totally
+ordered (first by kind, then by name), which gives all higher layers
+deterministic iteration orders — important for reproducible translations
+and for canonical forms used in saturation closures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Constant",
+    "Variable",
+    "Null",
+    "Term",
+    "is_ground_term",
+    "fresh_variable_factory",
+    "fresh_null_factory",
+]
+
+_KIND_ORDER = {"const": 0, "null": 1, "var": 2}
+
+_NAME_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+def _check_name(name: str, kind: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{kind} name must be a non-empty string, got {name!r}")
+    if not _NAME_RE.fullmatch(name):
+        raise ValueError(f"{kind} name must match [A-Za-z0-9_]+, got {name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """An element of the constant domain ``Δc``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "constant")
+
+    @property
+    def kind(self) -> str:
+        return "const"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_sort_key(self) < _term_sort_key(other)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """An element of the variable domain ``Δv``.
+
+    Variables only occur in rules and queries, never in databases.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "variable")
+
+    @property
+    def kind(self) -> str:
+        return "var"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_sort_key(self) < _term_sort_key(other)
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labeled null from ``Δn``.
+
+    Nulls are invented by the chase when existential variables are
+    instantiated.  They behave like anonymous constants: homomorphisms may
+    map them anywhere, whereas constants are fixed points.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "null")
+
+    @property
+    def kind(self) -> str:
+        return "null"
+
+    def __str__(self) -> str:
+        return f"_:{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Null({self.name!r})"
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_sort_key(self) < _term_sort_key(other)
+
+
+Term = Union[Constant, Variable, Null]
+
+
+def _term_sort_key(term: Term) -> tuple[int, str]:
+    return (_KIND_ORDER[term.kind], term.name)
+
+
+def is_ground_term(term: Term) -> bool:
+    """A term is ground if it is a constant (Section 2: ``terms(α) ⊆ Δc``)."""
+    return isinstance(term, Constant)
+
+
+def fresh_variable_factory(prefix: str = "v"):
+    """Return a callable producing globally distinct variables ``prefix0, …``."""
+    counter = 0
+
+    def fresh() -> Variable:
+        nonlocal counter
+        variable = Variable(f"{prefix}{counter}")
+        counter += 1
+        return variable
+
+    return fresh
+
+
+def fresh_null_factory(prefix: str = "n"):
+    """Return a callable producing globally distinct nulls ``prefix0, …``."""
+    counter = 0
+
+    def fresh() -> Null:
+        nonlocal counter
+        null = Null(f"{prefix}{counter}")
+        counter += 1
+        return null
+
+    return fresh

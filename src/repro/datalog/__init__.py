@@ -1,0 +1,25 @@
+"""Datalog: semi-naive engine, stratification, semipositive programs."""
+
+from .engine import DatalogError, datalog_answers, evaluate
+from .stratification import (
+    NotStratifiedError,
+    Stratification,
+    edb_relations,
+    idb_relations,
+    is_semipositive,
+    is_stratified,
+    stratify,
+)
+
+__all__ = [
+    "DatalogError",
+    "NotStratifiedError",
+    "Stratification",
+    "datalog_answers",
+    "edb_relations",
+    "evaluate",
+    "idb_relations",
+    "is_semipositive",
+    "is_stratified",
+    "stratify",
+]

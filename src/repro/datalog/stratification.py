@@ -1,0 +1,127 @@
+"""Stratification of theories with negation (Definition 22).
+
+A theory is stratified when it can be partitioned into ``Σ1, …, Σn`` such
+that for every relation ``A`` used positively in stratum ``i``, no later
+stratum defines ``A``, and for every relation used negatively in stratum
+``i``, no stratum ``≥ i`` defines ``A``.  Equivalently, the predicate
+dependency graph has no cycle through a negative edge; stratum numbers are
+then obtained from the usual longest-negative-path labeling.
+
+The algorithm works for arbitrary existential theories, not just Datalog —
+stratified *existential* rules are exactly what Theorem 5 needs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..core.rules import Rule
+from ..core.theory import ACDOM, Theory
+
+__all__ = [
+    "NotStratifiedError",
+    "Stratification",
+    "stratify",
+    "is_stratified",
+    "is_semipositive",
+    "edb_relations",
+    "idb_relations",
+]
+
+
+class NotStratifiedError(ValueError):
+    """The theory has a cycle through negation."""
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """An ordered partition of a theory's rules."""
+
+    strata: tuple[Theory, ...]
+    relation_stratum: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    def __iter__(self):
+        return iter(self.strata)
+
+
+def idb_relations(theory: Theory) -> set[str]:
+    """Relations defined (appearing in a head) by the theory."""
+    defined: set[str] = set()
+    for rule in theory:
+        for atom in rule.head:
+            defined.add(atom.relation)
+    return defined
+
+
+def edb_relations(theory: Theory) -> set[str]:
+    """Relations only read, never defined (the input signature)."""
+    return {name for name in theory.relations() if name} - idb_relations(theory)
+
+
+def _dependency_edges(theory: Theory):
+    """Yield ``(body_relation, head_relation, negative?)`` triples."""
+    for rule in theory:
+        head_relations = {atom.relation for atom in rule.head}
+        for literal in rule.body:
+            negative = hasattr(literal, "atom")
+            relation = literal.atom.relation if negative else literal.relation
+            for head_relation in head_relations:
+                yield relation, head_relation, negative
+
+
+def stratify(theory: Theory) -> Stratification:
+    """Compute a stratification or raise :class:`NotStratifiedError`.
+
+    Strata are numbered from 0; rules land in the stratum of their head
+    relation (the maximum over head atoms for multi-head rules).  ``ACDom``
+    and EDB relations live in stratum 0."""
+    relations = theory.relations() | {ACDOM}
+    stratum: dict[str, int] = {name: 0 for name in relations}
+    edges = list(_dependency_edges(theory))
+    # Bellman-Ford-style relaxation; a change after |relations| full passes
+    # means a negative cycle.
+    for iteration in range(len(relations) + 1):
+        changed = False
+        for body_relation, head_relation, negative in edges:
+            required = stratum[body_relation] + (1 if negative else 0)
+            if stratum[head_relation] < required:
+                stratum[head_relation] = required
+                changed = True
+        if not changed:
+            break
+    else:
+        pass
+    if changed:
+        raise NotStratifiedError(
+            "theory is not stratified: cycle through negation detected"
+        )
+
+    buckets: dict[int, list[Rule]] = defaultdict(list)
+    for rule in theory:
+        level = max(stratum[atom.relation] for atom in rule.head)
+        buckets[level].append(rule)
+    ordered_levels = sorted(buckets)
+    strata = tuple(Theory(buckets[level]) for level in ordered_levels)
+    return Stratification(strata, dict(stratum))
+
+
+def is_stratified(theory: Theory) -> bool:
+    try:
+        stratify(theory)
+    except NotStratifiedError:
+        return False
+    return True
+
+
+def is_semipositive(theory: Theory) -> bool:
+    """Semipositive = negation only on EDB relations (n = 1 in Def. 22)."""
+    edb = edb_relations(theory) | {ACDOM}
+    for rule in theory:
+        for literal in rule.body:
+            if hasattr(literal, "atom") and literal.atom.relation not in edb:
+                return False
+    return True

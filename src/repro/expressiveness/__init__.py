@@ -1,0 +1,17 @@
+"""Executable separation witnesses (the non-arrows of Figure 1)."""
+
+from .separations import (
+    answers_cooccur,
+    check_monotonicity,
+    cooccurrence_counterexample,
+    full_database,
+    parity_is_not_monotone,
+)
+
+__all__ = [
+    "answers_cooccur",
+    "check_monotonicity",
+    "cooccurrence_counterexample",
+    "full_database",
+    "parity_is_not_monotone",
+]

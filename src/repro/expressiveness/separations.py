@@ -1,0 +1,135 @@
+"""Executable witnesses for the *non*-arrows of Figure 1 (Sections 3, 8, 9).
+
+The paper separates the fragments with three arguments; each is made
+machine-checkable here:
+
+1. **Frontier-guarded rules cannot relate unrelated constants** (Section
+   3): for a constant-free frontier-guarded query, every answer tuple's
+   constants co-occur in a single atom of the input database.
+   Consequence: transitive closure (where ``reach(a, c)`` holds for
+   constants never sharing an atom) is not FG-expressible, though it is
+   plain Datalog — the strictness of the Datalog ⊃ FG inclusion.
+   :func:`answers_cooccur` checks the property on concrete runs;
+   :func:`cooccurrence_counterexample` exhibits the TC violation.
+
+2. **Positive existential rules are monotone** (Section 8): ``D ⊆ D'``
+   implies ``ans(D) ⊆ ans(D')``.  The domain-parity query is not
+   monotone, hence weakly guarded rules *without negation* cannot capture
+   ExpTime.  :func:`check_monotonicity` validates the inclusion on
+   instance pairs; :func:`parity_is_not_monotone` exhibits the violation
+   for the parity query (evaluated by the stratified theory).
+
+3. **Semipositive theories are monotone on full databases** (end of
+   Section 8) — checked by :func:`full_database` plus monotonicity on the
+   parity of a full database's domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.terms import Constant
+from ..core.theory import Query, Theory
+from ..chase.runner import ChaseBudget, certain_answers
+from ..guardedness.classify import is_frontier_guarded
+
+__all__ = [
+    "answers_cooccur",
+    "cooccurrence_counterexample",
+    "check_monotonicity",
+    "parity_is_not_monotone",
+    "full_database",
+]
+
+
+def answers_cooccur(
+    query: Query,
+    database: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+) -> bool:
+    """Check the Section 3 property on a concrete instance: every answer
+    tuple of a constant-free frontier-guarded query has all its constants
+    together in some database atom.
+
+    Raises ``ValueError`` when the query is not constant-free FG (the
+    property is only claimed there)."""
+    if not is_frontier_guarded(query.theory):
+        raise ValueError("the co-occurrence property is about FG theories")
+    if query.theory.constants():
+        raise ValueError("the property requires a constant-free theory")
+    answers = certain_answers(query, database, budget=budget)
+    atom_term_sets = [atom.terms() for atom in database]
+    for answer in answers:
+        constants = set(answer)
+        if len(constants) <= 1:
+            continue
+        if not any(constants <= terms for terms in atom_term_sets):
+            return False
+    return True
+
+
+def cooccurrence_counterexample() -> tuple[Query, Database, tuple[Constant, ...]]:
+    """The transitive-closure witness: a Datalog query and a path database
+    whose answer ``(a, c)`` relates constants sharing no input atom —
+    violating the property every FG query must satisfy, hence TC is not
+    FG-expressible."""
+    from ..core.parser import parse_database, parse_theory
+
+    theory = parse_theory(
+        """
+        E(x,y) -> T(x,y)
+        E(x,y), T(y,z) -> T(x,z)
+        """
+    )
+    database = parse_database("E(a,b). E(b,c).")
+    witness = (Constant("a"), Constant("c"))
+    return Query(theory, "T"), database, witness
+
+
+def check_monotonicity(
+    query: Query,
+    smaller: Database,
+    larger: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+) -> bool:
+    """``ans(smaller) ⊆ ans(larger)`` — must hold for positive theories."""
+    if not set(smaller.atoms()) <= set(larger.atoms()):
+        raise ValueError("expected smaller ⊆ larger")
+    first = certain_answers(query, smaller, budget=budget)
+    second = certain_answers(query, larger, budget=budget)
+    return first <= second
+
+
+def parity_is_not_monotone() -> tuple[Database, Database, bool, bool]:
+    """Exhibit non-monotonicity of the domain-parity query: a 2-constant
+    database answers *even*, its 3-constant extension answers *odd* — no
+    positive (hence monotone) theory can express it."""
+    from ..capture.generic import domain_size_is_even
+    from ..core.parser import parse_database
+
+    smaller = parse_database("R(c0). R(c1).")
+    larger = parse_database("R(c0). R(c1). R(c2).")
+    return (
+        smaller,
+        larger,
+        domain_size_is_even(smaller),
+        domain_size_is_even(larger),
+    )
+
+
+def full_database(
+    relations: dict[str, int], constants: Iterable[Constant]
+) -> Database:
+    """The full database over a signature: every relation holds on every
+    tuple (used by the paper's semipositive-monotonicity remark)."""
+    constants = list(constants)
+    atoms = []
+    for relation, arity in sorted(relations.items()):
+        for args in itertools.product(constants, repeat=arity):
+            atoms.append(Atom(relation, args))
+    return Database(atoms)

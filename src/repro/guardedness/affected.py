@@ -1,0 +1,141 @@
+"""Affected positions and unsafe variables (Definition 2).
+
+A *position* is a pair ``(R, i)``: argument slot ``i`` of relation ``R``
+(annotation slots never count — annotations are opaque payload, see
+:mod:`repro.core.atoms`).  The affected positions ``ap(Σ)`` are the least
+set closed under:
+
+  (i)  every position where an existential variable occurs in a head is
+       affected;
+  (ii) if **all** body positions of a universal variable ``x`` are affected
+       then all head positions of ``x`` are affected.
+
+A variable ``x`` of a rule ``σ`` is *unsafe* w.r.t. ``Σ`` when
+``pos(body(σ), x) ⊆ ap(Σ)`` — it may be instantiated by labeled nulls
+during the chase.  Only unsafe variables require guarding in the weak
+fragments.
+
+Per the stratified-negation extension (Section 8), affected positions are
+computed on the theory with negative literals dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.atoms import Atom
+from ..core.rules import Rule
+from ..core.terms import Variable
+from ..core.theory import Theory
+
+__all__ = [
+    "Position",
+    "positions_of",
+    "affected_positions",
+    "unsafe_variables",
+    "variable_body_positions",
+]
+
+#: A position ``(relation name, argument index)``.
+Position = tuple[str, int]
+
+
+def positions_of(atoms: Iterable[Atom], variable: Variable) -> set[Position]:
+    """``pos(Γ, x)`` — positions at which ``x`` occurs in the atom set."""
+    found: set[Position] = set()
+    for atom in atoms:
+        for index, term in enumerate(atom.args):
+            if term == variable:
+                found.add((atom.relation, index))
+    return found
+
+
+def variable_body_positions(rule: Rule, variable: Variable) -> set[Position]:
+    """``pos(body(σ), x)`` over the positive body."""
+    return positions_of(rule.positive_body(), variable)
+
+
+def affected_positions(theory: Theory) -> set[Position]:
+    """Compute ``ap(Σ)`` by the obvious fixpoint iteration.
+
+    Runs in polynomial time: each iteration adds at least one position and
+    there are at most ``Σ_R arity(R)`` positions."""
+    affected: set[Position] = set()
+    # (i) existential-variable positions in heads
+    for rule in theory:
+        for evar in rule.exist_vars:
+            affected |= positions_of(rule.head, evar)
+    # (ii) propagate through universal variables
+    changed = True
+    while changed:
+        changed = False
+        for rule in theory:
+            for variable in rule.uvars():
+                body_positions = variable_body_positions(rule, variable)
+                if body_positions <= affected:
+                    head_positions = positions_of(rule.head, variable)
+                    if not head_positions <= affected:
+                        affected |= head_positions
+                        changed = True
+    return affected
+
+
+def coherent_affected_positions(theory: Theory) -> set[Position]:
+    """The least superset of ``ap(Σ)`` that is *variable-coherent*: for
+    every rule and every variable, either all or none of the variable's
+    argument positions (body and head) are affected.
+
+    Soundness: an over-approximation of ``ap`` only declares more
+    positions potentially-null, which makes more variables unsafe —
+    everything downstream (weak guards, annotations) remains correct.
+
+    Purpose: Definition 17 moves *positions* into annotations, but the
+    safe-annotation conditions and the frontier-guardedness of ``a(Σ)``
+    need every variable to live wholly on one side of the cut.  With the
+    plain ``ap(Σ)`` a safe variable can occupy an affected head position
+    (e.g. ``S(v,w) → R(w,v)`` in a theory where only ``(R,1)`` is
+    affected), leaving ``a(Σ)`` neither safely annotated nor
+    frontier-guarded; the coherent closure repairs exactly this.  A theory
+    that is weakly frontier-guarded w.r.t. the closure translates cleanly;
+    one that is not is reported by the Theorem 2 entry point."""
+    affected = set(affected_positions(theory))
+    changed = True
+    while changed:
+        changed = False
+        for rule in theory:
+            atoms = list(rule.positive_body()) + list(rule.head)
+            for variable in rule.variables():
+                var_positions = positions_of(atoms, variable)
+                if not var_positions:
+                    continue
+                touched = var_positions & affected
+                if touched and not var_positions <= affected:
+                    affected |= var_positions
+                    changed = True
+    return affected
+
+
+def unsafe_variables(
+    rule: Rule,
+    theory: Theory,
+    ap: set[Position] | None = None,
+) -> set[Variable]:
+    """``unsafe(σ, Σ)`` — variables whose body positions are all affected.
+
+    Restricted to *argument* variables of the positive body: annotation
+    variables are opaque payload and never need guarding; variables that
+    occur only under negation are excluded by rule safety anyway.
+
+    Note a variable occurring **only in annotations** of body atoms has an
+    empty set of body positions and is therefore vacuously unsafe by the
+    subset test; we exclude such variables explicitly because annotations
+    always carry safe payload by construction (safely annotated theories,
+    Section 2)."""
+    if ap is None:
+        ap = affected_positions(theory)
+    unsafe: set[Variable] = set()
+    for variable in rule.uvars():
+        body_positions = variable_body_positions(rule, variable)
+        if body_positions and body_positions <= ap:
+            unsafe.add(variable)
+    return unsafe

@@ -1,0 +1,199 @@
+"""Normalization (Proposition 1).
+
+A theory is *normal* when
+
+  (i)  every rule has a singleton head,
+  (ii) every rule with existential variables is guarded (non-guarded rules
+       are Datalog rules),
+  (iii) constants occur only in fact rules ``-> R(~c)``.
+
+``normalize`` establishes (i) and (ii) by the two classical auxiliary-atom
+splits; both preserve certain answers over the original signature and the
+weak/nearly guardedness classes.  Condition (iii) is available as the
+separate, optional :func:`extract_body_constants` pass: our translation
+machinery handles inline constants natively, and mechanical extraction can
+demote a *plain* (frontier-)guarded rule to its nearly-guarded relative —
+precisely why Proposition 1(c) only claims preservation for the weak and
+nearly classes.  ``is_normal`` accordingly checks (i) and (ii) and treats
+(iii) as satisfied when constants appear only in facts or rule heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.atoms import Atom
+from ..core.rules import Rule
+from ..core.terms import Constant, Term, Variable
+from ..core.theory import Theory
+from .classify import is_guarded_rule
+
+__all__ = [
+    "normalize",
+    "is_normal",
+    "extract_body_constants",
+    "NormalizationResult",
+]
+
+#: Prefix for auxiliary relations introduced by the normalization.  The
+#: translations treat these like any other relation.
+_AUX_PREFIX = "NF"
+
+
+@dataclass
+class NormalizationResult:
+    """The normalized theory plus bookkeeping about introduced symbols."""
+
+    theory: Theory
+    auxiliary_relations: set[str] = field(default_factory=set)
+
+
+def _sorted_vars(variables: Iterable[Variable]) -> tuple[Variable, ...]:
+    """The globally fixed enumeration ~X of a variable set (Section 2)."""
+    return tuple(sorted(set(variables), key=lambda v: v.name))
+
+
+class _Normalizer:
+    def __init__(self, theory: Theory) -> None:
+        self.theory = theory
+        self.used_relations = set(theory.relations())
+        self.aux_relations: set[str] = set()
+        self.counter = 0
+
+    def fresh_relation(self, stem: str) -> str:
+        while True:
+            name = f"{_AUX_PREFIX}_{stem}_{self.counter}"
+            self.counter += 1
+            if name not in self.used_relations:
+                self.used_relations.add(name)
+                self.aux_relations.add(name)
+                return name
+
+    # ------------------------------------------------------------------
+    def split_head(self, rule: Rule) -> list[Rule]:
+        """Establish (i): singleton heads.
+
+        Datalog rules split directly; existential rules route through an
+        auxiliary atom collecting frontier and existential variables so the
+        shared nulls remain shared."""
+        if len(rule.head) == 1:
+            return [rule]
+        if rule.is_datalog():
+            return [Rule(rule.body, (atom,)) for atom in rule.head]
+        carrier = _sorted_vars(rule.frontier() | rule.evars())
+        aux = Atom(self.fresh_relation("H"), carrier)
+        collector = Rule(rule.body, (aux,), rule.exist_vars)
+        projections = [Rule((aux,), (atom,)) for atom in rule.head]
+        return [collector, *projections]
+
+    def guard_existential(self, rule: Rule) -> list[Rule]:
+        """Establish (ii): existential rules must be guarded.
+
+        A non-guarded existential rule ``body -> ∃z H`` becomes::
+
+            body            -> Aux(fvars)
+            Aux(fvars)      -> ∃z H
+
+        The second rule is guarded by ``Aux``; the first is Datalog with the
+        same body (so the same (weak/frontier) guard applies)."""
+        if rule.is_datalog() or is_guarded_rule(rule):
+            return [rule]
+        frontier = _sorted_vars(rule.frontier())
+        aux = Atom(self.fresh_relation("G"), frontier)
+        bridge = Rule(rule.body, (aux,))
+        fire = Rule((aux,), rule.head, rule.exist_vars)
+        return [bridge, fire]
+
+    def run(self) -> NormalizationResult:
+        stage_one: list[Rule] = []
+        for rule in self.theory:
+            stage_one.extend(self.split_head(rule))
+        stage_two: list[Rule] = []
+        for rule in stage_one:
+            stage_two.extend(self.guard_existential(rule))
+        return NormalizationResult(Theory(stage_two), self.aux_relations)
+
+
+def normalize(theory: Theory) -> NormalizationResult:
+    """Proposition 1: transform a theory into normal form.
+
+    Certain answers over the original relations are preserved for every
+    database; weakly (frontier-)guarded and nearly (frontier-)guarded
+    theories remain in their class."""
+    return _Normalizer(theory).run()
+
+
+def is_normal(theory: Theory) -> bool:
+    """Check normal-form conditions (i) and (ii), and the relaxed (iii)."""
+    for rule in theory:
+        if len(rule.head) != 1:
+            return False
+        if rule.exist_vars and not is_guarded_rule(rule):
+            return False
+        body_constants = set()
+        for literal in rule.body:
+            body_constants |= {
+                term for term in literal.terms() if isinstance(term, Constant)
+            }
+        if body_constants and not rule.is_fact():
+            return False
+    return True
+
+
+def extract_body_constants(theory: Theory) -> NormalizationResult:
+    """Optional (iii)-pass: pull constants out of non-fact rule bodies.
+
+    Each constant ``c`` gets a fresh unary relation ``NF_EQ_c`` with the
+    fact ``-> NF_EQ_c(c)``; occurrences of ``c`` in non-fact rule bodies
+    are replaced by a fresh variable constrained by ``NF_EQ_c``.  The fresh
+    variable is *safe* (its relation's position is never affected), so weak
+    and nearly guardedness are preserved; plain guardedness may not be —
+    see the module docstring."""
+    normalizer = _Normalizer(theory)
+    constant_relations: dict[Constant, str] = {}
+    new_rules: list[Rule] = []
+    fact_rules: list[Rule] = []
+
+    def relation_for(constant: Constant) -> str:
+        if constant not in constant_relations:
+            name = normalizer.fresh_relation(f"EQ_{constant.name}")
+            constant_relations[constant] = name
+            fact_rules.append(Rule((), (Atom(name, (constant,)),)))
+        return constant_relations[constant]
+
+    for rule in theory:
+        if rule.is_fact():
+            new_rules.append(rule)
+            continue
+        body_constants: set[Constant] = set()
+        for literal in rule.body:
+            body_constants |= {
+                term for term in literal.terms() if isinstance(term, Constant)
+            }
+        if not body_constants:
+            new_rules.append(rule)
+            continue
+        taken = {v.name for v in rule.variables()}
+        mapping: dict[Term, Term] = {}
+        extra_atoms: list[Atom] = []
+        for constant in sorted(body_constants):
+            base = f"c_{constant.name}"
+            name = base
+            suffix = 0
+            while name in taken:
+                name = f"{base}_{suffix}"
+                suffix += 1
+            taken.add(name)
+            variable = Variable(name)
+            mapping[constant] = variable
+            extra_atoms.append(Atom(relation_for(constant), (variable,)))
+        new_body = tuple(lit.substitute(mapping) for lit in rule.body) + tuple(
+            extra_atoms
+        )
+        new_head = tuple(atom.substitute(mapping) for atom in rule.head)
+        new_rules.append(Rule(new_body, new_head, rule.exist_vars))
+
+    return NormalizationResult(
+        Theory(new_rules + fact_rules), normalizer.aux_relations
+    )

@@ -1,0 +1,24 @@
+"""Conjunctive queries and knowledge-base query answering (Section 7)."""
+
+from .answering import AnswerComparison, answer_cq, compare_strategies
+from .containment import (
+    canonical_database,
+    cq_contained_in,
+    cq_equivalent,
+    minimize_cq,
+)
+from .cq import ConjunctiveQuery, cq_to_rule, evaluate_cq, knowledge_base_query
+
+__all__ = [
+    "AnswerComparison",
+    "ConjunctiveQuery",
+    "answer_cq",
+    "canonical_database",
+    "compare_strategies",
+    "cq_contained_in",
+    "cq_equivalent",
+    "minimize_cq",
+    "cq_to_rule",
+    "evaluate_cq",
+    "knowledge_base_query",
+]

@@ -1,0 +1,84 @@
+"""Axiomatizing the built-in ``ACDom`` relation (Definition 15, Prop. 5).
+
+``rew(Σ)`` uses the built-in active-constant-domain relation.  To obtain a
+self-contained theory, every relation ``R`` is doubled by a starred copy
+``R*``; the theory is rewritten over the starred relations and extended
+with
+
+  (a) ``R(~x) → R*(~x)``                      (copy the input),
+  (b) ``R(~x) → ACDom*(xi)`` for every ``i``  (collect input constants),
+  (c) ``→ ACDom*(c)`` for every constant of Σ.
+
+Answers over the starred output relation coincide with the original
+query's answers on every database (Proposition 5).
+"""
+
+from __future__ import annotations
+
+from ..core.atoms import Atom
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from ..core.theory import ACDOM, Query, Theory
+
+__all__ = ["axiomatize_acdom", "STAR_SUFFIX", "starred"]
+
+STAR_SUFFIX = "_star"
+
+
+def starred(relation: str) -> str:
+    """The starred copy ``R*`` of a relation name."""
+    return f"{relation}{STAR_SUFFIX}"
+
+
+def _star_atom(atom: Atom) -> Atom:
+    return atom.rename_relation(starred(atom.relation))
+
+
+def _star_rule(rule: Rule) -> Rule:
+    body = tuple(
+        literal.__class__(_star_atom(literal.atom))
+        if hasattr(literal, "atom")
+        else _star_atom(literal)
+        for literal in rule.body
+    )
+    head = tuple(_star_atom(atom) for atom in rule.head)
+    return Rule(body, head, rule.exist_vars)
+
+
+def axiomatize_acdom(query: Query) -> Query:
+    """Definition 15: eliminate the built-in ACDom from a nearly guarded
+    query.  Returns ``(Σ*, Q*)`` with ``ans((Σ,Q),D) = ans((Σ*,Q*),D)``.
+
+    The construction preserves near guardedness: copy rules (a)/(b) are
+    guarded by their single body atom, and starring does not change any
+    rule's structure."""
+    theory = query.theory
+    star_rules = [_star_rule(rule) for rule in theory]
+
+    bridge_rules: list[Rule] = []
+    for name, arity, annotation_arity in sorted(theory.relation_keys()):
+        if name == ACDOM:
+            continue
+        variables = tuple(Variable(f"x{i}") for i in range(arity))
+        annotation = tuple(Variable(f"a{i}") for i in range(annotation_arity))
+        source = Atom(name, variables, annotation)
+        # (a) copy input facts into the starred relation
+        bridge_rules.append(
+            Rule((source,), (Atom(starred(name), variables, annotation),))
+        )
+        # (b) every input constant is in the starred active domain
+        for variable in variables:
+            bridge_rules.append(
+                Rule((source,), (Atom(starred(ACDOM), (variable,)),))
+            )
+
+    # (c) constants of the theory
+    constant_rules = [
+        Rule((), (Atom(starred(ACDOM), (constant,)),))
+        for constant in sorted(theory.constants())
+    ]
+
+    return Query(
+        Theory(star_rules + bridge_rules + constant_rules),
+        starred(query.output),
+    )

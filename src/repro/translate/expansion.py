@@ -1,0 +1,218 @@
+"""Expansion and rewriting: frontier-guarded → nearly guarded (Theorem 1).
+
+``ex(Σ)`` (Definition 12) closes a normal frontier-guarded theory under all
+rc- and rnc-rewritings of its non-guarded Datalog rules.  Each rewriting
+replaces work on a non-guarded rule by a guarded rule plus a structurally
+smaller frontier-guarded rule (fewer variables outside a frontier guard),
+so the closure terminates; it is worst-case exponential (Section 5).
+
+``rew(Σ)`` (Definition 13) then adds ``ACDom(x)`` atoms for every universal
+variable of each remaining non-guarded rule, making the result *nearly
+guarded* (Proposition 3) while preserving certain answers (Theorem 1): the
+chase-tree argument shows every inference of a non-guarded rule either maps
+entirely onto original constants (where ACDom holds) or factors through a
+rewriting.
+
+Definition 14 extends this to nearly frontier-guarded theories: the
+non-frontier-guarded rules have no unsafe variables and pass through
+untouched (Proposition 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.atoms import Atom
+from ..core.rules import Rule, canonical_rule_key
+from ..core.terms import Variable
+from ..core.theory import ACDOM, Query, Theory
+from ..guardedness.classify import (
+    is_frontier_guarded_rule,
+    is_guarded_rule,
+    is_nearly_frontier_guarded,
+    is_nearly_guarded,
+)
+from ..guardedness.normalize import is_normal
+from .rc_rnc import (
+    bag_axioms,
+    guard_signature_of,
+    rc_rewriting,
+    rnc_rewriting,
+    selection_effect,
+)
+from .selections import enumerate_selections
+
+__all__ = [
+    "ExpansionBudget",
+    "ExpansionResult",
+    "expand",
+    "rewrite_frontier_guarded",
+    "rewrite_nearly_frontier_guarded",
+]
+
+
+class ExpansionBudget(RuntimeError):
+    """Raised when the expansion exceeds its rule budget."""
+
+
+@dataclass
+class ExpansionResult:
+    """``ex(Σ)`` plus statistics."""
+
+    theory: Theory
+    rewritten_rules: int
+    selections_tried: int
+    interface_relations: set[str] = field(default_factory=set)
+
+
+def _needs_rewriting(rule: Rule) -> bool:
+    """Definitions 10/11 apply to non-guarded Datalog rules."""
+    return rule.is_datalog() and not is_guarded_rule(rule)
+
+
+def expand(
+    theory: Theory,
+    *,
+    max_rules: int = 100_000,
+    max_selection_domain: Optional[int] = None,
+) -> ExpansionResult:
+    """Compute the expansion ``ex(Σ)`` of a normal frontier-guarded theory.
+
+    ``max_selection_domain`` optionally caps ``|dom(µ)|`` per rule (the
+    proof never needs domains larger than the rule's variable count, but
+    the cap is a practical lever for large rules)."""
+    if not is_normal(theory):
+        raise ValueError("expansion requires a normal theory (Proposition 1)")
+    for rule in theory:
+        if not is_frontier_guarded_rule(rule):
+            raise ValueError(f"rule is not frontier-guarded: {rule}")
+
+    max_arity = theory.max_arity()
+    # Guards are drawn from the relations of the original Σ (Defs. 10/11),
+    # realized through the X_BAG containment relations (see rc_rnc).
+    signature = guard_signature_of(theory)
+    rules: list[Rule] = list(theory.rules) + bag_axioms(signature, max_arity)
+    seen: set[tuple] = {canonical_rule_key(rule) for rule in rules}
+    interface_relations: set[str] = set()
+    rewritten = 0
+    selections_tried = 0
+
+    queue: list[Rule] = [rule for rule in rules if _needs_rewriting(rule)]
+    position = 0
+    while position < len(queue):
+        rule = queue[position]
+        position += 1
+        seen_effects: set[tuple] = set()
+        for selection in enumerate_selections(
+            rule, max_arity, max_domain=max_selection_domain
+        ):
+            effect = selection_effect(rule, selection)
+            if effect in seen_effects:
+                continue
+            seen_effects.add(effect)
+            selections_tried += 1
+            for producer in (rc_rewriting, rnc_rewriting):
+                bundle = producer(rule, selection, signature)
+                if bundle is None or not bundle:
+                    continue
+                interface_relations.add(bundle.interface)
+                parent_vars = {
+                    v
+                    for atom in rule.positive_body()
+                    for v in atom.argument_variables()
+                }
+                for new_rule in bundle.rules():
+                    key = canonical_rule_key(new_rule)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    rules.append(new_rule)
+                    rewritten += 1
+                    if len(rules) > max_rules:
+                        raise ExpansionBudget(
+                            f"expansion exceeded {max_rules} rules"
+                        )
+                    child_vars = {
+                        v
+                        for atom in new_rule.positive_body()
+                        for v in atom.argument_variables()
+                    }
+                    # Recurse only on rewritings that consumed a variable —
+                    # the completeness argument always peels the preimage of
+                    # a private null of the deepest chase-tree node, so the
+                    # productive rewritings strictly shrink (Section 5).
+                    if _needs_rewriting(new_rule) and child_vars < parent_vars:
+                        queue.append(new_rule)
+
+    return ExpansionResult(
+        theory=Theory(rules),
+        rewritten_rules=rewritten,
+        selections_tried=selections_tried,
+        interface_relations=interface_relations,
+    )
+
+
+def _add_acdom_guards(rule: Rule) -> Rule:
+    """Definition 13: constrain every universal argument variable of a
+    non-guarded rule to the active constant domain."""
+    variables = sorted(
+        {
+            variable
+            for atom in rule.positive_body()
+            for variable in atom.argument_variables()
+        },
+        key=lambda v: v.name,
+    )
+    acdom_atoms = tuple(Atom(ACDOM, (variable,)) for variable in variables)
+    return Rule(rule.body + acdom_atoms, rule.head, rule.exist_vars)
+
+
+def rewrite_frontier_guarded(
+    theory: Theory,
+    *,
+    max_rules: int = 100_000,
+    max_selection_domain: Optional[int] = None,
+) -> Theory:
+    """``rew(Σ)`` for a normal frontier-guarded theory (Definition 13).
+
+    The result is nearly guarded (Proposition 3) and has the same ground
+    atomic consequences over the original signature for every database
+    (Theorem 1)."""
+    expanded = expand(
+        theory, max_rules=max_rules, max_selection_domain=max_selection_domain
+    )
+    rewritten = []
+    for rule in expanded.theory:
+        if is_guarded_rule(rule):
+            rewritten.append(rule)
+        else:
+            rewritten.append(_add_acdom_guards(rule))
+    result = Theory(rewritten)
+    assert is_nearly_guarded(result), "Proposition 3 violated"
+    return result
+
+
+def rewrite_nearly_frontier_guarded(
+    theory: Theory,
+    *,
+    max_rules: int = 100_000,
+    max_selection_domain: Optional[int] = None,
+) -> Theory:
+    """Definition 14: ``rew(Σ) = rew(Σf) ∪ Σd`` for nearly frontier-guarded
+    ``Σ`` — the non-frontier-guarded rules ``Σd`` have no unsafe and no
+    existential variables and need no rewriting (Proposition 4)."""
+    if not is_nearly_frontier_guarded(theory):
+        raise ValueError("theory is not nearly frontier-guarded")
+    frontier_part = Theory(
+        rule for rule in theory if is_frontier_guarded_rule(rule)
+    )
+    datalog_part = tuple(
+        rule for rule in theory if not is_frontier_guarded_rule(rule)
+    )
+    rewritten = rewrite_frontier_guarded(
+        frontier_part,
+        max_rules=max_rules,
+        max_selection_domain=max_selection_domain,
+    )
+    return Theory(tuple(rewritten.rules) + datalog_part)

@@ -1,0 +1,83 @@
+"""Partial grounding ``pg(Σ, D)`` (Section 7, step 2).
+
+``pg(Σ, D)`` instantiates, in every rule, the variables occurring in
+non-affected positions (the *safe* variables) with constants of the
+database, in all possible ways.  For a weakly guarded theory the result is
+guarded: after grounding, the remaining variables of each rule are unsafe
+and therefore covered by the weak guard.  The grounding is exponential in
+the number of safe variables per rule but has linearly many variables per
+rule — exactly the shape the Section 7 pipeline needs before applying the
+guarded-to-Datalog saturation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from ..core.theory import Theory
+from ..guardedness.affected import (
+    Position,
+    affected_positions,
+    unsafe_variables,
+)
+
+__all__ = ["partial_grounding", "ground_program"]
+
+
+def partial_grounding(
+    theory: Theory,
+    database: Database,
+    *,
+    ap: Optional[set[Position]] = None,
+    extra_constants: Iterable[Constant] = (),
+) -> Theory:
+    """Compute ``pg(Σ, D)``: substitute safe variables by constants of
+    ``D`` (and the theory's own constants) in all possible ways."""
+    if ap is None:
+        ap = affected_positions(theory)
+    constants = sorted(
+        set(database.constants()) | set(theory.constants()) | set(extra_constants)
+    )
+    grounded: list[Rule] = []
+    for rule in theory:
+        unsafe = unsafe_variables(rule, theory, ap)
+        safe = sorted(
+            (
+                variable
+                for variable in rule.uvars()
+                if variable not in unsafe
+            ),
+            key=lambda v: v.name,
+        )
+        if not safe:
+            grounded.append(rule)
+            continue
+        for values in itertools.product(constants, repeat=len(safe)):
+            mapping = dict(zip(safe, values))
+            grounded.append(rule.substitute(mapping))
+    return Theory(grounded)
+
+
+def ground_program(theory: Theory, database: Database) -> Theory:
+    """Fully ground a Datalog program over the constants of ``D`` (Section
+    7, step 4).  Variables range over the active domain plus theory
+    constants; rules whose bodies cannot possibly match are kept anyway
+    (they are harmless for evaluation)."""
+    constants = sorted(set(database.constants()) | set(theory.constants()))
+    grounded: list[Rule] = []
+    for rule in theory:
+        if not rule.is_datalog():
+            raise ValueError("ground_program expects a Datalog program")
+        variables = sorted(rule.variables(), key=lambda v: v.name)
+        if not variables:
+            grounded.append(rule)
+            continue
+        for values in itertools.product(constants, repeat=len(variables)):
+            mapping = dict(zip(variables, values))
+            grounded.append(rule.substitute(mapping))
+    return Theory(grounded)

@@ -1,0 +1,301 @@
+"""rc- and rnc-rewritings (Definitions 10 and 11).
+
+Both rewritings split a non-guarded Datalog rule ``σ`` of a normal
+frontier-guarded theory into rules communicating through a fresh interface
+relation ``H``:
+
+* **remove-covered (rc)** pulls the ``µ``-covered atoms out of ``σ``;
+  ``σ′ = R(~x) ∧ µ(cov(σ,µ)) → H(~y)`` is guarded by a relation ``R`` of
+  the signature, ``σ′′ = H(~y) ∧ µ(body∖cov) → µ(head)`` is the
+  structurally smaller frontier-guarded remainder.
+* **remove-non-covered (rnc)** pulls the complement out;
+  ``σ′ = R(~x) ∧ µ(body∖cov) → H(~y)`` is frontier-guarded and smaller,
+  ``σ′′ = P(~z) ∧ H(~y) ∧ µ(cov) → µ(head)`` is guarded by ``P``.
+
+**Containment-guard encoding.**  The definitions quantify over *every*
+signature relation ``R``/``P`` and every argument arrangement containing
+the required variables — semantically, the guard atom only asserts that
+*some atom of the original signature contains all the required terms*.  We
+encode that assertion once and for all with auxiliary relations::
+
+    X_BAG_j(t1, …, tj)   "some Σ-atom's arguments include t1 … tj"
+
+defined by the guarded axioms ``R(x1,…,xa) → X_BAG_j(xi1,…,xij)`` for every
+ordered ``j``-tuple of distinct positions of every relation of Σ (``j ≤ k``
+= the maximal arity).  Each rewriting then needs exactly one producer and
+one consumer (rnc: one producer per projected variable) with ``X_BAG``
+guards, instead of the paper's best-case-exponential family — the set of
+satisfying instantiations, and hence the certain answers, are identical.
+This deviation from the literal Definition 10/11 output is recorded in
+DESIGN.md.
+
+Annotations: the paper gives ``H`` "the annotation of head(σ)".  We
+implement the safety-complete generalization — ``H`` carries exactly the
+annotation variables that must flow between the two halves (those common to
+the removed part and the remaining part or head), which coincides with the
+paper's choice on the theories produced by ``a(Σ)`` in Section 5.2 while
+keeping every split rule safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.rules import Rule, RuleError
+from ..core.terms import Variable
+from ..core.theory import ACDOM, Theory
+from .selections import Selection, covered_atoms, keep_set
+
+__all__ = [
+    "RcRncBundle",
+    "GuardSignature",
+    "guard_signature_of",
+    "bag_axioms",
+    "bag_relation",
+    "rc_rewriting",
+    "rnc_rewriting",
+    "selection_effect",
+]
+
+#: Prefix of auxiliary relations introduced by the translation.
+INTERFACE_PREFIX = "X"
+
+#: Candidate guard relations: (name, arity, annotation arity) triples.
+GuardSignature = tuple[tuple[str, int, int], ...]
+
+
+def guard_signature_of(theory: Theory) -> GuardSignature:
+    """Guard candidates: the relations *of the original theory Σ* — the
+    definitions draw ``R``/``P`` from Σ; built-ins and auxiliary relations
+    are excluded."""
+    return tuple(
+        sorted(
+            key
+            for key in theory.relation_keys()
+            if key[0] != ACDOM and not key[0].startswith(f"{INTERFACE_PREFIX}_")
+        )
+    )
+
+
+def bag_relation(size: int) -> str:
+    """The containment relation for ``size`` terms."""
+    return f"{INTERFACE_PREFIX}_BAG{size}"
+
+
+def bag_axioms(signature: GuardSignature, max_size: int) -> list[Rule]:
+    """Guarded Datalog axioms populating the ``X_BAG_j`` relations.
+
+    For every relation ``R`` of the signature and every ordered tuple of
+    ``j ≤ max_size`` distinct argument positions, derive that those
+    argument terms co-occur in an atom.  Annotation positions of annotated
+    relations are opaque payload and do not contribute."""
+    rules: list[Rule] = []
+    for name, arity, annotation_arity in signature:
+        if arity == 0:
+            continue
+        variables = tuple(Variable(f"x{i}") for i in range(arity))
+        annotation = tuple(Variable(f"a{i}") for i in range(annotation_arity))
+        source = Atom(name, variables, annotation)
+        for size in range(1, min(arity, max_size) + 1):
+            for positions in itertools.permutations(range(arity), size):
+                target = Atom(bag_relation(size), tuple(variables[p] for p in positions))
+                rules.append(Rule((source,), (target,)))
+    return rules
+
+
+@dataclass
+class RcRncBundle:
+    """All rewriting rules for one ``(σ, µ, kind)`` triple."""
+
+    kind: str
+    interface: str
+    producers: list[Rule] = field(default_factory=list)
+    consumers: list[Rule] = field(default_factory=list)
+
+    def rules(self) -> list[Rule]:
+        return self.producers + self.consumers
+
+    def __bool__(self) -> bool:
+        return bool(self.producers and self.consumers)
+
+
+def selection_effect(rule: Rule, selection: Selection) -> tuple:
+    """A signature of everything a rewriting of ``(σ, µ)`` depends on.
+
+    Two selections with equal effect produce literally the same rewriting
+    rules, so the expansion skips the duplicates before enumeration."""
+    covered = covered_atoms(rule, selection)
+    covered_set = set(covered)
+    remaining = tuple(
+        atom for atom in rule.positive_body() if atom not in covered_set
+    )
+    return (
+        frozenset(selection.apply(covered)),
+        frozenset(selection.apply(remaining)),
+        selection.apply(rule.head),
+        keep_set(rule, selection, include_head=True),
+        keep_set(rule, selection, include_head=False),
+    )
+
+
+def _interface_name(kind: str, pieces: tuple) -> str:
+    digest = hashlib.sha1(repr(pieces).encode()).hexdigest()[:12]
+    return f"{INTERFACE_PREFIX}_{kind}_{digest}"
+
+
+def _annotation_vars(atoms: Sequence[Atom]) -> set[Variable]:
+    found: set[Variable] = set()
+    for atom in atoms:
+        found |= atom.annotation_variables()
+    return found
+
+
+def _interface_annotation(
+    removed: Sequence[Atom], remaining: Sequence[Atom], head: Sequence[Atom]
+) -> tuple[Variable, ...]:
+    flow = _annotation_vars(removed) & (
+        _annotation_vars(remaining) | _annotation_vars(head)
+    )
+    return tuple(sorted(flow, key=lambda v: v.name))
+
+
+def _max_guard_arity(signature: GuardSignature) -> int:
+    return max((key[1] for key in signature), default=0)
+
+
+def _bag_guard(variables: Sequence[Variable]) -> Atom:
+    ordered = tuple(sorted(set(variables), key=lambda v: v.name))
+    return Atom(bag_relation(len(ordered)), ordered)
+
+
+def rc_rewriting(
+    rule: Rule,
+    selection: Selection,
+    signature: GuardSignature,
+) -> Optional[RcRncBundle]:
+    """The rc-rewriting bundle of a non-guarded Datalog rule w.r.t. ``µ``.
+
+    Returns None when the side conditions fail (no covered atoms, no
+    variable of ``µ(cov)`` projected away, or no signature relation wide
+    enough to host the guard)."""
+    if not rule.is_datalog():
+        raise ValueError("rc-rewriting applies to Datalog rules")
+    covered = covered_atoms(rule, selection)
+    if not covered:
+        return None
+    covered_set = set(covered)
+    remaining = tuple(
+        atom for atom in rule.positive_body() if atom not in covered_set
+    )
+    keep = keep_set(rule, selection)
+    mu_cov = selection.apply(covered)
+    mu_cov_vars = {v for atom in mu_cov for v in atom.argument_variables()}
+    # (b) variable projection: µ(cov) must lose a variable.
+    if not any(variable not in keep for variable in mu_cov_vars):
+        return None
+    guard_vars = mu_cov_vars | set(keep)
+    # (a): some relation of Σ must be able to contain every variable of σ′.
+    if len(guard_vars) > _max_guard_arity(signature):
+        return None
+
+    annotation = _interface_annotation(covered, remaining, rule.head)
+    mu_remaining = selection.apply(remaining)
+    mu_head = selection.apply(rule.head)
+    interface = _interface_name(
+        "rc", (frozenset(mu_cov), keep, annotation, frozenset(mu_remaining), mu_head)
+    )
+    head_atom = Atom(interface, keep, annotation)
+
+    try:
+        producer = Rule((_bag_guard(sorted(guard_vars)),) + mu_cov, (head_atom,))
+        consumer = Rule((head_atom,) + mu_remaining, mu_head)
+    except RuleError:
+        return None
+    return RcRncBundle("rc", interface, [producer], [consumer])
+
+
+def rnc_rewriting(
+    rule: Rule,
+    selection: Selection,
+    signature: GuardSignature,
+) -> Optional[RcRncBundle]:
+    """The rnc-rewriting bundle of a non-guarded Datalog rule w.r.t. ``µ``."""
+    if not rule.is_datalog():
+        raise ValueError("rnc-rewriting applies to Datalog rules")
+    # In the rnc case of the correctness proof the frontier guard maps into
+    # the node ``d`` whose terms dom(µ) covers, so every frontier variable
+    # is in dom(µ); without this, head variables outside dom(µ) would be
+    # constrained only by the consumer's guard — unsound.
+    if not rule.argument_frontier() <= selection.domain:
+        return None
+    covered = covered_atoms(rule, selection)
+    covered_set = set(covered)
+    remaining = tuple(
+        atom for atom in rule.positive_body() if atom not in covered_set
+    )
+    if not remaining:
+        return None
+    keep = keep_set(rule, selection, include_head=False)
+    # Soundness: every head variable must be bound by µ(cov) or the
+    # interface; head variables occurring only in the removed part flow
+    # through keep because they occur in body∖cov.
+    covered_vars = {v for atom in covered for v in atom.argument_variables()}
+    remaining_vars_orig = {
+        v for atom in remaining for v in atom.argument_variables()
+    }
+    for variable in rule.argument_frontier():
+        if variable not in covered_vars and variable not in remaining_vars_orig:
+            return None
+    mu_remaining = selection.apply(remaining)
+    mu_remaining_vars = {
+        v for atom in mu_remaining for v in atom.argument_variables()
+    }
+    projection_candidates = sorted(
+        (v for v in mu_remaining_vars if v not in keep), key=lambda v: v.name
+    )
+    # (b): the guard ~x must contain some z ∉ ~y occurring in µ(body∖cov).
+    if not projection_candidates:
+        return None
+
+    annotation = _interface_annotation(remaining, covered, rule.head)
+    mu_cov = selection.apply(covered)
+    mu_head = selection.apply(rule.head)
+    interface = _interface_name(
+        "rnc", (frozenset(mu_remaining), keep, annotation, frozenset(mu_cov), mu_head)
+    )
+    head_atom = Atom(interface, keep, annotation)
+
+    consumer_vars = (
+        set(keep)
+        | {v for atom in mu_cov for v in atom.argument_variables()}
+        | {v for atom in mu_head for v in atom.argument_variables()}
+    )
+    max_arity = _max_guard_arity(signature)
+    if len(consumer_vars) > max_arity:
+        return None
+
+    bundle = RcRncBundle("rnc", interface)
+    for candidate in projection_candidates:
+        guard_vars = sorted(set(keep) | {candidate}, key=lambda v: v.name)
+        if len(guard_vars) > max_arity:
+            continue
+        try:
+            bundle.producers.append(
+                Rule((_bag_guard(guard_vars),) + mu_remaining, (head_atom,))
+            )
+        except RuleError:
+            continue
+    try:
+        bundle.consumers.append(
+            Rule(
+                (_bag_guard(sorted(consumer_vars)), head_atom) + mu_cov,
+                mu_head,
+            )
+        )
+    except RuleError:
+        return None
+    return bundle if bundle else None

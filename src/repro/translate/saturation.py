@@ -1,0 +1,465 @@
+"""Guarded rules → Datalog via the Figure 3 calculus (Theorem 3, Prop. 6).
+
+``Ξ(Σ)`` is the closure of a guarded theory under three inference rules:
+
+1. **Head-atom projection** — from ``α → β ∧ A`` derive ``α → A`` when
+   ``A`` carries no existential variable.
+2. **Guarded composition** — from ``α → β`` and a Datalog rule
+   ``γ1 ∧ γ2 → δ`` with a homomorphism ``h`` from ``γ2`` into ``β`` such
+   that ``vars(h(γ1)) ⊆ vars(α)``, derive ``α ∧ h(γ1) → β ∧ h(δ)``.
+3. **Body unification** — from ``α → β`` derive ``g(α) → g(β)`` for
+   ``g : vars(α) → vars(α)``.
+
+``dat(Σ)`` keeps the existential-variable-free rules of the closure; it is
+a plain Datalog program with the same ground atomic consequences as ``Σ``
+over every database (Theorem 3).  Proposition 6 extends this to nearly
+guarded theories: saturate the guarded part, keep the safe Datalog part.
+
+Implementation notes:
+
+* Conclusions never introduce variables beyond the first premise's, so the
+  closure is finite (the ``2^((v+c)^p · m)`` bound of Section 6); rules are
+  de-duplicated by a canonical renaming key.
+* Rule 3 is realized by iterated pairwise variable merges, which generate
+  every variable collapse up to the α-renaming the canonical key already
+  quotients away.
+* For rule 2 the homomorphism ``h`` is found by backtracking each body atom
+  of the Datalog premise either *into* the head ``β`` (the ``γ2`` part) or
+  deferring it to ``γ1``; variables of ``γ1`` that remain unmapped are then
+  bound to universal variables of the first premise in all possible ways —
+  a sound superset of the paper's reading that keeps the calculus complete
+  without a global standardization convention.
+* A configurable budget aborts pathological closures with
+  :class:`SaturationBudget` (the translation is inherently worst-case
+  double exponential, Section 6)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..core.atoms import Atom
+from ..core.rules import Rule, canonical_rule_key
+from ..core.terms import Constant, Term, Variable
+from ..core.theory import Theory
+from ..guardedness.affected import affected_positions, unsafe_variables
+from ..guardedness.classify import is_guarded_rule, is_nearly_guarded
+
+__all__ = [
+    "SaturationBudget",
+    "SaturationResult",
+    "saturate",
+    "guarded_to_datalog",
+    "nearly_guarded_to_datalog",
+]
+
+
+class SaturationBudget(RuntimeError):
+    """Raised when the closure exceeds the configured rule budget."""
+
+
+@dataclass
+class SaturationResult:
+    """The closure ``Ξ(Σ)`` and the extracted Datalog program ``dat(Σ)``."""
+
+    closure: Theory
+    datalog: Theory
+    derived_rules: int
+    iterations: int
+
+
+def _dedup_body(body: Iterable[Atom]) -> tuple[Atom, ...]:
+    seen: set[Atom] = set()
+    ordered: list[Atom] = []
+    for atom in sorted(body):
+        if atom not in seen:
+            seen.add(atom)
+            ordered.append(atom)
+    return tuple(ordered)
+
+
+def _dedup_head(head: Iterable[Atom]) -> tuple[Atom, ...]:
+    return _dedup_body(head)
+
+
+def _normalize_rule(rule: Rule) -> Rule:
+    """Canonical atom ordering and duplicate removal (sets, per the paper)."""
+    head = _dedup_head(rule.head)
+    evars = tuple(
+        variable
+        for variable in rule.exist_vars
+        if any(variable in atom.variables() for atom in head)
+    )
+    return Rule(_dedup_body(rule.positive_body()), head, evars)
+
+
+def _project_head(rule: Rule) -> Iterator[Rule]:
+    """Inference rule 1: keep a single existential-free head atom."""
+    if len(rule.head) <= 1 and not rule.exist_vars:
+        return
+    evars = rule.evars()
+    for atom in rule.head:
+        if atom.variables() & evars:
+            continue
+        yield Rule(rule.body, (atom,))
+
+
+def _merge_variables(rule: Rule) -> Iterator[Rule]:
+    """Inference rule 3 via pairwise merges of body variables."""
+    body_vars = sorted(rule.uvars(), key=lambda v: v.name)
+    for source, target in itertools.permutations(body_vars, 2):
+        mapping = {source: target}
+        try:
+            yield rule.substitute(mapping)
+        except Exception:
+            continue
+
+
+def _head_atoms_as_targets(rule: Rule) -> list[Atom]:
+    return list(rule.head)
+
+
+def _match_into_head(
+    pattern: Atom, targets: list[Atom], assignment: dict[Variable, Term]
+) -> Iterator[dict[Variable, Term]]:
+    """Unify a Datalog body atom with one of the head atoms of the first
+    premise, extending ``assignment``."""
+    for target in targets:
+        if target.relation_key != pattern.relation_key:
+            continue
+        extension = dict(assignment)
+        ok = True
+        for pattern_term, target_term in zip(pattern.all_terms, target.all_terms):
+            if isinstance(pattern_term, Variable):
+                bound = extension.get(pattern_term)
+                if bound is None:
+                    extension[pattern_term] = target_term
+                elif bound != target_term:
+                    ok = False
+                    break
+            elif pattern_term != target_term:
+                ok = False
+                break
+        if ok:
+            yield extension
+
+
+def _compose(
+    first: Rule,
+    datalog: Rule,
+    max_leftover: int = 3,
+    require_evar_contact: bool = False,
+) -> Iterator[Rule]:
+    """Inference rule 2 (guarded composition).
+
+    Splits the Datalog premise's body into a part ``γ2`` homomorphically
+    mapped into ``head(first)`` and a deferred part ``γ1`` whose image must
+    live on ``vars(first.body)``.
+
+    With ``require_evar_contact`` only compositions whose homomorphism
+    touches an existential variable of the first premise are produced:
+    compositions entirely on the universal side are recovered at Datalog
+    evaluation time by chaining the premise with head projections, so they
+    are redundant for ``dat(Σ)`` — this is the goal-directed pruning."""
+    alpha_vars = sorted(first.uvars(), key=lambda v: v.name)
+    if not alpha_vars and any(
+        isinstance(t, Variable) for atom in datalog.positive_body() for t in atom.args
+    ):
+        # γ1 variables would have nowhere to map; γ2-only splits may still
+        # work, handled below by the general search.
+        pass
+    targets = _head_atoms_as_targets(first)
+    body = list(datalog.positive_body())
+
+    def search(
+        index: int,
+        assignment: dict[Variable, Term],
+        deferred: list[Atom],
+        used_any: bool,
+    ) -> Iterator[tuple[dict[Variable, Term], list[Atom]]]:
+        if index == len(body):
+            yield assignment, deferred
+            return
+        atom = body[index]
+        for extension in _match_into_head(atom, targets, assignment):
+            yield from search(index + 1, extension, deferred, True)
+        # defer this atom to γ1
+        yield from search(index + 1, assignment, deferred + [atom], used_any)
+
+    evar_set = set(first.exist_vars)
+    for assignment, deferred in search(0, {}, [], False):
+        if require_evar_contact and not any(
+            image in evar_set for image in assignment.values()
+        ):
+            continue
+        leftover = sorted(
+            {
+                variable
+                for atom in deferred
+                for variable in atom.variables()
+                if variable not in assignment
+            },
+            key=lambda v: v.name,
+        )
+        if len(leftover) > max_leftover:
+            continue
+        if leftover and not alpha_vars:
+            continue
+        for images in itertools.product(alpha_vars, repeat=len(leftover)):
+            mapping: dict[Term, Term] = dict(assignment)
+            mapping.update(dict(zip(leftover, images)))
+            gamma1 = [atom.substitute(mapping) for atom in deferred]
+            if any(
+                isinstance(term, Variable) and term not in first.uvars()
+                for atom in gamma1
+                for term in atom.variables()
+            ):
+                continue
+            delta = [atom.substitute(mapping) for atom in datalog.head]
+            new_body = _dedup_body(tuple(first.positive_body()) + tuple(gamma1))
+            new_head = _dedup_head(tuple(first.head) + tuple(delta))
+            try:
+                yield Rule(new_body, new_head, first.exist_vars)
+            except Exception:
+                continue
+
+
+@dataclass
+class _Closure:
+    rules: list[Rule] = field(default_factory=list)
+    keys: set[tuple] = field(default_factory=set)
+
+    def add(self, rule: Rule) -> bool:
+        rule = _normalize_rule(rule)
+        key = canonical_rule_key(rule)
+        if key in self.keys:
+            return False
+        self.keys.add(key)
+        self.rules.append(rule)
+        return True
+
+
+def saturate(
+    theory: Theory,
+    *,
+    max_rules: int = 50_000,
+    require_guarded: bool = True,
+    strategy: str = "goal-directed",
+) -> SaturationResult:
+    """Compute ``Ξ(Σ)`` and ``dat(Σ)`` (Definition 19).
+
+    ``strategy="goal-directed"`` (the default, and the spirit of the
+    paper's Section 9 remarks) is a consequence-based restriction of the
+    Figure 3 closure:
+
+    * rule 2 (composition) only uses an *existential* rule as first premise
+      — the head of an existential rule is the evolving description of the
+      anonymous subtree it creates, and Datalog rules are composed into it;
+    * rule 3 (variable merges) is only applied to existential rules —
+      merged instances of pure Datalog rules are subsumed at evaluation
+      time by the unmerged rule;
+    * rule 1 (projection) extracts existential-free head atoms of
+      existential rules into the Datalog pool, which feeds back as second
+      premises.
+
+    Ground-atom consequences that the chase derives through labeled nulls
+    always factor through the existential rule that created each null, so
+    the restricted closure derives the same Datalog program — this is the
+    classic consequence-driven completion scheme (cf. EL / Horn-SHIQ,
+    which the paper cites as its inspiration for Definition 19).
+
+    ``strategy="exhaustive"`` applies all three inference rules to all
+    premises (the literal Definition 19); it terminates by the same
+    counting argument but is doubly exponential in practice and only usable
+    on tiny inputs.
+
+    ``max_rules`` bounds the closure size; exceeding it raises
+    :class:`SaturationBudget`."""
+    if strategy not in ("goal-directed", "exhaustive"):
+        raise ValueError(f"unknown saturation strategy {strategy!r}")
+    if require_guarded:
+        for rule in theory:
+            if rule.has_negation():
+                raise ValueError("saturation is defined for positive rules")
+            if not is_guarded_rule(rule):
+                raise ValueError(f"rule is not guarded: {rule}")
+
+    if strategy == "exhaustive":
+        return _saturate_exhaustive(theory, max_rules)
+    return _saturate_goal_directed(theory, max_rules)
+
+
+@dataclass
+class _Context:
+    """A saturation context: one existential rule instance shape.
+
+    All Figure-3 derivation chains rooted at the same existential rule and
+    the same (possibly extended/merged) body describe the *same* canonical
+    nulls of the oblivious chase, so their head atoms hold simultaneously
+    and can be accumulated in a single monotonically growing head set."""
+
+    base: int
+    body: frozenset[Atom]
+    evars: tuple[Variable, ...]
+    head: set[Atom]
+
+    def key(self) -> tuple:
+        return (self.base, self.body, self.evars)
+
+    def to_rule(self) -> Rule:
+        return Rule(_dedup_body(self.body), _dedup_head(self.head), self.evars)
+
+
+def _saturate_goal_directed(theory: Theory, max_rules: int) -> SaturationResult:
+    datalog = _Closure()
+    contexts: dict[tuple, _Context] = {}
+
+    def add_context(
+        base: int,
+        body: frozenset[Atom],
+        evars: tuple[Variable, ...],
+        head_atoms: Iterable[Atom],
+    ) -> bool:
+        key = (base, body, evars)
+        context = contexts.get(key)
+        if context is None:
+            contexts[key] = _Context(base, body, evars, set(head_atoms))
+            if len(contexts) + len(datalog.rules) > max_rules:
+                raise SaturationBudget(f"saturation exceeded {max_rules} rules")
+            return True
+        before = len(context.head)
+        context.head |= set(head_atoms)
+        return len(context.head) != before
+
+    base_index = 0
+    for rule in theory:
+        normalized = _normalize_rule(rule)
+        if normalized.is_datalog():
+            datalog.add(normalized)
+        else:
+            add_context(
+                base_index,
+                frozenset(normalized.positive_body()),
+                normalized.exist_vars,
+                normalized.head,
+            )
+            base_index += 1
+
+    derived = 0
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        # Rule 3: merges of body variables, creating sibling contexts.
+        for context in list(contexts.values()):
+            body_vars = sorted(
+                {v for atom in context.body for v in atom.variables()},
+                key=lambda v: v.name,
+            )
+            for source, target in itertools.permutations(body_vars, 2):
+                mapping = {source: target}
+                merged_body = frozenset(
+                    atom.substitute(mapping) for atom in context.body
+                )
+                merged_head = [atom.substitute(mapping) for atom in context.head]
+                if add_context(context.base, merged_body, context.evars, merged_head):
+                    derived += 1
+                    changed = True
+        # Rule 2: compose every Datalog rule into every context head.
+        for context in list(contexts.values()):
+            premise = context.to_rule()
+            for second in list(datalog.rules):
+                for conclusion in _compose(premise, second, require_evar_contact=True):
+                    new_body = frozenset(conclusion.positive_body())
+                    if add_context(
+                        context.base, new_body, context.evars, conclusion.head
+                    ):
+                        derived += 1
+                        changed = True
+        # Rule 1: project existential-free head atoms into the Datalog pool.
+        for context in list(contexts.values()):
+            evar_set = set(context.evars)
+            body = _dedup_body(context.body)
+            for atom in context.head:
+                if atom.variables() & evar_set:
+                    continue
+                projected = Rule(body, (atom,))
+                if datalog.add(projected):
+                    derived += 1
+                    changed = True
+                    if len(contexts) + len(datalog.rules) > max_rules:
+                        raise SaturationBudget(
+                            f"saturation exceeded {max_rules} rules"
+                        )
+
+    closure_theory = Theory(
+        tuple(context.to_rule() for context in contexts.values())
+        + tuple(datalog.rules)
+    )
+    datalog_theory = Theory(datalog.rules)
+    return SaturationResult(
+        closure=closure_theory,
+        datalog=datalog_theory,
+        derived_rules=derived,
+        iterations=iterations,
+    )
+
+
+def _saturate_exhaustive(theory: Theory, max_rules: int) -> SaturationResult:
+    closure = _Closure()
+    for rule in theory:
+        closure.add(_normalize_rule(rule))
+
+    iterations = 0
+    derived = 0
+    index = 0
+    while index < len(closure.rules):
+        current = closure.rules[index]
+        index += 1
+        iterations += 1
+        new_rules: list[Rule] = []
+        new_rules.extend(_project_head(current))
+        new_rules.extend(_merge_variables(current))
+        snapshot = list(closure.rules)
+        for other in snapshot:
+            if other.is_datalog():
+                new_rules.extend(_compose(current, other))
+            if current.is_datalog():
+                new_rules.extend(_compose(other, current))
+        for rule in new_rules:
+            if closure.add(rule):
+                derived += 1
+                if len(closure.rules) > max_rules:
+                    raise SaturationBudget(f"saturation exceeded {max_rules} rules")
+
+    closure_theory = Theory(closure.rules)
+    datalog_theory = Theory(rule for rule in closure.rules if rule.is_datalog())
+    return SaturationResult(
+        closure=closure_theory,
+        datalog=datalog_theory,
+        derived_rules=derived,
+        iterations=iterations,
+    )
+
+
+def guarded_to_datalog(theory: Theory, *, max_rules: int = 50_000) -> Theory:
+    """``dat(Σ)`` for a guarded theory (Theorem 3)."""
+    return saturate(theory, max_rules=max_rules).datalog
+
+
+def nearly_guarded_to_datalog(
+    theory: Theory, *, max_rules: int = 50_000
+) -> Theory:
+    """Proposition 6: ``dat(Σg) ∪ Σd`` for a nearly guarded theory.
+
+    ``Σg`` are the guarded rules, ``Σd`` the remaining (unsafe-variable- and
+    existential-free) Datalog rules, which need no rewriting because their
+    bodies only ever match original constants."""
+    if not is_nearly_guarded(theory):
+        raise ValueError("theory is not nearly guarded")
+    guarded_part = [rule for rule in theory if is_guarded_rule(rule)]
+    datalog_part = [rule for rule in theory if not is_guarded_rule(rule)]
+    saturated = saturate(Theory(guarded_part), max_rules=max_rules)
+    return Theory(tuple(saturated.datalog.rules) + tuple(datalog_part))

@@ -1,0 +1,165 @@
+"""Selections, covered atoms and keep-sets (Definitions 7–9).
+
+A *selection* for a rule ``σ`` of a normal frontier-guarded theory ``Σ`` is
+a partial function ``µ : uvars(σ) ⇀ uvars(σ)`` with ``|ran(µ)| ≤ k``, where
+``k`` is the maximal relation arity of ``Σ``.  Its derived notions:
+
+* ``cov(σ, µ)``  — body atoms whose variables all lie in ``dom(µ)``,
+* ``keep(σ, µ)`` — the interface: ``µ(x)`` for ``x ∈ dom(µ)`` occurring in
+  ``body(σ) \\ cov(σ, µ)`` or in ``head(σ)``.
+
+In the correctness proof a selection arises from a homomorphism ``h`` of
+the rule body into a chase tree: ``dom(µ)`` is the set of variables whose
+``h``-image lies in the ≤ k terms of the deepest tree node touched, and
+``µ`` collapses variables with equal images onto ≤ k representatives.  The
+enumerator therefore produces, for every subset ``D ⊆ uvars(σ)``, every
+partition of ``D`` into at most ``k`` blocks (each block mapped to its
+lexicographically least member) — exactly the selections the proof can
+demand, up to renaming.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..core.atoms import Atom
+from ..core.rules import Rule
+from ..core.terms import Term, Variable
+
+__all__ = ["Selection", "covered_atoms", "keep_set", "enumerate_selections"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A selection ``µ`` — an immutable partial variable mapping."""
+
+    mapping: tuple[tuple[Variable, Variable], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[Variable, Variable]) -> "Selection":
+        return cls(tuple(sorted(mapping.items(), key=lambda kv: kv[0].name)))
+
+    def as_dict(self) -> dict[Variable, Variable]:
+        return dict(self.mapping)
+
+    @property
+    def domain(self) -> set[Variable]:
+        return {source for source, _ in self.mapping}
+
+    @property
+    def range(self) -> set[Variable]:
+        return {target for _, target in self.mapping}
+
+    def apply_to_atom(self, atom: Atom) -> Atom:
+        """``µ(Γ)`` on a single atom — argument *and* annotation positions
+        are substituted (annotation variables are never in the domain in
+        practice because selections range over argument variables)."""
+        return atom.substitute(self.as_dict())
+
+    def apply(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        mapping = self.as_dict()
+        return tuple(atom.substitute(mapping) for atom in atoms)
+
+    def key(self) -> tuple:
+        return tuple((s.name, t.name) for s, t in self.mapping)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{s.name}→{t.name}" for s, t in self.mapping)
+        return "{" + pairs + "}"
+
+
+def covered_atoms(rule: Rule, selection: Selection) -> tuple[Atom, ...]:
+    """``cov(σ, µ)`` — body atoms with all argument variables in dom(µ).
+
+    Annotation variables are payload and do not affect coverage."""
+    domain = selection.domain
+    return tuple(
+        atom
+        for atom in rule.positive_body()
+        if atom.argument_variables() <= domain
+    )
+
+
+def keep_set(
+    rule: Rule, selection: Selection, include_head: bool = True
+) -> tuple[Variable, ...]:
+    """``keep(σ, µ)`` as the globally fixed enumeration ``~y`` (sorted).
+
+    ``include_head=True`` is Definition 9 verbatim (the rc case, where the
+    head moves away from the covered atoms and its dom-variables must flow
+    through the interface).  For rnc rewritings the head stays with the
+    covered atoms, whose variables bind it directly; the interface then
+    carries only variables occurring in the *non-covered* part — this is
+    what the paper's Example 6 computes (``keep(σ3,µ) = {x}`` although the
+    head variable ``z`` is in ``dom(µ)``), and including head variables
+    there would force the producer's guard to cover terms that never
+    co-occur, losing completeness."""
+    covered = set(covered_atoms(rule, selection))
+    outside_vars: set[Variable] = set()
+    for atom in rule.positive_body():
+        if atom not in covered:
+            outside_vars |= atom.argument_variables()
+    if include_head:
+        for atom in rule.head:
+            outside_vars |= atom.argument_variables()
+    mapping = selection.as_dict()
+    kept = {
+        mapping[variable]
+        for variable in selection.domain
+        if variable in outside_vars
+    }
+    return tuple(sorted(kept, key=lambda v: v.name))
+
+
+def _partitions_into_blocks(
+    items: list[Variable], max_blocks: int
+) -> Iterator[list[list[Variable]]]:
+    """All set partitions of ``items`` into at most ``max_blocks`` blocks."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions_into_blocks(rest, max_blocks):
+        for index in range(len(partition)):
+            updated = [list(block) for block in partition]
+            updated[index].append(first)
+            yield updated
+        if len(partition) < max_blocks:
+            yield [[first]] + [list(block) for block in partition]
+
+
+def enumerate_selections(
+    rule: Rule,
+    max_range: int,
+    *,
+    max_domain: int | None = None,
+) -> Iterator[Selection]:
+    """Enumerate the selections the completeness proof can require.
+
+    For every non-empty subset ``D`` of the rule's argument variables and
+    every partition of ``D`` into ≤ ``max_range`` blocks, yield the
+    selection mapping each variable to its block's least-named member.
+    ``max_domain`` optionally bounds ``|D|`` (a practical safety valve —
+    the proof only needs domains of variables mapped into one ≤ k-term
+    node and the atoms around it)."""
+    argument_vars = sorted(
+        {
+            variable
+            for atom in rule.positive_body()
+            for variable in atom.argument_variables()
+        },
+        key=lambda v: v.name,
+    )
+    for size in range(1, len(argument_vars) + 1):
+        if max_domain is not None and size > max_domain:
+            break
+        for subset in itertools.combinations(argument_vars, size):
+            for partition in _partitions_into_blocks(list(subset), max_range):
+                mapping: dict[Variable, Variable] = {}
+                for block in partition:
+                    representative = min(block, key=lambda v: v.name)
+                    for variable in block:
+                        mapping[variable] = representative
+                yield Selection.from_dict(mapping)

@@ -1,0 +1,134 @@
+"""Tests for the WFG→WG translation (Definitions 16–18, Theorem 2)."""
+
+import pytest
+
+from repro.core import Query, parse_database, parse_theory
+from repro.core.atoms import Atom
+from repro.core.terms import Constant
+from repro.chase import ChaseBudget, answers_in, certain_answers, chase
+from repro.guardedness import is_frontier_guarded, is_weakly_guarded, normalize
+from repro.translate import (
+    annotate_database,
+    annotate_theory,
+    deannotate_theory,
+    rewrite_weakly_frontier_guarded,
+)
+
+WG_THEORY = parse_theory(
+    """
+    E(x,y) -> T(x,y)
+    E(x,y), T(y,z) -> T(x,z)
+    T(x,y) -> exists w. M(y, w)
+    M(y,w), T(x,y) -> Reach(x)
+    """
+)
+
+
+class TestAnnotation:
+    def test_datalog_theory_fully_annotated(self):
+        theory = parse_theory("E(x,y), T(y,z) -> T(x,z)")
+        annotated = annotate_theory(theory)
+        for rule in annotated:
+            for atom in list(rule.positive_body()) + list(rule.head):
+                assert atom.args == ()  # no affected positions at all
+
+    def test_affected_prefix_stays_argument(self):
+        theory = parse_theory("P(x) -> exists y. M(y, x)")
+        annotated = annotate_theory(theory)
+        fire = [r for r in annotated if r.exist_vars][0]
+        head = fire.head[0]
+        assert len(head.args) == 1  # (M,0) affected
+        assert len(head.annotation) == 1  # (M,1) payload
+
+    def test_annotated_theory_is_frontier_guarded(self):
+        normal = normalize(WG_THEORY).theory
+        from repro.guardedness.affected import coherent_affected_positions
+        from repro.guardedness.proper import make_proper
+
+        ap = coherent_affected_positions(normal)
+        proper = make_proper(normal, ap)
+        annotated = annotate_theory(proper.theory)
+        assert is_frontier_guarded(annotated)
+
+    def test_deannotation_round_trip(self):
+        theory = parse_theory("P(x) -> exists y. M(y, x)")
+        annotated = annotate_theory(theory)
+        restored = deannotate_theory(annotated)
+        # a⁻ puts annotation terms back as trailing arguments; for a proper
+        # theory that is the original argument order
+        assert restored == theory
+
+    def test_annotate_database_consistent_with_theory(self):
+        theory = parse_theory("P(x) -> exists y. M(y, x)")
+        db = parse_database("M(a, b). P(c).")
+        annotated = annotate_database(db, theory)
+        atoms = {str(atom) for atom in annotated}
+        assert "M[b](a)" in atoms
+
+
+class TestTheorem2:
+    def test_output_weakly_guarded(self):
+        rewriting = rewrite_weakly_frontier_guarded(WG_THEORY, max_rules=100_000)
+        assert is_weakly_guarded(rewriting.theory)
+
+    def test_answers_preserved_reach(self):
+        rewriting = rewrite_weakly_frontier_guarded(WG_THEORY, max_rules=100_000)
+        db = parse_database("E(a,b). E(b,c).")
+        prepared = rewriting.prepare_database(db)
+        direct = certain_answers(
+            Query(WG_THEORY, "Reach"), db, budget=ChaseBudget(max_steps=20_000)
+        )
+        translated_raw = certain_answers(
+            Query(rewriting.theory, "Reach"),
+            prepared,
+            budget=ChaseBudget(max_steps=500_000),
+        )
+        translated = {
+            rewriting.restore_answer("Reach", answer) for answer in translated_raw
+        }
+        assert direct == translated
+        assert {t[0].name for t in direct} == {"a", "b"}
+
+    def test_position_restoration(self):
+        theory = parse_theory(
+            """
+            P(x) -> exists y. M(x, y)
+            M(x,y), Q(x) -> Out(x, y)
+            """
+        )
+        rewriting = rewrite_weakly_frontier_guarded(theory)
+        # M has its affected position second → properization permutes
+        atom = Atom("M", (Constant("a"), Constant("b")))
+        permuted = rewriting.proper_form.apply_to_atom(atom)
+        assert rewriting.proper_form.undo_on_atom(permuted) == atom
+
+    def test_datalog_theory_passes_through(self):
+        theory = parse_theory("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)")
+        rewriting = rewrite_weakly_frontier_guarded(theory)
+        db = parse_database("E(a,b). E(b,c). E(c,d).")
+        prepared = rewriting.prepare_database(db)
+        translated = certain_answers(
+            Query(rewriting.theory, "T"),
+            prepared,
+            budget=ChaseBudget(max_steps=200_000),
+        )
+        restored = {rewriting.restore_answer("T", t) for t in translated}
+        direct = certain_answers(Query(theory, "T"), db)
+        assert restored == direct
+
+    def test_rejects_non_wfg(self):
+        theory = parse_theory(
+            """
+            Start(x) -> exists y. R(x, y)
+            R(x,y) -> exists z. R(y, z)
+            R(x,y), R(y,z) -> exists w. Two(x, z, w)
+            """
+        )
+        with pytest.raises(ValueError):
+            rewrite_weakly_frontier_guarded(theory)
+
+    def test_wg_input_already_wg_output(self):
+        """Weakly guarded theories are weakly frontier-guarded; translating
+        them returns a weakly guarded theory (possibly restructured)."""
+        rewriting = rewrite_weakly_frontier_guarded(WG_THEORY)
+        assert is_weakly_guarded(rewriting.theory)

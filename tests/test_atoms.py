@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core.atoms import Atom, NegatedAtom
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+N = Null("n0")
+
+
+class TestConstruction:
+    def test_simple_atom(self):
+        atom = Atom("R", (X, A))
+        assert atom.relation == "R"
+        assert atom.arity == 2
+
+    def test_zero_ary_atom(self):
+        atom = Atom("Q", ())
+        assert atom.arity == 0
+        assert atom.is_ground()
+
+    def test_annotated_atom(self):
+        atom = Atom("R", (X,), (Y, Z))
+        assert atom.annotation == (Y, Z)
+        assert atom.relation_key == ("R", 1, 2)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("R", ("a",))  # type: ignore[arg-type]
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(ValueError):
+            Atom("", (X,))
+
+
+class TestAccessors:
+    def test_terms_includes_annotation(self):
+        atom = Atom("R", (X, A), (N,))
+        assert atom.terms() == {X, A, N}
+
+    def test_variables(self):
+        assert Atom("R", (X, A), (Y,)).variables() == {X, Y}
+
+    def test_argument_vs_annotation_variables(self):
+        atom = Atom("R", (X, A), (Y,))
+        assert atom.argument_variables() == {X}
+        assert atom.annotation_variables() == {Y}
+
+    def test_constants_and_nulls(self):
+        atom = Atom("R", (A, N), (B,))
+        assert atom.constants() == {A, B}
+        assert atom.nulls() == {N}
+
+    def test_groundness(self):
+        assert Atom("R", (A, N)).is_ground()
+        assert not Atom("R", (A, X)).is_ground()
+
+    def test_relation_key_distinguishes_annotation_arity(self):
+        assert Atom("R", (A,)).relation_key != Atom("R", (A,), (B,)).relation_key
+
+
+class TestSubstitution:
+    def test_substitute_arguments(self):
+        atom = Atom("R", (X, Y)).substitute({X: A})
+        assert atom == Atom("R", (A, Y))
+
+    def test_substitute_annotation(self):
+        atom = Atom("R", (X,), (Y,)).substitute({Y: B})
+        assert atom == Atom("R", (X,), (B,))
+
+    def test_substitute_leaves_unmapped(self):
+        atom = Atom("R", (X, Y)).substitute({Z: A})
+        assert atom == Atom("R", (X, Y))
+
+    def test_rename_relation(self):
+        assert Atom("R", (X,)).rename_relation("S") == Atom("S", (X,))
+
+    def test_without_annotation(self):
+        assert Atom("R", (X,), (Y,)).without_annotation() == Atom("R", (X,))
+
+
+class TestRendering:
+    def test_plain(self):
+        assert str(Atom("R", (X, A))) == "R(?x, a)"
+
+    def test_annotated(self):
+        assert str(Atom("R", (X,), (A,))) == "R[a](?x)"
+
+    def test_zero_ary(self):
+        assert str(Atom("Q", ())) == "Q()"
+
+
+class TestNegatedAtom:
+    def test_wraps_atom(self):
+        negated = NegatedAtom(Atom("R", (X,)))
+        assert negated.relation == "R"
+        assert negated.variables() == {X}
+
+    def test_substitute(self):
+        negated = NegatedAtom(Atom("R", (X,))).substitute({X: A})
+        assert negated.atom == Atom("R", (A,))
+
+    def test_str(self):
+        assert str(NegatedAtom(Atom("R", (X,)))) == "not R(?x)"
+
+    def test_hashable(self):
+        assert len({NegatedAtom(Atom("R", (X,))), NegatedAtom(Atom("R", (X,)))}) == 1
+
+
+class TestOrdering:
+    def test_sort_by_relation_then_args(self):
+        atoms = [Atom("S", (A,)), Atom("R", (B,)), Atom("R", (A,))]
+        assert sorted(atoms) == [Atom("R", (A,)), Atom("R", (B,)), Atom("S", (A,))]

@@ -1,0 +1,293 @@
+"""Tests for the Section 8 capture machinery (Theorems 4 and 5)."""
+
+import math
+
+import pytest
+
+from repro.core import Atom, Constant, Theory, parse_database
+from repro.chase import ChaseBudget, answers_in
+from repro.datalog import evaluate, is_semipositive, is_stratified
+from repro.guardedness import is_weakly_guarded
+from repro.capture import (
+    BLANK,
+    CodeSignature,
+    StringSignature,
+    Transition,
+    TuringMachine,
+    accepts,
+    coded_string_signature,
+    compile_machine,
+    compile_polytime_machine,
+    decode_word,
+    domain_size_is_even,
+    encode_word,
+    good_orderings,
+    is_string_database,
+    lex_tuple_order_rules,
+    machine_accepts_via_chase,
+    polytime_accepts,
+    run_deterministic,
+    sigma_code,
+    sigma_succ,
+)
+
+
+def parity_machine() -> TuringMachine:
+    """Accepts words with an odd number of '1's."""
+    return TuringMachine(
+        states=("e", "o", "qa", "qr"),
+        alphabet=("0", "1", BLANK),
+        initial_state="e",
+        kinds={"e": "exists", "o": "exists", "qa": "accept", "qr": "reject"},
+        delta={
+            ("e", "1"): (Transition("o", "1", 1),),
+            ("e", "0"): (Transition("e", "0", 1),),
+            ("o", "1"): (Transition("e", "1", 1),),
+            ("o", "0"): (Transition("o", "0", 1),),
+            ("o", BLANK): (Transition("qa", BLANK, 0),),
+            ("e", BLANK): (Transition("qr", BLANK, 0),),
+        },
+    )
+
+
+def first_and_second_one() -> TuringMachine:
+    """Universal branching: accepts iff positions 0 and 1 both hold '1'."""
+    return TuringMachine(
+        states=("q0", "chk1", "chk2", "qa", "qr"),
+        alphabet=("0", "1", BLANK),
+        initial_state="q0",
+        kinds={
+            "q0": "forall",
+            "chk1": "exists",
+            "chk2": "exists",
+            "qa": "accept",
+            "qr": "reject",
+        },
+        delta={
+            ("q0", "0"): (Transition("chk1", "0", 0), Transition("chk2", "0", 1)),
+            ("q0", "1"): (Transition("chk1", "1", 0), Transition("chk2", "1", 1)),
+            ("chk1", "1"): (Transition("qa", "1", 0),),
+            ("chk1", "0"): (Transition("qr", "0", 0),),
+            ("chk2", "1"): (Transition("qa", "1", 0),),
+            ("chk2", "0"): (Transition("qr", "0", 0),),
+        },
+    )
+
+
+SIG = StringSignature(1, ("0", "1"))
+
+
+class TestTuringMachines:
+    def test_deterministic_run(self):
+        accepted, steps = run_deterministic(parity_machine(), "111", 5)
+        assert accepted and steps > 0
+
+    def test_alternating_acceptance(self):
+        machine = first_and_second_one()
+        assert accepts(machine, "11", 3)
+        assert not accepts(machine, "10", 3)
+
+    def test_dtm_and_atm_agree_on_deterministic(self):
+        machine = parity_machine()
+        for word in ("", "1", "01", "111"):
+            direct, _ = run_deterministic(machine, word, len(word) + 2)
+            assert direct == accepts(machine, word, len(word) + 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states=("a",),
+                alphabet=("0",),
+                initial_state="missing",
+                kinds={"a": "exists"},
+            )
+
+    def test_move_off_tape_halts(self):
+        machine = TuringMachine(
+            states=("q", "qa"),
+            alphabet=("0", BLANK),
+            initial_state="q",
+            kinds={"q": "exists", "qa": "accept"},
+            delta={("q", "0"): (Transition("q", "0", -1),)},
+        )
+        accepted, _ = run_deterministic(machine, "0", 1)
+        assert not accepted
+
+
+class TestStringDatabases:
+    def test_round_trip(self):
+        db = encode_word(list("0110"), SIG)
+        assert decode_word(db, SIG) == list("0110")
+
+    def test_padding(self):
+        db = encode_word(list("01"), SIG, domain_size=3)
+        raw = decode_word(db, SIG, strip_pad=False)
+        assert len(raw) == 3 and raw[2] == "Pad"
+
+    def test_is_string_database(self):
+        db = encode_word(list("01"), SIG)
+        assert is_string_database(db, SIG)
+
+    def test_broken_database_detected(self):
+        db = encode_word(list("01"), SIG)
+        broken = parse_database("First(d0).")
+        assert not is_string_database(broken, SIG)
+
+    def test_degree_two(self):
+        sig2 = StringSignature(2, ("0", "1"))
+        db = encode_word(list("0101"), sig2, domain_size=2)
+        assert decode_word(db, sig2, strip_pad=False) == list("0101")
+        assert is_string_database(db, sig2)
+
+
+class TestTheorem4:
+    def test_compiled_theory_weakly_guarded(self):
+        compiled = compile_machine(parity_machine(), SIG)
+        assert is_weakly_guarded(compiled.theory)
+
+    @pytest.mark.parametrize("word", ["1", "11", "0101", "10101"])
+    def test_dtm_agreement(self, word):
+        compiled = compile_machine(parity_machine(), SIG)
+        db = encode_word(list(word), SIG, domain_size=len(word) + 2)
+        expected, _ = run_deterministic(
+            parity_machine(), list(word), len(word) + 2
+        )
+        assert machine_accepts_via_chase(compiled, db) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("11", True), ("10", False), ("01", False), ("110", True)],
+    )
+    def test_atm_agreement(self, word, expected):
+        compiled = compile_machine(first_and_second_one(), SIG)
+        db = encode_word(list(word), SIG, domain_size=len(word) + 1)
+        assert machine_accepts_via_chase(compiled, db) == expected
+        assert accepts(first_and_second_one(), list(word), len(word) + 1) == expected
+
+    def test_rejects_foreign_symbols(self):
+        with pytest.raises(ValueError):
+            compile_machine(parity_machine(), StringSignature(1, ("2",)))
+
+
+class TestPolytimeCapture:
+    def test_positive_datalog(self):
+        compiled = compile_polytime_machine(parity_machine(), SIG)
+        assert compiled.theory.is_datalog()
+        assert not compiled.theory.has_negation()
+
+    @pytest.mark.parametrize("word", ["1", "10", "0101", "111"])
+    def test_agreement(self, word):
+        compiled = compile_polytime_machine(parity_machine(), SIG)
+        db = encode_word(list(word), SIG, domain_size=len(word) + 2)
+        expected, _ = run_deterministic(
+            parity_machine(), list(word), len(word) + 2
+        )
+        assert polytime_accepts(compiled, db) == expected
+
+    def test_requires_deterministic(self):
+        with pytest.raises(ValueError):
+            compile_polytime_machine(first_and_second_one(), SIG)
+
+
+class TestSigmaSucc:
+    def test_classification(self):
+        theory = sigma_succ()
+        assert is_stratified(theory)
+        assert is_weakly_guarded(theory)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_all_orderings_generated(self, n):
+        db = parse_database(" ".join(f"R(c{i})." for i in range(n)))
+        _, orders = good_orderings(db)
+        distinct = {tuple(c.name for c in seq) for seq in orders.values()}
+        assert len(distinct) == math.factorial(n)
+        assert all(len(seq) == n for seq in distinct)
+
+    def test_orderings_are_permutations(self):
+        db = parse_database("R(c0). R(c1). R(c2).")
+        _, orders = good_orderings(db)
+        domain = {f"c{i}" for i in range(3)}
+        for seq in orders.values():
+            assert {c.name for c in seq} == domain
+
+
+class TestTheorem5Parity:
+    @pytest.mark.parametrize("n,even", [(2, True), (3, False), (4, True)])
+    def test_domain_parity(self, n, even):
+        db = parse_database(" ".join(f"R(c{i})." for i in range(n)))
+        assert domain_size_is_even(db) == even
+
+    def test_theory_is_stratified_weakly_guarded(self):
+        from repro.capture.generic import domain_parity_theory
+
+        theory = domain_parity_theory()
+        assert is_stratified(theory)
+        assert is_weakly_guarded(theory)
+
+
+class TestLexOrderAndCoding:
+    def test_lex_order_k2_matches_product_order(self):
+        import itertools
+
+        rules = lex_tuple_order_rules(2)
+        db = parse_database(
+            "Succ1(a,b). Succ1(b,c). Min1(a). Max1(c). Dom(a). Dom(b). Dom(c)."
+        )
+        fixpoint = evaluate(rules, db)
+        names = ["a", "b", "c"]
+        expected_pairs = list(itertools.product(names, repeat=2))
+        nexts = answers_in(fixpoint, "Next")
+        assert len(nexts) == len(expected_pairs) - 1
+        chain = {tuple(c.name for c in t[:2]): tuple(c.name for c in t[2:]) for t in nexts}
+        walk = [("a", "a")]
+        while walk[-1] in chain:
+            walk.append(chain[walk[-1]])
+        assert walk == expected_pairs
+
+    def test_sigma_code_semipositive(self):
+        code = sigma_code(CodeSignature(("Edge",), 2))
+        assert is_semipositive(code)
+
+    def test_sigma_code_output_is_string_database(self):
+        signature = CodeSignature(("Edge",), 2)
+        code = sigma_code(signature)
+        db = parse_database(
+            "Edge(a,b). Succ1(a,b). Min1(a). Max1(b)."
+        )
+        fixpoint = evaluate(code, db)
+        string_sig = coded_string_signature(signature)
+        relevant = fixpoint.restrict_to_relations(
+            {"First", "Last", "Next"} | set(string_sig.symbols)
+        )
+        assert is_string_database(relevant, string_sig)
+        word = decode_word(relevant, string_sig, strip_pad=False)
+        # tuples (a,a),(a,b),(b,a),(b,b): Edge only on (a,b)
+        assert word == ["CSym_0", "CSym_1", "CSym_0", "CSym_0"]
+
+
+class TestEndToEndOrderedCapture:
+    def test_code_then_simulate(self):
+        """Σcode ∘ PTime machine: decide a property of an ordered database
+        entirely inside semipositive Datalog (the Section 8 sketch)."""
+        signature = CodeSignature(("Edge",), 2)
+        string_sig = coded_string_signature(signature)
+        # machine over the coded alphabet: accept iff some CSym_1 occurs
+        machine = TuringMachine(
+            states=("scan", "qa", "qr"),
+            alphabet=string_sig.with_pad().symbols + (BLANK,),
+            initial_state="scan",
+            kinds={"scan": "exists", "qa": "accept", "qr": "reject"},
+            delta={
+                ("scan", "CSym_1"): (Transition("qa", "CSym_1", 0),),
+                ("scan", "CSym_0"): (Transition("scan", "CSym_0", 1),),
+                ("scan", "Pad"): (Transition("qr", "Pad", 0),),
+                ("scan", BLANK): (Transition("qr", BLANK, 0),),
+            },
+        )
+        code = sigma_code(signature)
+        simulator = compile_polytime_machine(machine, string_sig)
+        combined = Theory(tuple(code.rules) + tuple(simulator.theory.rules))
+        with_edge = parse_database("Edge(a,b). Succ1(a,b). Min1(a). Max1(b).")
+        without_edge = parse_database("E0(a). E0(b). Succ1(a,b). Min1(a). Max1(b).")
+        assert Atom(simulator.output, ()) in evaluate(combined, with_edge)
+        assert Atom(simulator.output, ()) not in evaluate(combined, without_edge)

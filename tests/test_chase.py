@@ -1,0 +1,203 @@
+"""Tests for the chase engine (Section 2 semantics)."""
+
+import pytest
+
+from repro.core import Atom, Constant, Query, parse_database, parse_rule, parse_theory
+from repro.core.homomorphism import database_homomorphism, satisfies_rule
+from repro.chase import (
+    OBLIVIOUS,
+    RESTRICTED,
+    ChaseBudget,
+    answers_in,
+    certain_answers,
+    chase,
+    entails,
+)
+
+PUBLICATION_THEORY = """
+Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+Keywords(x, k1, k2) -> hasTopic(x, k1)
+hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), Scientific(z2), citedIn(y,x) -> Scientific(z)
+hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)
+"""
+
+PUBLICATION_DATA = (
+    "Publication(p1). Publication(p2). citedIn(p1,p2). hasAuthor(p1,a1). "
+    "hasAuthor(p2,a1). hasAuthor(p2,a2). hasTopic(p1,t1). Scientific(t1)."
+)
+
+
+class TestBasicChase:
+    def test_datalog_fixpoint(self):
+        theory = parse_theory("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)")
+        db = parse_database("E(a,b). E(b,c). E(c,d).")
+        result = chase(theory, db)
+        assert result.complete
+        assert Atom("T", (Constant("a"), Constant("d"))) in result.database
+
+    def test_existential_creates_nulls(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)")
+        db = parse_database("P(a). P(b).")
+        result = chase(theory, db)
+        assert result.nulls_created == 2
+        assert len(result.database.nulls()) == 2
+
+    def test_facts_fire_once(self):
+        theory = parse_theory('-> R("c")')
+        result = chase(theory, parse_database("S(a)."))
+        assert Atom("R", (Constant("c"),)) in result.database
+        assert result.steps == 1
+
+    def test_empty_theory(self):
+        db = parse_database("R(a).")
+        result = chase(parse_theory(""), db)
+        assert result.complete and len(result.database) == 1
+
+    def test_result_is_solution(self):
+        """The chase result satisfies every rule (it is a model)."""
+        theory = parse_theory(PUBLICATION_THEORY)
+        db = parse_database(PUBLICATION_DATA)
+        result = chase(theory, db)
+        assert result.complete
+        for rule in theory:
+            assert satisfies_rule(result.database, rule)
+
+    def test_input_database_not_mutated(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)")
+        db = parse_database("P(a).")
+        chase(theory, db)
+        assert len(db) == 1
+
+    def test_negation_rejected_without_flag(self):
+        theory = parse_theory("P(x), not Q(x) -> R(x)")
+        with pytest.raises(ValueError):
+            chase(theory, parse_database("P(a)."))
+
+
+class TestOblivousVsRestricted:
+    def test_restricted_smaller(self):
+        # head already satisfied: restricted skips, oblivious fires
+        theory = parse_theory("P(x) -> exists y. R(x,y)")
+        db = parse_database("P(a). R(a, b).")
+        oblivious = chase(theory, db, policy=OBLIVIOUS)
+        restricted = chase(theory, db, policy=RESTRICTED)
+        assert oblivious.nulls_created == 1
+        assert restricted.nulls_created == 0
+
+    def test_same_certain_answers(self):
+        theory = parse_theory(PUBLICATION_THEORY)
+        db = parse_database(PUBLICATION_DATA)
+        left = chase(theory, db, policy=OBLIVIOUS)
+        right = chase(theory, db, policy=RESTRICTED)
+        assert left.database.ground_atoms() >= right.database.ground_atoms()
+        assert answers_in(left.database, "Q") == answers_in(right.database, "Q")
+
+    def test_homomorphic_equivalence_of_policies(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)\nR(x,y) -> S(y)")
+        db = parse_database("P(a).")
+        left = chase(theory, db, policy=OBLIVIOUS).database
+        right = chase(theory, db, policy=RESTRICTED).database
+        assert database_homomorphism(right, left) is not None
+        assert database_homomorphism(left, right) is not None
+
+
+class TestUniversality:
+    def test_chase_maps_into_any_solution(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)\nR(x,y) -> S(y)")
+        db = parse_database("P(a).")
+        result = chase(theory, db)
+        solution = parse_database("P(a). R(a,w). S(w). Extra(q).")
+        assert database_homomorphism(result.database, solution) is not None
+
+
+class TestBudgets:
+    def test_infinite_chase_truncated_by_steps(self):
+        theory = parse_theory("P(x) -> exists y. P2(x,y)\nP2(x,y) -> exists z. P2(y,z)")
+        db = parse_database("P(a).")
+        result = chase(theory, db, budget=ChaseBudget(max_steps=50))
+        assert not result.complete
+        assert result.truncated_reason == "max_steps"
+
+    def test_max_depth_truncates(self):
+        theory = parse_theory("P(x) -> exists y. P(y)")
+        db = parse_database("P(a).")
+        result = chase(theory, db, budget=ChaseBudget(max_depth=3))
+        assert not result.complete
+        assert result.truncated_reason == "max_depth"
+        assert max(result.null_depths.values()) <= 3
+
+    def test_max_nulls(self):
+        theory = parse_theory("P(x) -> exists y. P(y)")
+        result = chase(
+            theory, parse_database("P(a)."), budget=ChaseBudget(max_nulls=5)
+        )
+        assert result.truncated_reason == "max_nulls"
+
+    def test_null_depth_tracking(self):
+        theory = parse_theory("P(x) -> exists y. Q(y)\nQ(x) -> exists y. S(y)")
+        result = chase(theory, parse_database("P(a)."))
+        depths = sorted(result.null_depths.values())
+        assert depths == [1, 2]
+
+
+class TestEntailmentAndAnswers:
+    def test_publication_example(self):
+        """Example 1/2: Σp, D |= Q(a1) and Q(a2)."""
+        theory = parse_theory(PUBLICATION_THEORY)
+        db = parse_database(PUBLICATION_DATA)
+        answers = certain_answers(Query(theory, "Q"), db)
+        assert {t[0].name for t in answers} == {"a1", "a2"}
+
+    def test_entails_positive(self):
+        theory = parse_theory("E(x,y) -> T(x,y)")
+        db = parse_database("E(a,b).")
+        assert entails(theory, db, Atom("T", (Constant("a"), Constant("b"))))
+
+    def test_entails_negative(self):
+        theory = parse_theory("E(x,y) -> T(x,y)")
+        db = parse_database("E(a,b).")
+        assert not entails(theory, db, Atom("T", (Constant("b"), Constant("a"))))
+
+    def test_entails_requires_ground(self):
+        theory = parse_theory("E(x,y) -> T(x,y)")
+        with pytest.raises(ValueError):
+            entails(theory, parse_database("E(a,b)."), parse_rule("-> T(x,x)").head[0])
+
+    def test_entails_raises_on_truncation_when_unknown(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x,y)\nR(x,y) -> exists z. R(y,z)"
+        )
+        db = parse_database("P(a).")
+        with pytest.raises(RuntimeError):
+            entails(
+                theory,
+                db,
+                Atom("Z", (Constant("a"),)),
+                budget=ChaseBudget(max_steps=5),
+            )
+
+    def test_answers_exclude_null_tuples(self):
+        theory = parse_theory("P(x) -> exists y. Q(y)")
+        db = parse_database("P(a).")
+        assert certain_answers(Query(theory, "Q"), db) == set()
+
+    def test_answers_in_zero_ary(self):
+        db = parse_database("Flag().")
+        assert answers_in(db, "Flag") == {()}
+
+
+class TestACDomInChase:
+    def test_acdom_restricts_to_input_constants(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x,y)\nR(x,y), ACDom(y) -> Picked(y)"
+        )
+        db = parse_database("P(a). R(a, b).")
+        result = chase(theory, db)
+        picked = answers_in(result.database, "Picked")
+        # only the input constant b qualifies; the invented null does not
+        assert picked == {(Constant("b"),)}
+
+    def test_theory_constants_not_in_acdom(self):
+        theory = parse_theory('-> P("c")\nP(x), ACDom(x) -> Q(x)')
+        result = chase(theory, parse_database("R(a)."))
+        assert answers_in(result.database, "Q") == set()

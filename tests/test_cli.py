@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    theory = tmp_path / "theory.rules"
+    theory.write_text(
+        "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)\n"
+    )
+    existential = tmp_path / "existential.rules"
+    existential.write_text("P(x) -> exists y. R(x,y)\n")
+    data = tmp_path / "data.db"
+    data.write_text("E(a,b). E(b,c). P(a).\n")
+    return theory, existential, data
+
+
+class TestClassify:
+    def test_classify_output(self, workspace, capsys):
+        theory, _, _ = workspace
+        assert main(["classify", str(theory)]) == 0
+        out = capsys.readouterr().out
+        assert "datalog" in out and "nearly-guarded" in out
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["classify", str(tmp_path / "nope.rules")])
+
+
+class TestChase:
+    def test_chase_prints_atoms(self, workspace, capsys):
+        theory, _, data = workspace
+        assert main(["chase", str(theory), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "T(a, c)" in out
+        assert "# chase complete" in out
+
+    def test_truncation_exit_code(self, workspace, capsys, tmp_path):
+        bad = tmp_path / "loop.rules"
+        bad.write_text("E(x,y) -> exists z. E(y,z)\n")
+        data = tmp_path / "d.db"
+        data.write_text("E(a,b).\n")
+        assert main(["chase", str(bad), str(data), "--max-steps", "5"]) == 1
+
+
+class TestAnswer:
+    def test_answer_datalog(self, workspace, capsys):
+        theory, _, data = workspace
+        assert main(["answer", str(theory), str(data), "--output", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "(a, c)" in out
+
+    def test_answer_empty_for_null_only_relation(self, workspace, capsys):
+        _, existential, data = workspace
+        assert main(["answer", str(existential), str(data), "--output", "R"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
+class TestTranslate:
+    def test_translate_guarded_to_datalog(self, workspace, capsys, tmp_path):
+        rules = tmp_path / "g.rules"
+        rules.write_text(
+            "A(x) -> exists y. R(x,y)\nR(x,y) -> S(x)\n"
+        )
+        assert main(["translate", str(rules), "--target", "datalog"]) == 0
+        out = capsys.readouterr().out
+        assert "S(" in out  # the projected rule A(x) -> S(x)
+
+    def test_translate_to_nearly_guarded(self, workspace, capsys):
+        theory, _, _ = workspace
+        # Datalog TC is not FG → nearly-guarded target requires FG; use an
+        # FG theory instead
+        return
+
+    def test_translate_fg(self, tmp_path, capsys):
+        rules = tmp_path / "fg.rules"
+        rules.write_text(
+            "R(x,y), R(y,z) -> P(y)\nS(x,y,w) -> exists v. R(x,v)\n"
+        )
+        assert main(["translate", str(rules), "--target", "nearly-guarded"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+
+class TestTermination:
+    def test_terminating(self, workspace, capsys):
+        _, existential, _ = workspace
+        assert main(["termination", str(existential)]) == 0
+        assert "weakly-acyclic" in capsys.readouterr().out
+
+    def test_unknown(self, tmp_path, capsys):
+        rules = tmp_path / "loop.rules"
+        rules.write_text("E(x,y) -> exists z. E(y,z)\n")
+        assert main(["termination", str(rules)]) == 1
+        assert "unknown" in capsys.readouterr().out

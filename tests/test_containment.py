@@ -1,0 +1,97 @@
+"""Tests for CQ containment, equivalence and minimization."""
+
+import pytest
+
+from repro.core import Atom, Variable
+from repro.queries import (
+    ConjunctiveQuery,
+    canonical_database,
+    cq_contained_in,
+    cq_equivalent,
+    minimize_cq,
+)
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def cq(answer, *atoms):
+    return ConjunctiveQuery(tuple(answer), tuple(atoms))
+
+
+class TestCanonicalDatabase:
+    def test_variables_become_nulls(self):
+        query = cq([X], Atom("R", (X, Y)))
+        db, frozen = canonical_database(query)
+        assert len(db) == 1
+        assert len(db.nulls()) == 2
+        assert set(frozen) == {X, Y}
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        """path3(x,w) ⊆ path-ish pattern with fewer constraints."""
+        path2 = cq([X, Z], Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        edge = cq([X, Z], Atom("E", (X, Y)), Atom("E", (W, Z)))
+        # path2 requires a connected 2-path; `edge` only requires an
+        # outgoing and an incoming edge — weaker, so path2 ⊆ edge
+        assert cq_contained_in(path2, edge)
+        assert not cq_contained_in(edge, path2)
+
+    def test_self_containment(self):
+        query = cq([X], Atom("R", (X, Y)), Atom("S", (Y,)))
+        assert cq_contained_in(query, query)
+
+    def test_repeated_answer_variable(self):
+        diagonal = cq([X, X], Atom("E", (X, X)))
+        general = cq([X, Y], Atom("E", (X, Y)))
+        assert cq_contained_in(diagonal, general)
+        assert not cq_contained_in(general, diagonal)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cq_contained_in(cq([X], Atom("R", (X,))), cq([], Atom("R", (X,))))
+
+    def test_boolean_queries(self):
+        some_edge = cq([], Atom("E", (X, Y)))
+        some_loop = cq([], Atom("E", (X, X)))
+        assert cq_contained_in(some_loop, some_edge)
+        assert not cq_contained_in(some_edge, some_loop)
+
+
+class TestEquivalence:
+    def test_redundant_atom(self):
+        lean = cq([X], Atom("E", (X, Y)))
+        redundant = cq([X], Atom("E", (X, Y)), Atom("E", (X, Z)))
+        assert cq_equivalent(lean, redundant)
+
+    def test_not_equivalent(self):
+        one = cq([X], Atom("E", (X, Y)))
+        two = cq([X], Atom("E", (Y, X)))
+        assert not cq_equivalent(one, two)
+
+
+class TestMinimization:
+    def test_drops_redundant_atoms(self):
+        redundant = cq([X], Atom("E", (X, Y)), Atom("E", (X, Z)))
+        minimal = minimize_cq(redundant)
+        assert len(minimal.atoms) == 1
+        assert cq_equivalent(redundant, minimal)
+
+    def test_keeps_necessary_atoms(self):
+        path = cq([X, Z], Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        assert len(minimize_cq(path).atoms) == 2
+
+    def test_triangle_core(self):
+        """A 6-cycle Boolean query folds onto a 2-cycle… only when the
+        pattern is actually foldable; a plain cycle of even length folds
+        onto an edge-pair pattern."""
+        cycle4 = cq(
+            [],
+            Atom("E", (X, Y)),
+            Atom("E", (Y, Z)),
+            Atom("E", (Z, W)),
+            Atom("E", (W, X)),
+        )
+        minimal = minimize_cq(cycle4)
+        assert cq_equivalent(cycle4, minimal)
+        assert len(minimal.atoms) <= 4

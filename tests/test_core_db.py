@@ -1,0 +1,97 @@
+"""Tests for database cores."""
+
+import random
+
+from repro.core import parse_database, parse_theory
+from repro.core.homomorphism import databases_homomorphically_equivalent
+from repro.chase import ChaseBudget, chase, core_of, cores_isomorphic, is_core
+from repro.bench.generators import (
+    random_database,
+    random_guarded_theory,
+    random_signature,
+)
+
+
+class TestCoreOf:
+    def test_redundant_nulls_folded(self):
+        db = parse_database("R(a,_:n1). R(a,_:n2). R(a,b).")
+        core = core_of(db)
+        assert len(core) == 1
+        assert not core.nulls()
+
+    def test_ground_database_is_its_own_core(self):
+        db = parse_database("R(a,b). S(c).")
+        assert core_of(db) == db
+
+    def test_essential_null_kept(self):
+        db = parse_database("R(a,_:n1). S(_:n1).")
+        core = core_of(db)
+        assert len(core.nulls()) == 1
+
+    def test_two_equivalent_nulls_folded_to_one(self):
+        db = parse_database("R(a,_:n1). S(_:n1). R(a,_:n2). S(_:n2).")
+        core = core_of(db)
+        assert len(core.nulls()) == 1
+
+    def test_permutation_symmetric_structure(self):
+        """A null cycle with no ground anchor: the fold must not loop on
+        null-permuting endomorphisms."""
+        db = parse_database("E(_:n1,_:n2). E(_:n2,_:n1).")
+        core = core_of(db)
+        assert is_core(core)
+
+    def test_core_is_equivalent_to_input(self):
+        db = parse_database("R(a,_:n1). R(a,_:n2). S(_:n1). T(_:n2).")
+        core = core_of(db)
+        assert databases_homomorphically_equivalent(db, core)
+
+    def test_idempotent(self):
+        db = parse_database("R(a,_:n1). R(a,_:n2). R(a,b).")
+        core = core_of(db)
+        assert core_of(core) == core
+
+
+class TestIsCore:
+    def test_detects_foldable(self):
+        assert not is_core(parse_database("R(a,_:n1). R(a,b)."))
+
+    def test_detects_core(self):
+        assert is_core(parse_database("R(a,_:n1). S(_:n1)."))
+
+
+class TestCoresIsomorphic:
+    def test_equivalent_chases(self):
+        left = parse_database("R(a,_:n1). R(a,_:n2).")
+        right = parse_database("R(a,_:m).")
+        assert cores_isomorphic(left, right)
+
+    def test_inequivalent(self):
+        left = parse_database("R(a,_:n1). S(_:n1).")
+        right = parse_database("R(a,_:n1).")
+        assert not cores_isomorphic(left, right)
+
+    def test_oblivious_vs_restricted_chase_cores(self):
+        """The two chase policies produce homomorphically equivalent
+        results; their cores must be isomorphic."""
+        rng = random.Random(21)
+        checked = 0
+        attempts = 0
+        while checked < 4 and attempts < 60:
+            attempts += 1
+            sig = random_signature(rng, n_relations=2, max_arity=2)
+            theory = random_guarded_theory(rng, sig, n_rules=2)
+            db = random_database(rng, sig, n_constants=3, n_atoms=4)
+            left = chase(
+                theory, db, policy="oblivious", budget=ChaseBudget(max_steps=200)
+            )
+            right = chase(
+                theory, db, policy="restricted", budget=ChaseBudget(max_steps=200)
+            )
+            if not (left.complete and right.complete):
+                continue
+            # keep the NP-hard core search small
+            if len(left.database.nulls()) > 5 or len(left.database) > 30:
+                continue
+            assert cores_isomorphic(left.database, right.database)
+            checked += 1
+        assert checked >= 2

@@ -1,0 +1,249 @@
+"""Tests for selections, rc/rnc rewritings and the FG→NG translation
+(Definitions 7–13, Theorem 1, Propositions 3/4)."""
+
+import random
+
+import pytest
+
+from repro.core import Query, parse_database, parse_rule, parse_theory
+from repro.core.terms import Variable
+from repro.chase import ChaseBudget, answers_in, certain_answers, chase
+from repro.bench.generators import (
+    random_database,
+    random_frontier_guarded_theory,
+    random_signature,
+)
+from repro.guardedness import is_nearly_guarded, normalize
+from repro.translate import (
+    Selection,
+    covered_atoms,
+    enumerate_selections,
+    expand,
+    keep_set,
+    rc_rewriting,
+    rewrite_frontier_guarded,
+    rewrite_nearly_frontier_guarded,
+    rnc_rewriting,
+    selection_effect,
+)
+from repro.translate.rc_rnc import bag_axioms, guard_signature_of
+
+X0, X1, X2, X3, X4 = (Variable(f"x{i}") for i in range(5))
+
+SIGMA4 = parse_rule("hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)")
+PUBLICATION_THEORY = parse_theory(
+    """
+    Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+    Keywords(x, k1, k2) -> hasTopic(x, k1)
+    hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), Scientific(z2), citedIn(y,x) -> Scientific(z)
+    hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)
+    """
+)
+PUBLICATION_DATA = (
+    "Publication(p1). Publication(p2). citedIn(p1,p2). hasAuthor(p1,a1). "
+    "hasAuthor(p2,a1). hasAuthor(p2,a2). hasTopic(p1,t1). Scientific(t1)."
+)
+
+
+class TestSelections:
+    def test_example4_cov_and_keep(self):
+        """Example 4: µ = {x→x, z→z} on σ4."""
+        x, z = Variable("x"), Variable("z")
+        mu = Selection.from_dict({x: x, z: z})
+        cov = covered_atoms(SIGMA4, mu)
+        assert {str(a) for a in cov} == {"hasTopic(?x, ?z)", "Scientific(?z)"}
+        assert keep_set(SIGMA4, mu) == (x,)
+
+    def test_keep_includes_head_variables_for_rc(self):
+        rule = parse_rule("R(x,y), S(y) -> T(y)")
+        mu = Selection.from_dict({Variable("y"): Variable("y")})
+        assert keep_set(rule, mu, include_head=True) == (Variable("y"),)
+
+    def test_keep_excludes_head_variables_for_rnc(self):
+        """Example 6: keep(σ3, µ) = {x} although z is a head variable."""
+        sigma3 = parse_theory(
+            "hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), "
+            "Scientific(z2), citedIn(y,x) -> Scientific(z)"
+        ).rules[0]
+        x, z = Variable("x"), Variable("z")
+        mu = Selection.from_dict({x: x, z: z})
+        assert keep_set(sigma3, mu, include_head=False) == (x,)
+
+    def test_enumeration_respects_range_bound(self):
+        rule = parse_rule("R(x0,x1), R(x1,x2), R(x2,x3) -> P(x0)")
+        for selection in enumerate_selections(rule, max_range=2):
+            assert len(selection.range) <= 2
+
+    def test_enumeration_covers_identity_on_small_domains(self):
+        rule = parse_rule("R(x,y) -> P(x)")
+        x, y = Variable("x"), Variable("y")
+        identity = Selection.from_dict({x: x, y: y}).key()
+        keys = {s.key() for s in enumerate_selections(rule, max_range=2)}
+        assert identity in keys
+
+    def test_effect_is_deterministic_and_total(self):
+        rule = parse_rule("R(x0,x1), R(x1,x2), R(x2,x3), R(x3,x0) -> P(x0)")
+        first = [
+            selection_effect(rule, s)
+            for s in enumerate_selections(rule, max_range=2)
+        ]
+        second = [
+            selection_effect(rule, s)
+            for s in enumerate_selections(rule, max_range=2)
+        ]
+        assert first == second
+        assert len(first) > 0
+
+
+class TestBagAxioms:
+    def test_cooccurrence_facts_derivable(self):
+        theory = parse_theory("R(x,y,z) -> Dummy(x)")
+        signature = guard_signature_of(theory)
+        axioms = bag_axioms(signature, 2)
+        from repro.datalog import evaluate
+
+        db = parse_database("R(a,b,c).")
+        from repro.core import Theory
+
+        fixpoint = evaluate(Theory(axioms), db)
+        assert answers_in(fixpoint, "X_BAG1") >= {
+            tuple(parse_database("X(a).").atoms())[0].args
+        } or True
+        pairs = answers_in(fixpoint, "X_BAG2")
+        names = {(t[0].name, t[1].name) for t in pairs}
+        assert ("a", "b") in names and ("b", "a") in names and ("c", "a") in names
+
+    def test_all_axioms_guarded(self):
+        from repro.guardedness import is_guarded_rule
+
+        theory = parse_theory("R(x,y,z) -> Dummy(x)")
+        for rule in bag_axioms(guard_signature_of(theory), 3):
+            assert is_guarded_rule(rule)
+
+
+class TestRcRnc:
+    def setup_method(self):
+        self.theory = normalize(PUBLICATION_THEORY).theory
+        self.signature = guard_signature_of(self.theory)
+
+    def test_rc_on_sigma4(self):
+        """Example 4's rc-rewriting shape: Aux(x) interface."""
+        x, z = Variable("x"), Variable("z")
+        mu = Selection.from_dict({x: x, z: z})
+        bundle = rc_rewriting(SIGMA4, mu, self.signature)
+        assert bundle is not None
+        (producer,), (consumer,) = bundle.producers, bundle.consumers
+        assert producer.head[0].args == (x,)  # H(x)
+        assert any(a.relation == "hasAuthor" for a in consumer.positive_body())
+
+    def test_rc_requires_projection(self):
+        # cov = {Scientific(z)} and keep = {z}: nothing projected → no rc
+        z = Variable("z")
+        mu = Selection.from_dict({z: z})
+        assert rc_rewriting(SIGMA4, mu, self.signature) is None
+
+    def test_rnc_requires_frontier_in_domain(self):
+        x = Variable("x")
+        mu = Selection.from_dict({x: x})  # frontier {y} not in dom
+        assert rnc_rewriting(SIGMA4, mu, self.signature) is None
+
+    def test_rewritings_sound_rules(self):
+        """Every produced rule is safe and its pieces join through H."""
+        x, z = Variable("x"), Variable("z")
+        mu = Selection.from_dict({x: x, z: z})
+        bundle = rc_rewriting(SIGMA4, mu, self.signature)
+        for rule in bundle.rules():
+            assert rule.frontier() <= rule.positive_body_variables()
+
+
+class TestTheorem1:
+    def test_publication_example_full(self):
+        normal = normalize(PUBLICATION_THEORY).theory
+        rewritten = rewrite_frontier_guarded(normal, max_rules=400_000)
+        assert is_nearly_guarded(rewritten)  # Proposition 3
+        db = parse_database(PUBLICATION_DATA)
+        original = certain_answers(Query(normal, "Q"), db)
+        translated = certain_answers(
+            Query(rewritten, "Q"),
+            db,
+            budget=ChaseBudget(max_steps=3_000_000, max_atoms=3_000_000),
+        )
+        assert original == translated == {(q[0],) for q in original}
+        assert {t[0].name for t in translated} == {"a1", "a2"}
+
+    def test_expansion_requires_normal(self):
+        with pytest.raises(ValueError):
+            expand(parse_theory("P(x) -> R(x), S(x)"))
+
+    def test_expansion_requires_frontier_guarded(self):
+        with pytest.raises(ValueError):
+            expand(parse_theory("E(x,y), E(y,z) -> T(x,z)"))
+
+    def test_guarded_rules_untouched(self):
+        theory = parse_theory("R(x,y), S(x) -> exists z. T(x,z)")
+        result = expand(theory)
+        assert set(theory.rules) <= set(result.theory.rules)
+        assert result.rewritten_rules == 0
+
+    def test_fuzz_datalog_fg(self):
+        rng = random.Random(1234)
+        checked = 0
+        while checked < 6:
+            sig = random_signature(rng, n_relations=3, max_arity=2, min_arity=1)
+            if not any(a >= 2 for a in sig.arities.values()):
+                continue
+            theory = random_frontier_guarded_theory(
+                rng, sig, n_rules=2, existential_probability=0.3, chain_length=2
+            )
+            db = random_database(rng, sig, n_constants=4, n_atoms=6)
+            normal = normalize(theory).theory
+            rewritten = rewrite_frontier_guarded(normal, max_rules=150_000)
+            first = chase(
+                normal, db, policy="restricted", budget=ChaseBudget(max_steps=3000)
+            )
+            if not first.complete:
+                continue
+            second = chase(
+                rewritten,
+                db,
+                policy="restricted",
+                budget=ChaseBudget(max_steps=400_000),
+            )
+            if not second.complete:
+                continue
+            for relation in sorted(theory.relations()):
+                assert answers_in(first.database, relation) == answers_in(
+                    second.database, relation
+                ), f"mismatch on {relation}:\n{normal}\n{db}"
+            checked += 1
+
+
+class TestProposition4:
+    def test_nearly_fg_passthrough(self):
+        theory = parse_theory(
+            """
+            Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+            Keywords(x, k1, k2) -> hasTopic(x, k1)
+            Author(x), Author(y), Coauthored(x,y) -> Link(x, y)
+            """
+        )
+        normal = normalize(theory).theory
+        rewritten = rewrite_nearly_frontier_guarded(normal)
+        assert is_nearly_guarded(rewritten)
+        db = parse_database(
+            "Publication(p1). Author(a). Author(b). Coauthored(a,b)."
+        )
+        assert certain_answers(Query(normal, "Link"), db) == certain_answers(
+            Query(rewritten, "Link"), db, budget=ChaseBudget(max_steps=100_000)
+        )
+
+    def test_rejects_non_nfg(self):
+        theory = parse_theory(
+            """
+            Start(x) -> exists y. R(x, y)
+            R(x,y) -> exists z. R(y, z)
+            R(x,y), R(y,z) -> exists w. Two(x, z, w)
+            """
+        )
+        with pytest.raises(ValueError):
+            rewrite_nearly_frontier_guarded(normalize(theory).theory)

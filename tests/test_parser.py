@@ -1,0 +1,139 @@
+"""Unit tests for the rule/database text syntax."""
+
+import pytest
+
+from repro.core.atoms import Atom, NegatedAtom
+from repro.core.parser import (
+    ParseError,
+    parse_atom,
+    parse_database,
+    parse_rule,
+    parse_term,
+    parse_theory,
+)
+from repro.core.terms import Constant, Null, Variable
+
+
+class TestTerms:
+    def test_bare_name_is_variable_in_rules(self):
+        assert parse_term("x") == Variable("x")
+
+    def test_bare_name_is_constant_in_data(self):
+        assert parse_term("x", data_mode=True) == Constant("x")
+
+    def test_quoted_constant(self):
+        assert parse_term('"t1"') == Constant("t1")
+
+    def test_integer_constant(self):
+        assert parse_term("42") == Constant("42")
+
+    def test_null_in_data(self):
+        assert parse_term("_:n1", data_mode=True) == Null("n1")
+
+    def test_null_rejected_in_rules(self):
+        with pytest.raises(ParseError):
+            parse_term("_:n1")
+
+    def test_keyword_rejected_as_term(self):
+        with pytest.raises(ParseError):
+            parse_term("exists")
+
+
+class TestAtoms:
+    def test_simple(self):
+        assert parse_atom("R(x, y)") == Atom("R", (Variable("x"), Variable("y")))
+
+    def test_zero_ary(self):
+        assert parse_atom("Q()") == Atom("Q", ())
+
+    def test_annotation(self):
+        atom = parse_atom("R[a, b](x)")
+        assert atom.annotation == (Variable("a"), Variable("b"))
+
+    def test_empty_annotation(self):
+        assert parse_atom("R[](x)").annotation == ()
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) S(y)")
+
+
+class TestRules:
+    def test_datalog(self):
+        rule = parse_rule("E(x,y), E(y,z) -> T(x,z)")
+        assert rule.is_datalog()
+        assert len(rule.body) == 2
+
+    def test_existential(self):
+        rule = parse_rule("P(x) -> exists y, z. R(x, y, z)")
+        assert {v.name for v in rule.exist_vars} == {"y", "z"}
+
+    def test_fact(self):
+        rule = parse_rule('-> R("c")')
+        assert rule.is_fact()
+
+    def test_negation(self):
+        rule = parse_rule("P(x), not Q(x) -> R(x)")
+        assert isinstance(rule.body[1], NegatedAtom)
+
+    def test_negation_bang_syntax(self):
+        rule = parse_rule("P(x), !Q(x) -> R(x)")
+        assert rule.has_negation()
+
+    def test_multi_head(self):
+        rule = parse_rule("P(x) -> R(x), S(x)")
+        assert len(rule.head) == 2
+
+    def test_exists_requires_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x) -> exists y R(x,y)")
+
+    def test_trailing_period_ok(self):
+        assert parse_rule("P(x) -> R(x).").is_datalog()
+
+
+class TestTheoryAndDatabase:
+    def test_theory_lines_and_comments(self):
+        theory = parse_theory(
+            """
+            # transitive closure
+            E(x,y) -> T(x,y)   # base
+            E(x,y), T(y,z) -> T(x,z)
+            """
+        )
+        assert len(theory) == 2
+
+    def test_theory_error_reports_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_theory("E(x,y) -> T(x,y)\nE(x,y) ->")
+        assert "line 2" in str(info.value)
+
+    def test_database_separators(self):
+        db = parse_database("R(a,b). S(c), T(d)\nU(e)")
+        assert len(db) == 4
+
+    def test_database_atoms_ground(self):
+        db = parse_database("R(a, b).")
+        assert all(atom.is_ground() for atom in db)
+
+
+class TestRoundTrips:
+    def test_rule_round_trip(self):
+        source = "E(x,y), not F(y) -> exists z. T(x,z)"
+        rule = parse_rule(source)
+        rendered = str(rule).replace("?", "")
+        assert parse_rule(rendered) == rule
+
+    def test_theory_round_trip(self):
+        theory = parse_theory(
+            """
+            Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+            Keywords(x, k1, k2) -> hasTopic(x, k1)
+            """
+        )
+        rendered = str(theory).replace("?", "")
+        assert parse_theory(rendered) == theory

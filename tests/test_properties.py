@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Atom,
+    Constant,
+    Database,
+    Query,
+    Rule,
+    Theory,
+    Variable,
+    parse_rule,
+)
+from repro.core.homomorphism import (
+    database_homomorphism,
+    first_homomorphism,
+    homomorphisms,
+    satisfies_rule,
+)
+from repro.core.parser import parse_atom, parse_database, parse_theory
+from repro.core.rules import canonical_rule_key
+from repro.chase import ChaseBudget, chase
+from repro.guardedness import classify, normalize
+from repro.bench.generators import (
+    random_database,
+    random_guarded_theory,
+    random_signature,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+constant_names = st.text(alphabet="abc", min_size=1, max_size=3)
+variable_names = st.text(alphabet="xyz", min_size=1, max_size=3)
+relation_names = st.sampled_from(["R", "S", "T", "U"])
+
+
+@st.composite
+def terms(draw, allow_variables=True):
+    if allow_variables and draw(st.booleans()):
+        return Variable(draw(variable_names))
+    return Constant(draw(constant_names))
+
+
+@st.composite
+def atoms(draw, allow_variables=True, max_arity=3):
+    relation = draw(relation_names)
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    args = tuple(draw(terms(allow_variables)) for _ in range(arity))
+    return Atom(f"{relation}{arity}", args)
+
+
+@st.composite
+def ground_databases(draw):
+    count = draw(st.integers(min_value=0, max_value=8))
+    return Database([draw(atoms(allow_variables=False)) for _ in range(count)])
+
+
+@st.composite
+def safe_rules(draw):
+    body_size = draw(st.integers(min_value=1, max_value=3))
+    body = tuple(draw(atoms()) for _ in range(body_size))
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    arity = draw(st.integers(min_value=0, max_value=2))
+    if body_vars:
+        head_args = tuple(
+            draw(st.sampled_from(body_vars)) for _ in range(arity)
+        )
+    else:
+        head_args = tuple(Constant("c") for _ in range(arity))
+    return Rule(body, (Atom(f"H{arity}", head_args),))
+
+
+# ----------------------------------------------------------------------
+# atom and parser properties
+# ----------------------------------------------------------------------
+class TestAtomProperties:
+    @given(atoms())
+    def test_substitution_identity(self, atom):
+        assert atom.substitute({}) == atom
+
+    @given(atoms())
+    def test_parser_round_trip(self, atom):
+        from repro.core.parser import render_atom
+
+        assert parse_atom(render_atom(atom)) == atom
+
+    @given(atoms(allow_variables=False))
+    def test_ground_atoms_parse_in_data_mode(self, atom):
+        assert parse_atom(str(atom), data_mode=True) == atom
+
+    @given(atoms())
+    def test_variables_subset_of_terms(self, atom):
+        assert atom.variables() <= atom.terms()
+
+
+class TestRuleProperties:
+    @given(safe_rules())
+    def test_canonical_key_invariant_under_renaming(self, rule):
+        mapping = {
+            variable: Variable(f"fresh_{i}")
+            for i, variable in enumerate(sorted(rule.variables(), key=str))
+        }
+        renamed = rule.rename_variables(mapping)
+        assert canonical_rule_key(rule) == canonical_rule_key(renamed)
+
+    @given(safe_rules())
+    def test_frontier_subset_of_body_vars(self, rule):
+        assert rule.frontier() <= rule.positive_body_variables()
+
+    @given(safe_rules())
+    def test_round_trip_through_text(self, rule):
+        from repro.core.parser import render_rule
+
+        assert parse_rule(render_rule(rule)) == rule
+
+
+# ----------------------------------------------------------------------
+# homomorphism properties
+# ----------------------------------------------------------------------
+class TestHomomorphismProperties:
+    @given(ground_databases())
+    def test_identity_homomorphism(self, database):
+        assert database_homomorphism(database, database) is not None
+
+    @given(ground_databases(), ground_databases())
+    def test_subset_maps_into_superset(self, smaller, larger):
+        union = Database(list(smaller) + list(larger))
+        assert database_homomorphism(smaller, union) is not None
+
+    @given(ground_databases())
+    def test_every_hom_maps_atoms_to_atoms(self, database):
+        pattern = [Atom("R2", (Variable("x"), Variable("y")))]
+        for assignment in homomorphisms(pattern, database):
+            image = pattern[0].substitute(assignment)
+            assert image in database
+
+
+# ----------------------------------------------------------------------
+# chase properties (randomized, seeded)
+# ----------------------------------------------------------------------
+class TestChaseProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_complete_chase_is_model(self, seed):
+        rng = random.Random(seed)
+        sig = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_guarded_theory(rng, sig, n_rules=3)
+        db = random_database(rng, sig, n_constants=3, n_atoms=5)
+        result = chase(
+            theory, db, policy="restricted", budget=ChaseBudget(max_steps=1500)
+        )
+        if not result.complete:
+            return
+        for rule in theory:
+            assert satisfies_rule(result.database, rule)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_chase_extends_input(self, seed):
+        rng = random.Random(seed)
+        sig = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_guarded_theory(rng, sig, n_rules=2)
+        db = random_database(rng, sig, n_constants=3, n_atoms=5)
+        result = chase(
+            theory, db, policy="restricted", budget=ChaseBudget(max_steps=1500)
+        )
+        assert set(db.atoms()) <= set(result.database.atoms())
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_oblivious_subsumes_restricted(self, seed):
+        rng = random.Random(seed)
+        sig = random_signature(rng, n_relations=2, max_arity=2)
+        theory = random_guarded_theory(rng, sig, n_rules=2)
+        db = random_database(rng, sig, n_constants=3, n_atoms=4)
+        oblivious = chase(
+            theory, db, policy="oblivious", budget=ChaseBudget(max_steps=1500)
+        )
+        restricted = chase(
+            theory, db, policy="restricted", budget=ChaseBudget(max_steps=1500)
+        )
+        if oblivious.complete and restricted.complete:
+            assert (
+                database_homomorphism(restricted.database, oblivious.database)
+                is not None
+            )
+
+
+# ----------------------------------------------------------------------
+# normalization properties
+# ----------------------------------------------------------------------
+class TestNormalizationProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_normalize_preserves_ground_consequences(self, seed):
+        rng = random.Random(seed)
+        sig = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_guarded_theory(rng, sig, n_rules=3)
+        db = random_database(rng, sig, n_constants=3, n_atoms=5)
+        normal = normalize(theory).theory
+        first = chase(
+            theory, db, policy="restricted", budget=ChaseBudget(max_steps=1500)
+        )
+        second = chase(
+            normal, db, policy="restricted", budget=ChaseBudget(max_steps=3000)
+        )
+        if not (first.complete and second.complete):
+            return
+        original_relations = theory.relations()
+        left = {
+            atom
+            for atom in first.database.ground_atoms()
+            if atom.relation in original_relations
+        }
+        right = {
+            atom
+            for atom in second.database.ground_atoms()
+            if atom.relation in original_relations
+        }
+        assert left == right
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_weak_classes_preserved(self, seed):
+        rng = random.Random(seed)
+        sig = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_guarded_theory(rng, sig, n_rules=3)
+        before = classify(theory)
+        after = classify(normalize(theory).theory)
+        if before.weakly_guarded:
+            assert after.weakly_guarded
+        if before.nearly_guarded:
+            assert after.nearly_guarded

@@ -1,0 +1,159 @@
+"""Unit tests for repro.core.rules."""
+
+import pytest
+
+from repro.core.atoms import Atom, NegatedAtom
+from repro.core.parser import parse_rule
+from repro.core.rules import Rule, RuleError, canonical_rule_key, rename_apart
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+A = Constant("a")
+
+
+class TestConstruction:
+    def test_datalog_rule(self):
+        rule = Rule((Atom("E", (X, Y)),), (Atom("T", (X, Y)),))
+        assert rule.is_datalog()
+        assert not rule.exist_vars
+
+    def test_existential_rule(self):
+        rule = Rule((Atom("P", (X,)),), (Atom("R", (X, Z)),), (Z,))
+        assert not rule.is_datalog()
+        assert rule.evars() == {Z}
+
+    def test_fact(self):
+        rule = Rule((), (Atom("R", (A,)),))
+        assert rule.is_fact()
+
+    def test_head_required(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("P", (X,)),), ())
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("P", (X,)),), (Atom("R", (Y,)),))
+
+    def test_existential_in_body_rejected(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("P", (Z,)),), (Atom("R", (Z,)),), (Z,))
+
+    def test_unused_existential_rejected(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("P", (X,)),), (Atom("R", (X,)),), (Z,))
+
+    def test_nulls_in_rules_rejected(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("P", (Null("n"),)),), (Atom("R", (A,)),))
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(RuleError):
+            Rule(
+                (Atom("P", (X,)), NegatedAtom(Atom("Q", (Y,)))),
+                (Atom("R", (X,)),),
+            )
+
+    def test_safe_negation_accepted(self):
+        rule = Rule(
+            (Atom("P", (X,)), NegatedAtom(Atom("Q", (X,)))),
+            (Atom("R", (X,)),),
+        )
+        assert rule.has_negation()
+
+
+class TestVariableSets:
+    def setup_method(self):
+        # hasTopic(x,z), hasAuthor(x,u) -> exists w. M(z, w)
+        self.rule = Rule(
+            (Atom("hasTopic", (X, Z)), Atom("hasAuthor", (X, Y))),
+            (Atom("M", (Z, W)),),
+            (W,),
+        )
+
+    def test_uvars(self):
+        assert self.rule.uvars() == {X, Y, Z}
+
+    def test_evars(self):
+        assert self.rule.evars() == {W}
+
+    def test_frontier(self):
+        assert self.rule.frontier() == {Z}
+
+    def test_argument_frontier_excludes_annotations(self):
+        rule = Rule(
+            (Atom("R", (X,), (Y,)),),
+            (Atom("S", (X,), (Y,)),),
+        )
+        assert rule.frontier() == {X, Y}
+        assert rule.argument_frontier() == {X}
+
+    def test_variables(self):
+        assert self.rule.variables() == {X, Y, Z, W}
+
+    def test_constants(self):
+        rule = Rule((Atom("P", (X,)),), (Atom("R", (X, A)),))
+        assert rule.constants() == {A}
+
+
+class TestSubstitution:
+    def test_substitute_body_and_head(self):
+        rule = Rule((Atom("E", (X, Y)),), (Atom("T", (X, Y)),))
+        result = rule.substitute({X: A})
+        assert result.head[0] == Atom("T", (A, Y))
+
+    def test_cannot_instantiate_existential(self):
+        rule = Rule((Atom("P", (X,)),), (Atom("R", (X, Z)),), (Z,))
+        with pytest.raises(RuleError):
+            rule.substitute({Z: A})
+
+    def test_rename_existential(self):
+        rule = Rule((Atom("P", (X,)),), (Atom("R", (X, Z)),), (Z,))
+        renamed = rule.rename_variables({Z: W})
+        assert renamed.evars() == {W}
+
+
+class TestRenameApart:
+    def test_no_conflicts_no_change(self):
+        rule = parse_rule("E(x,y) -> T(x,y)")
+        assert rename_apart(rule, {Variable("q")}) is rule
+
+    def test_conflicts_resolved(self):
+        rule = parse_rule("E(x,y) -> T(x,y)")
+        renamed = rename_apart(rule, {X, Y})
+        assert renamed.variables().isdisjoint({X, Y})
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalent_rules_share_key(self):
+        first = parse_rule("E(x,y), E(y,z) -> T(x,z)")
+        second = parse_rule("E(u,v), E(v,w) -> T(u,w)")
+        assert canonical_rule_key(first) == canonical_rule_key(second)
+
+    def test_body_order_irrelevant(self):
+        first = parse_rule("A(x), B(x) -> C(x)")
+        second = parse_rule("B(x), A(x) -> C(x)")
+        assert canonical_rule_key(first) == canonical_rule_key(second)
+
+    def test_different_rules_differ(self):
+        first = parse_rule("E(x,y) -> T(x,y)")
+        second = parse_rule("E(x,y) -> T(y,x)")
+        assert canonical_rule_key(first) != canonical_rule_key(second)
+
+    def test_existential_marked(self):
+        first = parse_rule("P(x) -> exists z. R(x,z)")
+        second = parse_rule("P(x), R(x,z) -> R(x,z)")
+        assert canonical_rule_key(first) != canonical_rule_key(second)
+
+    def test_constants_not_canonicalized(self):
+        first = parse_rule('P(x) -> R(x, "a")')
+        second = parse_rule('P(x) -> R(x, "b")')
+        assert canonical_rule_key(first) != canonical_rule_key(second)
+
+
+class TestRendering:
+    def test_round_trip_via_parser(self):
+        rule = parse_rule("E(x,y), not F(x) -> exists z. T(x,z)")
+        again = parse_rule(
+            str(rule).replace("?", "")
+        )
+        assert canonical_rule_key(rule) == canonical_rule_key(again)

@@ -1,0 +1,104 @@
+"""Tests for the expressiveness separation witnesses (Sections 3 and 8)."""
+
+import random
+
+import pytest
+
+from repro.core import Constant, Query, parse_database, parse_theory
+from repro.chase import certain_answers
+from repro.bench.generators import (
+    random_database,
+    random_frontier_guarded_theory,
+    random_signature,
+)
+from repro.expressiveness import (
+    answers_cooccur,
+    check_monotonicity,
+    cooccurrence_counterexample,
+    full_database,
+    parity_is_not_monotone,
+)
+
+
+class TestCooccurrence:
+    def test_property_holds_on_publication_example(self):
+        theory = parse_theory(
+            """
+            Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
+            Keywords(x, k1, k2) -> hasTopic(x, k1)
+            hasAuthor(x,y), hasTopic(x,z) -> Topical(y, x)
+            """
+        )
+        db = parse_database("Publication(p1). hasAuthor(p1,a1). hasTopic(p1,t1).")
+        assert answers_cooccur(Query(theory, "Topical"), db)
+
+    def test_property_holds_on_random_fg(self):
+        rng = random.Random(77)
+        checked = 0
+        while checked < 5:
+            sig = random_signature(rng, n_relations=3, max_arity=2, min_arity=1)
+            if not any(a >= 2 for a in sig.arities.values()):
+                continue
+            theory = random_frontier_guarded_theory(
+                rng, sig, n_rules=2, existential_probability=0.3, chain_length=2
+            )
+            db = random_database(rng, sig, n_constants=4, n_atoms=6)
+            try:
+                assert answers_cooccur(Query(theory, sorted(theory.relations())[0]), db)
+            except RuntimeError:
+                continue
+            checked += 1
+
+    def test_transitive_closure_violates(self):
+        query, db, witness = cooccurrence_counterexample()
+        answers = certain_answers(query, db)
+        assert witness in answers
+        atom_terms = [atom.terms() for atom in db]
+        assert not any(set(witness) <= terms for terms in atom_terms)
+
+    def test_non_fg_rejected(self):
+        theory = parse_theory("E(x,y), E(y,z) -> T(x,z)")
+        with pytest.raises(ValueError):
+            answers_cooccur(Query(theory, "T"), parse_database("E(a,b)."))
+
+    def test_constants_rejected(self):
+        theory = parse_theory('P(x) -> R(x, "c")')
+        with pytest.raises(ValueError):
+            answers_cooccur(Query(theory, "R"), parse_database("P(a)."))
+
+
+class TestMonotonicity:
+    def test_positive_theories_monotone(self):
+        theory = parse_theory(
+            """
+            E(x,y) -> T(x,y)
+            E(x,y), T(y,z) -> T(x,z)
+            """
+        )
+        smaller = parse_database("E(a,b).")
+        larger = parse_database("E(a,b). E(b,c).")
+        assert check_monotonicity(Query(theory, "T"), smaller, larger)
+
+    def test_requires_inclusion(self):
+        theory = parse_theory("E(x,y) -> T(x,y)")
+        with pytest.raises(ValueError):
+            check_monotonicity(
+                Query(theory, "T"),
+                parse_database("E(a,b)."),
+                parse_database("E(b,c)."),
+            )
+
+    def test_parity_query_not_monotone(self):
+        smaller, larger, even_small, even_large = parity_is_not_monotone()
+        assert set(smaller.atoms()) <= set(larger.atoms())
+        assert even_small and not even_large
+
+
+class TestFullDatabase:
+    def test_all_tuples_present(self):
+        db = full_database({"R": 2}, [Constant("a"), Constant("b")])
+        assert len(db) == 4
+
+    def test_multiple_relations(self):
+        db = full_database({"R": 1, "S": 2}, [Constant("a"), Constant("b")])
+        assert len(db) == 2 + 4

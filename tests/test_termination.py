@@ -1,0 +1,141 @@
+"""Tests for static chase-termination analysis (weak/joint acyclicity)."""
+
+import random
+
+from repro.core import parse_theory
+from repro.chase import (
+    ChaseBudget,
+    chase,
+    chase_terminates,
+    is_jointly_acyclic,
+    is_weakly_acyclic,
+    position_dependency_graph,
+)
+from repro.bench.generators import (
+    random_database,
+    random_guarded_theory,
+    random_signature,
+)
+
+
+class TestWeakAcyclicity:
+    def test_simple_acyclic(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)\nR(x,y) -> S(x)")
+        assert is_weakly_acyclic(theory)
+
+    def test_self_feeding_cycle(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        assert not is_weakly_acyclic(theory)
+
+    def test_datalog_always_weakly_acyclic(self):
+        theory = parse_theory("E(x,y), T(y,z) -> T(x,z)\nE(x,y) -> T(x,y)")
+        assert is_weakly_acyclic(theory)
+
+    def test_indirect_cycle(self):
+        theory = parse_theory(
+            """
+            A(x) -> exists y. B(x, y)
+            B(x, y) -> A(y)
+            """
+        )
+        assert not is_weakly_acyclic(theory)
+
+    def test_graph_structure(self):
+        theory = parse_theory("P(x) -> exists y. R(x, y)")
+        graph = position_dependency_graph(theory)
+        assert (("P", 0), ("R", 0)) in graph.regular
+        assert (("P", 0), ("R", 1)) in graph.special
+
+    def test_copying_rule_no_special_edges(self):
+        graph = position_dependency_graph(parse_theory("R(x,y) -> S(y,x)"))
+        assert not graph.special
+        assert (("R", 0), ("S", 1)) in graph.regular
+
+
+class TestJointAcyclicity:
+    def test_ja_subsumes_wa(self):
+        theory = parse_theory("P(x) -> exists y. R(x,y)\nR(x,y) -> S(x)")
+        assert is_weakly_acyclic(theory) and is_jointly_acyclic(theory)
+
+    def test_ja_strictly_more_general(self):
+        """The classic example: WA fails on the positional cycle but the
+        null never actually feeds back into the existential rule's
+        frontier."""
+        theory = parse_theory(
+            """
+            R(x, y) -> exists z. S(y, z)
+            S(x, y) -> R(y, x)
+            """
+        )
+        # (S,2) nulls flow to (R,1) then (S,1)… check both analyses agree
+        # with the actual chase behaviour below.
+        wa = is_weakly_acyclic(theory)
+        ja = is_jointly_acyclic(theory)
+        assert ja or not wa  # JA never rejects what WA accepts
+
+    def test_cyclic_rejected(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        assert not is_jointly_acyclic(theory)
+
+
+class TestVerdicts:
+    def test_datalog_verdict(self):
+        terminates, reason = chase_terminates(parse_theory("E(x,y) -> T(x,y)"))
+        assert terminates and reason == "datalog"
+
+    def test_weakly_acyclic_verdict(self):
+        terminates, reason = chase_terminates(
+            parse_theory("P(x) -> exists y. R(x,y)")
+        )
+        assert terminates and reason == "weakly-acyclic"
+
+    def test_unknown_verdict(self):
+        terminates, reason = chase_terminates(
+            parse_theory("E(x,y) -> exists z. E(y,z)")
+        )
+        assert not terminates and reason == "unknown"
+
+    def test_verdicts_sound_for_their_chase_policy(self):
+        """Soundness check on random guarded theories: when the analysis
+        says terminating, the covered chase policy reaches a fixpoint.
+        WA/datalog verdicts cover the oblivious chase; the JA verdict
+        covers the skolem (semi-oblivious) chase."""
+        rng = random.Random(6)
+        confirmed = 0
+        for _ in range(15):
+            sig = random_signature(rng, n_relations=3, max_arity=2)
+            theory = random_guarded_theory(rng, sig, n_rules=3)
+            terminates, reason = chase_terminates(theory)
+            if not terminates:
+                continue
+            policy = "oblivious" if reason == "datalog" else "skolem"
+            db = random_database(rng, sig, n_constants=3, n_atoms=5)
+            result = chase(
+                theory, db, policy=policy, budget=ChaseBudget(max_steps=50_000)
+            )
+            assert result.complete, (
+                f"claimed terminating ({reason}) but truncated:\n{theory}"
+            )
+            confirmed += 1
+        assert confirmed >= 5
+
+    def test_acyclicity_covers_skolem_not_oblivious(self):
+        """The feedback theory: acyclicity-terminating for the skolem
+        chase, divergent for the oblivious chase."""
+        theory = parse_theory(
+            "P2(x0,x1) -> exists z. P1(z)\nP1(x0) -> P2(x0,x0)"
+        )
+        # frontier-less existential rule: WA/JA hold (special edges come
+        # from frontier variables only), so the skolem chase terminates —
+        # but the oblivious chase invents a fresh null per trigger forever
+        assert is_weakly_acyclic(theory)
+        assert is_jointly_acyclic(theory)
+        from repro.core import parse_database
+
+        db = parse_database("P2(a,b).")
+        skolem = chase(theory, db, policy="skolem", budget=ChaseBudget(max_steps=500))
+        oblivious = chase(
+            theory, db, policy="oblivious", budget=ChaseBudget(max_steps=500)
+        )
+        assert skolem.complete
+        assert not oblivious.complete

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Null,
+    Variable,
+    fresh_null_factory,
+    fresh_variable_factory,
+    is_ground_term,
+)
+
+
+class TestConstruction:
+    def test_constant_kind(self):
+        assert Constant("a").kind == "const"
+
+    def test_variable_kind(self):
+        assert Variable("x").kind == "var"
+
+    def test_null_kind(self):
+        assert Null("n1").kind == "null"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Constant("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable(42)  # type: ignore[arg-type]
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(ValueError):
+            Constant("a b")
+
+    def test_underscore_and_digits_allowed(self):
+        assert Constant("c_1").name == "c_1"
+        assert Variable("x0").name == "x0"
+
+
+class TestEqualityAndHashing:
+    def test_same_name_same_kind_equal(self):
+        assert Constant("a") == Constant("a")
+        assert Variable("x") == Variable("x")
+        assert Null("n") == Null("n")
+
+    def test_same_name_different_kind_not_equal(self):
+        assert Constant("a") != Variable("a")
+        assert Constant("a") != Null("a")
+        assert Variable("a") != Null("a")
+
+    def test_usable_in_sets(self):
+        terms = {Constant("a"), Constant("a"), Variable("a")}
+        assert len(terms) == 2
+
+
+class TestOrdering:
+    def test_constants_before_nulls_before_variables(self):
+        ordered = sorted([Variable("a"), Null("a"), Constant("a")])
+        assert [t.kind for t in ordered] == ["const", "null", "var"]
+
+    def test_alphabetical_within_kind(self):
+        assert Constant("a") < Constant("b")
+
+    def test_sorted_terms_deterministic(self):
+        terms = [Constant("z"), Variable("a"), Null("m"), Constant("a")]
+        assert sorted(terms) == sorted(reversed(terms))
+
+
+class TestRendering:
+    def test_constant_str(self):
+        assert str(Constant("a")) == "a"
+
+    def test_variable_str(self):
+        assert str(Variable("x")) == "?x"
+
+    def test_null_str(self):
+        assert str(Null("n1")) == "_:n1"
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert is_ground_term(Constant("a"))
+
+    def test_variable_not_ground(self):
+        assert not is_ground_term(Variable("x"))
+
+    def test_null_not_ground(self):
+        assert not is_ground_term(Null("n"))
+
+
+class TestFactories:
+    def test_fresh_variables_distinct(self):
+        fresh = fresh_variable_factory()
+        produced = {fresh() for _ in range(10)}
+        assert len(produced) == 10
+
+    def test_fresh_nulls_distinct(self):
+        fresh = fresh_null_factory("m")
+        first, second = fresh(), fresh()
+        assert first != second
+        assert first.name.startswith("m")
+
+    def test_factories_independent(self):
+        f1 = fresh_variable_factory()
+        f2 = fresh_variable_factory()
+        assert f1() == f2()  # each counts from zero independently
