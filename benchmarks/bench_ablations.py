@@ -136,4 +136,7 @@ def test_policies_same_answers():
 
 
 if __name__ == "__main__":
-    print(ablation_report())
+    from conftest import counted
+
+    with counted("ablations"):
+        print(ablation_report())

@@ -134,4 +134,7 @@ def test_exponential_shape():
 
 
 if __name__ == "__main__":
-    print(data_complexity_report())
+    from conftest import counted
+
+    with counted("data-complexity"):
+        print(data_complexity_report())

@@ -157,4 +157,7 @@ def test_benchmark_theorem3_sample(benchmark):
 
 
 if __name__ == "__main__":
-    print(figure1_report())
+    from conftest import counted
+
+    with counted("figure1"):
+        print(figure1_report())

@@ -44,7 +44,9 @@ def figure2_report() -> str:
     return "\n".join(lines)
 
 
-def test_benchmark_publication_chase(benchmark, publication_theory, publication_database):
+def test_benchmark_publication_chase(
+    benchmark, instr, publication_theory, publication_database
+):
     normal = normalize(publication_theory).theory
 
     def run():
@@ -52,6 +54,7 @@ def test_benchmark_publication_chase(benchmark, publication_theory, publication_
 
     answers = benchmark(run)
     assert {t[0].name for t in answers} == {"a1", "a2"}
+    assert instr.metrics.counter("triggers_fired") > 0
 
 
 def test_benchmark_chase_tree(benchmark, publication_theory, publication_database):
@@ -69,4 +72,7 @@ def test_benchmark_chase_tree(benchmark, publication_theory, publication_databas
 
 
 if __name__ == "__main__":
-    print(figure2_report())
+    from conftest import counted
+
+    with counted("figure2"):
+        print(figure2_report())

@@ -61,4 +61,7 @@ def test_benchmark_answer_via_datalog(benchmark, example7_theory):
 
 
 if __name__ == "__main__":
-    print(figure3_report())
+    from conftest import counted
+
+    with counted("figure3"):
+        print(figure3_report())

@@ -113,4 +113,7 @@ def test_pipeline_agrees():
 
 
 if __name__ == "__main__":
-    print(section7_report())
+    from conftest import counted
+
+    with counted("section7"):
+        print(section7_report())

@@ -85,4 +85,7 @@ def test_benchmark_monotonicity(benchmark):
 
 
 if __name__ == "__main__":
-    print(separations_report())
+    from conftest import counted
+
+    with counted("separations"):
+        print(separations_report())

@@ -97,4 +97,7 @@ def test_benchmark_publication_rewrite(benchmark, publication_theory):
 
 
 if __name__ == "__main__":
-    print(theorem1_report())
+    from conftest import counted
+
+    with counted("theorem1"):
+        print(theorem1_report())

@@ -87,4 +87,7 @@ def test_answers_preserved():
 
 
 if __name__ == "__main__":
-    print(theorem2_report())
+    from conftest import counted
+
+    with counted("theorem2"):
+        print(theorem2_report())

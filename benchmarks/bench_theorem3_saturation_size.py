@@ -102,4 +102,7 @@ def test_benchmark_evaluate_saturated(benchmark):
 
 
 if __name__ == "__main__":
-    print(theorem3_report())
+    from conftest import counted
+
+    with counted("theorem3"):
+        print(theorem3_report())

@@ -155,4 +155,7 @@ def test_agreement():
 
 
 if __name__ == "__main__":
-    print(theorem4_report())
+    from conftest import counted
+
+    with counted("theorem4"):
+        print(theorem4_report())

@@ -108,4 +108,7 @@ def test_counts_match_factorials():
 
 
 if __name__ == "__main__":
-    print(theorem5_report())
+    from conftest import counted
+
+    with counted("theorem5"):
+        print(theorem5_report())

@@ -2,13 +2,20 @@
 
 Each ``bench_*.py`` module reproduces one paper artifact (see DESIGN.md's
 experiment index).  Modules double as standalone scripts: running
-``python benchmarks/bench_X.py`` prints the regenerated table; running
-them under ``pytest --benchmark-only`` records timings.
+``PYTHONPATH=src python benchmarks/bench_X.py`` prints the regenerated
+table plus an engine-counter summary; running
+``PYTHONPATH=src python -m pytest benchmarks --benchmark-only`` records
+timings (the ``benchmarks`` path argument is required — the repo's
+``testpaths`` only covers ``tests/``) with the counters attached to each
+benchmark's ``extra_info``.
 """
+
+from contextlib import contextmanager
 
 import pytest
 
 from repro.core import parse_database, parse_theory
+from repro.obs import instrumented, render_report
 
 PUBLICATION_THEORY_TEXT = """
 Publication(x) -> exists k1, k2. Keywords(x, k1, k2)
@@ -44,3 +51,27 @@ def publication_database():
 @pytest.fixture(scope="session")
 def example7_theory():
     return parse_theory(EXAMPLE7_TEXT)
+
+
+@contextmanager
+def counted(title):
+    """Run a bench's report under instrumentation and print the counter
+    summary afterwards — used by every module's ``__main__`` block so the
+    regenerated tables come with the engine counters that produced them
+    (feeding the ``BENCH_*.json`` trajectory files of later perf PRs)."""
+    with instrumented() as instr:
+        yield instr
+    print()
+    print(render_report(instr.metrics, title=f"{title} — engine counters"))
+
+
+@pytest.fixture()
+def instr(benchmark):
+    """Instrumentation active for the whole benchmark; the final counters
+    are attached to ``benchmark.extra_info`` so ``--benchmark-json``
+    exports them alongside the timings.  Note the counters aggregate over
+    every timed iteration pytest-benchmark runs."""
+    with instrumented() as active:
+        yield active
+    benchmark.extra_info["counters"] = dict(active.metrics.counters)
+    benchmark.extra_info["gauges"] = dict(active.metrics.gauges)

@@ -59,6 +59,14 @@ from .chase import (
 )
 from .datalog import datalog_answers, evaluate, stratify
 from .guardedness import classify, is_guarded, is_weakly_guarded, normalize
+from .obs import (
+    Instrumentation,
+    JsonLinesSink,
+    MetricsRegistry,
+    Tracer,
+    instrumented,
+    render_report,
+)
 from .queries import ConjunctiveQuery, answer_cq, knowledge_base_query
 from .translate import (
     answer_query,
@@ -78,12 +86,16 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "Instrumentation",
+    "JsonLinesSink",
+    "MetricsRegistry",
     "NegatedAtom",
     "Null",
     "ParseError",
     "Query",
     "Rule",
     "Theory",
+    "Tracer",
     "Variable",
     "answer_cq",
     "answer_query",
@@ -95,6 +107,7 @@ __all__ = [
     "entails",
     "evaluate",
     "guarded_to_datalog",
+    "instrumented",
     "is_guarded",
     "is_weakly_guarded",
     "knowledge_base_query",
@@ -104,6 +117,7 @@ __all__ = [
     "parse_database",
     "parse_rule",
     "parse_theory",
+    "render_report",
     "rewrite_frontier_guarded",
     "rewrite_weakly_frontier_guarded",
     "stratified_answers",

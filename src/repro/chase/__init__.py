@@ -13,6 +13,8 @@ from .runner import (
     SKOLEM,
     ChaseBudget,
     ChaseResult,
+    ChaseStats,
+    RoundStats,
     answers_in,
     certain_answers,
     chase,
@@ -33,8 +35,10 @@ __all__ = [
     "SKOLEM",
     "ChaseBudget",
     "ChaseResult",
+    "ChaseStats",
     "ChaseTree",
     "ChaseTreeNode",
+    "RoundStats",
     "answers_in",
     "build_chase_tree",
     "certain_answers",

@@ -20,6 +20,7 @@ this coincides with Definition 23.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -29,10 +30,13 @@ from ..core.homomorphism import extends_to_head, homomorphisms
 from ..core.rules import Rule
 from ..core.terms import Constant, Null, Term, Variable
 from ..core.theory import Query, Theory
+from ..obs.runtime import current as _obs_current
 
 __all__ = [
     "ChaseBudget",
     "ChaseResult",
+    "ChaseStats",
+    "RoundStats",
     "chase",
     "entails",
     "certain_answers",
@@ -66,6 +70,45 @@ class ChaseBudget:
     max_rounds: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round chase counters (one breadth-first round)."""
+
+    round: int
+    triggers_enumerated: int
+    triggers_fired: int
+    atoms_added: int
+    nulls_created: int
+
+
+@dataclass
+class ChaseStats:
+    """Metrics snapshot carried by every :class:`ChaseResult`.
+
+    Collected unconditionally — the cost is a handful of integer ops per
+    *round* (not per trigger), so it does not need the ambient
+    instrumentation layer to be active.
+    """
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def triggers_enumerated(self) -> int:
+        return sum(r.triggers_enumerated for r in self.rounds)
+
+    @property
+    def triggers_fired(self) -> int:
+        return sum(r.triggers_fired for r in self.rounds)
+
+    @property
+    def atoms_added(self) -> int:
+        return sum(r.atoms_added for r in self.rounds)
+
+    def merge(self, other: "ChaseStats") -> None:
+        """Append another run's rounds (used by the stratified chase)."""
+        self.rounds.extend(other.rounds)
+
+
 @dataclass
 class ChaseResult:
     """Outcome of a chase run."""
@@ -77,6 +120,7 @@ class ChaseResult:
     nulls_created: int
     truncated_reason: Optional[str] = None
     null_depths: dict[Null, int] = field(default_factory=dict)
+    stats: ChaseStats = field(default_factory=ChaseStats)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.complete
@@ -258,34 +302,69 @@ class _Engine:
         return added
 
     def run(self) -> ChaseResult:
-        delta: Optional[set[Atom]] = None
-        while True:
-            reason = self._over_budget()
-            if reason is not None:
-                self.truncated = reason
-                break
-            if (
-                self.budget.max_rounds is not None
-                and self.rounds >= self.budget.max_rounds
-            ):
-                self.truncated = "max_rounds"
-                break
-            triggers = self._enumerate_triggers(delta)
-            if not triggers:
-                break
-            self.rounds += 1
-            stop = False
-            round_added: set[Atom] = set()
-            for rule_index, rule, assignment in triggers:
+        obs = _obs_current()
+        stats = ChaseStats()
+        run_span = (
+            obs.span("chase", policy=self.policy, rules=len(self.theory))
+            if obs is not None
+            else nullcontext()
+        )
+        with run_span as span:
+            delta: Optional[set[Atom]] = None
+            while True:
                 reason = self._over_budget()
                 if reason is not None:
                     self.truncated = reason
-                    stop = True
                     break
-                round_added |= self._apply(rule_index, rule, assignment)
-            delta = round_added
-            if stop:
-                break
+                if (
+                    self.budget.max_rounds is not None
+                    and self.rounds >= self.budget.max_rounds
+                ):
+                    self.truncated = "max_rounds"
+                    break
+                triggers = self._enumerate_triggers(delta)
+                if not triggers:
+                    break
+                self.rounds += 1
+                steps_before = self.steps
+                nulls_before = self.nulls_created
+                stop = False
+                round_added: set[Atom] = set()
+                for rule_index, rule, assignment in triggers:
+                    reason = self._over_budget()
+                    if reason is not None:
+                        self.truncated = reason
+                        stop = True
+                        break
+                    round_added |= self._apply(rule_index, rule, assignment)
+                delta = round_added
+                round_stats = RoundStats(
+                    round=self.rounds,
+                    triggers_enumerated=len(triggers),
+                    triggers_fired=self.steps - steps_before,
+                    atoms_added=len(round_added),
+                    nulls_created=self.nulls_created - nulls_before,
+                )
+                stats.rounds.append(round_stats)
+                if obs is not None:
+                    obs.inc(
+                        "chase.triggers_enumerated", round_stats.triggers_enumerated
+                    )
+                    obs.inc("triggers_fired", round_stats.triggers_fired)
+                    obs.inc("atoms_derived", round_stats.atoms_added)
+                    obs.inc("nulls_created", round_stats.nulls_created)
+                    obs.observe("chase.delta_size", round_stats.atoms_added)
+                if stop:
+                    break
+            if obs is not None:
+                obs.inc("chase.rounds", self.rounds)
+                span.set(
+                    atoms=len(self.database),
+                    steps=self.steps,
+                    rounds=self.rounds,
+                    nulls=self.nulls_created,
+                    truncated=self.truncated,
+                )
         complete = self.truncated is None
         return ChaseResult(
             database=self.database,
@@ -299,6 +378,7 @@ class _Engine:
                 for term, depth in self.depths.items()
                 if isinstance(term, Null)
             },
+            stats=stats,
         )
 
 

@@ -24,7 +24,7 @@ from ..core.database import Database
 from ..core.terms import Constant
 from ..core.theory import Query, Theory
 from ..datalog.stratification import Stratification, stratify
-from .runner import ChaseBudget, ChaseResult, chase
+from .runner import ChaseBudget, ChaseResult, ChaseStats, chase
 
 __all__ = ["stratified_chase", "stratified_answers"]
 
@@ -56,6 +56,7 @@ def stratified_chase(
     complete = True
     reason: Optional[str] = None
     null_depths = {}
+    stats = ChaseStats()
     for index, stratum in enumerate(stratification):
         stratum_budget = budgets[index] if budgets is not None else budget
         result = chase(
@@ -71,6 +72,7 @@ def stratified_chase(
         total_rounds += result.rounds
         total_nulls += result.nulls_created
         null_depths.update(result.null_depths)
+        stats.merge(result.stats)
         if not result.complete:
             complete = False
             reason = result.truncated_reason
@@ -82,6 +84,7 @@ def stratified_chase(
         nulls_created=total_nulls,
         truncated_reason=reason,
         null_depths=null_depths,
+        stats=stats,
     )
 
 

@@ -10,6 +10,13 @@ Installed as the ``repro`` console script::
 
 Theories use the rule syntax of :mod:`repro.core.parser`; databases use
 the data syntax (bare names are constants).
+
+Every subcommand accepts ``--stats`` (print an instrumentation report —
+phase timings and engine counters — to stderr after the normal output)
+and ``--trace-json PATH`` (export JSON-lines spans and the final metrics
+snapshot, see :mod:`repro.obs`).  ``repro chase --stats`` additionally
+prints a per-round ``# round …`` footer from the run's own
+:class:`~repro.chase.runner.ChaseStats` snapshot.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from .core.parser import parse_database, parse_theory, render_theory
 from .core.theory import Query, Theory
 from .guardedness.classify import classify
 from .guardedness.normalize import normalize
+from .obs import JsonLinesSink, instrumented
 from .translate.annotations import rewrite_weakly_frontier_guarded
 from .translate.expansion import rewrite_frontier_guarded
 from .translate.pipeline import answer_query
@@ -66,6 +74,21 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     )
     for atom in sorted(result.database):
         print(atom)
+    if args.stats:
+        stats = result.stats
+        print(
+            f"# stats: rounds={result.rounds} "
+            f"triggers_enumerated={stats.triggers_enumerated} "
+            f"triggers_fired={stats.triggers_fired} "
+            f"atoms_added={stats.atoms_added} "
+            f"nulls_created={result.nulls_created}"
+        )
+        for r in stats.rounds:
+            print(
+                f"# round {r.round}: triggers={r.triggers_enumerated} "
+                f"fired={r.triggers_fired} atoms={r.atoms_added} "
+                f"nulls={r.nulls_created}"
+            )
     return 0 if result.complete else 1
 
 
@@ -124,13 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Guarded existential rules: classify, chase, translate, answer.",
     )
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--stats",
+        action="store_true",
+        help="print an instrumentation report (timings + counters) to stderr",
+    )
+    obs_flags.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="export JSON-lines spans and a final metrics record to PATH",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    p = commands.add_parser("classify", help="Figure 1 class membership")
+    p = commands.add_parser(
+        "classify", help="Figure 1 class membership", parents=[obs_flags]
+    )
     p.add_argument("theory")
     p.set_defaults(handler=_cmd_classify)
 
-    p = commands.add_parser("chase", help="run the chase and print the result")
+    p = commands.add_parser(
+        "chase", help="run the chase and print the result", parents=[obs_flags]
+    )
     p.add_argument("theory")
     p.add_argument("database")
     p.add_argument("--policy", choices=("oblivious", "restricted"), default="restricted")
@@ -138,7 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-depth", type=int, default=None)
     p.set_defaults(handler=_cmd_chase)
 
-    p = commands.add_parser("answer", help="certain answers for an output relation")
+    p = commands.add_parser(
+        "answer",
+        help="certain answers for an output relation",
+        parents=[obs_flags],
+    )
     p.add_argument("theory")
     p.add_argument("database")
     p.add_argument("--output", required=True, help="output relation name")
@@ -149,7 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=100_000)
     p.set_defaults(handler=_cmd_answer)
 
-    p = commands.add_parser("translate", help="run a paper translation")
+    p = commands.add_parser(
+        "translate", help="run a paper translation", parents=[obs_flags]
+    )
     p.add_argument("theory")
     p.add_argument(
         "--target",
@@ -159,7 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rules", type=int, default=100_000)
     p.set_defaults(handler=_cmd_translate)
 
-    p = commands.add_parser("termination", help="static chase-termination check")
+    p = commands.add_parser(
+        "termination", help="static chase-termination check", parents=[obs_flags]
+    )
     p.add_argument("theory")
     p.set_defaults(handler=_cmd_termination)
 
@@ -169,7 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    if not (args.stats or args.trace_json):
+        return args.handler(args)
+    sinks = []
+    if args.trace_json:
+        try:
+            stream = open(args.trace_json, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open --trace-json target: {exc}", file=sys.stderr)
+            return 2
+        sinks.append(JsonLinesSink(stream))
+    with instrumented(*sinks) as instr:
+        code = args.handler(args)
+    if args.stats:
+        print(instr.report(title=f"repro {args.command}"), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from .atoms import Atom, NegatedAtom
 from .database import Database
 from .terms import Constant, Null, Term, Variable
 from .theory import ACDOM
+from ..obs.runtime import current as _obs_current
 
 __all__ = [
     "homomorphisms",
@@ -157,6 +158,9 @@ def homomorphisms(
     """
     atoms = list(pattern)
     assignment: Assignment = dict(partial) if partial else {}
+    obs = _obs_current()
+    if obs is not None:
+        obs.inc("homomorphism_calls")
 
     if forced is not None:
         forced_index, forced_atoms = forced
@@ -168,10 +172,10 @@ def homomorphisms(
             seed = _unify(forced_atom, fact, assignment)
             if seed is None:
                 continue
-            yield from _search(rest, atoms, database, seed)
+            yield from _search(rest, atoms, database, seed, obs)
         return
 
-    yield from _search(list(range(len(atoms))), atoms, database, assignment)
+    yield from _search(list(range(len(atoms))), atoms, database, assignment, obs)
 
 
 def _search(
@@ -179,14 +183,24 @@ def _search(
     atoms: Sequence[Atom],
     database: Database,
     assignment: Assignment,
+    obs=None,
 ) -> Iterator[Assignment]:
     if not remaining:
         yield assignment
         return
     index = _select_next(remaining, atoms, assignment)
     rest = [i for i in remaining if i != index]
+    if obs is None:
+        for extension in _match_atom(atoms[index], database, assignment):
+            yield from _search(rest, atoms, database, extension)
+        return
+    obs.inc("homomorphism.match_calls")
+    matched = False
     for extension in _match_atom(atoms[index], database, assignment):
-        yield from _search(rest, atoms, database, extension)
+        matched = True
+        yield from _search(rest, atoms, database, extension, obs)
+    if not matched:
+        obs.inc("homomorphism.backtracks")
 
 
 def first_homomorphism(

@@ -19,6 +19,7 @@ database.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import nullcontext
 from typing import Iterable, Optional
 
 from ..core.atoms import Atom, NegatedAtom
@@ -27,6 +28,7 @@ from ..core.homomorphism import homomorphisms
 from ..core.rules import Rule
 from ..core.terms import Constant, Term, Variable
 from ..core.theory import ACDOM, Query, Theory
+from ..obs.runtime import current as _obs_current
 from .stratification import Stratification, stratify
 
 __all__ = ["evaluate", "datalog_answers", "DatalogError"]
@@ -63,7 +65,7 @@ def _fire(
             new_atoms.add(grounded)
 
 
-def _evaluate_stratum(stratum: Theory, database: Database) -> None:
+def _evaluate_stratum(stratum: Theory, database: Database, obs=None) -> None:
     """Evaluate one stratum to fixpoint, mutating ``database``."""
     defined_here = {atom.relation for rule in stratum for atom in rule.head}
 
@@ -76,6 +78,9 @@ def _evaluate_stratum(stratum: Theory, database: Database) -> None:
                 _fire(rule, assignment, database, delta)
     for atom in delta:
         database.add(atom)
+    if obs is not None:
+        obs.observe("delta_size", len(delta))
+        obs.inc("atoms_derived", len(delta))
 
     # Precompute, per rule, the body-atom indices matching this stratum's
     # IDB relations — the candidates for delta pinning.
@@ -109,9 +114,12 @@ def _evaluate_stratum(stratum: Theory, database: Database) -> None:
         for atom in next_delta:
             database.add(atom)
         delta = next_delta
+        if obs is not None:
+            obs.observe("delta_size", len(delta))
+            obs.inc("atoms_derived", len(delta))
 
 
-def _evaluate_stratum_naive(stratum: Theory, database: Database) -> None:
+def _evaluate_stratum_naive(stratum: Theory, database: Database, obs=None) -> None:
     """Reference naive evaluation: fire every rule against the full
     database until nothing changes.  Quadratically slower than semi-naive
     on recursive programs — kept for the ablation benchmark and as a
@@ -125,9 +133,14 @@ def _evaluate_stratum_naive(stratum: Theory, database: Database) -> None:
             for assignment in homomorphisms(body, database):
                 if _negation_satisfied(rule, assignment, database):
                     _fire(rule, assignment, database, new_atoms)
+        added = 0
         for atom in new_atoms:
             if database.add(atom):
                 changed = True
+                added += 1
+        if obs is not None:
+            obs.observe("delta_size", added)
+            obs.inc("atoms_derived", added)
 
 
 def evaluate(
@@ -150,11 +163,29 @@ def evaluate(
         stratification = stratify(program)
     result = database.copy()
     result.ensure_acdom_frozen()
-    for stratum in stratification:
-        if strategy == "naive":
-            _evaluate_stratum_naive(stratum, result)
-        else:
-            _evaluate_stratum(stratum, result)
+    obs = _obs_current()
+    run_span = (
+        obs.span(
+            "datalog.evaluate",
+            rules=len(program),
+            strata=len(stratification),
+            strategy=strategy,
+        )
+        if obs is not None
+        else nullcontext()
+    )
+    with run_span:
+        for index, stratum in enumerate(stratification):
+            stratum_span = (
+                obs.span("datalog.stratum", index=index, rules=len(stratum))
+                if obs is not None
+                else nullcontext()
+            )
+            with stratum_span:
+                if strategy == "naive":
+                    _evaluate_stratum_naive(stratum, result, obs)
+                else:
+                    _evaluate_stratum(stratum, result, obs)
     return result
 
 

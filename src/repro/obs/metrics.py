@@ -1,0 +1,75 @@
+"""Typed in-memory metrics: counters, gauges, and series.
+
+Three metric kinds cover everything the engines report:
+
+* **counter** — a monotonically increasing integer (``triggers_fired``,
+  ``atoms_derived``, ``homomorphism_calls``, ``nulls_created``);
+* **gauge** — a last-value-wins scalar (``pipeline.datalog_rules``);
+* **series** — an append-only list of per-step observations
+  (``datalog.delta_size`` per semi-naive iteration,
+  ``saturation.rules_added`` per closure round).
+
+The registry is deliberately dependency-free and cheap: metric names are
+plain dotted strings, values plain numbers, so a snapshot is directly JSON
+serialisable and trivially diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """In-memory store for counters, gauges, and series."""
+
+    __slots__ = ("counters", "gauges", "series")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.series: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append ``value`` to the series ``name``."""
+        self.series.setdefault(name, []).append(value)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "series": {name: list(values) for name, values in self.series.items()},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, gauges overwrite,
+        series concatenate) — used to aggregate per-stratum runs."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, values in other.series.items():
+            self.series.setdefault(name, []).extend(values)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.series)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, series={len(self.series)})"
+        )

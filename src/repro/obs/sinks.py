@@ -1,0 +1,132 @@
+"""Pluggable instrumentation sinks.
+
+A sink receives each finished :class:`~repro.obs.tracer.Span` via
+``span()`` and the final metrics via ``finish()``.  Two sinks ship with
+the package:
+
+* :class:`JsonLinesSink` — one JSON object per line: ``{"type": "span",
+  ...}`` records as phases close, then a single ``{"type": "metrics",
+  ...}`` record with the full counter/gauge/series snapshot.  The format
+  is append-friendly and ``jq``-able, and feeds the ``BENCH_*.json``
+  trajectory files of later perf PRs.
+* :func:`render_report` — not a class, just a renderer: a human-readable
+  text report (span tree with timings + counter table) used by the CLI's
+  ``--stats`` flag and the benchmark summaries.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional, TextIO, Union
+
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+__all__ = ["Sink", "JsonLinesSink", "render_report"]
+
+
+class Sink:
+    """Base class / protocol for instrumentation sinks."""
+
+    def span(self, span: Span) -> None:  # pragma: no cover - interface
+        """Called once per span, as it closes."""
+
+    def finish(self, metrics: MetricsRegistry) -> None:  # pragma: no cover
+        """Called once when the owning instrumentation deactivates."""
+
+
+class JsonLinesSink(Sink):
+    """Stream spans and the final metrics snapshot as JSON lines.
+
+    Accepts an open text stream or a path; a path is opened lazily on the
+    first record and closed by ``finish()``.
+    """
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        self._path: Optional[str] = None
+        self._stream: Optional[TextIO] = None
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._path = str(target)
+        else:
+            self._stream = target
+
+    def _out(self) -> TextIO:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = open(self._path, "w", encoding="utf-8")
+        return self._stream
+
+    def _write(self, record: dict) -> None:
+        out = self._out()
+        out.write(json.dumps(record, sort_keys=True, default=str))
+        out.write("\n")
+
+    def span(self, span: Span) -> None:
+        self._write(
+            {
+                "type": "span",
+                "name": span.name,
+                "depth": span.depth,
+                "start": span.start,
+                "end": span.end,
+                "duration_ms": round(span.duration * 1e3, 6),
+                "attrs": span.attrs,
+            }
+        )
+
+    def finish(self, metrics: MetricsRegistry) -> None:
+        self._write({"type": "metrics", **metrics.snapshot()})
+        if self._stream is not None:
+            self._stream.flush()
+            if self._path is not None:  # we own the file handle
+                self._stream.close()
+                self._stream = None
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def render_report(
+    metrics: MetricsRegistry,
+    spans: Optional[list[Span]] = None,
+    *,
+    title: str = "instrumentation report",
+) -> str:
+    """Render metrics (and optionally a span tree) as readable text."""
+    out = io.StringIO()
+    out.write(f"== {title} ==\n")
+    if spans:
+        out.write("spans:\n")
+        for span in spans:
+            attrs = ""
+            if span.attrs:
+                attrs = "  " + " ".join(
+                    f"{key}={value}" for key, value in sorted(span.attrs.items())
+                )
+            out.write(
+                f"  {'  ' * span.depth}{span.name:<28s}"
+                f"{span.duration * 1e3:10.3f} ms{attrs}\n"
+            )
+    if metrics.counters:
+        out.write("counters:\n")
+        for name in sorted(metrics.counters):
+            out.write(f"  {name:<32s}{metrics.counters[name]:>12d}\n")
+    if metrics.gauges:
+        out.write("gauges:\n")
+        for name in sorted(metrics.gauges):
+            out.write(f"  {name:<32s}{_format_value(metrics.gauges[name]):>12s}\n")
+    if metrics.series:
+        out.write("series:\n")
+        for name in sorted(metrics.series):
+            values = metrics.series[name]
+            shown = ", ".join(_format_value(v) for v in values[:12])
+            if len(values) > 12:
+                shown += f", … ({len(values)} points)"
+            out.write(f"  {name:<32s}[{shown}]\n")
+    if not (spans or metrics):
+        out.write("  (no data recorded)\n")
+    return out.getvalue().rstrip("\n")

@@ -1,0 +1,90 @@
+"""Nested phase timing: :class:`Tracer` and :class:`Span`.
+
+A span is one timed phase (``chase``, ``datalog.stratum``,
+``pipeline.saturate``); spans nest, forming the call tree of an engine
+run.  Timing uses :func:`time.perf_counter` — monotonic, sub-microsecond
+resolution, immune to wall-clock adjustments.
+
+Spans are recorded in *start* order (so rendering the list with
+``depth``-based indentation reproduces the tree) and sinks are notified in
+*close* order (so an exporter always sees finished timings).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed phase.  ``end`` is ``None`` while the span is open."""
+
+    name: str
+    start: float
+    depth: int
+    attrs: dict = field(default_factory=dict)
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now for a still-open span)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class Tracer:
+    """Records a tree of :class:`Span` objects.
+
+    ``on_close`` callbacks (sinks) fire as each span finishes.  The tracer
+    is not thread-safe by design: each engine run owns one tracer, and the
+    ambient layer (:mod:`repro.obs.runtime`) hands out per-context
+    instances via ``contextvars``.
+    """
+
+    __slots__ = ("spans", "_stack", "_on_close", "_clock")
+
+    def __init__(
+        self,
+        *,
+        on_close: Optional[Callable[[Span], None]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._on_close = on_close
+        self._clock = clock
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; closes (and notifies sinks) on exit."""
+        span = Span(name, self._clock(), depth=len(self._stack), attrs=attrs)
+        self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            self._stack.pop()
+            if self._on_close is not None:
+                self._on_close(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> list[Span]:
+        """Top-level (depth 0) spans, in start order."""
+        return [span for span in self.spans if span.depth == 0]

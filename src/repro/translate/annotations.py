@@ -52,6 +52,7 @@ from ..guardedness.classify import (
 )
 from ..guardedness.normalize import normalize
 from ..guardedness.proper import ProperForm, make_proper
+from ..obs.runtime import span as _obs_span
 from .expansion import rewrite_frontier_guarded
 
 __all__ = [
@@ -184,6 +185,20 @@ def rewrite_weakly_frontier_guarded(
     (properized) database.
 
     The input is normalized internally (Proposition 1)."""
+    with _obs_span("translate.rewrite_wfg", rules=len(theory)):
+        return _rewrite_weakly_frontier_guarded(
+            theory,
+            max_rules=max_rules,
+            max_selection_domain=max_selection_domain,
+        )
+
+
+def _rewrite_weakly_frontier_guarded(
+    theory: Theory,
+    *,
+    max_rules: int,
+    max_selection_domain: Optional[int],
+) -> WfgRewriting:
     normal = normalize(theory).theory
     ap = coherent_affected_positions(normal)
     for rule in normal:

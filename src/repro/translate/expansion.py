@@ -34,6 +34,8 @@ from ..guardedness.classify import (
     is_nearly_guarded,
 )
 from ..guardedness.normalize import is_normal
+from ..obs.runtime import current as _obs_current
+from ..obs.runtime import span as _obs_span
 from .rc_rnc import (
     bag_axioms,
     guard_signature_of,
@@ -179,17 +181,22 @@ def rewrite_frontier_guarded(
     The result is nearly guarded (Proposition 3) and has the same ground
     atomic consequences over the original signature for every database
     (Theorem 1)."""
-    expanded = expand(
-        theory, max_rules=max_rules, max_selection_domain=max_selection_domain
-    )
-    rewritten = []
-    for rule in expanded.theory:
-        if is_guarded_rule(rule):
-            rewritten.append(rule)
-        else:
-            rewritten.append(_add_acdom_guards(rule))
-    result = Theory(rewritten)
-    assert is_nearly_guarded(result), "Proposition 3 violated"
+    with _obs_span("translate.rewrite_fg", rules=len(theory)) as span:
+        expanded = expand(
+            theory, max_rules=max_rules, max_selection_domain=max_selection_domain
+        )
+        rewritten = []
+        for rule in expanded.theory:
+            if is_guarded_rule(rule):
+                rewritten.append(rule)
+            else:
+                rewritten.append(_add_acdom_guards(rule))
+        result = Theory(rewritten)
+        assert is_nearly_guarded(result), "Proposition 3 violated"
+        obs = _obs_current()
+        if obs is not None:
+            obs.gauge("rewrite_fg.rules_out", len(result))
+            span.set(rules_out=len(result))
     return result
 
 

@@ -33,6 +33,8 @@ from ..datalog.stratification import is_stratified
 from ..guardedness.affected import affected_positions
 from ..guardedness.classify import classify
 from ..guardedness.normalize import normalize
+from ..obs.runtime import current as _obs_current
+from ..obs.runtime import span as _obs_span
 from .annotations import WfgRewriting, rewrite_weakly_frontier_guarded
 from .expansion import rewrite_frontier_guarded, rewrite_nearly_frontier_guarded
 from .grounding import partial_grounding
@@ -60,36 +62,46 @@ def answer_wfg_query(
 ) -> PipelineReport:
     """Answer a weakly frontier-guarded query by the five-step pipeline."""
     report = PipelineReport()
+    obs = _obs_current()
 
-    # Step 1: WFG → WG (Theorem 2).
-    rewriting = rewrite_weakly_frontier_guarded(
-        query.theory, max_rules=max_rules
-    )
-    report.rewritten_rules = len(rewriting.theory)
-    prepared = rewriting.prepare_database(database)
+    with _obs_span("pipeline.answer_wfg", output=query.output):
+        # Step 1: WFG → WG (Theorem 2).
+        with _obs_span("pipeline.rewrite"):
+            rewriting = rewrite_weakly_frontier_guarded(
+                query.theory, max_rules=max_rules
+            )
+            report.rewritten_rules = len(rewriting.theory)
+            prepared = rewriting.prepare_database(database)
 
-    # Step 2: partial grounding → guarded theory (linear variables/rule).
-    grounded = partial_grounding(rewriting.theory, prepared)
-    report.grounded_rules = len(grounded)
+        # Step 2: partial grounding → guarded theory (linear variables/rule).
+        with _obs_span("pipeline.ground"):
+            grounded = partial_grounding(rewriting.theory, prepared)
+            report.grounded_rules = len(grounded)
 
-    # Step 3: guarded → Datalog (Theorem 3).
-    datalog = nearly_guarded_to_datalog(
-        grounded, max_rules=saturation_max_rules
-    )
-    report.datalog_rules = len(datalog)
+        # Step 3: guarded → Datalog (Theorem 3).
+        with _obs_span("pipeline.saturate"):
+            datalog = nearly_guarded_to_datalog(
+                grounded, max_rules=saturation_max_rules
+            )
+            report.datalog_rules = len(datalog)
 
-    # Steps 4+5: evaluate (semi-naive = grounding on demand).
-    fixpoint = evaluate(datalog, prepared)
-    raw = {
-        tuple(atom.args)
-        for key in fixpoint.relations()
-        if key[0] == query.output
-        for atom in fixpoint.atoms_for(key)
-        if all(isinstance(term, Constant) for term in atom.args)
-    }
-    report.answers = {
-        rewriting.restore_answer(query.output, answer) for answer in raw
-    }
+        # Steps 4+5: evaluate (semi-naive = grounding on demand).
+        with _obs_span("pipeline.evaluate"):
+            fixpoint = evaluate(datalog, prepared)
+        raw = {
+            tuple(atom.args)
+            for key in fixpoint.relations()
+            if key[0] == query.output
+            for atom in fixpoint.atoms_for(key)
+            if all(isinstance(term, Constant) for term in atom.args)
+        }
+        report.answers = {
+            rewriting.restore_answer(query.output, answer) for answer in raw
+        }
+    if obs is not None:
+        obs.gauge("pipeline.rewritten_rules", report.rewritten_rules)
+        obs.gauge("pipeline.grounded_rules", report.grounded_rules)
+        obs.gauge("pipeline.datalog_rules", report.datalog_rules)
     return report
 
 
@@ -111,23 +123,28 @@ def answer_query(
     theory = query.theory
     labels = classify(theory)
     if labels.datalog and not theory.has_negation():
-        return datalog_answers(query, database)
+        with _obs_span("pipeline.answer_query", strategy="datalog"):
+            return datalog_answers(query, database)
     if labels.nearly_guarded or labels.nearly_frontier_guarded:
-        normal = normalize(theory).theory
-        if classify(normal).nearly_guarded:
-            datalog = nearly_guarded_to_datalog(normal, max_rules=max_rules)
-        else:
-            rewritten = rewrite_nearly_frontier_guarded(
-                normal, max_rules=max_rules
-            )
-            datalog = nearly_guarded_to_datalog(rewritten, max_rules=max_rules)
-        # evaluate and scan: the output relation may be absent from the
-        # Datalog program (no existential-free consequence mentions it)
-        # while still holding on input facts
-        from ..chase.runner import answers_in
+        with _obs_span("pipeline.answer_query", strategy="translate"):
+            normal = normalize(theory).theory
+            if classify(normal).nearly_guarded:
+                datalog = nearly_guarded_to_datalog(normal, max_rules=max_rules)
+            else:
+                rewritten = rewrite_nearly_frontier_guarded(
+                    normal, max_rules=max_rules
+                )
+                datalog = nearly_guarded_to_datalog(
+                    rewritten, max_rules=max_rules
+                )
+            # evaluate and scan: the output relation may be absent from the
+            # Datalog program (no existential-free consequence mentions it)
+            # while still holding on input facts
+            from ..chase.runner import answers_in
 
-        fixpoint = evaluate(datalog, database)
-        return answers_in(fixpoint, query.output)
+            fixpoint = evaluate(datalog, database)
+            return answers_in(fixpoint, query.output)
     if labels.weakly_guarded or labels.weakly_frontier_guarded:
         return answer_wfg_query(query, database, max_rules=max_rules).answers
-    return certain_answers(query, database, budget=budget)
+    with _obs_span("pipeline.answer_query", strategy="chase"):
+        return certain_answers(query, database, budget=budget)

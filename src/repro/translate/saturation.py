@@ -36,6 +36,7 @@ Implementation notes:
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -45,6 +46,7 @@ from ..core.terms import Constant, Term, Variable
 from ..core.theory import Theory
 from ..guardedness.affected import affected_positions, unsafe_variables
 from ..guardedness.classify import is_guarded_rule, is_nearly_guarded
+from ..obs.runtime import current as _obs_current
 
 __all__ = [
     "SaturationBudget",
@@ -285,9 +287,27 @@ def saturate(
             if not is_guarded_rule(rule):
                 raise ValueError(f"rule is not guarded: {rule}")
 
-    if strategy == "exhaustive":
-        return _saturate_exhaustive(theory, max_rules)
-    return _saturate_goal_directed(theory, max_rules)
+    obs = _obs_current()
+    run_span = (
+        obs.span("translate.saturate", rules=len(theory), strategy=strategy)
+        if obs is not None
+        else nullcontext()
+    )
+    with run_span as span:
+        if strategy == "exhaustive":
+            result = _saturate_exhaustive(theory, max_rules)
+        else:
+            result = _saturate_goal_directed(theory, max_rules)
+        if obs is not None:
+            obs.inc("saturation.derived_rules", result.derived_rules)
+            obs.gauge("saturation.closure_rules", len(result.closure))
+            obs.gauge("saturation.datalog_rules", len(result.datalog))
+            span.set(
+                closure_rules=len(result.closure),
+                datalog_rules=len(result.datalog),
+                iterations=result.iterations,
+            )
+    return result
 
 
 @dataclass
@@ -346,12 +366,14 @@ def _saturate_goal_directed(theory: Theory, max_rules: int) -> SaturationResult:
             )
             base_index += 1
 
+    obs = _obs_current()
     derived = 0
     iterations = 0
     changed = True
     while changed:
         changed = False
         iterations += 1
+        derived_before = derived
         # Rule 3: merges of body variables, creating sibling contexts.
         for context in list(contexts.values()):
             body_vars = sorted(
@@ -393,6 +415,8 @@ def _saturate_goal_directed(theory: Theory, max_rules: int) -> SaturationResult:
                         raise SaturationBudget(
                             f"saturation exceeded {max_rules} rules"
                         )
+        if obs is not None:
+            obs.observe("saturation_rules_added", derived - derived_before)
 
     closure_theory = Theory(
         tuple(context.to_rule() for context in contexts.values())

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -83,6 +85,84 @@ class TestTranslate:
         assert main(["translate", str(rules), "--target", "nearly-guarded"]) == 0
         out = capsys.readouterr().out
         assert "->" in out
+
+
+class TestObservabilityFlags:
+    def test_chase_stats_prints_per_round_footer(self, workspace, capsys):
+        theory, _, data = workspace
+        assert main(["chase", str(theory), str(data), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "# stats: rounds=" in captured.out
+        assert "# round 1: triggers=" in captured.out
+        # the global instrumentation report lands on stderr
+        assert "triggers_fired" in captured.err
+        assert "homomorphism_calls" in captured.err
+
+    def test_chase_trace_json_is_parseable(self, workspace, tmp_path, capsys):
+        theory, _, data = workspace
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(["chase", str(theory), str(data), "--trace-json", str(trace)])
+            == 0
+        )
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "chase" in span_names
+        (metrics,) = [r for r in records if r["type"] == "metrics"]
+        assert metrics["counters"]["triggers_fired"] > 0
+
+    def test_answer_trace_covers_datalog(self, workspace, tmp_path, capsys):
+        theory, _, data = workspace
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "answer",
+                    str(theory),
+                    str(data),
+                    "--output",
+                    "T",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"pipeline.answer_query", "datalog.evaluate"} <= span_names
+
+    def test_translate_trace_covers_saturation(self, tmp_path, capsys):
+        rules = tmp_path / "g.rules"
+        rules.write_text("A(x) -> exists y. R(x,y)\nR(x,y) -> S(x)\n")
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "translate",
+                    str(rules),
+                    "--target",
+                    "datalog",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "translate.saturate" in span_names
+
+    def test_stats_output_identical_to_plain_run(self, workspace, capsys):
+        theory, _, data = workspace
+        main(["chase", str(theory), str(data)])
+        plain = capsys.readouterr().out
+        main(["chase", str(theory), str(data), "--stats"])
+        observed = capsys.readouterr().out
+        atoms = [l for l in observed.splitlines() if not l.startswith("#")]
+        assert atoms == [l for l in plain.splitlines() if not l.startswith("#")]
 
 
 class TestTermination:
