@@ -19,7 +19,9 @@ The package implements, from scratch:
 * the Section 8 capture machinery: Turing machines, string databases,
   Σsucc/Σcode, the PTime (semipositive Datalog) and ExpTime (weakly
   guarded) capture compilers — :mod:`repro.capture`;
-* executable separation witnesses — :mod:`repro.expressiveness`.
+* executable separation witnesses — :mod:`repro.expressiveness`;
+* a diagnostic static analyzer with machine-checkable witnesses, behind
+  the ``repro lint`` CLI — :mod:`repro.analysis`.
 
 Quickstart::
 
@@ -30,6 +32,14 @@ Quickstart::
     answers = certain_answers(Query(theory, "HasKeyword"), database)
 """
 
+from .analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze,
+    analyze_text,
+    replay,
+)
 from .core import (
     ACDOM,
     Atom,
@@ -45,6 +55,7 @@ from .core import (
     parse_atom,
     parse_database,
     parse_rule,
+    parse_rules,
     parse_theory,
 )
 from .chase import (
@@ -80,12 +91,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ACDOM",
+    "AnalysisReport",
     "Atom",
     "ChaseBudget",
     "ChaseResult",
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "Diagnostic",
     "Instrumentation",
     "JsonLinesSink",
     "MetricsRegistry",
@@ -94,9 +107,12 @@ __all__ = [
     "ParseError",
     "Query",
     "Rule",
+    "Severity",
     "Theory",
     "Tracer",
     "Variable",
+    "analyze",
+    "analyze_text",
     "answer_cq",
     "answer_query",
     "build_chase_tree",
@@ -116,8 +132,10 @@ __all__ = [
     "parse_atom",
     "parse_database",
     "parse_rule",
+    "parse_rules",
     "parse_theory",
     "render_report",
+    "replay",
     "rewrite_frontier_guarded",
     "rewrite_weakly_frontier_guarded",
     "stratified_answers",

@@ -1,0 +1,44 @@
+"""``repro.analysis`` — a diagnostic static analyzer for rule theories.
+
+A multi-pass linter over parsed theories.  Each finding is a
+:class:`Diagnostic` with a stable code, a severity, a source location
+(threaded from the parser's spans), and a machine-checkable *witness*
+that :func:`replay` verifies mechanically.  See DESIGN.md for the
+diagnostic-code table and paper provenance.
+
+Entry points::
+
+    from repro.analysis import analyze, analyze_text
+
+    report = analyze_text(open(path).read(), source=path)
+    for diagnostic in report:
+        print(diagnostic.location(), diagnostic.code, diagnostic.message)
+
+The ``repro lint`` CLI is a thin wrapper over :func:`analyze_text`.
+"""
+
+from .diagnostics import (
+    CODES,
+    REPORT_JSON_SCHEMA,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+)
+from .passes import PASSES, AnalysisContext, analyze, analyze_text
+from .replay import ReplayError, replay
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "PASSES",
+    "REPORT_JSON_SCHEMA",
+    "ReplayError",
+    "Severity",
+    "analyze",
+    "analyze_text",
+    "replay",
+]

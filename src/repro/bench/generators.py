@@ -17,8 +17,7 @@ every workload is reproducible from its seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 from ..core.atoms import Atom
 from ..core.database import Database

@@ -40,8 +40,8 @@ from ..core.terms import Variable
 from ..core.theory import Query, Theory
 from ..chase.runner import ChaseBudget, chase
 from ..guardedness.classify import is_weakly_guarded
-from .string_db import FIRST, LAST, NEXT, PAD, StringSignature
-from .turing import ACCEPT, BLANK, EXISTENTIAL, REJECT, UNIVERSAL, TuringMachine
+from .string_db import FIRST, NEXT, PAD, StringSignature
+from .turing import ACCEPT, BLANK, REJECT, UNIVERSAL, TuringMachine
 
 __all__ = ["CompiledMachine", "compile_machine", "machine_accepts_via_chase"]
 

@@ -23,7 +23,7 @@ from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.rules import Rule
 from ..core.terms import Variable
-from ..core.theory import Query, Theory
+from ..core.theory import Theory
 from ..chase.runner import ChaseBudget
 from ..chase.stratified import stratified_chase
 from .order import good_ordering_budget, sigma_succ

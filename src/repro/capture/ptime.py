@@ -19,7 +19,6 @@ polynomial — contrast with the weakly guarded ExpTime simulation of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.atoms import Atom
 from ..core.database import Database
@@ -27,7 +26,7 @@ from ..core.rules import Rule
 from ..core.terms import Variable
 from ..core.theory import Query, Theory
 from ..datalog.engine import evaluate
-from .string_db import FIRST, LAST, NEXT, PAD, StringSignature
+from .string_db import FIRST, NEXT, PAD, StringSignature
 from .turing import ACCEPT, BLANK, REJECT, TuringMachine
 
 __all__ = ["CompiledPolytimeMachine", "compile_polytime_machine", "polytime_accepts"]

@@ -19,7 +19,7 @@ chase-derived answer is the capture experiment (E9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 __all__ = [
     "BLANK",

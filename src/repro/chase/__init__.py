@@ -24,8 +24,11 @@ from .core_db import core_of, cores_isomorphic, is_core
 from .stratified import stratified_answers, stratified_chase
 from .termination import (
     chase_terminates,
+    find_joint_cycle,
+    find_special_cycle,
     is_jointly_acyclic,
     is_weakly_acyclic,
+    joint_dependency_edges,
     position_dependency_graph,
 )
 
@@ -47,9 +50,12 @@ __all__ = [
     "core_of",
     "cores_isomorphic",
     "entails",
+    "find_joint_cycle",
+    "find_special_cycle",
     "is_core",
     "is_jointly_acyclic",
     "is_weakly_acyclic",
+    "joint_dependency_edges",
     "position_dependency_graph",
     "stratified_answers",
     "stratified_chase",

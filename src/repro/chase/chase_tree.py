@@ -19,9 +19,7 @@ from typing import Iterable, Optional
 
 from ..core.atoms import Atom
 from ..core.database import Database
-from ..core.homomorphism import homomorphisms
-from ..core.rules import Rule
-from ..core.terms import Constant, Null, Term, Variable
+from ..core.terms import Constant, Term
 from ..core.theory import Theory
 from ..guardedness.classify import is_frontier_guarded_rule
 from ..guardedness.normalize import is_normal

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.homomorphism import first_homomorphism
 from ..core.terms import Null, Term, Variable

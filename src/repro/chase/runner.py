@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
-from ..core.atoms import Atom, NegatedAtom
+from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.homomorphism import extends_to_head, homomorphisms
 from ..core.rules import Rule

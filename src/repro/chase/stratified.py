@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.terms import Constant
 from ..core.theory import Query, Theory

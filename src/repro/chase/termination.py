@@ -25,9 +25,8 @@ Both analyses ignore negated literals (they only suppress inferences).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Optional
 
-from ..core.rules import Rule
 from ..core.terms import Variable
 from ..core.theory import Theory
 from ..guardedness.affected import Position, positions_of
@@ -35,18 +34,30 @@ from ..guardedness.affected import Position, positions_of
 __all__ = [
     "PositionGraph",
     "position_dependency_graph",
+    "find_special_cycle",
+    "joint_dependency_edges",
+    "find_joint_cycle",
     "is_weakly_acyclic",
     "is_jointly_acyclic",
     "chase_terminates",
 ]
 
+#: A node of the joint-acyclicity graph: (rule index, existential variable).
+ExistentialNode = tuple[int, Variable]
+
 
 @dataclass
 class PositionGraph:
-    """The weak-acyclicity position dependency graph."""
+    """The weak-acyclicity position dependency graph.
+
+    ``provenance`` records, per edge, the index of one rule that
+    contributes it — metadata for diagnostics, irrelevant to the
+    acyclicity checks themselves.
+    """
 
     regular: set[tuple[Position, Position]] = field(default_factory=set)
     special: set[tuple[Position, Position]] = field(default_factory=set)
+    provenance: dict[tuple[Position, Position], int] = field(default_factory=dict)
 
     def nodes(self) -> set[Position]:
         found: set[Position] = set()
@@ -83,7 +94,7 @@ class PositionGraph:
 def position_dependency_graph(theory: Theory) -> PositionGraph:
     """Build the weak-acyclicity graph over argument positions."""
     graph = PositionGraph()
-    for rule in theory:
+    for index, rule in enumerate(theory):
         body_atoms = rule.positive_body()
         evars = rule.evars()
         head_evar_positions: set[Position] = set()
@@ -99,9 +110,61 @@ def position_dependency_graph(theory: Theory) -> PositionGraph:
             for source in body_positions:
                 for target in head_positions:
                     graph.regular.add((source, target))
+                    graph.provenance.setdefault((source, target), index)
                 for target in head_evar_positions:
                     graph.special.add((source, target))
+                    graph.provenance.setdefault((source, target), index)
     return graph
+
+
+def find_special_cycle(
+    graph: PositionGraph,
+) -> Optional[list[tuple[Position, Position, bool]]]:
+    """A witness cycle through a special edge, or ``None`` if weakly acyclic.
+
+    Returns a closed edge list ``[(source, target, special?), …]`` — the
+    target of each edge is the source of the next, the last edge closes
+    back to the first source, and at least one edge is special.  Every
+    returned edge is a real edge of ``graph`` (``special?`` selects which
+    edge set it came from), so the witness can be replayed."""
+    successors: dict[Position, set[Position]] = {}
+    for source, target in graph.regular | graph.special:
+        successors.setdefault(source, set()).add(target)
+
+    def path(start: Position, goal: Position) -> Optional[list[Position]]:
+        """Shortest node path start → goal (possibly the empty path)."""
+        if start == goal:
+            return [start]
+        parents: dict[Position, Position] = {}
+        queue, seen = [start], {start}
+        while queue:
+            node = queue.pop(0)
+            for nxt in sorted(successors.get(node, ())):
+                if nxt in seen:
+                    continue
+                parents[nxt] = node
+                if nxt == goal:
+                    nodes = [goal]
+                    while nodes[-1] != start:
+                        nodes.append(parents[nodes[-1]])
+                    return list(reversed(nodes))
+                seen.add(nxt)
+                queue.append(nxt)
+        return None
+
+    def label(source: Position, target: Position) -> bool:
+        """Prefer the regular label when an edge is in both sets."""
+        return (source, target) not in graph.regular
+
+    for source, target in sorted(graph.special):
+        nodes = path(target, source)
+        if nodes is None:
+            continue
+        cycle = [(source, target, True)]
+        for here, nxt in zip(nodes, nodes[1:]):
+            cycle.append((here, nxt, label(here, nxt)))
+        return cycle
+    return None
 
 
 def is_weakly_acyclic(theory: Theory) -> bool:
@@ -133,17 +196,16 @@ def _existential_move_sets(theory: Theory) -> dict[tuple[int, Variable], set[Pos
     return moves
 
 
-def is_jointly_acyclic(theory: Theory) -> bool:
-    """Joint acyclicity ([23]) — subsumes weak acyclicity.
+def joint_dependency_edges(
+    theory: Theory,
+) -> dict[ExistentialNode, set[ExistentialNode]]:
+    """The joint-acyclicity graph over (rule index, existential variable).
 
     Edge ``z → z′`` when the nulls of ``z`` can instantiate *every* body
-    occurrence of some frontier variable of the rule introducing ``z′``;
-    termination is guaranteed when this graph is acyclic."""
+    occurrence of some frontier variable of the rule introducing ``z′``."""
     moves = _existential_move_sets(theory)
     rules = list(theory)
-    edges: dict[tuple[int, Variable], set[tuple[int, Variable]]] = {
-        key: set() for key in moves
-    }
+    edges: dict[ExistentialNode, set[ExistentialNode]] = {key: set() for key in moves}
     for source_key, move_set in moves.items():
         for target_index, rule in enumerate(rules):
             if not rule.exist_vars:
@@ -154,21 +216,49 @@ def is_jointly_acyclic(theory: Theory) -> bool:
                     for evar in rule.exist_vars:
                         edges[source_key].add((target_index, evar))
                     break
-    # cycle detection
+    return edges
+
+
+def find_joint_cycle(theory: Theory) -> Optional[list[ExistentialNode]]:
+    """A witness cycle of the joint-acyclicity graph, or ``None``.
+
+    Returns a node list ``[n0, …, nk]`` where every consecutive pair —
+    and the wrap-around ``(nk, n0)`` — is an edge of
+    :func:`joint_dependency_edges`."""
+    edges = joint_dependency_edges(theory)
     WHITE, GRAY, BLACK = 0, 1, 2
-    color = {key: WHITE for key in moves}
+    color = {key: WHITE for key in edges}
+    stack: list[ExistentialNode] = []
 
-    def visit(key) -> bool:
+    def visit(key: ExistentialNode) -> Optional[list[ExistentialNode]]:
         color[key] = GRAY
-        for nxt in edges.get(key, ()):
+        stack.append(key)
+        for nxt in sorted(edges.get(key, ()), key=lambda n: (n[0], n[1].name)):
             if color[nxt] == GRAY:
-                return True
-            if color[nxt] == WHITE and visit(nxt):
-                return True
+                return stack[stack.index(nxt):]
+            if color[nxt] == WHITE:
+                found = visit(nxt)
+                if found is not None:
+                    return found
         color[key] = BLACK
-        return False
+        stack.pop()
+        return None
 
-    return not any(color[key] == WHITE and visit(key) for key in moves)
+    for key in sorted(edges, key=lambda n: (n[0], n[1].name)):
+        if color[key] == WHITE:
+            found = visit(key)
+            if found is not None:
+                return found
+            stack.clear()
+    return None
+
+
+def is_jointly_acyclic(theory: Theory) -> bool:
+    """Joint acyclicity ([23]) — subsumes weak acyclicity.
+
+    Acyclicity of the :func:`joint_dependency_edges` graph guarantees
+    chase termination."""
+    return find_joint_cycle(theory) is None
 
 
 def chase_terminates(theory: Theory) -> tuple[bool, str]:

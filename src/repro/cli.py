@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro answer theory.rules data.db --output Q
     repro translate theory.rules --target datalog
     repro termination theory.rules
+    repro lint theory.rules --format json --fail-on warning
 
 Theories use the rule syntax of :mod:`repro.core.parser`; databases use
 the data syntax (bare names are constants).
@@ -25,10 +26,16 @@ import argparse
 import sys
 from pathlib import Path
 
+from .analysis import Severity, analyze_text
 from .chase.runner import ChaseBudget, certain_answers, chase
-from .chase.termination import chase_terminates
+from .chase.termination import (
+    chase_terminates,
+    find_joint_cycle,
+    find_special_cycle,
+    position_dependency_graph,
+)
 from .core.database import Database
-from .core.parser import parse_database, parse_theory, render_theory
+from .core.parser import ParseError, parse_database, parse_theory, render_theory
 from .core.theory import Query, Theory
 from .guardedness.classify import classify
 from .guardedness.normalize import normalize
@@ -42,7 +49,7 @@ __all__ = ["main"]
 
 
 def _load_theory(path: str) -> Theory:
-    return parse_theory(Path(path).read_text())
+    return parse_theory(Path(path).read_text(), source=path)
 
 
 def _load_database(path: str) -> Database:
@@ -139,7 +146,39 @@ def _cmd_termination(args: argparse.Namespace) -> int:
     theory = _load_theory(args.theory)
     terminates, reason = chase_terminates(theory)
     print(f"terminates: {'yes' if terminates else 'unknown'} ({reason})")
+    if reason in ("jointly-acyclic", "unknown"):
+        cycle = find_special_cycle(position_dependency_graph(theory))
+        if cycle is not None:
+            print("not weakly acyclic: cycle through a special edge:")
+            for source, target, special in cycle:
+                arrow = "=>" if special else "->"
+                print(
+                    f"  ({source[0]},{source[1]}) {arrow} "
+                    f"({target[0]},{target[1]})"
+                )
+    if reason == "unknown":
+        joint_cycle = find_joint_cycle(theory)
+        if joint_cycle is not None:
+            rendered = " -> ".join(
+                f"{variable.name}@rule{index}" for index, variable in joint_cycle
+            )
+            print(f"not jointly acyclic: {rendered} -> (wraps)")
     return 0 if terminates else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    report = analyze_text(Path(args.theory).read_text(), source=args.theory)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if report.by_code("PAR001"):
+        return 2
+    thresholds = {"error": Severity.ERROR, "warning": Severity.WARNING}
+    threshold = thresholds.get(args.fail_on)
+    if threshold is not None and report.at_least(threshold):
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,27 +249,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("theory")
     p.set_defaults(handler=_cmd_termination)
 
+    p = commands.add_parser(
+        "lint",
+        help="static analysis: diagnostics with witnesses (see DESIGN.md)",
+        parents=[obs_flags],
+    )
+    p.add_argument("theory")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit 1 when a diagnostic at or above this severity is present "
+        "(parse failures always exit 2)",
+    )
+    p.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not (args.stats or args.trace_json):
-        return args.handler(args)
-    sinks = []
-    if args.trace_json:
-        try:
-            stream = open(args.trace_json, "w", encoding="utf-8")
-        except OSError as exc:
-            print(f"error: cannot open --trace-json target: {exc}", file=sys.stderr)
-            return 2
-        sinks.append(JsonLinesSink(stream))
-    with instrumented(*sinks) as instr:
-        code = args.handler(args)
-    if args.stats:
-        print(instr.report(title=f"repro {args.command}"), file=sys.stderr)
-    return code
+    try:
+        if not (args.stats or args.trace_json):
+            return args.handler(args)
+        sinks = []
+        if args.trace_json:
+            try:
+                stream = open(args.trace_json, "w", encoding="utf-8")
+            except OSError as exc:
+                print(
+                    f"error: cannot open --trace-json target: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            sinks.append(JsonLinesSink(stream))
+        with instrumented(*sinks) as instr:
+            code = args.handler(args)
+        if args.stats:
+            print(instr.report(title=f"repro {args.command}"), file=sys.stderr)
+        return code
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

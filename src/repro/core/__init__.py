@@ -16,10 +16,12 @@ from .parser import (
     parse_atom,
     parse_database,
     parse_rule,
+    parse_rules,
     parse_term,
     parse_theory,
 )
 from .rules import Rule, RuleError, canonical_rule_key, rename_apart
+from .spans import SourceSpan
 from .terms import (
     Constant,
     Null,
@@ -44,6 +46,7 @@ __all__ = [
     "RelationKey",
     "Rule",
     "RuleError",
+    "SourceSpan",
     "Term",
     "Theory",
     "Variable",
@@ -60,6 +63,7 @@ __all__ = [
     "parse_atom",
     "parse_database",
     "parse_rule",
+    "parse_rules",
     "parse_term",
     "parse_theory",
     "rename_apart",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Union
 
+from .spans import SourceSpan
 from .terms import Constant, Null, Term, Variable
 
 __all__ = ["Atom", "NegatedAtom", "Literal", "RelationKey", "substitute_terms"]
@@ -40,11 +41,16 @@ def substitute_terms(
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """A (possibly annotated) atom ``R[annotation](args)``."""
+    """A (possibly annotated) atom ``R[annotation](args)``.
+
+    ``span`` is parser-attached source metadata; it is excluded from
+    equality and hashing (see :mod:`repro.core.spans`).
+    """
 
     relation: str
     args: tuple[Term, ...]
     annotation: tuple[Term, ...] = ()
+    span: SourceSpan | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.relation, str) or not self.relation:
@@ -110,17 +116,18 @@ class Atom:
             self.relation,
             substitute_terms(self.args, mapping),
             substitute_terms(self.annotation, mapping),
+            self.span,
         )
 
     def rename_relation(self, relation: str) -> "Atom":
-        return Atom(relation, self.args, self.annotation)
+        return Atom(relation, self.args, self.annotation, self.span)
 
     def with_annotation(self, annotation: Iterable[Term]) -> "Atom":
-        return Atom(self.relation, self.args, tuple(annotation))
+        return Atom(self.relation, self.args, tuple(annotation), self.span)
 
     def without_annotation(self) -> "Atom":
         """Drop the annotation, keeping only argument positions."""
-        return Atom(self.relation, self.args)
+        return Atom(self.relation, self.args, span=self.span)
 
     # ------------------------------------------------------------------
     # rendering

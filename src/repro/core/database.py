@@ -21,7 +21,7 @@ from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Optional
 
 from .atoms import Atom, RelationKey
-from .terms import Constant, Null, Term, Variable
+from .terms import Constant, Null, Term
 from .theory import ACDOM
 
 __all__ = ["Database"]

@@ -18,17 +18,21 @@ Conventions:
   starts a comment; annotated atoms are written ``R[a, b](x, y)``.
 
 The parser is a small hand-rolled recursive-descent scanner — no third
-party dependency, precise error positions.
+party dependency, precise error positions.  Every parsed rule and atom
+carries a :class:`~repro.core.spans.SourceSpan` (1-based line/column)
+pointing back into the source text; :class:`ParseError` exposes the same
+coordinates via ``.line``/``.column``/``.source``.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterator, Optional
+from typing import NoReturn, Optional
 
 from .atoms import Atom, Literal, NegatedAtom
 from .database import Database
-from .rules import Rule
+from .rules import Rule, RuleError
+from .spans import SourceSpan
 from .terms import Constant, Null, Term, Variable
 from .theory import Theory
 
@@ -37,6 +41,7 @@ __all__ = [
     "parse_term",
     "parse_atom",
     "parse_rule",
+    "parse_rules",
     "parse_theory",
     "parse_database",
     "render_term",
@@ -47,13 +52,34 @@ __all__ = [
 
 
 class ParseError(ValueError):
-    """Raised on malformed input, with a human-readable position."""
+    """Raised on malformed input, with a human-readable position.
 
-    def __init__(self, message: str, text: str, position: int) -> None:
-        line = text.count("\n", 0, position) + 1
+    Attributes ``line``, ``column`` (1-based), ``position`` (character
+    offset into the parsed text) and ``source`` (display name of the
+    input, or ``None``) let callers render compiler-style locations.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        text: str,
+        position: int,
+        *,
+        source: Optional[str] = None,
+        line_base: int = 1,
+    ) -> None:
+        line = text.count("\n", 0, position) + line_base
         column = position - (text.rfind("\n", 0, position) + 1) + 1
-        super().__init__(f"{message} (line {line}, column {column})")
+        self.raw_message = message
+        self.line = line
+        self.column = column
         self.position = position
+        self.source = source
+        if source:
+            location = f"{source}:{line}:{column}"
+        else:
+            location = f"line {line}, column {column}"
+        super().__init__(f"{message} ({location})")
 
 
 _TOKEN_RE = re.compile(
@@ -74,20 +100,45 @@ _KEYWORDS = {"exists", "not"}
 
 
 class _Tokenizer:
-    def __init__(self, text: str) -> None:
+    def __init__(
+        self, text: str, *, source: Optional[str] = None, line_base: int = 1
+    ) -> None:
         self.text = text
+        self.source = source
+        self.line_base = line_base
         self.tokens: list[tuple[str, str, int]] = []
         position = 0
         while position < len(text):
             match = _TOKEN_RE.match(text, position)
             if match is None:
-                raise ParseError(f"unexpected character {text[position]!r}", text, position)
+                self.error(f"unexpected character {text[position]!r}", position)
             kind = match.lastgroup
             assert kind is not None
             if kind not in ("ws", "comment"):
                 self.tokens.append((kind, match.group(), position))
             position = match.end()
         self.index = 0
+
+    def error(self, message: str, position: int) -> NoReturn:
+        raise ParseError(
+            message, self.text, position, source=self.source, line_base=self.line_base
+        )
+
+    def location(self, position: int) -> tuple[int, int]:
+        """1-based ``(line, column)`` of a character offset."""
+        line = self.text.count("\n", 0, position) + self.line_base
+        column = position - (self.text.rfind("\n", 0, position) + 1) + 1
+        return line, column
+
+    def span(self, start: int, end: int) -> SourceSpan:
+        start_line, start_column = self.location(start)
+        end_line, end_column = self.location(end)
+        return SourceSpan(start_line, start_column, end_line, end_column, self.source)
+
+    def last_consumed_end(self) -> int:
+        """Offset one past the most recently consumed token."""
+        kind, value, position = self.tokens[self.index - 1]
+        return position + len(value)
 
     def peek(self) -> Optional[tuple[str, str, int]]:
         if self.index < len(self.tokens):
@@ -97,14 +148,14 @@ class _Tokenizer:
     def next(self) -> tuple[str, str, int]:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of input", self.text, len(self.text))
+            self.error("unexpected end of input", len(self.text))
         self.index += 1
         return token
 
     def expect(self, value: str) -> tuple[str, str, int]:
         token = self.next()
         if token[1] != value:
-            raise ParseError(f"expected {value!r}, found {token[1]!r}", self.text, token[2])
+            self.error(f"expected {value!r}, found {token[1]!r}", token[2])
         return token
 
     def accept(self, value: str) -> bool:
@@ -126,19 +177,19 @@ def _parse_term(tokens: _Tokenizer, data_mode: bool) -> Term:
         return Constant(value)
     if kind == "null":
         if not data_mode:
-            raise ParseError("labeled nulls are not allowed in rules", tokens.text, position)
+            tokens.error("labeled nulls are not allowed in rules", position)
         return Null(value[2:])
     if kind == "name":
         if value in _KEYWORDS:
-            raise ParseError(f"keyword {value!r} cannot be a term", tokens.text, position)
+            tokens.error(f"keyword {value!r} cannot be a term", position)
         return Constant(value) if data_mode else Variable(value)
-    raise ParseError(f"expected a term, found {value!r}", tokens.text, position)
+    tokens.error(f"expected a term, found {value!r}", position)
 
 
 def _parse_atom(tokens: _Tokenizer, data_mode: bool) -> Atom:
-    kind, relation, position = tokens.next()
+    kind, relation, start = tokens.next()
     if kind != "name":
-        raise ParseError(f"expected a relation name, found {relation!r}", tokens.text, position)
+        tokens.error(f"expected a relation name, found {relation!r}", start)
     annotation: list[Term] = []
     if tokens.accept("["):
         if not tokens.accept("]"):
@@ -153,7 +204,8 @@ def _parse_atom(tokens: _Tokenizer, data_mode: bool) -> Atom:
         while tokens.accept(","):
             args.append(_parse_term(tokens, data_mode))
         tokens.expect(")")
-    return Atom(relation, tuple(args), tuple(annotation))
+    span = tokens.span(start, tokens.last_consumed_end())
+    return Atom(relation, tuple(args), tuple(annotation), span=span)
 
 
 def _parse_literal(tokens: _Tokenizer) -> Literal:
@@ -163,6 +215,8 @@ def _parse_literal(tokens: _Tokenizer) -> Literal:
 
 
 def _parse_rule(tokens: _Tokenizer) -> Rule:
+    first = tokens.peek()
+    start = first[2] if first is not None else 0
     body: list[Literal] = []
     token = tokens.peek()
     if token is not None and token[1] != "->":
@@ -174,26 +228,31 @@ def _parse_rule(tokens: _Tokenizer) -> Rule:
     if tokens.accept("exists"):
         kind, value, position = tokens.next()
         if kind != "name":
-            raise ParseError("expected a variable after 'exists'", tokens.text, position)
+            tokens.error("expected a variable after 'exists'", position)
         exist_vars.append(Variable(value))
         while tokens.accept(","):
             kind, value, position = tokens.next()
             if kind != "name":
-                raise ParseError("expected a variable after ','", tokens.text, position)
+                tokens.error("expected a variable after ','", position)
             exist_vars.append(Variable(value))
         tokens.expect(".")
     head: list[Atom] = [_parse_atom(tokens, data_mode=False)]
     while tokens.accept(","):
         head.append(_parse_atom(tokens, data_mode=False))
-    return Rule(tuple(body), tuple(head), tuple(exist_vars))
+    span = tokens.span(start, tokens.last_consumed_end())
+    try:
+        return Rule(tuple(body), tuple(head), tuple(exist_vars), span=span)
+    except RuleError as error:
+        tokens.error(f"invalid rule: {error}", start)
 
 
 def parse_term(text: str, data_mode: bool = False) -> Term:
     """Parse a single term (variable in rule mode, constant in data mode)."""
     tokens = _Tokenizer(text)
     term = _parse_term(tokens, data_mode)
-    if not tokens.at_end():
-        raise ParseError("trailing input after term", text, tokens.peek()[2])
+    trailing = tokens.peek()
+    if trailing is not None:
+        tokens.error("trailing input after term", trailing[2])
     return term
 
 
@@ -201,8 +260,9 @@ def parse_atom(text: str, data_mode: bool = False) -> Atom:
     """Parse a single atom."""
     tokens = _Tokenizer(text)
     atom = _parse_atom(tokens, data_mode)
-    if not tokens.at_end():
-        raise ParseError("trailing input after atom", text, tokens.peek()[2])
+    trailing = tokens.peek()
+    if trailing is not None:
+        tokens.error("trailing input after atom", trailing[2])
     return atom
 
 
@@ -211,25 +271,38 @@ def parse_rule(text: str) -> Rule:
     tokens = _Tokenizer(text)
     rule = _parse_rule(tokens)
     tokens.accept(".")
-    if not tokens.at_end():
-        raise ParseError("trailing input after rule", text, tokens.peek()[2])
+    trailing = tokens.peek()
+    if trailing is not None:
+        tokens.error("trailing input after rule", trailing[2])
     return rule
 
 
-def parse_theory(text: str) -> Theory:
-    """Parse a newline-separated list of rules into a theory."""
+def parse_rules(text: str, source: Optional[str] = None) -> list[Rule]:
+    """Parse a newline-separated list of rules, keeping source spans.
+
+    Unlike :func:`parse_theory` this does **not** construct a
+    :class:`Theory` — no signature consistency check, no deduplication —
+    so the static analyzer can inspect even ill-formed rule sets.
+    ``source`` is a display name (file path) recorded in the spans and in
+    any :class:`ParseError`.
+    """
     rules: list[Rule] = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
+        content = raw_line.split("#", 1)[0]
+        if not content.strip():
             continue
-        try:
-            rules.append(parse_rule(line))
-        except ParseError as error:
-            raise ParseError(
-                f"in theory line {line_number}: {error.args[0]}", raw_line, 0
-            ) from error
-    return Theory(rules)
+        tokens = _Tokenizer(content, source=source, line_base=line_number)
+        rule = _parse_rule(tokens)
+        tokens.accept(".")
+        if not tokens.at_end():
+            tokens.error("trailing input after rule", tokens.peek()[2])
+        rules.append(rule)
+    return rules
+
+
+def parse_theory(text: str, source: Optional[str] = None) -> Theory:
+    """Parse a newline-separated list of rules into a theory."""
+    return Theory(parse_rules(text, source=source))
 
 
 def parse_database(text: str) -> Database:

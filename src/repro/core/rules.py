@@ -20,10 +20,11 @@ The class is immutable; rewriting passes construct new rules.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from .atoms import Atom, Literal, NegatedAtom, RelationKey
+from .spans import SourceSpan
 from .terms import Constant, Null, Term, Variable
 
 __all__ = ["Rule", "RuleError", "rename_apart", "canonical_rule_key"]
@@ -43,17 +44,23 @@ def _as_atom_tuple(atoms: Iterable[Atom], where: str) -> tuple[Atom, ...]:
 
 @dataclass(frozen=True)
 class Rule:
-    """An existential rule, possibly with negated body literals."""
+    """An existential rule, possibly with negated body literals.
+
+    ``span`` is parser-attached source metadata; it never participates in
+    equality or hashing (see :mod:`repro.core.spans`).
+    """
 
     body: tuple[Literal, ...]
     head: tuple[Atom, ...]
     exist_vars: tuple[Variable, ...] = ()
+    span: SourceSpan | None = None
 
     def __init__(
         self,
         body: Iterable[Literal],
         head: Iterable[Atom],
         exist_vars: Iterable[Variable] = (),
+        span: SourceSpan | None = None,
     ) -> None:
         body_tuple = tuple(body)
         head_tuple = _as_atom_tuple(head, "head")
@@ -61,6 +68,7 @@ class Rule:
         object.__setattr__(self, "body", body_tuple)
         object.__setattr__(self, "head", head_tuple)
         object.__setattr__(self, "exist_vars", exist_tuple)
+        object.__setattr__(self, "span", span)
         self._validate()
 
     # ------------------------------------------------------------------
@@ -201,6 +209,7 @@ class Rule:
             tuple(lit.substitute(mapping) for lit in self.body),
             tuple(atom.substitute(mapping) for atom in self.head),
             tuple(new_exist),
+            span=self.span,
         )
 
     def rename_variables(self, mapping: Mapping[Variable, Variable]) -> "Rule":

@@ -1,0 +1,51 @@
+"""Source spans — positions of parsed syntax in its source text.
+
+The parser attaches a :class:`SourceSpan` to every rule and atom it
+produces so that downstream consumers (the :mod:`repro.analysis` linter,
+CLI error reporting) can point at the offending piece of a theory file.
+
+Spans are *metadata*: they never participate in equality or hashing of
+rules and atoms, so two syntactically identical rules parsed from
+different lines compare equal, and all rewriting passes remain oblivious
+to them.  Lines and columns are 1-based, like editors and compilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SourceSpan"]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region ``[start, end)`` of a source text.
+
+    ``line``/``column`` locate the first character; ``end_line`` /
+    ``end_column`` the position one past the last character.  ``source``
+    is a display name (usually a file path) or ``None`` for anonymous
+    input.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+    source: Optional[str] = None
+
+    def label(self) -> str:
+        """``source:line:column`` — the conventional compiler prefix."""
+        return f"{self.source or '<input>'}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+            "source": self.source,
+        }
+
+    def __str__(self) -> str:
+        return self.label()

@@ -10,11 +10,11 @@ arity, constants occurring in rules, output relation management.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
 
-from .atoms import Atom, NegatedAtom, RelationKey
+from .atoms import RelationKey
 from .rules import Rule, canonical_rule_key
-from .terms import Constant, Variable
+from .terms import Constant
 
 __all__ = ["Theory", "ACDOM", "Query"]
 

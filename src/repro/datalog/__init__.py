@@ -2,9 +2,12 @@
 
 from .engine import DatalogError, datalog_answers, evaluate
 from .stratification import (
+    DependencyEdge,
     NotStratifiedError,
     Stratification,
+    dependency_edges,
     edb_relations,
+    find_negation_cycle,
     idb_relations,
     is_semipositive,
     is_stratified,
@@ -13,11 +16,14 @@ from .stratification import (
 
 __all__ = [
     "DatalogError",
+    "DependencyEdge",
     "NotStratifiedError",
     "Stratification",
     "datalog_answers",
+    "dependency_edges",
     "edb_relations",
     "evaluate",
+    "find_negation_cycle",
     "idb_relations",
     "is_semipositive",
     "is_stratified",

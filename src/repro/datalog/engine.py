@@ -20,14 +20,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from contextlib import nullcontext
-from typing import Iterable, Optional
+from typing import Optional
 
-from ..core.atoms import Atom, NegatedAtom
+from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.homomorphism import homomorphisms
 from ..core.rules import Rule
-from ..core.terms import Constant, Term, Variable
-from ..core.theory import ACDOM, Query, Theory
+from ..core.terms import Constant
+from ..core.theory import Query, Theory
 from ..obs.runtime import current as _obs_current
 from .stratification import Stratification, stratify
 

@@ -15,13 +15,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.rules import Rule
 from ..core.theory import ACDOM, Theory
 
 __all__ = [
+    "DependencyEdge",
     "NotStratifiedError",
     "Stratification",
+    "dependency_edges",
+    "find_negation_cycle",
     "stratify",
     "is_stratified",
     "is_semipositive",
@@ -29,9 +33,22 @@ __all__ = [
     "idb_relations",
 ]
 
+#: One edge of the predicate dependency graph:
+#: (body relation, head relation, negative?, index of the inducing rule).
+DependencyEdge = tuple[str, str, bool, int]
+
 
 class NotStratifiedError(ValueError):
-    """The theory has a cycle through negation."""
+    """The theory has a cycle through negation.
+
+    ``cycle`` (when available) is the witness: a closed
+    :data:`DependencyEdge` list with at least one negative edge."""
+
+    def __init__(
+        self, message: str, cycle: Optional[list[DependencyEdge]] = None
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
 
 
 @dataclass(frozen=True)
@@ -62,15 +79,60 @@ def edb_relations(theory: Theory) -> set[str]:
     return {name for name in theory.relations() if name} - idb_relations(theory)
 
 
-def _dependency_edges(theory: Theory):
-    """Yield ``(body_relation, head_relation, negative?)`` triples."""
-    for rule in theory:
+def dependency_edges(theory: Theory) -> list[DependencyEdge]:
+    """The predicate dependency graph as explicit, attributable edges."""
+    edges: list[DependencyEdge] = []
+    for index, rule in enumerate(theory):
         head_relations = {atom.relation for atom in rule.head}
         for literal in rule.body:
             negative = hasattr(literal, "atom")
             relation = literal.atom.relation if negative else literal.relation
-            for head_relation in head_relations:
-                yield relation, head_relation, negative
+            for head_relation in sorted(head_relations):
+                edges.append((relation, head_relation, negative, index))
+    return edges
+
+
+def find_negation_cycle(theory: Theory) -> Optional[list[DependencyEdge]]:
+    """A witness cycle through a negative edge, or ``None`` if stratified.
+
+    Returns a closed edge list: the head relation of each edge is the
+    body relation of the next, the last edge wraps to the first, and at
+    least one edge is negative.  Every edge is induced by the rule whose
+    index it carries, so the witness can be replayed against the theory."""
+    edges = dependency_edges(theory)
+    successors: dict[str, list[DependencyEdge]] = defaultdict(list)
+    for edge in edges:
+        successors[edge[0]].append(edge)
+
+    def path(start: str, goal: str) -> Optional[list[DependencyEdge]]:
+        """Edge path start → goal (empty when start == goal)."""
+        if start == goal:
+            return []
+        parents: dict[str, DependencyEdge] = {}
+        queue, seen = [start], {start}
+        while queue:
+            node = queue.pop(0)
+            for edge in successors.get(node, ()):
+                target = edge[1]
+                if target in seen:
+                    continue
+                parents[target] = edge
+                if target == goal:
+                    chain = [edge]
+                    while chain[0][0] != start:
+                        chain.insert(0, parents[chain[0][0]])
+                    return chain
+                seen.add(target)
+                queue.append(target)
+        return None
+
+    for edge in edges:
+        if not edge[2]:
+            continue
+        closing = path(edge[1], edge[0])
+        if closing is not None:
+            return [edge] + closing
+    return None
 
 
 def stratify(theory: Theory) -> Stratification:
@@ -81,12 +143,12 @@ def stratify(theory: Theory) -> Stratification:
     and EDB relations live in stratum 0."""
     relations = theory.relations() | {ACDOM}
     stratum: dict[str, int] = {name: 0 for name in relations}
-    edges = list(_dependency_edges(theory))
+    edges = dependency_edges(theory)
     # Bellman-Ford-style relaxation; a change after |relations| full passes
     # means a negative cycle.
     for iteration in range(len(relations) + 1):
         changed = False
-        for body_relation, head_relation, negative in edges:
+        for body_relation, head_relation, negative, _rule in edges:
             required = stratum[body_relation] + (1 if negative else 0)
             if stratum[head_relation] < required:
                 stratum[head_relation] = required
@@ -97,7 +159,8 @@ def stratify(theory: Theory) -> Stratification:
         pass
     if changed:
         raise NotStratifiedError(
-            "theory is not stratified: cycle through negation detected"
+            "theory is not stratified: cycle through negation detected",
+            cycle=find_negation_cycle(theory),
         )
 
     buckets: dict[int, list[Rule]] = defaultdict(list)

@@ -32,7 +32,7 @@ from typing import Iterable, Optional
 from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.terms import Constant
-from ..core.theory import Query, Theory
+from ..core.theory import Query
 from ..chase.runner import ChaseBudget, certain_answers
 from ..guardedness.classify import is_frontier_guarded
 

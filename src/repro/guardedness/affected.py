@@ -21,7 +21,8 @@ computed on the theory with negative literals dropped.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable
 
 from ..core.atoms import Atom
 from ..core.rules import Rule
@@ -30,8 +31,10 @@ from ..core.theory import Theory
 
 __all__ = [
     "Position",
+    "AffectedStep",
     "positions_of",
     "affected_positions",
+    "affected_derivation",
     "unsafe_variables",
     "variable_body_positions",
 ]
@@ -78,6 +81,75 @@ def affected_positions(theory: Theory) -> set[Position]:
                         affected |= head_positions
                         changed = True
     return affected
+
+
+@dataclass(frozen=True)
+class AffectedStep:
+    """One step of an ``ap(Σ)`` derivation (the *why* of an affected position).
+
+    ``kind`` is ``"existential"`` (clause (i): ``variable`` is existential
+    in rule ``rule_index`` and occurs at ``position`` in its head) or
+    ``"propagated"`` (clause (ii): the universal ``variable`` of rule
+    ``rule_index`` has all its positive-body positions — ``sources`` — already
+    affected, and occurs at ``position`` in the head).  A derivation is a
+    sequence of steps in which every ``sources`` entry is established by an
+    earlier step, so it can be replayed and checked mechanically.
+    """
+
+    position: Position
+    kind: str
+    rule_index: int
+    variable: str
+    sources: tuple[Position, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "position": list(self.position),
+            "kind": self.kind,
+            "rule": self.rule_index,
+            "variable": self.variable,
+            "sources": [list(p) for p in self.sources],
+        }
+
+
+def affected_derivation(theory: Theory) -> tuple[AffectedStep, ...]:
+    """An explained variant of :func:`affected_positions`.
+
+    Returns a derivation sequence establishing exactly ``ap(Σ)``: each
+    position appears in one step whose premises (``sources``) were
+    established by strictly earlier steps.  The fixpoint iteration is the
+    same as in :func:`affected_positions`, with provenance recorded.
+    """
+    steps: list[AffectedStep] = []
+    established: set[Position] = set()
+
+    def establish(step: AffectedStep) -> None:
+        if step.position not in established:
+            established.add(step.position)
+            steps.append(step)
+
+    for index, rule in enumerate(theory):
+        for evar in rule.exist_vars:
+            for position in sorted(positions_of(rule.head, evar)):
+                establish(AffectedStep(position, "existential", index, evar.name))
+    changed = True
+    while changed:
+        changed = False
+        for index, rule in enumerate(theory):
+            for variable in sorted(rule.uvars(), key=lambda v: v.name):
+                body_positions = variable_body_positions(rule, variable)
+                if not body_positions <= established:
+                    continue
+                sources = tuple(sorted(body_positions))
+                for position in sorted(positions_of(rule.head, variable)):
+                    if position not in established:
+                        establish(
+                            AffectedStep(
+                                position, "propagated", index, variable.name, sources
+                            )
+                        )
+                        changed = True
+    return tuple(steps)
 
 
 def coherent_affected_positions(theory: Theory) -> set[Position]:

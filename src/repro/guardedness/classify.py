@@ -27,10 +27,13 @@ from typing import Optional
 from ..core.atoms import Atom
 from ..core.rules import Rule
 from ..core.terms import Variable
-from ..core.theory import ACDOM, Theory
+from ..core.theory import Theory
 from .affected import Position, affected_positions, unsafe_variables
 
 __all__ = [
+    "GuardGap",
+    "guard_gap",
+    "positive_reduct",
     "guard_atoms",
     "frontier_guard_atoms",
     "frontier_guard",
@@ -150,7 +153,7 @@ def is_nearly_frontier_guarded_rule(
     return not rule.exist_vars and not unsafe_variables(rule, theory, ap)
 
 
-def _positive_reduct(theory: Theory) -> Theory:
+def positive_reduct(theory: Theory) -> Theory:
     """Drop negative literals — unsafe variables are defined on this reduct
     for stratified theories (Section 8)."""
     if not theory.has_negation():
@@ -158,6 +161,55 @@ def _positive_reduct(theory: Theory) -> Theory:
     return theory.map_rules(
         lambda rule: Rule(rule.positive_body(), rule.head, rule.exist_vars)
     )
+
+
+# Backwards-compatible private alias.
+_positive_reduct = positive_reduct
+
+
+@dataclass(frozen=True)
+class GuardGap:
+    """Why no single body atom guards a required variable set.
+
+    ``required`` is the variable set a guard would have to cover;
+    ``per_atom_missing`` lists, for every positive body atom, the required
+    variables it fails to contain.  The gap is machine-checkable: each
+    atom's ``missing`` entry must be non-empty, and re-deriving the
+    missing set from the rule must reproduce it.
+    """
+
+    required: tuple[str, ...]
+    per_atom_missing: tuple[tuple[str, tuple[str, ...]], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "required": list(self.required),
+            "atoms": [
+                {"atom": atom, "missing": list(missing)}
+                for atom, missing in self.per_atom_missing
+            ],
+        }
+
+
+def guard_gap(rule: Rule, required: set[Variable]) -> Optional[GuardGap]:
+    """Explanation variant of the ``_atoms_covering`` guard checks.
+
+    Returns ``None`` when some positive body atom covers ``required``
+    (or the set is empty — trivially guarded); otherwise a
+    :class:`GuardGap` recording, per body atom, which required variables
+    it misses."""
+    if not required:
+        return None
+    if _atoms_covering(rule, required):
+        return None
+    per_atom = tuple(
+        (
+            str(atom),
+            tuple(sorted(v.name for v in required - atom.argument_variables())),
+        )
+        for atom in rule.positive_body()
+    )
+    return GuardGap(tuple(sorted(v.name for v in required)), per_atom)
 
 
 def is_guarded(theory: Theory) -> bool:

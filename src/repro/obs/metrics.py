@@ -16,7 +16,6 @@ serialisable and trivially diffable across runs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 __all__ = ["MetricsRegistry"]
 

@@ -13,7 +13,7 @@ from typing import Optional
 
 from ..core.database import Database
 from ..core.terms import Constant
-from ..core.theory import Query, Theory
+from ..core.theory import Theory
 from ..chase.runner import ChaseBudget, certain_answers
 from ..translate.pipeline import answer_query
 from .cq import ConjunctiveQuery, knowledge_base_query

@@ -8,10 +8,9 @@ compare query reformulations, and generally handy next to a CQ type.
 
 from __future__ import annotations
 
-from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.homomorphism import first_homomorphism
-from ..core.terms import Constant, Null, Term, Variable
+from ..core.terms import Null, Term, Variable
 from .cq import ConjunctiveQuery
 
 __all__ = ["canonical_database", "cq_contained_in", "cq_equivalent", "minimize_cq"]

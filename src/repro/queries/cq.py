@@ -15,13 +15,12 @@ direct CQ evaluation against a database (homomorphism semantics).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.homomorphism import homomorphisms
 from ..core.rules import Rule
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Term, Variable
 from ..core.theory import ACDOM, Query, Theory
 
 __all__ = ["ConjunctiveQuery", "cq_to_rule", "knowledge_base_query", "evaluate_cq"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..core.atoms import Atom
 from ..core.rules import Rule
-from ..core.terms import Constant, Variable
+from ..core.terms import Variable
 from ..core.theory import ACDOM, Query, Theory
 
 __all__ = ["axiomatize_acdom", "STAR_SUFFIX", "starred"]

@@ -40,7 +40,7 @@ from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.rules import Rule
 from ..core.terms import Constant
-from ..core.theory import Query, Theory
+from ..core.theory import Theory
 from ..guardedness.affected import (
     Position,
     coherent_affected_positions,

@@ -25,8 +25,7 @@ from typing import Optional
 
 from ..core.atoms import Atom
 from ..core.rules import Rule, canonical_rule_key
-from ..core.terms import Variable
-from ..core.theory import ACDOM, Query, Theory
+from ..core.theory import ACDOM, Theory
 from ..guardedness.classify import (
     is_frontier_guarded_rule,
     is_guarded_rule,

@@ -15,10 +15,9 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional
 
-from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.rules import Rule
-from ..core.terms import Constant, Variable
+from ..core.terms import Constant
 from ..core.theory import Theory
 from ..guardedness.affected import (
     Position,

@@ -26,19 +26,17 @@ from typing import Optional
 
 from ..core.database import Database
 from ..core.terms import Constant
-from ..core.theory import Query, Theory
+from ..core.theory import Query
 from ..chase.runner import ChaseBudget, certain_answers
 from ..datalog.engine import datalog_answers, evaluate
-from ..datalog.stratification import is_stratified
-from ..guardedness.affected import affected_positions
 from ..guardedness.classify import classify
 from ..guardedness.normalize import normalize
 from ..obs.runtime import current as _obs_current
 from ..obs.runtime import span as _obs_span
-from .annotations import WfgRewriting, rewrite_weakly_frontier_guarded
-from .expansion import rewrite_frontier_guarded, rewrite_nearly_frontier_guarded
+from .annotations import rewrite_weakly_frontier_guarded
+from .expansion import rewrite_nearly_frontier_guarded
 from .grounding import partial_grounding
-from .saturation import nearly_guarded_to_datalog, saturate
+from .saturation import nearly_guarded_to_datalog
 
 __all__ = ["PipelineReport", "answer_wfg_query", "answer_query"]
 

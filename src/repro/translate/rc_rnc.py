@@ -42,7 +42,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.atoms import Atom
 from ..core.rules import Rule, RuleError

@@ -38,13 +38,12 @@ from __future__ import annotations
 import itertools
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator
 
 from ..core.atoms import Atom
 from ..core.rules import Rule, canonical_rule_key
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Term, Variable
 from ..core.theory import Theory
-from ..guardedness.affected import affected_positions, unsafe_variables
 from ..guardedness.classify import is_guarded_rule, is_nearly_guarded
 from ..obs.runtime import current as _obs_current
 

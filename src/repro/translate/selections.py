@@ -26,7 +26,7 @@ from typing import Iterable, Iterator, Mapping
 
 from ..core.atoms import Atom
 from ..core.rules import Rule
-from ..core.terms import Term, Variable
+from ..core.terms import Variable
 
 __all__ = ["Selection", "covered_atoms", "keep_set", "enumerate_selections"]
 

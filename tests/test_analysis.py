@@ -1,0 +1,304 @@
+"""Unit tests for the ``repro.analysis`` linter: every pass, every
+diagnostic code, and mechanical witness replay (including tamper
+detection — a corrupted witness must fail to replay)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    ReplayError,
+    Severity,
+    analyze,
+    analyze_text,
+    replay,
+)
+from repro.core import parse_rules, parse_theory
+from repro.guardedness import affected_positions, positive_reduct
+from repro.obs import instrumented
+
+FLAWED = """\
+Base(x, y) -> E(x, y)
+E(x, y) -> exists z. E(y, z)
+E(x, y), E(y, z) -> P(x, z)
+P(x, y), not Q(x) -> R(x, y)
+R(x, y) -> Q(x)
+Ghost(x), P(x, y) -> Haunt(x)
+Haunt(x) -> Ghost(x)
+"""
+
+
+def codes(report: AnalysisReport) -> list[str]:
+    return [diagnostic.code for diagnostic in report]
+
+
+def replay_all(report: AnalysisReport, text: str) -> None:
+    rules = parse_rules(text)
+    for diagnostic in report:
+        replay(diagnostic, rules, text=text)
+
+
+class TestSchemaPass:
+    def test_arity_conflict(self):
+        text = "P(x) -> Q(x)\nQ(x, y) -> R(x)\n"
+        report = analyze_text(text)
+        (diagnostic,) = report.by_code("SCH001")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.witness["relation"] == "Q"
+        assert diagnostic.witness["first"]["arity"] == 1
+        assert diagnostic.witness["conflict"]["arity"] == 2
+        assert diagnostic.span.line == 2
+        replay_all(report, text)
+
+    def test_schema_errors_gate_theory_passes(self):
+        # The rule set is also unguarded, but guardedness/termination/
+        # stratification never run because no Theory can be built from
+        # inconsistent signatures.  Reachability still runs (it only
+        # needs relation names).
+        text = "P(x), S(y) -> exists z. P(z)\nP(x, y) -> R(x)\n"
+        report = analyze_text(text)
+        assert "SCH001" in codes(report)
+        for code in codes(report):
+            assert not code.startswith(("GRD", "TRM", "STR"))
+
+    def test_acdom_in_head(self):
+        text = "P(x) -> ACDom(x)\n"
+        report = analyze_text(text)
+        (diagnostic,) = report.by_code("SCH002")
+        assert diagnostic.severity is Severity.ERROR
+        replay_all(report, text)
+
+
+class TestGuardednessPass:
+    def test_wfg_failure_is_an_error_with_derivation(self):
+        report = analyze_text(FLAWED)
+        (diagnostic,) = report.by_code("GRD001")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.rule_index == 2
+        gap = diagnostic.witness["gap"]
+        assert gap["required"] == ["x", "z"]
+        assert all(entry["missing"] for entry in gap["atoms"])
+        variables = [entry["variable"] for entry in diagnostic.witness["unsafe"]]
+        assert variables == ["x", "z"]
+        for entry in diagnostic.witness["unsafe"]:
+            assert entry["derivation"], "derivation must be non-empty"
+        replay_all(report, FLAWED)
+
+    def test_guarded_theory_has_no_guardedness_diagnostics(self):
+        text = "P(x, y) -> exists z. P(y, z)\n"
+        report = analyze_text(text)
+        for code in ("GRD001", "GRD002", "GRD003"):
+            assert not report.by_code(code)
+
+    def test_datalog_theory_skips_guardedness(self):
+        # An unguarded join, but plain Datalog is in every class.
+        text = "E(x, y), E(y, z) -> P(x, z)\n"
+        report = analyze_text(text)
+        for code in ("GRD001", "GRD002", "GRD003"):
+            assert not report.by_code(code)
+
+    def test_grd002_and_grd003_are_notes(self):
+        # Weakly guarded but not guarded: the join variable y is safe.
+        text = "Base(x) -> E(x)\nE(x), F(x, y) -> exists z. G(y, z)\n"
+        theory = parse_theory(text)
+        assert not theory.is_datalog()
+        report = analyze_text(text)
+        assert not report.by_code("GRD001")
+        replay_all(report, text)
+
+    def test_derivation_matches_fixpoint(self):
+        theory = parse_theory(FLAWED)
+        reduct = positive_reduct(theory)
+        report = analyze(theory)
+        (diagnostic,) = report.by_code("GRD001")
+        derived = set()
+        for entry in diagnostic.witness["unsafe"]:
+            for step in entry["derivation"]:
+                derived.add(tuple(step["position"]))
+        assert derived <= {
+            tuple(p) for p in map(list, affected_positions(reduct))
+        }
+
+
+class TestTerminationPass:
+    def test_cycle_witnesses(self):
+        report = analyze_text(FLAWED)
+        (weak,) = report.by_code("TRM001")
+        assert weak.severity is Severity.WARNING
+        assert any(edge["special"] for edge in weak.witness["cycle"])
+        (joint,) = report.by_code("TRM002")
+        assert joint.witness["cycle"] == [{"rule": 1, "variable": "z"}]
+        replay_all(report, FLAWED)
+
+    def test_jointly_acyclic_downgrades_to_info(self):
+        # Not weakly acyclic — (E,1) => (F,1) -> (E,1) — but jointly
+        # acyclic: z's nulls only reach (F,1), and re-entering E needs
+        # G(y), which nulls never satisfy (G is EDB-only).
+        text = (
+            "Base(x, y) -> E(x, y)\n"
+            "E(x, y) -> exists z. F(y, z)\n"
+            "F(x, y), G(y) -> E(x, y)\n"
+        )
+        report = analyze_text(text)
+        (weak,) = report.by_code("TRM001")
+        assert weak.severity is Severity.INFO
+        assert not report.by_code("TRM002")
+        replay_all(report, text)
+
+    def test_weakly_acyclic_theory_is_silent(self):
+        text = "P(x) -> exists z. Q(x, z)\nQ(x, y) -> R(x)\n"
+        report = analyze_text(text)
+        assert not report.by_code("TRM001")
+        assert not report.by_code("TRM002")
+
+
+class TestStratificationPass:
+    def test_negation_cycle(self):
+        report = analyze_text(FLAWED)
+        (diagnostic,) = report.by_code("STR001")
+        assert diagnostic.severity is Severity.ERROR
+        cycle = diagnostic.witness["cycle"]
+        assert any(edge["negative"] for edge in cycle)
+        for position, edge in enumerate(cycle):
+            assert edge["head"] == cycle[(position + 1) % len(cycle)]["body"]
+        replay_all(report, FLAWED)
+
+    def test_stratified_negation_is_silent(self):
+        text = "E(x, y), not Bad(x) -> Good(x)\n"
+        report = analyze_text(text)
+        assert not report.by_code("STR001")
+
+
+class TestReachabilityPass:
+    def test_datalog_dead_rule_is_a_warning(self):
+        text = "Ghost(x), E(x, y) -> Haunt(x)\nHaunt(x) -> Ghost(x)\n"
+        report = analyze_text(text)
+        dead = report.by_code("RCH001")
+        assert len(dead) == 2
+        assert all(d.severity is Severity.WARNING for d in dead)
+        assert dead[0].witness["underivable"] == ["Ghost", "Haunt"]
+        replay_all(report, text)
+
+    def test_existential_theory_downgrades_to_info(self):
+        # In the chase setting the database may seed any relation, so the
+        # deadlock is only a self-support smell (cf. Scientific, Example 1).
+        report = analyze_text(FLAWED)
+        dead = report.by_code("RCH001")
+        assert len(dead) == 2
+        assert all(d.severity is Severity.INFO for d in dead)
+
+    def test_unread_relation(self):
+        text = "E(x, y) -> P(x)\n"
+        report = analyze_text(text)
+        (diagnostic,) = report.by_code("RCH002")
+        assert diagnostic.witness == {"relation": "P", "defined_by": [0]}
+        replay_all(report, text)
+
+
+class TestParseDiagnostics:
+    def test_syntax_error_becomes_par001(self):
+        text = "P(x) -> Q(x)\nP(x ->\n"
+        report = analyze_text(text, source="bad.rules")
+        (diagnostic,) = report.by_code("PAR001")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.span.line == 2
+        assert diagnostic.span.source == "bad.rules"
+        replay(diagnostic, [], text=text)
+
+    def test_par001_replay_requires_text(self):
+        report = analyze_text("P(x ->\n")
+        with pytest.raises(ReplayError):
+            replay(report.diagnostics[0], [])
+
+
+class TestReplayTamperDetection:
+    """A witness that does not prove its finding must fail replay."""
+
+    def tampered(self, diagnostic: Diagnostic, **witness_updates) -> Diagnostic:
+        witness = dict(diagnostic.witness)
+        witness.update(witness_updates)
+        return dataclasses.replace(diagnostic, witness=witness)
+
+    def test_tampered_guard_gap(self):
+        report = analyze_text(FLAWED)
+        rules = parse_rules(FLAWED)
+        (diagnostic,) = report.by_code("GRD001")
+        gap = dict(diagnostic.witness["gap"])
+        gap["required"] = ["x", "y"]  # y is covered by the first atom
+        with pytest.raises(ReplayError):
+            replay(self.tampered(diagnostic, gap=gap), rules)
+
+    def test_tampered_derivation(self):
+        report = analyze_text(FLAWED)
+        rules = parse_rules(FLAWED)
+        (diagnostic,) = report.by_code("GRD001")
+        unsafe = [dict(entry) for entry in diagnostic.witness["unsafe"]]
+        unsafe[0] = dict(unsafe[0], derivation=[])
+        with pytest.raises(ReplayError):
+            replay(self.tampered(diagnostic, unsafe=unsafe), rules)
+
+    def test_tampered_cycle_edge(self):
+        report = analyze_text(FLAWED)
+        rules = parse_rules(FLAWED)
+        (diagnostic,) = report.by_code("TRM001")
+        cycle = [dict(edge) for edge in diagnostic.witness["cycle"]]
+        cycle[0]["source"] = ["Nope", 0]
+        with pytest.raises(ReplayError):
+            replay(self.tampered(diagnostic, cycle=cycle), rules)
+
+    def test_tampered_negation_cycle(self):
+        report = analyze_text(FLAWED)
+        rules = parse_rules(FLAWED)
+        (diagnostic,) = report.by_code("STR001")
+        cycle = [dict(edge) for edge in diagnostic.witness["cycle"]]
+        cycle = [dict(edge, negative=False) for edge in cycle]
+        with pytest.raises(ReplayError):
+            replay(self.tampered(diagnostic, cycle=cycle), rules)
+
+    def test_tampered_deadlock_set(self):
+        text = "Ghost(x), E(x, y) -> Haunt(x)\nHaunt(x) -> Ghost(x)\n"
+        report = analyze_text(text)
+        rules = parse_rules(text)
+        diagnostic = report.by_code("RCH001")[0]
+        with pytest.raises(ReplayError):
+            replay(
+                self.tampered(diagnostic, underivable=["Ghost", "Haunt", "E"]),
+                rules,
+            )
+
+
+class TestReportApi:
+    def test_ordering_and_counts(self):
+        report = analyze_text(FLAWED)
+        lines = [d.span.line for d in report if d.span is not None]
+        assert lines == sorted(lines)
+        counts = report.counts()
+        assert counts["error"] == 2
+        assert sum(counts.values()) == len(report)
+        assert report.max_severity() is Severity.ERROR
+        assert len(report.at_least(Severity.WARNING)) == 4
+
+    def test_every_code_is_registered(self):
+        report = analyze_text(FLAWED)
+        for diagnostic in report:
+            assert diagnostic.code in CODES
+
+    def test_accepts_theory_objects(self):
+        theory = parse_theory(FLAWED)
+        assert codes(analyze(theory)) == codes(analyze_text(FLAWED))
+
+    def test_render_text_mentions_every_code(self):
+        report = analyze_text(FLAWED)
+        rendered = report.render_text()
+        for diagnostic in report:
+            assert diagnostic.code in rendered
+        assert rendered.splitlines()[-1].startswith("summary:")
+
+    def test_obs_counters(self):
+        with instrumented() as instr:
+            report = analyze_text(FLAWED)
+        assert instr.metrics.counter("analysis.diagnostics") == len(report)
+        assert instr.metrics.counter("analysis.diagnostics.error") == 2

@@ -1,0 +1,114 @@
+"""Property tests for the analyzer over the seeded benchmark generators:
+
+* ``analyze`` never crashes and every emitted witness replays;
+* clean (generated, hence well-formed) theories never produce errors
+  that their construction rules out — guarded generators lint free of
+  guardedness findings entirely;
+* emitted codes agree with the underlying boolean checkers (TRM001 iff
+  not weakly acyclic, GRD001 iff not weakly frontier-guarded);
+* ``analyze_text`` never raises, even on junk input.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, analyze, analyze_text, replay
+from repro.bench.generators import (
+    random_datalog_theory,
+    random_frontier_guarded_theory,
+    random_guarded_theory,
+    random_signature,
+)
+from repro.chase.termination import is_jointly_acyclic, is_weakly_acyclic
+from repro.core.parser import render_theory
+from repro.guardedness import is_weakly_frontier_guarded
+
+GENERATORS = (
+    random_guarded_theory,
+    random_frontier_guarded_theory,
+    random_datalog_theory,
+)
+
+
+def _theory(seed: int, generator_index: int):
+    rng = random.Random(seed)
+    # min_arity=2: random_frontier_guarded_theory needs a binary relation.
+    signature = random_signature(rng, n_relations=4, min_arity=2, max_arity=3)
+    generator = GENERATORS[generator_index % len(GENERATORS)]
+    return generator(rng, signature, n_rules=4)
+
+
+theories = st.builds(
+    _theory, st.integers(min_value=0, max_value=10_000), st.integers(0, 2)
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(theories)
+def test_analyze_never_crashes_and_witnesses_replay(theory):
+    report = analyze(theory)
+    for diagnostic in report:
+        assert diagnostic.code != "PAR001"
+        replay(diagnostic, theory.rules)
+
+
+@settings(max_examples=40, deadline=None)
+@given(theories)
+def test_generated_theories_have_no_errors(theory):
+    # Generators produce consistent signatures, negation-free rules, and
+    # weakly-frontier-guarded (indeed frontier-guarded or Datalog)
+    # theories — so no diagnostic can reach error severity.
+    report = analyze(theory)
+    assert report.errors() == ()
+    assert report.max_severity() in (None, Severity.INFO, Severity.WARNING)
+
+
+@settings(max_examples=40, deadline=None)
+@given(theories)
+def test_codes_agree_with_boolean_checkers(theory):
+    report = analyze(theory)
+    assert bool(report.by_code("GRD001")) == (
+        not is_weakly_frontier_guarded(theory)
+    )
+    assert bool(report.by_code("TRM001")) == (
+        not theory.is_datalog() and not is_weakly_acyclic(theory)
+    )
+    assert bool(report.by_code("TRM002")) == (
+        not theory.is_datalog() and not is_jointly_acyclic(theory)
+    )
+    trm2 = report.by_code("TRM002")
+    for diagnostic in report.by_code("TRM001"):
+        expected = Severity.WARNING if trm2 else Severity.INFO
+        assert diagnostic.severity is expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(theories)
+def test_round_trip_through_renderer(theory):
+    # Rendering and re-parsing must not change the verdicts.  Spans do
+    # change (the original theory has none), which changes the report
+    # ordering — but never the findings themselves.
+    report = analyze(theory)
+    reparsed = analyze_text(render_theory(theory))
+    def key(d):
+        return (d.code, d.rule_index if d.rule_index is not None else -1)
+
+    assert sorted(map(key, report)) == sorted(map(key, reparsed))
+    assert report.counts() == reparsed.counts()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(
+        alphabet="PQRxyz(),. ->exists not#\n\t0123456789",
+        max_size=120,
+    )
+)
+def test_analyze_text_never_raises(text):
+    report = analyze_text(text)
+    if report.by_code("PAR001"):
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.span is not None
+        replay(diagnostic, [], text=text)
