@@ -40,6 +40,9 @@ from ..core.terms import Variable
 from ..core.theory import Query, Theory
 from ..chase.runner import ChaseBudget, chase
 from ..guardedness.classify import is_weakly_guarded
+from ..robustness.errors import TranslationError, exhausted_error
+from ..robustness.governor import ResourceGovernor
+from ..robustness.outcome import Outcome
 from .string_db import FIRST, NEXT, PAD, StringSignature
 from .turing import ACCEPT, BLANK, REJECT, UNIVERSAL, TuringMachine
 
@@ -291,7 +294,7 @@ def compile_machine(
     builder.emit_acceptance(output)
     theory = Theory(builder.rules)
     if not is_weakly_guarded(theory):
-        raise AssertionError("compiled machine must be weakly guarded")
+        raise TranslationError("compiled machine must be weakly guarded")
     return CompiledMachine(machine, signature.with_pad(), theory, output)
 
 
@@ -300,21 +303,35 @@ def machine_accepts_via_chase(
     database: Database,
     *,
     budget: Optional[ChaseBudget] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> bool:
     """Run the chase of the compiled theory over a string database and
     report whether the 0-ary output atom was derived.
 
-    Raises ``RuntimeError`` if the budget truncates the chase before the
-    output is derived (the machine may loop or exceed the budget)."""
+    Raises the typed exhaustion error
+    (:class:`~repro.robustness.errors.BudgetExceeded`, a ``RuntimeError``)
+    if the budget or governor truncates the chase before the output is
+    derived — the machine may loop or exceed the budget, so acceptance is
+    unknown.  The exception's ``outcome`` carries the partial chase result
+    including a resume snapshot."""
     result = chase(
         compiled.theory,
         database,
         policy="restricted",
         budget=budget or ChaseBudget(max_steps=500_000),
+        governor=governor,
     )
     derived = Atom(compiled.output, ()) in result.database
     if not derived and not result.complete:
-        raise RuntimeError(
-            f"chase truncated ({result.truncated_reason}); acceptance unknown"
+        reason = result.truncated_reason or "budget"
+        raise exhausted_error(
+            reason,
+            f"chase truncated ({reason}); acceptance unknown",
+            Outcome(
+                value=result,
+                complete=False,
+                exhausted=reason,
+                snapshot=result.snapshot,
+            ),
         )
     return derived

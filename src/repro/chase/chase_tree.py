@@ -23,6 +23,8 @@ from ..core.terms import Constant, Term
 from ..core.theory import Theory
 from ..guardedness.classify import is_frontier_guarded_rule
 from ..guardedness.normalize import is_normal
+from ..robustness.errors import InvalidTheoryError
+from ..robustness.governor import ResourceGovernor, resolve_governor
 from .runner import ChaseBudget, _Engine
 
 __all__ = [
@@ -140,17 +142,23 @@ def build_chase_tree(
     database: Database,
     *,
     budget: Optional[ChaseBudget] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> tuple[ChaseTree, Database]:
     """Run the oblivious chase of a normal frontier-guarded theory and build
     the chase tree of Definition 6.  Returns ``(tree, chase_database)``.
 
     Requires a normal theory (singleton heads; existential rules guarded)
-    whose rules are frontier-guarded."""
+    whose rules are frontier-guarded.  When the budget or governor cuts
+    the run short the partial tree is returned: every inserted atom still
+    satisfies the (C1)/(C2) placement of Definition 6, so the
+    Proposition 2 invariants hold on the truncated tree."""
     if not is_normal(theory):
-        raise ValueError("chase trees are defined for normal theories (Prop. 1)")
+        raise InvalidTheoryError(
+            "chase trees are defined for normal theories (Prop. 1)"
+        )
     for rule in theory:
         if not is_frontier_guarded_rule(rule):
-            raise ValueError(f"rule is not frontier-guarded: {rule}")
+            raise InvalidTheoryError(f"rule is not frontier-guarded: {rule}")
 
     root_atoms = set(database)
     for rule in theory:
@@ -165,19 +173,22 @@ def build_chase_tree(
         budget=budget or ChaseBudget(),
         null_prefix="n",
         allow_negation=False,
+        governor=resolve_governor(governor),
     )
 
     # Drive the engine trigger-by-trigger, mirroring each produced atom into
     # the tree.  We reuse the engine's bookkeeping but intercept additions.
-    while True:
-        if engine._over_budget() is not None:
+    truncated = False
+    while not truncated:
+        if engine._limit_reason(tick=False) is not None:
             break
         triggers = engine._enumerate_triggers(None)
         if not triggers:
             break
         engine.rounds += 1
         for rule_index, rule, assignment in triggers:
-            if engine._over_budget() is not None:
+            if engine._limit_reason(tick=True) is not None:
+                truncated = True
                 break
             before = set(engine.database.atoms())
             engine._apply(rule_index, rule, assignment)

@@ -20,6 +20,7 @@ from typing import Optional
 from ..core.database import Database
 from ..core.homomorphism import first_homomorphism
 from ..core.terms import Null, Term, Variable
+from ..robustness.errors import ConvergenceError
 
 __all__ = ["core_of", "is_core", "cores_isomorphic"]
 
@@ -71,7 +72,13 @@ def _shrinking_endomorphism(database: Database) -> Optional[dict[Term, Term]]:
 
 
 def core_of(database: Database, max_iterations: int = 10_000) -> Database:
-    """The core of a database (greedy folding + shrinking fallback; exact)."""
+    """The core of a database (greedy folding + shrinking fallback; exact).
+
+    ``max_iterations`` bounds the number of folds; each fold eliminates at
+    least one null, so ``database.nulls()`` folds always suffice — the
+    bound only trips on genuinely pathological inputs (or when set low on
+    purpose), raising :class:`~repro.robustness.errors.ConvergenceError`
+    (a ``RuntimeError``)."""
     current = database.copy()
     for _ in range(max_iterations):
         mapping = None
@@ -87,7 +94,10 @@ def core_of(database: Database, max_iterations: int = 10_000) -> Database:
             (atom.substitute(dict(mapping)) for atom in current),
             freeze_acdom=False,
         )
-    raise RuntimeError("core computation did not converge")
+    raise ConvergenceError(
+        f"core computation did not converge within {max_iterations} folds "
+        f"({len(current.nulls())} nulls remaining)"
+    )
 
 
 def is_core(database: Database) -> bool:

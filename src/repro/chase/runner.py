@@ -6,10 +6,21 @@ infinite sequence of rule applications; it is a *universal solution*:
 ``Σ, D |= α`` iff ``α ∈ chase(Σ, D)`` for ground ``α``.
 
 Because weakly guarded theories can have infinite chases, the engine runs
-under an explicit :class:`ChaseBudget`; the returned :class:`ChaseResult`
-records whether a fixpoint was reached (``complete``) or which budget cut
-the run short.  Fairness is breadth-first: triggers are enumerated against
-a per-round snapshot, so every applicable trigger is eventually fired.
+under an explicit :class:`ChaseBudget` and an optional
+:class:`~repro.robustness.governor.ResourceGovernor` (wall-clock deadline +
+cooperative cancellation, ticked once per applied trigger); the returned
+:class:`ChaseResult` records whether a fixpoint was reached (``complete``)
+or which budget cut the run short.  Fairness is breadth-first: triggers are
+enumerated against a per-round snapshot, so every applicable trigger is
+eventually fired.
+
+Interrupted runs are *resumable*: a truncated :class:`ChaseResult` carries
+a :class:`ChaseSnapshot` — the full engine state including the unfired
+remainder of the current round — and :func:`resume_chase` continues it
+under a fresh budget.  Because the snapshot preserves the exact pending
+trigger order and the null counter, a resumed run produces a final result
+*identical* (same atoms, same null names, same step count) to the
+uninterrupted run.
 
 Rules with negated body literals are supported *only* as building blocks of
 the stratified semantics (:mod:`repro.chase.stratified`): a negated literal
@@ -20,6 +31,7 @@ this coincides with Definition 23.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
@@ -31,15 +43,25 @@ from ..core.rules import Rule
 from ..core.terms import Constant, Null, Term, Variable
 from ..core.theory import Query, Theory
 from ..obs.runtime import current as _obs_current
+from ..robustness.errors import (
+    InvalidRequestError,
+    InvalidTheoryError,
+    exhausted_error,
+)
+from ..robustness.governor import ResourceGovernor, resolve_governor
+from ..robustness.outcome import Outcome
 
 __all__ = [
     "ChaseBudget",
     "ChaseResult",
+    "ChaseSnapshot",
     "ChaseStats",
     "RoundStats",
     "chase",
+    "resume_chase",
     "entails",
     "certain_answers",
+    "try_certain_answers",
     "OBLIVIOUS",
     "RESTRICTED",
     "SKOLEM",
@@ -72,7 +94,12 @@ class ChaseBudget:
 
 @dataclass(frozen=True)
 class RoundStats:
-    """Per-round chase counters (one breadth-first round)."""
+    """Per-round chase counters (one breadth-first round).
+
+    A round interrupted by a budget produces one entry for the partial
+    round; if the run is resumed, the remainder of that round is reported
+    as a further entry with the same ``round`` number.
+    """
 
     round: int
     triggers_enumerated: int
@@ -110,8 +137,46 @@ class ChaseStats:
 
 
 @dataclass
+class ChaseSnapshot:
+    """Full engine state of an interrupted chase run (checkpoint).
+
+    In-memory resume handle: pass to :func:`resume_chase` with a fresh
+    budget.  Preserves the unfired remainder of the current round
+    (``pending``) and the null counter, so the continuation replays
+    exactly the suffix of the uninterrupted run.
+    """
+
+    theory: Theory
+    policy: str
+    null_prefix: str
+    allow_negation: bool
+    database: Database
+    fired: set[tuple[int, tuple[Term, ...]]]
+    skolem_cache: dict[tuple, Null]
+    depths: dict[Term, int]
+    null_counter: int
+    steps: int
+    rounds: int
+    nulls_created: int
+    started: bool
+    delta: Optional[set[Atom]]
+    pending: list[tuple[int, Rule, dict[Variable, Term]]]
+    round_added: set[Atom]
+    rb_triggers: int
+    rb_steps: int
+    rb_atoms: int
+    rb_nulls: int
+    stats_rounds: list[RoundStats]
+
+
+@dataclass
 class ChaseResult:
-    """Outcome of a chase run."""
+    """Outcome of a chase run.
+
+    ``complete`` distinguishes a reached fixpoint from a truncated run;
+    truncated results are *sound but incomplete* (every atom present is a
+    consequence) and carry a resume ``snapshot``.
+    """
 
     database: Database
     complete: bool
@@ -121,6 +186,7 @@ class ChaseResult:
     truncated_reason: Optional[str] = None
     null_depths: dict[Null, int] = field(default_factory=dict)
     stats: ChaseStats = field(default_factory=ChaseStats)
+    snapshot: Optional[ChaseSnapshot] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.complete
@@ -135,14 +201,16 @@ class _Engine:
         budget: ChaseBudget,
         null_prefix: str,
         allow_negation: bool,
+        governor: Optional[ResourceGovernor] = None,
     ) -> None:
         if policy not in (OBLIVIOUS, RESTRICTED, SKOLEM):
-            raise ValueError(f"unknown chase policy {policy!r}")
+            raise InvalidTheoryError(f"unknown chase policy {policy!r}")
         self.theory = theory
         self.database = database.copy()
         self.database.ensure_acdom_frozen()
         self.policy = policy
         self.budget = budget
+        self.governor = governor
         self.allow_negation = allow_negation
         self.null_counter = 0
         self.null_prefix = null_prefix
@@ -154,6 +222,18 @@ class _Engine:
         self.rounds = 0
         self.nulls_created = 0
         self.truncated: Optional[str] = None
+        self.stats = ChaseStats()
+        # round-in-progress state (persisted by snapshots): the unfired
+        # remainder of the current round, the atoms it added so far, and
+        # the reporting baselines for split RoundStats entries.
+        self._started = False
+        self._delta: Optional[set[Atom]] = None
+        self._pending: deque[tuple[int, Rule, dict[Variable, Term]]] = deque()
+        self._round_added: set[Atom] = set()
+        self._rb_triggers = 0
+        self._rb_steps = 0
+        self._rb_atoms = 0
+        self._rb_nulls = 0
         # relation → [(rule index, body atom index)] for delta-driven
         # trigger discovery; rules are only visited when a delta atom
         # matches one of their body relations.
@@ -166,10 +246,70 @@ class _Engine:
         if not allow_negation:
             for rule in theory:
                 if rule.has_negation():
-                    raise ValueError(
+                    raise InvalidTheoryError(
                         "plain chase does not support negation; "
                         "use repro.chase.stratified for stratified theories"
                     )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: ChaseSnapshot,
+        budget: ChaseBudget,
+        governor: Optional[ResourceGovernor] = None,
+    ) -> "_Engine":
+        engine = cls(
+            snapshot.theory,
+            snapshot.database,
+            snapshot.policy,
+            budget,
+            snapshot.null_prefix,
+            snapshot.allow_negation,
+            governor=governor,
+        )
+        engine.fired = set(snapshot.fired)
+        engine.skolem_cache = dict(snapshot.skolem_cache)
+        engine.depths = dict(snapshot.depths)
+        engine.null_counter = snapshot.null_counter
+        engine.steps = snapshot.steps
+        engine.rounds = snapshot.rounds
+        engine.nulls_created = snapshot.nulls_created
+        engine._started = snapshot.started
+        engine._delta = set(snapshot.delta) if snapshot.delta is not None else None
+        engine._pending = deque(snapshot.pending)
+        engine._round_added = set(snapshot.round_added)
+        engine._rb_triggers = snapshot.rb_triggers
+        engine._rb_steps = snapshot.rb_steps
+        engine._rb_atoms = snapshot.rb_atoms
+        engine._rb_nulls = snapshot.rb_nulls
+        engine.stats = ChaseStats(rounds=list(snapshot.stats_rounds))
+        return engine
+
+    def snapshot(self) -> ChaseSnapshot:
+        return ChaseSnapshot(
+            theory=self.theory,
+            policy=self.policy,
+            null_prefix=self.null_prefix,
+            allow_negation=self.allow_negation,
+            database=self.database.copy(),
+            fired=set(self.fired),
+            skolem_cache=dict(self.skolem_cache),
+            depths=dict(self.depths),
+            null_counter=self.null_counter,
+            steps=self.steps,
+            rounds=self.rounds,
+            nulls_created=self.nulls_created,
+            started=self._started,
+            delta=set(self._delta) if self._delta is not None else None,
+            pending=list(self._pending),
+            round_added=set(self._round_added),
+            rb_triggers=self._rb_triggers,
+            rb_steps=self._rb_steps,
+            rb_atoms=self._rb_atoms,
+            rb_nulls=self._rb_nulls,
+            stats_rounds=list(self.stats.rounds),
+        )
 
     # ------------------------------------------------------------------
     def _fresh_null(self) -> Null:
@@ -190,6 +330,15 @@ class _Engine:
             return "max_atoms"
         if budget.max_nulls is not None and self.nulls_created >= budget.max_nulls:
             return "max_nulls"
+        return None
+
+    def _limit_reason(self, tick: bool) -> Optional[str]:
+        """Count budgets first, then the governor (one tick per trigger)."""
+        reason = self._over_budget()
+        if reason is not None:
+            return reason
+        if self.governor is not None:
+            return self.governor.tick() if tick else self.governor.poll()
         return None
 
     def _negation_blocked(self, rule: Rule, assignment: dict[Variable, Term]) -> bool:
@@ -301,61 +450,75 @@ class _Engine:
         self.steps += 1
         return added
 
+    def _record_round(self, obs) -> None:
+        """Report counters accumulated since the last report for the
+        current round (supports split reporting across a budget cut)."""
+        round_stats = RoundStats(
+            round=self.rounds,
+            triggers_enumerated=self._rb_triggers,
+            triggers_fired=self.steps - self._rb_steps,
+            atoms_added=len(self._round_added) - self._rb_atoms,
+            nulls_created=self.nulls_created - self._rb_nulls,
+        )
+        self.stats.rounds.append(round_stats)
+        self._rb_triggers = len(self._pending)
+        self._rb_steps = self.steps
+        self._rb_atoms = len(self._round_added)
+        self._rb_nulls = self.nulls_created
+        if obs is not None:
+            obs.inc("chase.triggers_enumerated", round_stats.triggers_enumerated)
+            obs.inc("triggers_fired", round_stats.triggers_fired)
+            obs.inc("atoms_derived", round_stats.atoms_added)
+            obs.inc("nulls_created", round_stats.nulls_created)
+            obs.observe("chase.delta_size", round_stats.atoms_added)
+
     def run(self) -> ChaseResult:
         obs = _obs_current()
-        stats = ChaseStats()
         run_span = (
             obs.span("chase", policy=self.policy, rules=len(self.theory))
             if obs is not None
             else nullcontext()
         )
         with run_span as span:
-            delta: Optional[set[Atom]] = None
             while True:
-                reason = self._over_budget()
-                if reason is not None:
-                    self.truncated = reason
-                    break
-                if (
-                    self.budget.max_rounds is not None
-                    and self.rounds >= self.budget.max_rounds
-                ):
-                    self.truncated = "max_rounds"
-                    break
-                triggers = self._enumerate_triggers(delta)
-                if not triggers:
-                    break
-                self.rounds += 1
-                steps_before = self.steps
-                nulls_before = self.nulls_created
-                stop = False
-                round_added: set[Atom] = set()
-                for rule_index, rule, assignment in triggers:
-                    reason = self._over_budget()
+                if not self._pending:
+                    reason = self._limit_reason(tick=False)
                     if reason is not None:
                         self.truncated = reason
-                        stop = True
                         break
-                    round_added |= self._apply(rule_index, rule, assignment)
-                delta = round_added
-                round_stats = RoundStats(
-                    round=self.rounds,
-                    triggers_enumerated=len(triggers),
-                    triggers_fired=self.steps - steps_before,
-                    atoms_added=len(round_added),
-                    nulls_created=self.nulls_created - nulls_before,
-                )
-                stats.rounds.append(round_stats)
-                if obs is not None:
-                    obs.inc(
-                        "chase.triggers_enumerated", round_stats.triggers_enumerated
+                    if (
+                        self.budget.max_rounds is not None
+                        and self.rounds >= self.budget.max_rounds
+                    ):
+                        self.truncated = "max_rounds"
+                        break
+                    triggers = self._enumerate_triggers(
+                        self._delta if self._started else None
                     )
-                    obs.inc("triggers_fired", round_stats.triggers_fired)
-                    obs.inc("atoms_derived", round_stats.atoms_added)
-                    obs.inc("nulls_created", round_stats.nulls_created)
-                    obs.observe("chase.delta_size", round_stats.atoms_added)
-                if stop:
+                    self._started = True
+                    if not triggers:
+                        break
+                    self.rounds += 1
+                    self._pending = deque(triggers)
+                    self._round_added = set()
+                    self._rb_triggers = len(triggers)
+                    self._rb_steps = self.steps
+                    self._rb_atoms = 0
+                    self._rb_nulls = self.nulls_created
+                cut_mid_round = False
+                while self._pending:
+                    reason = self._limit_reason(tick=True)
+                    if reason is not None:
+                        self.truncated = reason
+                        cut_mid_round = True
+                        break
+                    rule_index, rule, assignment = self._pending.popleft()
+                    self._round_added |= self._apply(rule_index, rule, assignment)
+                self._record_round(obs)
+                if cut_mid_round:
                     break
+                self._delta = set(self._round_added)
+                self._round_added = set()
             if obs is not None:
                 obs.inc("chase.rounds", self.rounds)
                 span.set(
@@ -378,7 +541,8 @@ class _Engine:
                 for term, depth in self.depths.items()
                 if isinstance(term, Null)
             },
-            stats=stats,
+            stats=self.stats,
+            snapshot=self.snapshot() if not complete else None,
         )
 
 
@@ -389,6 +553,7 @@ def chase(
     policy: str = OBLIVIOUS,
     budget: Optional[ChaseBudget] = None,
     null_prefix: str = "n",
+    governor: Optional[ResourceGovernor] = None,
     _allow_negation: bool = False,
 ) -> ChaseResult:
     """Run the chase of ``database`` with ``theory``.
@@ -399,6 +564,9 @@ def chase(
     ``policy=SKOLEM`` (semi-oblivious) reuses one null per (rule,
     existential variable, frontier image) — the semantics under which
     joint acyclicity guarantees termination.
+
+    ``governor`` adds deadline/cancellation control (defaults to the
+    ambient governor, see :func:`repro.robustness.governor.governed`).
     """
     engine = _Engine(
         theory,
@@ -407,6 +575,28 @@ def chase(
         budget or ChaseBudget(),
         null_prefix,
         _allow_negation,
+        governor=resolve_governor(governor),
+    )
+    return engine.run()
+
+
+def resume_chase(
+    snapshot: ChaseSnapshot,
+    *,
+    budget: Optional[ChaseBudget] = None,
+    governor: Optional[ResourceGovernor] = None,
+) -> ChaseResult:
+    """Continue an interrupted chase from its :class:`ChaseSnapshot` under
+    a fresh budget, without recomputation.
+
+    Counters (``steps``, ``rounds``, ``nulls_created``) continue from the
+    snapshot, so budgets on the resumed run are interpreted against the
+    *cumulative* run — pass a larger (or unlimited) budget to make
+    progress.  A run resumed after a cut produces a final result equal to
+    the uninterrupted run (same atoms, same null names).
+    """
+    engine = _Engine.from_snapshot(
+        snapshot, budget or ChaseBudget(), governor=resolve_governor(governor)
     )
     return engine.run()
 
@@ -418,24 +608,66 @@ def entails(
     *,
     budget: Optional[ChaseBudget] = None,
     policy: str = RESTRICTED,
+    governor: Optional[ResourceGovernor] = None,
 ) -> bool:
     """Check ``Σ, D |= α`` for a ground atom ``α`` via the chase.
 
     Uses the restricted chase by default (sound and complete for ground
-    atomic entailment when the chase terminates).  Raises ``RuntimeError``
+    atomic entailment when the chase terminates).  Raises
+    :class:`~repro.robustness.errors.BudgetExceeded` (a ``RuntimeError``)
     when the budget is exhausted before the atom is derived — in that case
     entailment is unknown.
     """
     if not atom.is_ground():
-        raise ValueError(f"entailment is defined for ground atoms, got {atom}")
-    result = chase(theory, database, policy=policy, budget=budget)
+        raise InvalidRequestError(
+            f"entailment is defined for ground atoms, got {atom}"
+        )
+    result = chase(
+        theory, database, policy=policy, budget=budget, governor=governor
+    )
     if atom in result.database:
         return True
     if not result.complete:
-        raise RuntimeError(
-            f"chase truncated ({result.truncated_reason}); entailment undecided"
+        reason = result.truncated_reason or "budget"
+        raise exhausted_error(
+            reason,
+            f"chase truncated ({reason}); entailment undecided",
+            Outcome(
+                value=result,
+                complete=False,
+                exhausted=reason,
+                snapshot=result.snapshot,
+            ),
         )
     return False
+
+
+def try_certain_answers(
+    query: Query,
+    database: Database,
+    *,
+    budget: Optional[ChaseBudget] = None,
+    policy: str = RESTRICTED,
+    governor: Optional[ResourceGovernor] = None,
+) -> Outcome[set[tuple[Constant, ...]]]:
+    """Graceful ``ans((Σ,Q), D)``: certain answers with degradation.
+
+    The outcome's ``value`` holds the all-constant output tuples found in
+    the (possibly partial) chase.  On exhaustion the answer set is *sound
+    but possibly incomplete* — every tuple present is a certain answer,
+    some certain answers may be missing — and ``snapshot`` resumes the
+    underlying chase.
+    """
+    result = chase(query.theory, database, policy=policy, budget=budget,
+                   governor=governor)
+    answers = answers_in(result.database, query.output)
+    return Outcome(
+        value=answers,
+        complete=result.complete,
+        exhausted=None if result.complete else result.truncated_reason,
+        sound=True,
+        snapshot=result.snapshot,
+    )
 
 
 def certain_answers(
@@ -444,19 +676,27 @@ def certain_answers(
     *,
     budget: Optional[ChaseBudget] = None,
     policy: str = RESTRICTED,
+    governor: Optional[ResourceGovernor] = None,
 ) -> set[tuple[Constant, ...]]:
     """``ans((Σ,Q), D)`` — constant tuples ``~c`` with ``Q(~c)`` in the chase.
 
     Per Section 2 only all-constant tuples are answers; tuples containing
-    nulls are filtered out.  Raises ``RuntimeError`` on budget exhaustion
-    (the answer set would be unreliable).
+    nulls are filtered out.  Raises a typed
+    :class:`~repro.robustness.errors.BudgetExceeded` /
+    :class:`~repro.robustness.errors.Cancelled` on exhaustion (both are
+    ``RuntimeError`` subclasses; the partial outcome rides on the
+    exception's ``outcome`` attribute).  Use :func:`try_certain_answers`
+    for the non-raising variant.
     """
-    result = chase(query.theory, database, policy=policy, budget=budget)
-    if not result.complete:
-        raise RuntimeError(
-            f"chase truncated ({result.truncated_reason}); answers unreliable"
+    outcome = try_certain_answers(
+        query, database, budget=budget, policy=policy, governor=governor
+    )
+    if not outcome.complete:
+        reason = outcome.exhausted or "budget"
+        raise exhausted_error(
+            reason, f"chase truncated ({reason}); answers unreliable", outcome
         )
-    return answers_in(result.database, query.output)
+    return outcome.value
 
 
 def answers_in(database: Database, output: str) -> set[tuple[Constant, ...]]:

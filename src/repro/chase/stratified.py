@@ -12,7 +12,15 @@ avoids constructing the exponentially large complements.
 
 Weakly guarded stratified theories can still have infinite chases (the
 ``Σsucc`` program of Theorem 5 does); callers bound each stratum with a
-:class:`~repro.chase.runner.ChaseBudget`.
+:class:`~repro.chase.runner.ChaseBudget` or a deadline-bearing
+:class:`~repro.robustness.governor.ResourceGovernor`.  Count-budget
+truncation is *deliberate* — the Theorem 5 constructions run a
+depth-justified budget on a stratum whose chase is infinite and rely on
+the higher strata still executing — so the iteration continues past it
+(the aggregate result is marked incomplete).  Governor exhaustion
+(deadline or cancellation) instead stops the iteration at once: the user
+asked for the run to end, and every remaining stratum would trip the same
+governor anyway.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from ..core.database import Database
 from ..core.terms import Constant
 from ..core.theory import Query, Theory
 from ..datalog.stratification import Stratification, stratify
+from ..robustness.errors import InvalidRequestError, exhausted_error
+from ..robustness.governor import ResourceGovernor, resolve_governor
+from ..robustness.outcome import Outcome
 from .runner import ChaseBudget, ChaseResult, ChaseStats, chase
 
 __all__ = ["stratified_chase", "stratified_answers"]
@@ -36,16 +47,23 @@ def stratified_chase(
     budgets: Optional[Sequence[ChaseBudget]] = None,
     stratification: Optional[Stratification] = None,
     policy: str = "oblivious",
+    governor: Optional[ResourceGovernor] = None,
 ) -> ChaseResult:
     """Compute ``chase(Σ, D)`` of Definition 23 stratum by stratum.
 
-    ``budgets`` overrides ``budget`` per stratum when given.  The returned
-    result aggregates steps/rounds across strata; it is ``complete`` only
-    if every stratum reached a fixpoint."""
+    ``budgets`` overrides ``budget`` per stratum when given (one entry per
+    stratum).  The returned result aggregates steps/rounds across strata;
+    it is ``complete`` only if every stratum reached a fixpoint.  A
+    deadline or cancellation stops the iteration immediately; a count
+    budget only truncates its own stratum (see the module docstring)."""
     if stratification is None:
         stratification = stratify(theory)
     if budgets is not None and len(budgets) != len(stratification):
-        raise ValueError("one budget per stratum expected")
+        raise InvalidRequestError(
+            f"one budget per stratum expected: got {len(budgets)} budgets "
+            f"for {len(stratification)} strata"
+        )
+    governor = resolve_governor(governor)
 
     current = database.copy()
     current.ensure_acdom_frozen()
@@ -64,6 +82,7 @@ def stratified_chase(
             policy=policy,
             budget=stratum_budget or ChaseBudget(),
             null_prefix=f"s{index}_n",
+            governor=governor,
             _allow_negation=True,
         )
         current = result.database
@@ -75,6 +94,8 @@ def stratified_chase(
         if not result.complete:
             complete = False
             reason = result.truncated_reason
+            if reason in ("deadline", "cancelled"):
+                break
     return ChaseResult(
         database=current,
         complete=complete,
@@ -94,15 +115,26 @@ def stratified_answers(
     budget: Optional[ChaseBudget] = None,
     policy: str = "restricted",
     require_complete: bool = True,
+    governor: Optional[ResourceGovernor] = None,
 ) -> set[tuple[Constant, ...]]:
-    """Certain answers under the stratified semantics."""
+    """Certain answers under the stratified semantics.
+
+    With ``require_complete`` (the default) a truncated chase raises the
+    typed exhaustion error; set it to ``False`` to accept the answers from
+    the partial chase (sound only up to the last complete stratum)."""
     result = stratified_chase(
-        query.theory, database, budget=budget, policy=policy
+        query.theory, database, budget=budget, policy=policy, governor=governor
     )
-    if require_complete and not result.complete:
-        raise RuntimeError(
-            f"stratified chase truncated ({result.truncated_reason})"
-        )
     from .runner import answers_in
 
-    return answers_in(result.database, query.output)
+    answers = answers_in(result.database, query.output)
+    if require_complete and not result.complete:
+        reason = result.truncated_reason or "budget"
+        raise exhausted_error(
+            reason,
+            f"stratified chase truncated ({reason})",
+            Outcome(
+                value=answers, complete=False, exhausted=reason, sound=False
+            ),
+        )
+    return answers

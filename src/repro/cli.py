@@ -4,7 +4,7 @@ Installed as the ``repro`` console script::
 
     repro classify theory.rules
     repro chase theory.rules data.db --policy restricted --max-steps 10000
-    repro answer theory.rules data.db --output Q
+    repro answer theory.rules data.db --output Q     (alias: repro query)
     repro translate theory.rules --target datalog
     repro termination theory.rules
     repro lint theory.rules --format json --fail-on warning
@@ -13,21 +13,31 @@ Theories use the rule syntax of :mod:`repro.core.parser`; databases use
 the data syntax (bare names are constants).
 
 Every subcommand accepts ``--stats`` (print an instrumentation report —
-phase timings and engine counters — to stderr after the normal output)
-and ``--trace-json PATH`` (export JSON-lines spans and the final metrics
-snapshot, see :mod:`repro.obs`).  ``repro chase --stats`` additionally
-prints a per-round ``# round …`` footer from the run's own
+phase timings and engine counters — to stderr after the normal output),
+``--trace-json PATH`` (export JSON-lines spans and the final metrics
+snapshot, see :mod:`repro.obs`), and ``--timeout SECONDS`` (a wall-clock
+deadline installed as the ambient
+:class:`~repro.robustness.governor.ResourceGovernor` for the whole
+command).  ``repro chase --stats`` additionally prints a per-round
+``# round …`` footer from the run's own
 :class:`~repro.chase.runner.ChaseStats` snapshot.
+
+Exit codes are uniform: ``0`` success, ``1`` failure, ``2`` parse/usage
+error, ``3`` *exhausted* — a budget, deadline, or cancellation stopped
+the computation before an answer was reached.  Exhausted runs print
+whatever sound partial output they have plus an ``# exhausted`` marker.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from .analysis import Severity, analyze_text
-from .chase.runner import ChaseBudget, certain_answers, chase
+from .chase.runner import ChaseBudget, chase, try_certain_answers
 from .chase.termination import (
     chase_terminates,
     find_joint_cycle,
@@ -40,12 +50,27 @@ from .core.theory import Query, Theory
 from .guardedness.classify import classify
 from .guardedness.normalize import normalize
 from .obs import JsonLinesSink, instrumented
+from .robustness.errors import BudgetExceeded, Cancelled, InternalError, ReproError
+from .robustness.governor import ResourceGovernor, governed
 from .translate.annotations import rewrite_weakly_frontier_guarded
 from .translate.expansion import rewrite_frontier_guarded
 from .translate.pipeline import answer_query
 from .translate.saturation import guarded_to_datalog, nearly_guarded_to_datalog
 
-__all__ = ["main"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_FAILED",
+    "EXIT_PARSE",
+    "EXIT_EXHAUSTED",
+]
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_PARSE = 2
+#: A budget/deadline/cancellation stopped the run (distinct from failure:
+#: partial output, when printed, is sound).
+EXIT_EXHAUSTED = 3
 
 
 def _load_theory(path: str) -> Theory:
@@ -54,6 +79,27 @@ def _load_theory(path: str) -> Theory:
 
 def _load_database(path: str) -> Database:
     return parse_database(Path(path).read_text())
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform chase-budget flags, identical on every subcommand that
+    runs a chase (``chase``, ``answer``/``query``)."""
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=100_000,
+        help="chase step budget (default 100000)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="null-nesting depth budget (default unlimited)",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace) -> ChaseBudget:
+    return ChaseBudget(max_steps=args.max_steps, max_depth=args.max_depth)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -72,8 +118,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_chase(args: argparse.Namespace) -> int:
     theory = _load_theory(args.theory)
     database = _load_database(args.database)
-    budget = ChaseBudget(max_steps=args.max_steps, max_depth=args.max_depth)
-    result = chase(theory, database, policy=args.policy, budget=budget)
+    result = chase(
+        theory, database, policy=args.policy, budget=_budget_from_args(args)
+    )
     status = "complete" if result.complete else f"truncated ({result.truncated_reason})"
     print(
         f"# chase {status}: {len(result.database)} atoms, "
@@ -96,25 +143,34 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 f"fired={r.triggers_fired} atoms={r.atoms_added} "
                 f"nulls={r.nulls_created}"
             )
-    return 0 if result.complete else 1
+    return EXIT_OK if result.complete else EXIT_EXHAUSTED
+
+
+def _print_answers(answers) -> None:
+    for answer in sorted(answers, key=str):
+        print("(" + ", ".join(term.name for term in answer) + ")")
+    print(f"# {len(answers)} answers", file=sys.stderr)
 
 
 def _cmd_answer(args: argparse.Namespace) -> int:
     theory = _load_theory(args.theory)
     database = _load_database(args.database)
     query = Query(theory, args.output)
+    budget = _budget_from_args(args)
     if args.strategy == "chase":
-        answers = certain_answers(
-            query, database, budget=ChaseBudget(max_steps=args.max_steps)
-        )
-    else:
-        answers = answer_query(
-            query, database, budget=ChaseBudget(max_steps=args.max_steps)
-        )
-    for answer in sorted(answers, key=str):
-        print("(" + ", ".join(term.name for term in answer) + ")")
-    print(f"# {len(answers)} answers", file=sys.stderr)
-    return 0
+        outcome = try_certain_answers(query, database, budget=budget)
+        _print_answers(outcome.value)
+        if not outcome.complete:
+            print(
+                f"# exhausted ({outcome.exhausted}): answers are sound "
+                "but may be incomplete",
+                file=sys.stderr,
+            )
+            return EXIT_EXHAUSTED
+        return EXIT_OK
+    answers = answer_query(query, database, budget=budget)
+    _print_answers(answers)
+    return EXIT_OK
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -136,7 +192,7 @@ def _cmd_translate(args: argparse.Namespace) -> int:
             theory, max_rules=args.max_rules
         ).theory
     else:  # pragma: no cover - argparse restricts choices
-        raise AssertionError(args.target)
+        raise InternalError(f"unhandled translate target {args.target!r}")
     print(render_theory(result))
     print(f"# {len(result)} rules", file=sys.stderr)
     return 0
@@ -198,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export JSON-lines spans and a final metrics record to PATH",
     )
+    obs_flags.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock deadline for the whole command; exhaustion exits "
+        f"with code {EXIT_EXHAUSTED}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     p = commands.add_parser(
@@ -212,12 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("theory")
     p.add_argument("database")
     p.add_argument("--policy", choices=("oblivious", "restricted"), default="restricted")
-    p.add_argument("--max-steps", type=int, default=100_000)
-    p.add_argument("--max-depth", type=int, default=None)
+    _add_budget_flags(p)
     p.set_defaults(handler=_cmd_chase)
 
     p = commands.add_parser(
         "answer",
+        aliases=["query"],
         help="certain answers for an output relation",
         parents=[obs_flags],
     )
@@ -228,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("auto", "chase"), default="auto",
         help="auto = dispatch on guardedness class (Section 7 pipeline etc.)",
     )
-    p.add_argument("--max-steps", type=int, default=100_000)
+    _add_budget_flags(p)
     p.set_defaults(handler=_cmd_answer)
 
     p = commands.add_parser(
@@ -268,12 +332,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _invoke(args: argparse.Namespace) -> int:
+    """Run the subcommand handler under the ambient governor implied by
+    ``--timeout`` (if any)."""
+    scope = (
+        governed(ResourceGovernor(timeout=args.timeout))
+        if args.timeout is not None
+        else nullcontext()
+    )
+    with scope:
+        return args.handler(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         if not (args.stats or args.trace_json):
-            return args.handler(args)
+            return _invoke(args)
         sinks = []
         if args.trace_json:
             try:
@@ -283,16 +359,28 @@ def main(argv: list[str] | None = None) -> int:
                     f"error: cannot open --trace-json target: {exc}",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_PARSE
             sinks.append(JsonLinesSink(stream))
         with instrumented(*sinks) as instr:
-            code = args.handler(args)
+            code = _invoke(args)
         if args.stats:
             print(instr.report(title=f"repro {args.command}"), file=sys.stderr)
         return code
     except ParseError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_PARSE
+    except (Cancelled, BudgetExceeded) as exc:
+        print(f"exhausted ({exc.reason}): {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro chase … | head``).
+        # Redirect stdout to devnull so the interpreter's final flush
+        # does not raise again, and exit like coreutils do (128+SIGPIPE).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

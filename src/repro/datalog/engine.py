@@ -29,12 +29,15 @@ from ..core.rules import Rule
 from ..core.terms import Constant
 from ..core.theory import Query, Theory
 from ..obs.runtime import current as _obs_current
+from ..robustness.errors import InvalidTheoryError, exhausted_error
+from ..robustness.governor import ResourceGovernor, resolve_governor
+from ..robustness.outcome import Outcome
 from .stratification import Stratification, stratify
 
-__all__ = ["evaluate", "datalog_answers", "DatalogError"]
+__all__ = ["evaluate", "try_evaluate", "datalog_answers", "DatalogError"]
 
 
-class DatalogError(ValueError):
+class DatalogError(InvalidTheoryError):
     """Raised when a program is not plain (stratified) Datalog."""
 
 
@@ -65,9 +68,36 @@ def _fire(
             new_atoms.add(grounded)
 
 
-def _evaluate_stratum(stratum: Theory, database: Database, obs=None) -> None:
-    """Evaluate one stratum to fixpoint, mutating ``database``."""
+def _tick(
+    governor: Optional[ResourceGovernor],
+    iterations: int,
+    max_iterations: Optional[int],
+) -> Optional[str]:
+    """One fixpoint iteration: returns the exhaustion reason or ``None``."""
+    if max_iterations is not None and iterations > max_iterations:
+        return "max_iterations"
+    if governor is not None:
+        return governor.tick()
+    return None
+
+
+def _evaluate_stratum(
+    stratum: Theory,
+    database: Database,
+    obs=None,
+    governor: Optional[ResourceGovernor] = None,
+    max_iterations: Optional[int] = None,
+) -> Optional[str]:
+    """Evaluate one stratum to fixpoint, mutating ``database``.
+
+    Returns the exhaustion reason if a governor or iteration budget cut
+    the stratum short (the database then holds a sound prefix of the
+    fixpoint), ``None`` on a reached fixpoint."""
     defined_here = {atom.relation for rule in stratum for atom in rule.head}
+    iterations = 1
+    reason = _tick(governor, iterations, max_iterations)
+    if reason is not None:
+        return reason
 
     # Initial round: every rule fires against the full database.
     delta: set[Atom] = set()
@@ -96,6 +126,10 @@ def _evaluate_stratum(stratum: Theory, database: Database, obs=None) -> None:
             recursive_rules.append((rule, indices))
 
     while delta:
+        iterations += 1
+        reason = _tick(governor, iterations, max_iterations)
+        if reason is not None:
+            return reason
         delta_by_relation: dict[str, list[Atom]] = defaultdict(list)
         for atom in delta:
             delta_by_relation[atom.relation].append(atom)
@@ -117,15 +151,27 @@ def _evaluate_stratum(stratum: Theory, database: Database, obs=None) -> None:
         if obs is not None:
             obs.observe("delta_size", len(delta))
             obs.inc("atoms_derived", len(delta))
+    return None
 
 
-def _evaluate_stratum_naive(stratum: Theory, database: Database, obs=None) -> None:
+def _evaluate_stratum_naive(
+    stratum: Theory,
+    database: Database,
+    obs=None,
+    governor: Optional[ResourceGovernor] = None,
+    max_iterations: Optional[int] = None,
+) -> Optional[str]:
     """Reference naive evaluation: fire every rule against the full
     database until nothing changes.  Quadratically slower than semi-naive
     on recursive programs — kept for the ablation benchmark and as a
     correctness oracle."""
     changed = True
+    iterations = 0
     while changed:
+        iterations += 1
+        reason = _tick(governor, iterations, max_iterations)
+        if reason is not None:
+            return reason
         changed = False
         new_atoms: set[Atom] = set()
         for rule in stratum:
@@ -141,26 +187,33 @@ def _evaluate_stratum_naive(stratum: Theory, database: Database, obs=None) -> No
         if obs is not None:
             obs.observe("delta_size", added)
             obs.inc("atoms_derived", added)
+    return None
 
 
-def evaluate(
+def try_evaluate(
     program: Theory,
     database: Database,
     *,
     stratification: Optional[Stratification] = None,
     strategy: str = "seminaive",
-) -> Database:
-    """Evaluate a stratified Datalog program; returns the full fixpoint.
+    governor: Optional[ResourceGovernor] = None,
+    max_iterations: Optional[int] = None,
+) -> Outcome[Database]:
+    """Graceful evaluation of a stratified Datalog program.
 
-    The input database is not mutated.  Negation must be stratified; a
-    :class:`~repro.datalog.stratification.NotStratifiedError` is raised
-    otherwise.  ``strategy`` selects semi-naive (default) or the naive
-    reference loop."""
+    A governor (deadline/cancellation, ticked once per fixpoint
+    iteration) or ``max_iterations`` (per stratum) can cut the run short;
+    the outcome then carries the partial fixpoint with an ``exhausted``
+    reason.  Partial fixpoints are *sound but incomplete*: evaluation
+    stops at the first exhausted stratum, so every derived atom was
+    produced with negation checked only against completed lower strata.
+    """
     if strategy not in ("seminaive", "naive"):
-        raise ValueError(f"unknown evaluation strategy {strategy!r}")
+        raise InvalidTheoryError(f"unknown evaluation strategy {strategy!r}")
     _check_program(program)
     if stratification is None:
         stratification = stratify(program)
+    governor = resolve_governor(governor)
     result = database.copy()
     result.ensure_acdom_frozen()
     obs = _obs_current()
@@ -174,6 +227,7 @@ def evaluate(
         if obs is not None
         else nullcontext()
     )
+    exhausted: Optional[str] = None
     with run_span:
         for index, stratum in enumerate(stratification):
             stratum_span = (
@@ -183,18 +237,67 @@ def evaluate(
             )
             with stratum_span:
                 if strategy == "naive":
-                    _evaluate_stratum_naive(stratum, result, obs)
+                    exhausted = _evaluate_stratum_naive(
+                        stratum, result, obs, governor, max_iterations
+                    )
                 else:
-                    _evaluate_stratum(stratum, result, obs)
-    return result
+                    exhausted = _evaluate_stratum(
+                        stratum, result, obs, governor, max_iterations
+                    )
+            if exhausted is not None:
+                if obs is not None:
+                    obs.inc("datalog.exhausted")
+                break
+    return Outcome(
+        value=result,
+        complete=exhausted is None,
+        exhausted=exhausted,
+        sound=True,
+        snapshot=None,
+    )
+
+
+def evaluate(
+    program: Theory,
+    database: Database,
+    *,
+    stratification: Optional[Stratification] = None,
+    strategy: str = "seminaive",
+    governor: Optional[ResourceGovernor] = None,
+    max_iterations: Optional[int] = None,
+) -> Database:
+    """Evaluate a stratified Datalog program; returns the full fixpoint.
+
+    The input database is not mutated.  Negation must be stratified; a
+    :class:`~repro.datalog.stratification.NotStratifiedError` is raised
+    otherwise.  ``strategy`` selects semi-naive (default) or the naive
+    reference loop.  On governor/iteration exhaustion raises the typed
+    error (partial fixpoint on its ``outcome``); use :func:`try_evaluate`
+    for the non-raising variant."""
+    outcome = try_evaluate(
+        program,
+        database,
+        stratification=stratification,
+        strategy=strategy,
+        governor=governor,
+        max_iterations=max_iterations,
+    )
+    if not outcome.complete:
+        reason = outcome.exhausted or "budget"
+        raise exhausted_error(
+            reason, f"datalog evaluation exhausted ({reason})", outcome
+        )
+    return outcome.value
 
 
 def datalog_answers(
     query: Query,
     database: Database,
+    *,
+    governor: Optional[ResourceGovernor] = None,
 ) -> set[tuple[Constant, ...]]:
     """``ans((Σ,Q), D)`` for a Datalog query — all-constant output tuples."""
-    fixpoint = evaluate(query.theory, database)
+    fixpoint = evaluate(query.theory, database, governor=governor)
     answers: set[tuple[Constant, ...]] = set()
     for key in fixpoint.relations():
         if key[0] != query.output:

@@ -15,6 +15,8 @@ from ..core.database import Database
 from ..core.terms import Constant
 from ..core.theory import Theory
 from ..chase.runner import ChaseBudget, certain_answers
+from ..robustness.errors import Cancelled, DeadlineExceeded, InvalidRequestError
+from ..robustness.governor import ResourceGovernor
 from ..translate.pipeline import answer_query
 from .cq import ConjunctiveQuery, knowledge_base_query
 
@@ -40,23 +42,33 @@ def answer_cq(
     *,
     strategy: str = "auto",
     budget: Optional[ChaseBudget] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> set[tuple[Constant, ...]]:
     """Certain answers of a CQ over ``(Σ, D)``.
 
     ``strategy``: ``"chase"`` (budgeted restricted chase), ``"translate"``
     (the class-dispatched translation pipeline), or ``"auto"`` (translate,
-    falling back to the chase if the theory defies classification)."""
+    falling back to the chase if the theory defies classification).  The
+    auto fallback never swallows a deadline or cancellation: what stopped
+    the translation would equally stop the chase, so those propagate
+    immediately instead of burning the remaining wall clock twice.  A
+    blown *rule* budget in the translation still falls back — the chase
+    has its own, independent budget."""
     query = knowledge_base_query(theory, cq)
     if strategy == "chase":
-        return certain_answers(query, database, budget=budget)
+        return certain_answers(query, database, budget=budget, governor=governor)
     if strategy == "translate":
-        return answer_query(query, database, budget=budget)
+        return answer_query(query, database, budget=budget, governor=governor)
     if strategy == "auto":
         try:
-            return answer_query(query, database, budget=budget)
+            return answer_query(query, database, budget=budget, governor=governor)
+        except (Cancelled, DeadlineExceeded):
+            raise
         except Exception:
-            return certain_answers(query, database, budget=budget)
-    raise ValueError(f"unknown strategy {strategy!r}")
+            return certain_answers(
+                query, database, budget=budget, governor=governor
+            )
+    raise InvalidRequestError(f"unknown strategy {strategy!r}")
 
 
 def compare_strategies(
@@ -65,11 +77,16 @@ def compare_strategies(
     database: Database,
     *,
     budget: Optional[ChaseBudget] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> AnswerComparison:
     """Answer by chase and by translation; report both (experiment E7)."""
     return AnswerComparison(
-        via_chase=answer_cq(theory, cq, database, strategy="chase", budget=budget),
+        via_chase=answer_cq(
+            theory, cq, database, strategy="chase", budget=budget,
+            governor=governor,
+        ),
         via_translation=answer_cq(
-            theory, cq, database, strategy="translate", budget=budget
+            theory, cq, database, strategy="translate", budget=budget,
+            governor=governor,
         ),
     )

@@ -1,0 +1,71 @@
+"""Resource governance and failure semantics.
+
+This package makes interruption and partial-result recovery first-class
+across every engine (chase, Datalog, saturation, expansion, pipeline):
+
+* :mod:`~repro.robustness.errors` — the shared :class:`ReproError`
+  hierarchy (``BudgetExceeded``, ``Cancelled``, ``InvalidTheoryError``,
+  …), grafted onto the built-in types historically raised so existing
+  ``except`` clauses keep working;
+* :mod:`~repro.robustness.governor` — ``ResourceGovernor`` =
+  ``Deadline`` + ``CancellationToken`` + tick budget behind one cheap
+  ``tick()`` hook, installable ambiently with :func:`governed`;
+* :mod:`~repro.robustness.outcome` — the structured ``Outcome`` of a
+  governed run: partial artifact, ``exhausted`` reason, soundness flag,
+  resume snapshot;
+* :mod:`~repro.robustness.faults` — deterministic fault injection
+  (trip a deadline, cancel a token, raise at the N-th tick) used by the
+  test harness to prove every engine degrades cleanly.
+
+See DESIGN.md §8 for the exhaustion taxonomy and the soundness argument
+for partial results.
+"""
+
+from .errors import (
+    BudgetExceeded,
+    Cancelled,
+    ConvergenceError,
+    DeadlineExceeded,
+    FaultInjected,
+    InternalError,
+    InvalidRequestError,
+    InvalidTheoryError,
+    ReproError,
+    TranslationError,
+    exhausted_error,
+)
+from .faults import FAULT_ACTIONS, FaultInjector, inject, probe
+from .governor import (
+    CancellationToken,
+    Deadline,
+    ResourceGovernor,
+    current_governor,
+    governed,
+    resolve_governor,
+)
+from .outcome import Outcome
+
+__all__ = [
+    "ReproError",
+    "InvalidTheoryError",
+    "InvalidRequestError",
+    "TranslationError",
+    "InternalError",
+    "ConvergenceError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "Cancelled",
+    "FaultInjected",
+    "exhausted_error",
+    "Outcome",
+    "Deadline",
+    "CancellationToken",
+    "ResourceGovernor",
+    "governed",
+    "current_governor",
+    "resolve_governor",
+    "FAULT_ACTIONS",
+    "FaultInjector",
+    "inject",
+    "probe",
+]

@@ -1,0 +1,124 @@
+"""The shared ``ReproError`` exception hierarchy.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch "anything repro" with one
+clause.  The hierarchy is grafted onto the built-in types the code used
+historically (``ValueError`` for rejected inputs, ``RuntimeError`` for
+exhausted computations), so existing ``except ValueError`` /
+``except RuntimeError`` call sites keep working unchanged.
+
+Exhaustion errors (:class:`BudgetExceeded` and friends) carry an
+``outcome`` attribute: the structured partial
+:class:`~repro.robustness.outcome.Outcome` of the interrupted run, so a
+caller that *does* want the partial artifact (or its resume snapshot)
+can recover it from the exception instead of losing completed work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "ReproError",
+    "InvalidTheoryError",
+    "InvalidRequestError",
+    "TranslationError",
+    "InternalError",
+    "ConvergenceError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "Cancelled",
+    "FaultInjected",
+    "exhausted_error",
+]
+
+
+class ReproError(Exception):
+    """Root of the repro exception hierarchy."""
+
+
+class InvalidTheoryError(ReproError, ValueError):
+    """A theory/program fails the preconditions of an operation (wrong
+    guardedness class, negation where not supported, unknown policy…)."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """An API was called with inconsistent arguments (e.g. a per-stratum
+    budget list of the wrong length)."""
+
+
+class TranslationError(ReproError, RuntimeError):
+    """A translation postcondition failed (a theorem's invariant does not
+    hold on the produced theory).  Replaces ``assert`` so the check
+    survives ``python -O``."""
+
+
+class InternalError(ReproError, RuntimeError):
+    """A supposedly unreachable state was reached."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure hit its iteration ceiling without reaching
+    a fixpoint (e.g. core computation)."""
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A count budget, deadline, or tick limit stopped a run.
+
+    ``reason`` is the machine-readable exhaustion tag (``"max_steps"``,
+    ``"max_rules"``, ``"deadline"``, …); ``outcome`` is the structured
+    partial result when the raising engine preserved one.
+    """
+
+    def __init__(
+        self,
+        message: str = "budget exceeded",
+        *,
+        reason: str = "budget",
+        outcome: Optional[Any] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.outcome = outcome
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed."""
+
+    def __init__(
+        self,
+        message: str = "deadline exceeded",
+        *,
+        outcome: Optional[Any] = None,
+    ) -> None:
+        super().__init__(message, reason="deadline", outcome=outcome)
+
+
+class Cancelled(ReproError, RuntimeError):
+    """A :class:`~repro.robustness.governor.CancellationToken` was
+    cancelled; the run stopped cooperatively."""
+
+    def __init__(
+        self,
+        message: str = "cancelled",
+        *,
+        outcome: Optional[Any] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = "cancelled"
+        self.outcome = outcome
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Raised by the fault-injection harness (never in production use)."""
+
+
+def exhausted_error(
+    reason: str, message: str, outcome: Optional[Any] = None
+) -> ReproError:
+    """The typed error matching a machine-readable exhaustion ``reason``."""
+    if reason == "cancelled":
+        return Cancelled(message, outcome=outcome)
+    if reason == "deadline":
+        return DeadlineExceeded(message, outcome=outcome)
+    return BudgetExceeded(message, reason=reason, outcome=outcome)

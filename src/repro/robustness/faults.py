@@ -1,0 +1,82 @@
+"""Deterministic fault injection for the resource governor.
+
+The governance contract is only trustworthy if every engine degrades
+cleanly at *every* interruption point.  A :class:`FaultInjector` attaches
+to a :class:`~repro.robustness.governor.ResourceGovernor` and fires a
+scheduled fault at the N-th ``tick()``:
+
+* ``"deadline"`` — force the governor's deadline into the past, as if
+  the wall clock ran out exactly there;
+* ``"cancel"``   — trip the governor's cancellation token, as if another
+  thread called ``cancel()`` at that instant;
+* ``"error"``    — raise :class:`~repro.robustness.errors.FaultInjected`,
+  modelling an unexpected crash inside the engine loop.
+
+Because ticks are deterministic for a fixed input, a test can first
+:func:`probe` a run to learn its tick count and then replay it once per
+(tick, action) pair, asserting a structured partial outcome each time —
+the harness ``tests/test_faults.py`` walks every engine this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import FaultInjected, InvalidRequestError
+from .governor import CancellationToken, Deadline, ResourceGovernor
+
+__all__ = ["FAULT_ACTIONS", "FaultInjector", "inject", "probe"]
+
+#: Supported fault kinds, in the order the harness exercises them.
+FAULT_ACTIONS = ("deadline", "cancel", "error")
+
+
+@dataclass
+class FaultInjector:
+    """Fires one fault when the governor's tick counter reaches
+    ``at_tick`` (1-based: ``at_tick=1`` fires on the first tick)."""
+
+    at_tick: int
+    action: str = "error"
+    message: str = "injected fault"
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise InvalidRequestError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+
+    def on_tick(self, governor: ResourceGovernor) -> None:
+        if self.fired or governor.ticks < self.at_tick:
+            return
+        self.fired = True
+        if self.action == "deadline":
+            governor.deadline = Deadline.expired_now()
+        elif self.action == "cancel":
+            if governor.token is None:
+                governor.token = CancellationToken()
+            governor.token.cancel(f"{self.message} at tick {governor.ticks}")
+        else:  # "error"
+            raise FaultInjected(f"{self.message} at tick {governor.ticks}")
+
+
+def inject(at_tick: int, action: str) -> ResourceGovernor:
+    """A governor armed to fault at the given tick.
+
+    The governor carries its own token so ``"cancel"`` faults have
+    something to trip, and no other limit, so only the fault interrupts.
+    """
+    return ResourceGovernor(
+        token=CancellationToken(),
+        fault=FaultInjector(at_tick=at_tick, action=action),
+    )
+
+
+def probe(run: Callable[[ResourceGovernor], object]) -> int:
+    """Run ``run`` once under a limitless governor; return how many ticks
+    it consumed — the number of fault points a harness should walk."""
+    governor = ResourceGovernor()
+    run(governor)
+    return governor.ticks

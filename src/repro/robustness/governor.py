@@ -1,0 +1,233 @@
+"""Unified resource governance: deadlines, cancellation, tick budgets.
+
+A :class:`ResourceGovernor` combines the three interruption sources —
+a monotonic wall-clock :class:`Deadline`, a cooperative (thread-safe)
+:class:`CancellationToken`, and an optional tick counter — behind one
+cheap :meth:`ResourceGovernor.tick` hook that every engine calls once per
+unit of work (chase trigger, saturation derivation, Datalog iteration).
+``tick()`` returns ``None`` on the fast path and a machine-readable
+exhaustion reason once any source trips; engines translate that reason
+into a structured partial :class:`~repro.robustness.outcome.Outcome`.
+
+Governors can be passed explicitly (``chase(..., governor=...)``) or
+installed *ambiently* for a dynamic extent with :func:`governed` — the
+pattern the CLI uses for its uniform ``--timeout`` flag.  Ambient
+installation uses ``contextvars``, so concurrent asyncio tasks or thread
+pool workers each see their own governor, mirroring ``repro.obs``.
+
+Granularity is cooperative: a single homomorphism search between two
+ticks is not interrupted.  All engines tick at least once per applied
+trigger / derived rule / fixpoint iteration, which bounds the overshoot
+by one unit of work.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from ..obs.runtime import current as _obs_current
+from .errors import exhausted_error
+
+__all__ = [
+    "Deadline",
+    "CancellationToken",
+    "ResourceGovernor",
+    "EXHAUSTED_DEADLINE",
+    "EXHAUSTED_CANCELLED",
+    "EXHAUSTED_TICKS",
+    "governed",
+    "current_governor",
+    "resolve_governor",
+]
+
+EXHAUSTED_DEADLINE = "deadline"
+EXHAUSTED_CANCELLED = "cancelled"
+EXHAUSTED_TICKS = "max_ticks"
+
+
+class Deadline:
+    """A point on the monotonic clock (``time.monotonic``)."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def expired_now(cls) -> "Deadline":
+        """An already-expired deadline (used by fault injection)."""
+        return cls(-math.inf)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class CancellationToken:
+    """Cooperative cancellation, safe to trip from another thread."""
+
+    __slots__ = ("_event", "_message")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._message: Optional[str] = None
+
+    def cancel(self, message: str = "cancelled") -> None:
+        self._message = message
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def message(self) -> Optional[str]:
+        return self._message
+
+
+class ResourceGovernor:
+    """Count budgets + deadline + cancellation behind one ``tick()``.
+
+    ``check_every`` is the deadline-polling stride: the (cancellation and
+    tick-limit) checks run on every tick, the clock is only read every
+    ``check_every`` ticks.  The default of 1 is fine — a trigger
+    application dwarfs a ``time.monotonic()`` call — but hot loops that
+    tick more often than they do real work can raise it.
+    """
+
+    __slots__ = ("deadline", "token", "max_ticks", "fault", "check_every", "ticks", "_exhausted")
+
+    def __init__(
+        self,
+        *,
+        deadline: Optional[Deadline] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
+        max_ticks: Optional[int] = None,
+        fault=None,
+        check_every: int = 1,
+    ) -> None:
+        if timeout is not None:
+            if deadline is not None:
+                raise ValueError("pass either deadline or timeout, not both")
+            deadline = Deadline.after(timeout)
+        self.deadline = deadline
+        self.token = token
+        self.max_ticks = max_ticks
+        self.fault = fault
+        self.check_every = max(1, check_every)
+        self.ticks = 0
+        self._exhausted: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> Optional[str]:
+        """The reason this governor tripped, or ``None``."""
+        return self._exhausted
+
+    def _note(self, reason: str) -> str:
+        if self._exhausted is None:
+            self._exhausted = reason
+            obs = _obs_current()
+            if obs is not None:
+                obs.inc("governor.exhausted")
+                obs.inc(f"governor.exhausted.{reason}")
+        return self._exhausted
+
+    def poll(self) -> Optional[str]:
+        """Check all sources without counting a tick.  Returns the
+        exhaustion reason or ``None``."""
+        if self._exhausted is not None:
+            return self._exhausted
+        if self.token is not None and self.token.cancelled:
+            return self._note(EXHAUSTED_CANCELLED)
+        if self.max_ticks is not None and self.ticks >= self.max_ticks:
+            return self._note(EXHAUSTED_TICKS)
+        if self.deadline is not None and self.deadline.expired():
+            return self._note(EXHAUSTED_DEADLINE)
+        return None
+
+    def tick(self) -> Optional[str]:
+        """One unit of work: count it, fire any scheduled fault, and
+        report the exhaustion reason (sticky) or ``None``."""
+        self.ticks += 1
+        if self.fault is not None:
+            self.fault.on_tick(self)
+        if self._exhausted is not None:
+            return self._exhausted
+        if self.token is not None and self.token.cancelled:
+            return self._note(EXHAUSTED_CANCELLED)
+        if self.max_ticks is not None and self.ticks > self.max_ticks:
+            return self._note(EXHAUSTED_TICKS)
+        if self.deadline is not None and (
+            self.check_every == 1 or self.ticks % self.check_every == 0
+        ):
+            if self.deadline.expired():
+                return self._note(EXHAUSTED_DEADLINE)
+        return None
+
+    def check(self) -> None:
+        """Like :meth:`tick` but raising the typed error on exhaustion."""
+        reason = self.tick()
+        if reason is not None:
+            raise exhausted_error(reason, f"resource governor tripped ({reason})")
+
+
+# ----------------------------------------------------------------------
+# ambient installation (mirrors repro.obs.runtime)
+# ----------------------------------------------------------------------
+_GOVERNOR: ContextVar[Optional[ResourceGovernor]] = ContextVar(
+    "repro_governor", default=None
+)
+
+
+def current_governor() -> Optional[ResourceGovernor]:
+    """The ambient governor, or ``None``."""
+    return _GOVERNOR.get()
+
+
+def resolve_governor(
+    explicit: Optional[ResourceGovernor],
+) -> Optional[ResourceGovernor]:
+    """An explicitly passed governor wins over the ambient one."""
+    return explicit if explicit is not None else _GOVERNOR.get()
+
+
+@contextmanager
+def governed(governor: ResourceGovernor) -> Iterator[ResourceGovernor]:
+    """Install ``governor`` ambiently for the dynamic extent.
+
+    Engine entry points resolve the ambient governor when none is passed
+    explicitly, so one ``with governed(...)`` block around a pipeline run
+    governs every engine it reaches.  Emits a ``governor`` span (with
+    final tick count and exhaustion reason) when instrumentation is
+    active.
+    """
+    obs = _obs_current()
+    span_cm = obs.span("governor") if obs is not None else None
+    token = _GOVERNOR.set(governor)
+    try:
+        if span_cm is not None:
+            with span_cm as span:
+                yield governor
+                span.set(ticks=governor.ticks, exhausted=governor.exhausted)
+        else:
+            yield governor
+    finally:
+        _GOVERNOR.reset(token)

@@ -1,0 +1,58 @@
+"""Structured outcomes for budgeted runs.
+
+Every engine in this reproduction executes a worst-case non-terminating
+(or double-exponential) procedure, so *exhaustion is an expected result*,
+not an error.  An :class:`Outcome` is the uniform shape of such a result:
+the (possibly partial) artifact, a completeness flag, a machine-readable
+exhaustion reason, a soundness flag, and — where the engine supports
+checkpointing — a resume snapshot.
+
+Soundness semantics mirror :class:`~repro.chase.runner.ChaseResult`:
+a partial chase instance, a partial saturation closure, and a partial
+Datalog fixpoint each contain only *sound* consequences (everything
+derived is entailed), they are merely incomplete.  Consumers must label
+answers extracted from an incomplete outcome as lower bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Optional, TypeVar
+
+from .errors import exhausted_error
+
+__all__ = ["Outcome"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Outcome(Generic[T]):
+    """The result of a governed run.
+
+    ``value`` is the artifact — complete when ``complete``, otherwise the
+    partial artifact computed before exhaustion.  ``exhausted`` is the
+    machine-readable reason (``"max_steps"``, ``"max_rules"``,
+    ``"deadline"``, ``"cancelled"``, …) and is ``None`` iff ``complete``.
+    ``sound`` records whether the partial artifact is sound-but-incomplete
+    (true for all engines here).  ``snapshot`` — when not ``None`` — can
+    be passed to the engine's ``resume`` entry point to continue the run
+    under a fresh budget without recomputation.
+    """
+
+    value: T
+    complete: bool
+    exhausted: Optional[str] = None
+    sound: bool = True
+    snapshot: Optional[Any] = None
+
+    def __bool__(self) -> bool:
+        return self.complete
+
+    def require(self, what: str = "computation") -> T:
+        """``value`` if complete, else raise the typed exhaustion error
+        (carrying this outcome on its ``outcome`` attribute)."""
+        if self.complete:
+            return self.value
+        reason = self.exhausted or "budget"
+        raise exhausted_error(reason, f"{what} exhausted ({reason})", self)

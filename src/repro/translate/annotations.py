@@ -53,6 +53,7 @@ from ..guardedness.classify import (
 from ..guardedness.normalize import normalize
 from ..guardedness.proper import ProperForm, make_proper
 from ..obs.runtime import span as _obs_span
+from ..robustness.errors import TranslationError
 from .expansion import rewrite_frontier_guarded
 
 __all__ = [
@@ -220,7 +221,7 @@ def _rewrite_weakly_frontier_guarded(
     }
     annotated = annotate_theory(proper_form.theory, proper_ap)
     if not is_frontier_guarded(annotated):
-        raise AssertionError(
+        raise TranslationError(
             "a(Σ) must be frontier-guarded under the coherent closure"
         )
     rewritten = rewrite_frontier_guarded(
@@ -230,7 +231,7 @@ def _rewrite_weakly_frontier_guarded(
     )
     final = deannotate_theory(rewritten)
     if not is_weakly_guarded(final):
-        raise AssertionError("rew(Σ) must be weakly guarded (Theorem 2)")
+        raise TranslationError("rew(Σ) must be weakly guarded (Theorem 2)")
     return WfgRewriting(theory=final, proper_form=proper_form)
 
 

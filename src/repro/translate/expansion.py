@@ -35,6 +35,14 @@ from ..guardedness.classify import (
 from ..guardedness.normalize import is_normal
 from ..obs.runtime import current as _obs_current
 from ..obs.runtime import span as _obs_span
+from ..robustness.errors import (
+    BudgetExceeded,
+    InvalidTheoryError,
+    TranslationError,
+    exhausted_error,
+)
+from ..robustness.governor import ResourceGovernor, resolve_governor
+from ..robustness.outcome import Outcome
 from .rc_rnc import (
     bag_axioms,
     guard_signature_of,
@@ -48,13 +56,22 @@ __all__ = [
     "ExpansionBudget",
     "ExpansionResult",
     "expand",
+    "try_expand",
     "rewrite_frontier_guarded",
     "rewrite_nearly_frontier_guarded",
 ]
 
 
-class ExpansionBudget(RuntimeError):
+class ExpansionBudget(BudgetExceeded):
     """Raised when the expansion exceeds its rule budget."""
+
+    def __init__(
+        self,
+        message: str = "expansion budget exceeded",
+        *,
+        outcome: Optional[Outcome] = None,
+    ) -> None:
+        super().__init__(message, reason="max_rules", outcome=outcome)
 
 
 @dataclass
@@ -72,22 +89,30 @@ def _needs_rewriting(rule: Rule) -> bool:
     return rule.is_datalog() and not is_guarded_rule(rule)
 
 
-def expand(
+def try_expand(
     theory: Theory,
     *,
     max_rules: int = 100_000,
     max_selection_domain: Optional[int] = None,
-) -> ExpansionResult:
-    """Compute the expansion ``ex(Σ)`` of a normal frontier-guarded theory.
+    governor: Optional[ResourceGovernor] = None,
+) -> Outcome[ExpansionResult]:
+    """Graceful expansion ``ex(Σ)`` of a normal frontier-guarded theory.
 
     ``max_selection_domain`` optionally caps ``|dom(µ)|`` per rule (the
     proof never needs domains larger than the rule's variable count, but
-    the cap is a practical lever for large rules)."""
+    the cap is a practical lever for large rules).  The governor is ticked
+    once per queued rule.  On exhaustion the outcome carries the rules
+    accumulated so far — each is a sound rewriting of Σ, but the closure
+    is incomplete, so downstream translations built on a partial expansion
+    may miss certain answers."""
     if not is_normal(theory):
-        raise ValueError("expansion requires a normal theory (Proposition 1)")
+        raise InvalidTheoryError(
+            "expansion requires a normal theory (Proposition 1)"
+        )
     for rule in theory:
         if not is_frontier_guarded_rule(rule):
-            raise ValueError(f"rule is not frontier-guarded: {rule}")
+            raise InvalidTheoryError(f"rule is not frontier-guarded: {rule}")
+    governor = resolve_governor(governor)
 
     max_arity = theory.max_arity()
     # Guards are drawn from the relations of the original Σ (Defs. 10/11),
@@ -98,10 +123,15 @@ def expand(
     interface_relations: set[str] = set()
     rewritten = 0
     selections_tried = 0
+    exhausted: Optional[str] = None
 
     queue: list[Rule] = [rule for rule in rules if _needs_rewriting(rule)]
     position = 0
-    while position < len(queue):
+    while position < len(queue) and exhausted is None:
+        if governor is not None:
+            exhausted = governor.tick()
+            if exhausted is not None:
+                break
         rule = queue[position]
         position += 1
         seen_effects: set[tuple] = set()
@@ -127,13 +157,12 @@ def expand(
                     key = canonical_rule_key(new_rule)
                     if key in seen:
                         continue
+                    if len(rules) + 1 > max_rules:
+                        exhausted = "max_rules"
+                        break
                     seen.add(key)
                     rules.append(new_rule)
                     rewritten += 1
-                    if len(rules) > max_rules:
-                        raise ExpansionBudget(
-                            f"expansion exceeded {max_rules} rules"
-                        )
                     child_vars = {
                         v
                         for atom in new_rule.positive_body()
@@ -145,13 +174,58 @@ def expand(
                     # productive rewritings strictly shrink (Section 5).
                     if _needs_rewriting(new_rule) and child_vars < parent_vars:
                         queue.append(new_rule)
+                if exhausted is not None:
+                    break
+            if exhausted is not None:
+                break
 
-    return ExpansionResult(
+    if exhausted is not None:
+        obs = _obs_current()
+        if obs is not None:
+            obs.inc("expansion.exhausted")
+    result = ExpansionResult(
         theory=Theory(rules),
         rewritten_rules=rewritten,
         selections_tried=selections_tried,
         interface_relations=interface_relations,
     )
+    return Outcome(
+        value=result,
+        complete=exhausted is None,
+        exhausted=exhausted,
+        sound=True,
+        snapshot=None,
+    )
+
+
+def expand(
+    theory: Theory,
+    *,
+    max_rules: int = 100_000,
+    max_selection_domain: Optional[int] = None,
+    governor: Optional[ResourceGovernor] = None,
+) -> ExpansionResult:
+    """Compute the expansion ``ex(Σ)`` of a normal frontier-guarded theory.
+
+    Raising wrapper around :func:`try_expand`: exceeding ``max_rules``
+    raises :class:`ExpansionBudget` (partial result on ``.outcome``),
+    governor exhaustion raises the matching typed error."""
+    outcome = try_expand(
+        theory,
+        max_rules=max_rules,
+        max_selection_domain=max_selection_domain,
+        governor=governor,
+    )
+    if not outcome.complete:
+        reason = outcome.exhausted or "budget"
+        if reason == "max_rules":
+            raise ExpansionBudget(
+                f"expansion exceeded {max_rules} rules", outcome=outcome
+            )
+        raise exhausted_error(
+            reason, f"expansion exhausted ({reason})", outcome
+        )
+    return outcome.value
 
 
 def _add_acdom_guards(rule: Rule) -> Rule:
@@ -174,6 +248,7 @@ def rewrite_frontier_guarded(
     *,
     max_rules: int = 100_000,
     max_selection_domain: Optional[int] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Theory:
     """``rew(Σ)`` for a normal frontier-guarded theory (Definition 13).
 
@@ -182,7 +257,10 @@ def rewrite_frontier_guarded(
     (Theorem 1)."""
     with _obs_span("translate.rewrite_fg", rules=len(theory)) as span:
         expanded = expand(
-            theory, max_rules=max_rules, max_selection_domain=max_selection_domain
+            theory,
+            max_rules=max_rules,
+            max_selection_domain=max_selection_domain,
+            governor=governor,
         )
         rewritten = []
         for rule in expanded.theory:
@@ -191,7 +269,11 @@ def rewrite_frontier_guarded(
             else:
                 rewritten.append(_add_acdom_guards(rule))
         result = Theory(rewritten)
-        assert is_nearly_guarded(result), "Proposition 3 violated"
+        if not is_nearly_guarded(result):
+            raise TranslationError(
+                "rewriting produced a theory that is not nearly guarded "
+                "(Proposition 3 violated)"
+            )
         obs = _obs_current()
         if obs is not None:
             obs.gauge("rewrite_fg.rules_out", len(result))
@@ -204,12 +286,13 @@ def rewrite_nearly_frontier_guarded(
     *,
     max_rules: int = 100_000,
     max_selection_domain: Optional[int] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Theory:
     """Definition 14: ``rew(Σ) = rew(Σf) ∪ Σd`` for nearly frontier-guarded
     ``Σ`` — the non-frontier-guarded rules ``Σd`` have no unsafe and no
     existential variables and need no rewriting (Proposition 4)."""
     if not is_nearly_frontier_guarded(theory):
-        raise ValueError("theory is not nearly frontier-guarded")
+        raise InvalidTheoryError("theory is not nearly frontier-guarded")
     frontier_part = Theory(
         rule for rule in theory if is_frontier_guarded_rule(rule)
     )
@@ -220,5 +303,6 @@ def rewrite_nearly_frontier_guarded(
         frontier_part,
         max_rules=max_rules,
         max_selection_domain=max_selection_domain,
+        governor=governor,
     )
     return Theory(tuple(rewritten.rules) + datalog_part)

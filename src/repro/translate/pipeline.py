@@ -21,6 +21,7 @@ pipeline, and anything else falls back to a budgeted chase.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,6 +34,7 @@ from ..guardedness.classify import classify
 from ..guardedness.normalize import normalize
 from ..obs.runtime import current as _obs_current
 from ..obs.runtime import span as _obs_span
+from ..robustness.governor import ResourceGovernor, governed, resolve_governor
 from .annotations import rewrite_weakly_frontier_guarded
 from .expansion import rewrite_nearly_frontier_guarded
 from .grounding import partial_grounding
@@ -57,12 +59,19 @@ def answer_wfg_query(
     *,
     max_rules: int = 100_000,
     saturation_max_rules: int = 200_000,
+    governor: Optional[ResourceGovernor] = None,
 ) -> PipelineReport:
-    """Answer a weakly frontier-guarded query by the five-step pipeline."""
+    """Answer a weakly frontier-guarded query by the five-step pipeline.
+
+    An explicit ``governor`` is installed ambiently for the duration, so
+    every stage (rewriting, saturation, evaluation) shares its deadline
+    and cancellation token."""
     report = PipelineReport()
     obs = _obs_current()
+    resolved = resolve_governor(governor)
+    scope = governed(resolved) if resolved is not None else nullcontext()
 
-    with _obs_span("pipeline.answer_wfg", output=query.output):
+    with scope, _obs_span("pipeline.answer_wfg", output=query.output):
         # Step 1: WFG → WG (Theorem 2).
         with _obs_span("pipeline.rewrite"):
             rewriting = rewrite_weakly_frontier_guarded(
@@ -109,6 +118,7 @@ def answer_query(
     *,
     budget: Optional[ChaseBudget] = None,
     max_rules: int = 100_000,
+    governor: Optional[ResourceGovernor] = None,
 ) -> set[tuple[Constant, ...]]:
     """Answer ``(Σ, Q)`` over ``D`` choosing a strategy by classification.
 
@@ -117,7 +127,15 @@ def answer_query(
       (Theorems 1/3, Propositions 4/6) and evaluate,
     * weakly (frontier-)guarded → Section 7 pipeline,
     * otherwise → budgeted restricted chase (raises if truncated).
+
+    An explicit ``governor`` is installed ambiently so the chosen strategy
+    — whichever engines it reaches — shares one deadline/token.
     """
+    if governor is not None:
+        with governed(governor):
+            return answer_query(
+                query, database, budget=budget, max_rules=max_rules
+            )
     theory = query.theory
     labels = classify(theory)
     if labels.datalog and not theory.has_negation():

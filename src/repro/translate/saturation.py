@@ -38,7 +38,7 @@ from __future__ import annotations
 import itertools
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from ..core.atoms import Atom
 from ..core.rules import Rule, canonical_rule_key
@@ -46,18 +46,41 @@ from ..core.terms import Term, Variable
 from ..core.theory import Theory
 from ..guardedness.classify import is_guarded_rule, is_nearly_guarded
 from ..obs.runtime import current as _obs_current
+from ..robustness.errors import (
+    BudgetExceeded,
+    InvalidTheoryError,
+    exhausted_error,
+)
+from ..robustness.governor import ResourceGovernor, resolve_governor
+from ..robustness.outcome import Outcome
 
 __all__ = [
     "SaturationBudget",
     "SaturationResult",
+    "SaturationSnapshot",
     "saturate",
+    "try_saturate",
+    "resume_saturation",
     "guarded_to_datalog",
     "nearly_guarded_to_datalog",
 ]
 
 
-class SaturationBudget(RuntimeError):
-    """Raised when the closure exceeds the configured rule budget."""
+class SaturationBudget(BudgetExceeded):
+    """Raised when the closure exceeds the configured rule budget.
+
+    The partial closure (and its resume snapshot, for the goal-directed
+    strategy) rides on the exception's ``outcome`` attribute."""
+
+    def __init__(self, message: str = "saturation budget exceeded", *, outcome=None):
+        super().__init__(message, reason="max_rules", outcome=outcome)
+
+
+class _Exhausted(Exception):
+    """Internal: unwinds the saturation loops with a consistent state."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
 
 @dataclass
@@ -247,6 +270,7 @@ def saturate(
     max_rules: int = 50_000,
     require_guarded: bool = True,
     strategy: str = "goal-directed",
+    governor: Optional[ResourceGovernor] = None,
 ) -> SaturationResult:
     """Compute ``Ξ(Σ)`` and ``dat(Σ)`` (Definition 19).
 
@@ -276,15 +300,56 @@ def saturate(
     on tiny inputs.
 
     ``max_rules`` bounds the closure size; exceeding it raises
-    :class:`SaturationBudget`."""
+    :class:`SaturationBudget` (the partial closure rides on the
+    exception's ``outcome``).  Use :func:`try_saturate` for the
+    non-raising, resumable variant."""
+    outcome = try_saturate(
+        theory,
+        max_rules=max_rules,
+        require_guarded=require_guarded,
+        strategy=strategy,
+        governor=governor,
+    )
+    if not outcome.complete:
+        reason = outcome.exhausted or "budget"
+        if reason == "max_rules":
+            raise SaturationBudget(
+                f"saturation exceeded {max_rules} rules", outcome=outcome
+            )
+        raise exhausted_error(
+            reason, f"saturation exhausted ({reason})", outcome
+        )
+    return outcome.value
+
+
+def try_saturate(
+    theory: Theory,
+    *,
+    max_rules: int = 50_000,
+    require_guarded: bool = True,
+    strategy: str = "goal-directed",
+    governor: Optional[ResourceGovernor] = None,
+) -> Outcome[SaturationResult]:
+    """Graceful :func:`saturate`: exhaustion (rule budget, deadline,
+    cancellation) returns a structured partial :class:`Outcome` instead of
+    discarding the closure.
+
+    The partial closure is *sound but incomplete*: every rule in it is
+    Figure-3 derivable (so every answer its ``dat(Σ)`` yields is a certain
+    answer), but consequences may be missing.  For the goal-directed
+    strategy the outcome carries a :class:`SaturationSnapshot`; pass it to
+    :func:`resume_saturation` to continue under a fresh budget."""
     if strategy not in ("goal-directed", "exhaustive"):
-        raise ValueError(f"unknown saturation strategy {strategy!r}")
+        raise InvalidTheoryError(f"unknown saturation strategy {strategy!r}")
     if require_guarded:
         for rule in theory:
             if rule.has_negation():
-                raise ValueError("saturation is defined for positive rules")
+                raise InvalidTheoryError(
+                    "saturation is defined for positive rules"
+                )
             if not is_guarded_rule(rule):
-                raise ValueError(f"rule is not guarded: {rule}")
+                raise InvalidTheoryError(f"rule is not guarded: {rule}")
+    governor = resolve_governor(governor)
 
     obs = _obs_current()
     run_span = (
@@ -294,19 +359,45 @@ def saturate(
     )
     with run_span as span:
         if strategy == "exhaustive":
-            result = _saturate_exhaustive(theory, max_rules)
+            outcome = _saturate_exhaustive(theory, max_rules, governor)
         else:
-            result = _saturate_goal_directed(theory, max_rules)
+            outcome = _saturate_goal_directed(
+                theory, max_rules, governor=governor
+            )
+        result = outcome.value
         if obs is not None:
             obs.inc("saturation.derived_rules", result.derived_rules)
             obs.gauge("saturation.closure_rules", len(result.closure))
             obs.gauge("saturation.datalog_rules", len(result.datalog))
+            if not outcome.complete:
+                obs.inc("saturation.exhausted")
             span.set(
                 closure_rules=len(result.closure),
                 datalog_rules=len(result.datalog),
                 iterations=result.iterations,
+                exhausted=outcome.exhausted,
             )
-    return result
+    return outcome
+
+
+def resume_saturation(
+    snapshot: "SaturationSnapshot",
+    *,
+    max_rules: int = 50_000,
+    governor: Optional[ResourceGovernor] = None,
+) -> Outcome[SaturationResult]:
+    """Continue an exhausted goal-directed saturation from its snapshot
+    under a fresh budget.
+
+    The closure operator is monotone, so restarting the fixpoint loop
+    from the checkpointed state converges to the *same* closure as an
+    uninterrupted run (resume-after-cut ≡ uninterrupted)."""
+    return _saturate_goal_directed(
+        None,
+        max_rules,
+        governor=resolve_governor(governor),
+        snapshot=snapshot,
+    )
 
 
 @dataclass
@@ -330,9 +421,45 @@ class _Context:
         return Rule(_dedup_body(self.body), _dedup_head(self.head), self.evars)
 
 
-def _saturate_goal_directed(theory: Theory, max_rules: int) -> SaturationResult:
+@dataclass
+class SaturationSnapshot:
+    """Checkpoint of a goal-directed saturation: the context table, the
+    Datalog pool, and the progress counters.  Because the closure is a
+    monotone fixpoint, resuming from this state and running to quiescence
+    yields the same closure as an uninterrupted run."""
+
+    contexts: list[tuple[int, frozenset[Atom], tuple[Variable, ...], frozenset[Atom]]]
+    datalog_rules: list[Rule]
+    datalog_keys: set[tuple]
+    derived: int
+    iterations: int
+
+
+def _saturate_goal_directed(
+    theory: Optional[Theory],
+    max_rules: int,
+    *,
+    governor: Optional[ResourceGovernor] = None,
+    snapshot: Optional[SaturationSnapshot] = None,
+) -> Outcome[SaturationResult]:
     datalog = _Closure()
     contexts: dict[tuple, _Context] = {}
+    derived = 0
+    iterations = 0
+
+    if snapshot is not None:
+        datalog.rules = list(snapshot.datalog_rules)
+        datalog.keys = set(snapshot.datalog_keys)
+        for base, body, evars, head in snapshot.contexts:
+            contexts[(base, body, evars)] = _Context(base, body, evars, set(head))
+        derived = snapshot.derived
+        iterations = snapshot.iterations
+
+    def tick() -> None:
+        if governor is not None:
+            reason = governor.tick()
+            if reason is not None:
+                raise _Exhausted(reason)
 
     def add_context(
         base: int,
@@ -343,94 +470,131 @@ def _saturate_goal_directed(theory: Theory, max_rules: int) -> SaturationResult:
         key = (base, body, evars)
         context = contexts.get(key)
         if context is None:
+            # Check before inserting so the checkpointed state stays
+            # within budget (a resumed run sees a consistent table).
+            if len(contexts) + len(datalog.rules) + 1 > max_rules:
+                raise _Exhausted("max_rules")
             contexts[key] = _Context(base, body, evars, set(head_atoms))
-            if len(contexts) + len(datalog.rules) > max_rules:
-                raise SaturationBudget(f"saturation exceeded {max_rules} rules")
             return True
         before = len(context.head)
         context.head |= set(head_atoms)
         return len(context.head) != before
 
-    base_index = 0
-    for rule in theory:
-        normalized = _normalize_rule(rule)
-        if normalized.is_datalog():
-            datalog.add(normalized)
-        else:
-            add_context(
-                base_index,
-                frozenset(normalized.positive_body()),
-                normalized.exist_vars,
-                normalized.head,
-            )
-            base_index += 1
-
     obs = _obs_current()
-    derived = 0
-    iterations = 0
-    changed = True
-    while changed:
-        changed = False
-        iterations += 1
-        derived_before = derived
-        # Rule 3: merges of body variables, creating sibling contexts.
-        for context in list(contexts.values()):
-            body_vars = sorted(
-                {v for atom in context.body for v in atom.variables()},
-                key=lambda v: v.name,
-            )
-            for source, target in itertools.permutations(body_vars, 2):
-                mapping = {source: target}
-                merged_body = frozenset(
-                    atom.substitute(mapping) for atom in context.body
+    exhausted: Optional[str] = None
+    try:
+        if snapshot is None:
+            if theory is None:
+                raise InvalidTheoryError("saturation needs a theory or a snapshot")
+            base_index = 0
+            for rule in theory:
+                normalized = _normalize_rule(rule)
+                if normalized.is_datalog():
+                    datalog.add(normalized)
+                else:
+                    add_context(
+                        base_index,
+                        frozenset(normalized.positive_body()),
+                        normalized.exist_vars,
+                        normalized.head,
+                    )
+                    base_index += 1
+
+        changed = True
+        while changed:
+            changed = False
+            iterations += 1
+            derived_before = derived
+            # Rule 3: merges of body variables, creating sibling contexts.
+            for context in list(contexts.values()):
+                tick()
+                body_vars = sorted(
+                    {v for atom in context.body for v in atom.variables()},
+                    key=lambda v: v.name,
                 )
-                merged_head = [atom.substitute(mapping) for atom in context.head]
-                if add_context(context.base, merged_body, context.evars, merged_head):
-                    derived += 1
-                    changed = True
-        # Rule 2: compose every Datalog rule into every context head.
-        for context in list(contexts.values()):
-            premise = context.to_rule()
-            for second in list(datalog.rules):
-                for conclusion in _compose(premise, second, require_evar_contact=True):
-                    new_body = frozenset(conclusion.positive_body())
+                for source, target in itertools.permutations(body_vars, 2):
+                    mapping = {source: target}
+                    merged_body = frozenset(
+                        atom.substitute(mapping) for atom in context.body
+                    )
+                    merged_head = [
+                        atom.substitute(mapping) for atom in context.head
+                    ]
                     if add_context(
-                        context.base, new_body, context.evars, conclusion.head
+                        context.base, merged_body, context.evars, merged_head
                     ):
                         derived += 1
                         changed = True
-        # Rule 1: project existential-free head atoms into the Datalog pool.
-        for context in list(contexts.values()):
-            evar_set = set(context.evars)
-            body = _dedup_body(context.body)
-            for atom in context.head:
-                if atom.variables() & evar_set:
-                    continue
-                projected = Rule(body, (atom,))
-                if datalog.add(projected):
-                    derived += 1
-                    changed = True
-                    if len(contexts) + len(datalog.rules) > max_rules:
-                        raise SaturationBudget(
-                            f"saturation exceeded {max_rules} rules"
-                        )
-        if obs is not None:
-            obs.observe("saturation_rules_added", derived - derived_before)
+            # Rule 2: compose every Datalog rule into every context head.
+            for context in list(contexts.values()):
+                premise = context.to_rule()
+                for second in list(datalog.rules):
+                    tick()
+                    for conclusion in _compose(
+                        premise, second, require_evar_contact=True
+                    ):
+                        new_body = frozenset(conclusion.positive_body())
+                        if add_context(
+                            context.base, new_body, context.evars, conclusion.head
+                        ):
+                            derived += 1
+                            changed = True
+            # Rule 1: project existential-free head atoms into the Datalog pool.
+            for context in list(contexts.values()):
+                tick()
+                evar_set = set(context.evars)
+                body = _dedup_body(context.body)
+                for atom in context.head:
+                    if atom.variables() & evar_set:
+                        continue
+                    projected = Rule(body, (atom,))
+                    if len(contexts) + len(datalog.rules) + 1 > max_rules:
+                        if canonical_rule_key(_normalize_rule(projected)) in datalog.keys:
+                            continue
+                        raise _Exhausted("max_rules")
+                    if datalog.add(projected):
+                        derived += 1
+                        changed = True
+            if obs is not None:
+                obs.observe("saturation_rules_added", derived - derived_before)
+    except _Exhausted as exc:
+        exhausted = exc.reason
 
     closure_theory = Theory(
         tuple(context.to_rule() for context in contexts.values())
         + tuple(datalog.rules)
     )
     datalog_theory = Theory(datalog.rules)
-    return SaturationResult(
+    result = SaturationResult(
         closure=closure_theory,
         datalog=datalog_theory,
         derived_rules=derived,
         iterations=iterations,
     )
+    resume_state = None
+    if exhausted is not None:
+        resume_state = SaturationSnapshot(
+            contexts=[
+                (c.base, c.body, c.evars, frozenset(c.head))
+                for c in contexts.values()
+            ],
+            datalog_rules=list(datalog.rules),
+            datalog_keys=set(datalog.keys),
+            derived=derived,
+            iterations=iterations,
+        )
+    return Outcome(
+        value=result,
+        complete=exhausted is None,
+        exhausted=exhausted,
+        sound=True,
+        snapshot=resume_state,
+    )
 
 
-def _saturate_exhaustive(theory: Theory, max_rules: int) -> SaturationResult:
+def _saturate_exhaustive(
+    theory: Theory, max_rules: int, governor: Optional[ResourceGovernor] = None
+) -> Outcome[SaturationResult]:
     closure = _Closure()
     for rule in theory:
         closure.add(_normalize_rule(rule))
@@ -438,42 +602,65 @@ def _saturate_exhaustive(theory: Theory, max_rules: int) -> SaturationResult:
     iterations = 0
     derived = 0
     index = 0
-    while index < len(closure.rules):
-        current = closure.rules[index]
-        index += 1
-        iterations += 1
-        new_rules: list[Rule] = []
-        new_rules.extend(_project_head(current))
-        new_rules.extend(_merge_variables(current))
-        snapshot = list(closure.rules)
-        for other in snapshot:
-            if other.is_datalog():
-                new_rules.extend(_compose(current, other))
-            if current.is_datalog():
-                new_rules.extend(_compose(other, current))
-        for rule in new_rules:
-            if closure.add(rule):
-                derived += 1
-                if len(closure.rules) > max_rules:
-                    raise SaturationBudget(f"saturation exceeded {max_rules} rules")
+    exhausted: Optional[str] = None
+    try:
+        while index < len(closure.rules):
+            if governor is not None:
+                reason = governor.tick()
+                if reason is not None:
+                    raise _Exhausted(reason)
+            current = closure.rules[index]
+            index += 1
+            iterations += 1
+            new_rules: list[Rule] = []
+            new_rules.extend(_project_head(current))
+            new_rules.extend(_merge_variables(current))
+            snapshot = list(closure.rules)
+            for other in snapshot:
+                if other.is_datalog():
+                    new_rules.extend(_compose(current, other))
+                if current.is_datalog():
+                    new_rules.extend(_compose(other, current))
+            for rule in new_rules:
+                if closure.add(rule):
+                    derived += 1
+                    if len(closure.rules) > max_rules:
+                        raise _Exhausted("max_rules")
+    except _Exhausted as exc:
+        exhausted = exc.reason
 
     closure_theory = Theory(closure.rules)
     datalog_theory = Theory(rule for rule in closure.rules if rule.is_datalog())
-    return SaturationResult(
+    result = SaturationResult(
         closure=closure_theory,
         datalog=datalog_theory,
         derived_rules=derived,
         iterations=iterations,
     )
+    return Outcome(
+        value=result,
+        complete=exhausted is None,
+        exhausted=exhausted,
+        sound=True,
+        snapshot=None,
+    )
 
 
-def guarded_to_datalog(theory: Theory, *, max_rules: int = 50_000) -> Theory:
+def guarded_to_datalog(
+    theory: Theory,
+    *,
+    max_rules: int = 50_000,
+    governor: Optional[ResourceGovernor] = None,
+) -> Theory:
     """``dat(Σ)`` for a guarded theory (Theorem 3)."""
-    return saturate(theory, max_rules=max_rules).datalog
+    return saturate(theory, max_rules=max_rules, governor=governor).datalog
 
 
 def nearly_guarded_to_datalog(
-    theory: Theory, *, max_rules: int = 50_000
+    theory: Theory,
+    *,
+    max_rules: int = 50_000,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Theory:
     """Proposition 6: ``dat(Σg) ∪ Σd`` for a nearly guarded theory.
 
@@ -481,8 +668,10 @@ def nearly_guarded_to_datalog(
     existential-free) Datalog rules, which need no rewriting because their
     bodies only ever match original constants."""
     if not is_nearly_guarded(theory):
-        raise ValueError("theory is not nearly guarded")
+        raise InvalidTheoryError("theory is not nearly guarded")
     guarded_part = [rule for rule in theory if is_guarded_rule(rule)]
     datalog_part = [rule for rule in theory if not is_guarded_rule(rule)]
-    saturated = saturate(Theory(guarded_part), max_rules=max_rules)
+    saturated = saturate(
+        Theory(guarded_part), max_rules=max_rules, governor=governor
+    )
     return Theory(tuple(saturated.datalog.rules) + tuple(datalog_part))

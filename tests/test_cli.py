@@ -45,7 +45,7 @@ class TestChase:
         bad.write_text("E(x,y) -> exists z. E(y,z)\n")
         data = tmp_path / "d.db"
         data.write_text("E(a,b).\n")
-        assert main(["chase", str(bad), str(data), "--max-steps", "5"]) == 1
+        assert main(["chase", str(bad), str(data), "--max-steps", "5"]) == 3
 
 
 class TestAnswer:
@@ -59,6 +59,104 @@ class TestAnswer:
         _, existential, data = workspace
         assert main(["answer", str(existential), str(data), "--output", "R"]) == 0
         assert capsys.readouterr().out.strip() == ""
+
+
+class TestRobustness:
+    def test_query_alias(self, workspace, capsys):
+        theory, _, data = workspace
+        assert main(["query", str(theory), str(data), "--output", "T"]) == 0
+        assert "(a, c)" in capsys.readouterr().out
+
+    def test_answer_accepts_budget_flags(self, workspace, capsys):
+        # regression: `answer` used to silently drop --max-depth
+        theory, _, data = workspace
+        assert (
+            main(
+                [
+                    "answer",
+                    str(theory),
+                    str(data),
+                    "--output",
+                    "T",
+                    "--max-steps",
+                    "1000",
+                    "--max-depth",
+                    "5",
+                ]
+            )
+            == 0
+        )
+
+    def test_exhausted_answer_prints_partial_and_exits_3(
+        self, tmp_path, capsys
+    ):
+        rules = tmp_path / "loop.rules"
+        rules.write_text("E(x,y) -> T(x,y)\nT(x,y) -> exists z. E(y,z)\n")
+        data = tmp_path / "d.db"
+        data.write_text("E(a,b).\n")
+        code = main(
+            [
+                "answer",
+                str(rules),
+                str(data),
+                "--output",
+                "T",
+                "--strategy",
+                "chase",
+                "--max-steps",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "(a, b)" in captured.out  # sound partial answer
+        assert "# exhausted (max_steps)" in captured.err
+
+    def test_timeout_flag_exits_exhausted(self, tmp_path, capsys):
+        rules = tmp_path / "loop.rules"
+        rules.write_text("E(x,y) -> exists z. E(y,z)\n")
+        data = tmp_path / "d.db"
+        data.write_text("E(a,b).\n")
+        code = main(
+            [
+                "chase",
+                str(rules),
+                str(data),
+                "--max-steps",
+                "100000000",
+                "--timeout",
+                "0.05",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "# chase truncated (deadline)" in captured.out
+
+    def test_broken_pipe_is_not_a_traceback(self, workspace):
+        import subprocess
+        import sys
+
+        theory, _, data = workspace
+        # `repro chase … | head -1`: closing the pipe early must not crash
+        proc = subprocess.run(
+            f"{sys.executable} -m repro.cli chase {theory} {data} | head -1",
+            shell=True,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert "Traceback" not in proc.stderr
+
+    def test_timeout_generous_enough_is_harmless(self, workspace, capsys):
+        theory, _, data = workspace
+        assert (
+            main(
+                ["answer", str(theory), str(data), "--output", "T",
+                 "--timeout", "60"]
+            )
+            == 0
+        )
+        assert "(a, c)" in capsys.readouterr().out
 
 
 class TestTranslate:

@@ -1,0 +1,250 @@
+"""Fault-injection harness: every engine must degrade cleanly at every
+interruption point.
+
+For each engine we :func:`probe` a reference run to learn how many
+governor ticks it consumes, then replay it once per (tick, action) pair:
+
+* ``"deadline"`` / ``"cancel"`` must yield a *structured* partial result
+  (an :class:`Outcome` or a truncated ``ChaseResult``) with the matching
+  exhaustion reason — never a traceback;
+* ``"error"`` (a crash inside the loop) must propagate as
+  :class:`FaultInjected` without being swallowed or mangled.
+"""
+
+import pytest
+
+from repro.chase.chase_tree import build_chase_tree
+from repro.chase.runner import chase
+from repro.chase.stratified import stratified_chase
+from repro.core.parser import parse_database, parse_theory
+from repro.datalog.engine import try_evaluate
+from repro.robustness import (
+    FAULT_ACTIONS,
+    FaultInjected,
+    FaultInjector,
+    InvalidRequestError,
+    ResourceGovernor,
+    inject,
+    probe,
+)
+from repro.translate.expansion import try_expand
+from repro.translate.saturation import try_saturate
+
+EXPECTED_REASON = {"deadline": "deadline", "cancel": "cancelled"}
+
+
+class TestHarnessPrimitives:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            FaultInjector(at_tick=1, action="explode")
+
+    def test_probe_counts_ticks(self):
+        theory = parse_theory("E(x,y) -> T(x,y)")
+        database = parse_database("E(a,b).")
+        ticks = probe(lambda g: chase(theory, database, governor=g))
+        assert ticks >= 1
+
+    def test_injector_fires_once(self):
+        governor = inject(at_tick=2, action="cancel")
+        assert governor.tick() is None
+        assert governor.tick() == "cancelled"
+        assert governor.fault.fired
+
+    def test_error_action_raises(self):
+        governor = inject(at_tick=1, action="error")
+        with pytest.raises(FaultInjected):
+            governor.tick()
+
+
+def _fault_points(total, limit=30):
+    """Every tick when the run is short; a deterministic early/middle/late
+    sample otherwise (a full walk is quadratic in the run length)."""
+    if total <= limit:
+        return list(range(1, total + 1))
+    return sorted(
+        {1, 2, 3, total // 4, total // 2, (3 * total) // 4, total - 1, total}
+    )
+
+
+def _walk(run, check_partial):
+    """Replay ``run`` once per (tick, action); assert structured outcomes."""
+    total = probe(run)
+    assert total >= 1, "engine never ticks; no fault points to walk"
+    for at_tick in _fault_points(total):
+        for action in FAULT_ACTIONS:
+            governor = inject(at_tick, action)
+            if action == "error":
+                with pytest.raises(FaultInjected):
+                    run(governor)
+            else:
+                check_partial(run(governor), EXPECTED_REASON[action], at_tick)
+
+
+class TestChaseFaultPoints:
+    THEORY = parse_theory(
+        "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)\n"
+        "T(x,y) -> exists w. E(y,w)\n"
+    )
+    DB = parse_database("E(a,b). E(b,c).")
+
+    def test_every_fault_point(self):
+        from repro.chase.runner import ChaseBudget
+
+        budget = ChaseBudget(max_steps=30)
+
+        def run(governor):
+            return chase(
+                self.THEORY, self.DB, budget=budget, governor=governor
+            )
+
+        def check(result, reason, at_tick):
+            assert not result.complete
+            assert result.truncated_reason == reason
+            assert result.snapshot is not None
+            # partial soundness: every atom is a consequence — cheap proxy:
+            # the database only grew
+            assert len(result.database) >= len(self.DB)
+
+        _walk(run, check)
+
+
+class TestChaseTreeFaultPoints:
+    THEORY = parse_theory("E(x,y) -> exists z. E(y,z)")
+    DB = parse_database("E(a,b).")
+
+    def test_every_fault_point(self):
+        from repro.chase.runner import ChaseBudget
+
+        budget = ChaseBudget(max_steps=6)
+
+        def run(governor):
+            return build_chase_tree(
+                self.THEORY, self.DB, budget=budget, governor=governor
+            )
+
+        def check(result, reason, at_tick):
+            tree, db = result
+            assert tree.all_atoms() == set(db.atoms())
+
+        _walk(run, check)
+
+
+class TestStratifiedFaultPoints:
+    THEORY = parse_theory(
+        "E(x,y) -> R(x,y)\nR(x,y), !E(y,x) -> T(x,y)\nT(x,y) -> U(x)\n"
+    )
+    DB = parse_database("E(a,b). E(b,c).")
+
+    def test_every_fault_point(self):
+        def run(governor):
+            return stratified_chase(self.THEORY, self.DB, governor=governor)
+
+        def check(result, reason, at_tick):
+            assert not result.complete
+            assert result.truncated_reason == reason
+
+        _walk(run, check)
+
+
+class TestDatalogFaultPoints:
+    THEORY = parse_theory(
+        "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)\n"
+    )
+    DB = parse_database("E(a,b). E(b,c). E(c,d).")
+
+    @pytest.mark.parametrize("strategy", ["seminaive", "naive"])
+    def test_every_fault_point(self, strategy):
+        def run(governor):
+            return try_evaluate(
+                self.THEORY, self.DB, strategy=strategy, governor=governor
+            )
+
+        def check(outcome, reason, at_tick):
+            assert not outcome.complete
+            assert outcome.exhausted == reason
+            assert outcome.sound
+            # partial fixpoint never invents atoms outside the full one
+            full = try_evaluate(self.THEORY, self.DB, strategy=strategy)
+            assert set(outcome.value.atoms()) <= set(full.value.atoms())
+
+        _walk(run, check)
+
+
+class TestSaturationFaultPoints:
+    # The exhaustive strategy is doubly exponential, so it walks a tiny
+    # 2-rule theory; goal-directed handles the richer one.
+    THEORIES = {
+        "goal-directed": parse_theory(
+            "A(x) -> exists y. R(x,y)\nR(x,y) -> B(y)\nR(x,y), B(y) -> C(x)\n"
+        ),
+        "exhaustive": parse_theory(
+            "A(x) -> exists y. R(x,y)\nR(x,y) -> B(y)\n"
+        ),
+    }
+
+    @pytest.mark.parametrize("strategy", ["goal-directed", "exhaustive"])
+    def test_every_fault_point(self, strategy):
+        theory = self.THEORIES[strategy]
+
+        def run(governor):
+            return try_saturate(theory, strategy=strategy, governor=governor)
+
+        def check(outcome, reason, at_tick):
+            assert not outcome.complete
+            assert outcome.exhausted == reason
+            if strategy == "goal-directed":
+                assert outcome.snapshot is not None
+
+        _walk(run, check)
+
+
+class TestExpansionFaultPoints:
+    THEORY = parse_theory(
+        "R(x,y), R(y,z) -> P(y)\nS(x,y,w) -> exists v. R(x,v)\n"
+    )
+
+    def test_every_fault_point(self):
+        def run(governor):
+            return try_expand(self.THEORY, governor=governor)
+
+        def check(outcome, reason, at_tick):
+            assert not outcome.complete
+            assert outcome.exhausted == reason
+            # the original rules always survive into the partial result
+            assert set(self.THEORY.rules) <= set(outcome.value.theory.rules)
+
+        _walk(run, check)
+
+
+class TestPipelineFaultPoints:
+    """End-to-end: an ambient governor faulting anywhere inside the
+    class-dispatched answering pipeline must surface as a typed error or
+    a clean answer, never an unstructured crash."""
+
+    def test_answer_query_under_ambient_faults(self):
+        from repro.robustness import BudgetExceeded, Cancelled, governed
+        from repro.core.theory import Query
+        from repro.translate.pipeline import answer_query
+
+        theory = parse_theory(
+            "A(x) -> exists y. R(x,y)\nR(x,y) -> B(y)\n"
+        )
+        database = parse_database("A(a).")
+        query = Query(theory, "B")
+
+        def run(governor):
+            with governed(governor):
+                return answer_query(query, database)
+
+        total = probe(run)
+        assert total >= 1
+        for at_tick in range(1, total + 1):
+            for action in FAULT_ACTIONS:
+                governor = inject(at_tick, action)
+                if action == "error":
+                    with pytest.raises(FaultInjected):
+                        run(governor)
+                else:
+                    with pytest.raises((BudgetExceeded, Cancelled)) as excinfo:
+                        run(governor)
+                    assert excinfo.value.reason == EXPECTED_REASON[action]

@@ -1,0 +1,190 @@
+"""Checkpoint/resume round-trips.
+
+The contract under test: cutting a run at an arbitrary point and
+resuming from its snapshot yields the same final result as never having
+been interrupted — exactly equal for the chase (the snapshot preserves
+the pending trigger order and the null counter), and equal-as-closure
+for saturation (monotone fixpoint)."""
+
+import random
+
+import pytest
+
+from repro.bench.generators import (
+    random_database,
+    random_guarded_theory,
+    random_signature,
+)
+from repro.chase.runner import (
+    ChaseBudget,
+    chase,
+    resume_chase,
+)
+from repro.core.parser import parse_database, parse_theory
+from repro.robustness import ResourceGovernor
+from repro.translate.saturation import (
+    resume_saturation,
+    try_saturate,
+)
+
+LOOP = parse_theory("E(x,y) -> exists z. E(y,z)")
+LOOP_DB = parse_database("E(a,b).")
+
+
+def _assert_same_result(reference, resumed):
+    assert set(resumed.database.atoms()) == set(reference.database.atoms())
+    assert resumed.steps == reference.steps
+    assert resumed.nulls_created == reference.nulls_created
+    assert resumed.complete == reference.complete
+    assert resumed.truncated_reason == reference.truncated_reason
+
+
+class TestChaseResume:
+    def test_resume_equals_uninterrupted_infinite_chase(self):
+        # Reference: run to a 40-step budget.  Cut: interrupt after 7
+        # ticks, then resume under the same cumulative budget.
+        budget = ChaseBudget(max_steps=40)
+        reference = chase(LOOP, LOOP_DB, budget=budget)
+        cut = chase(
+            LOOP, LOOP_DB, budget=budget,
+            governor=ResourceGovernor(max_ticks=7),
+        )
+        assert not cut.complete and cut.snapshot is not None
+        resumed = resume_chase(cut.snapshot, budget=budget)
+        _assert_same_result(reference, resumed)
+
+    def test_resume_after_resume(self):
+        budget = ChaseBudget(max_steps=30)
+        reference = chase(LOOP, LOOP_DB, budget=budget)
+        first = chase(
+            LOOP, LOOP_DB, budget=budget,
+            governor=ResourceGovernor(max_ticks=5),
+        )
+        second = resume_chase(
+            first.snapshot, budget=budget,
+            governor=ResourceGovernor(max_ticks=5),
+        )
+        assert not second.complete
+        final = resume_chase(second.snapshot, budget=budget)
+        _assert_same_result(reference, final)
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    @pytest.mark.parametrize("policy", ["oblivious", "restricted"])
+    def test_resume_on_generated_theories(self, seed, policy):
+        rng = random.Random(seed)
+        signature = random_signature(rng, n_relations=4, max_arity=2)
+        theory = random_guarded_theory(
+            rng, signature, n_rules=5, existential_probability=0.6
+        )
+        database = random_database(rng, signature, n_constants=4, n_atoms=8)
+        budget = ChaseBudget(max_steps=120)
+        reference = chase(theory, database, policy=policy, budget=budget)
+        for cut_at in (1, 3, 10):
+            cut = chase(
+                theory, database, policy=policy, budget=budget,
+                governor=ResourceGovernor(max_ticks=cut_at),
+            )
+            if cut.complete:
+                # the whole run fit under the tick budget; nothing to resume
+                _assert_same_result(reference, cut)
+                continue
+            resumed = resume_chase(cut.snapshot, budget=budget)
+            _assert_same_result(reference, resumed)
+
+    def test_resume_preserves_round_accounting(self):
+        budget = ChaseBudget(max_steps=40)
+        reference = chase(LOOP, LOOP_DB, budget=budget)
+        cut = chase(
+            LOOP, LOOP_DB, budget=budget,
+            governor=ResourceGovernor(max_ticks=7),
+        )
+        resumed = resume_chase(cut.snapshot, budget=budget)
+        assert resumed.rounds == reference.rounds
+        # split round entries must sum to the reference totals
+        assert (
+            resumed.stats.triggers_fired == reference.stats.triggers_fired
+        )
+        assert resumed.stats.atoms_added == reference.stats.atoms_added
+
+    def test_skolem_policy_resumes(self):
+        theory = parse_theory(
+            "P(x) -> exists y. R(x,y)\nR(x,y) -> P(y)\n"
+        )
+        database = parse_database("P(a).")
+        budget = ChaseBudget(max_steps=25)
+        reference = chase(theory, database, policy="skolem", budget=budget)
+        cut = chase(
+            theory, database, policy="skolem", budget=budget,
+            governor=ResourceGovernor(max_ticks=4),
+        )
+        assert not cut.complete
+        resumed = resume_chase(cut.snapshot, budget=budget)
+        _assert_same_result(reference, resumed)
+
+
+class TestSaturationResume:
+    @staticmethod
+    def _closure_pairs(result):
+        return {
+            (tuple(sorted(map(str, rule.body))), str(atom))
+            for rule in result.closure
+            for atom in rule.head
+        } | {
+            (tuple(sorted(map(str, rule.body))), str(atom))
+            for rule in result.datalog
+            for atom in rule.head
+        }
+
+    def _check_resume(self, theory):
+        reference = try_saturate(theory)
+        assert reference.complete
+        reference_pairs = self._closure_pairs(reference.value)
+        resumed_any = False
+        for cut_at in (1, 2, 5, 9):
+            cut = try_saturate(
+                theory, governor=ResourceGovernor(max_ticks=cut_at)
+            )
+            if cut.complete:
+                assert self._closure_pairs(cut.value) == reference_pairs
+                continue
+            assert cut.snapshot is not None
+            resumed = resume_saturation(cut.snapshot)
+            assert resumed.complete, resumed.exhausted
+            assert self._closure_pairs(resumed.value) == reference_pairs
+            resumed_any = True
+        return resumed_any
+
+    def test_handcrafted_theory(self):
+        theory = parse_theory(
+            "A(x) -> exists y. R(x,y)\n"
+            "R(x,y) -> B(y)\n"
+            "R(x,y), B(y) -> C(x)\n"
+            "C(x) -> A(x)\n"
+        )
+        assert self._check_resume(theory)
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_generated_guarded_theories(self, seed):
+        rng = random.Random(seed)
+        signature = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_guarded_theory(
+            rng, signature, n_rules=4, existential_probability=0.7
+        )
+        self._check_resume(theory)
+
+    def test_resume_under_budget_can_exhaust_again(self):
+        theory = parse_theory(
+            "A(x) -> exists y. R(x,y)\n"
+            "R(x,y) -> B(y)\n"
+            "R(x,y), B(y) -> C(x)\n"
+            "C(x) -> A(x)\n"
+        )
+        cut = try_saturate(theory, governor=ResourceGovernor(max_ticks=1))
+        assert not cut.complete
+        again = resume_saturation(
+            cut.snapshot, governor=ResourceGovernor(max_ticks=1)
+        )
+        if not again.complete:
+            assert again.snapshot is not None
+            final = resume_saturation(again.snapshot)
+            assert final.complete
