@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Benchmark trajectory harness: run the pinned workload grid and write a
+machine-readable JSON record.
+
+Each PR in this repository's history can check in a ``BENCH_PR<k>.json``
+at the repo root; comparing the records across commits gives the
+performance trajectory of the engine.  The harness runs each workload at
+pinned parameter points (``tiny`` for CI smoke, ``medium`` for the
+checked-in record), reports the median and standard deviation of the
+wall-clock times, and embeds the join-plan cache counters so a record
+shows how much plan reuse the run enjoyed.
+
+Usage::
+
+    # current tree, medium points, written to the repo root
+    PYTHONPATH=src python benchmarks/run_bench.py --output BENCH_PR4.json
+
+    # baseline from another checkout (the script is tree-independent)
+    PYTHONPATH=/path/to/seed/src python benchmarks/run_bench.py \
+        --label seed --output /tmp/baseline.json
+
+    # embed the baseline: adds baseline_median_s + speedup per workload
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --baseline /tmp/baseline.json --output BENCH_PR4.json
+
+    # CI smoke: tiny parameter points only
+    PYTHONPATH=src python benchmarks/run_bench.py --sizes tiny --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+sys.path.insert(0, HERE)  # bench modules and their shared example texts
+
+SCHEMA = "repro-bench/1"
+
+
+# ----------------------------------------------------------------------
+# workload registry
+#
+# Each entry: name, the benchmark suite it mirrors, per-size parameter
+# points, and a factory(params) -> zero-argument callable.  The factory
+# runs untimed (parsing, data generation); the callable is the timed
+# region.  Parameter points are pinned — do not change them without
+# starting a new trajectory file, or the cross-PR comparison is void.
+# ----------------------------------------------------------------------
+def _figure2_chase(params):
+    from conftest import PUBLICATION_DATA_TEXT, PUBLICATION_THEORY_TEXT
+    from repro.chase import certain_answers
+    from repro.core import Query, parse_database, parse_theory
+    from repro.guardedness import normalize
+
+    theory = normalize(parse_theory(PUBLICATION_THEORY_TEXT)).theory
+    database = parse_database(PUBLICATION_DATA_TEXT)
+    query = Query(theory, "Q")
+    return lambda: certain_answers(query, database)
+
+
+def _section7_pipeline(params):
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+    from repro.core import Query, parse_database, parse_theory
+    from repro.translate import answer_wfg_query
+
+    query = Query(parse_theory(WG_THEORY_TEXT), "Reach")
+    database = parse_database(chain_data(params["chain"]))
+    return lambda: answer_wfg_query(query, database)
+
+
+def _section7_direct_chase(params):
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+    from repro.chase import ChaseBudget, certain_answers
+    from repro.core import Query, parse_database, parse_theory
+
+    query = Query(parse_theory(WG_THEORY_TEXT), "Reach")
+    database = parse_database(chain_data(params["chain"]))
+    budget = ChaseBudget(max_steps=200_000)
+    return lambda: certain_answers(query, database, budget=budget)
+
+
+def _theorem3_saturation(params):
+    from repro.bench.generators import random_guarded_theory, random_signature
+    from repro.translate import saturate
+
+    rng = random.Random(47)
+    signature = random_signature(rng, n_relations=3, max_arity=2)
+    theory = random_guarded_theory(
+        random.Random(47), signature, n_rules=params["n_rules"]
+    )
+    return lambda: saturate(theory, max_rules=40_000)
+
+
+def _datalog_tc(params):
+    from repro.core import parse_database, parse_theory
+    from repro.datalog import evaluate
+
+    n = params["chain"]
+    theory = parse_theory("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)")
+    edges = " ".join(f"E(c{i}, c{i + 1})." for i in range(n))
+    edges += " " + " ".join(
+        f"E(c{i * 7 % n}, c{i * 3 % n})." for i in range(n // 3)
+    )
+    database = parse_database(edges)
+    return lambda: evaluate(theory, database)
+
+
+def _cq_triangle(params):
+    from repro.bench.generators import random_database, random_signature
+    from repro.core import Atom, Variable
+    from repro.queries import ConjunctiveQuery, evaluate_cq
+
+    rng = random.Random(7)
+    signature = random_signature(rng, n_relations=2, max_arity=2)
+    database = random_database(
+        rng, signature, n_constants=40, n_atoms=params["n_atoms"]
+    )
+    relation = next(k for k in database.relations() if k[1] == 2)[0]
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    cq = ConjunctiveQuery(
+        (x,), (Atom(relation, (x, y)), Atom(relation, (y, z)), Atom(relation, (z, x)))
+    )
+    return lambda: evaluate_cq(cq, database)
+
+
+WORKLOADS = [
+    {
+        "name": "figure2_chase",
+        "suite": "bench_figure2_chase",
+        "factory": _figure2_chase,
+        "sizes": {"tiny": {}, "medium": {}},  # one canonical instance
+        "repeats": {"tiny": 5, "medium": 25},
+    },
+    {
+        "name": "section7_cq_pipeline",
+        "suite": "bench_section7_cq_pipeline",
+        "factory": _section7_pipeline,
+        "sizes": {"tiny": {"chain": 2}, "medium": {"chain": 4}},
+        "repeats": {"tiny": 3, "medium": 3},
+    },
+    {
+        "name": "section7_direct_chase",
+        "suite": "bench_section7_cq_pipeline",
+        "factory": _section7_direct_chase,
+        "sizes": {"tiny": {"chain": 4}, "medium": {"chain": 8}},
+        "repeats": {"tiny": 5, "medium": 15},
+    },
+    {
+        "name": "theorem3_saturation",
+        "suite": "bench_theorem3_saturation_size",
+        "factory": _theorem3_saturation,
+        "sizes": {"tiny": {"n_rules": 4}, "medium": {"n_rules": 12}},
+        "repeats": {"tiny": 5, "medium": 15},
+    },
+    {
+        "name": "datalog_transitive_closure",
+        "suite": "micro",
+        "factory": _datalog_tc,
+        "sizes": {"tiny": {"chain": 30}, "medium": {"chain": 120}},
+        "repeats": {"tiny": 5, "medium": 10},
+    },
+    {
+        "name": "cq_triangle_join",
+        "suite": "micro",
+        "factory": _cq_triangle,
+        "sizes": {"tiny": {"n_atoms": 200}, "medium": {"n_atoms": 1500}},
+        "repeats": {"tiny": 5, "medium": 10},
+    },
+]
+
+
+def _commit() -> str:
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{head}+dirty" if dirty else head
+    except Exception:
+        return "unknown"
+
+
+def _plan_cache_stats():
+    try:
+        from repro.core.plan import plan_cache_stats
+    except ImportError:  # tree predates the compiled-plan layer
+        return None
+    return plan_cache_stats()
+
+
+def _measure(factory, params, repeats):
+    import gc
+
+    run = factory(params)
+    run()  # warm-up: parse caches, join plans, interned terms
+    times = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # collector pauses otherwise dominate the medians
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "runs": repeats,
+        "median_s": statistics.median(times),
+        "stddev_s": statistics.stdev(times) if repeats > 1 else 0.0,
+        "min_s": min(times),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="medium",
+        choices=("tiny", "medium", "all"),
+        help="parameter points to run (default: medium)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        help="run only the named workload(s); default: all",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="override per-workload repeats"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON written by a previous run; embeds baseline medians + speedups",
+    )
+    parser.add_argument("--label", default="current", help="record label")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_PR4.json"),
+        help="output path (default: <repo>/BENCH_PR4.json)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_index = {}
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        baseline_index = {
+            (entry["workload"], entry["size"]): entry
+            for entry in baseline.get("results", ())
+        }
+
+    sizes = ("tiny", "medium") if args.sizes == "all" else (args.sizes,)
+    results = []
+    for spec in WORKLOADS:
+        if args.workload and spec["name"] not in args.workload:
+            continue
+        for size in sizes:
+            params = spec["sizes"][size]
+            repeats = args.repeats or spec["repeats"][size]
+            record = {
+                "workload": spec["name"],
+                "suite": spec["suite"],
+                "size": size,
+                "params": params,
+                **_measure(spec["factory"], params, repeats),
+            }
+            base = baseline_index.get((spec["name"], size))
+            if base is not None:
+                record["baseline_median_s"] = base["median_s"]
+                record["speedup"] = base["median_s"] / record["median_s"]
+            results.append(record)
+            line = (
+                f"{spec['name']:28s} {size:6s} median={record['median_s']:.6f}s"
+                f" stddev={record['stddev_s']:.6f}s"
+            )
+            if "speedup" in record:
+                line += f" speedup={record['speedup']:.2f}x"
+            print(line)
+
+    document = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "commit": _commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "sizes": list(sizes),
+        "plan_cache": _plan_cache_stats(),
+        "results": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

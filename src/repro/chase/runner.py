@@ -236,10 +236,24 @@ class _Engine:
         self._rb_nulls = 0
         # relation → [(rule index, body atom index)] for delta-driven
         # trigger discovery; rules are only visited when a delta atom
-        # matches one of their body relations.
+        # matches one of their body relations.  Bodies and sorted
+        # universal-variable tuples are computed once here: trigger
+        # enumeration and keying re-use them every round (and the stable
+        # body tuples key the join-plan cache).
         self._body_index: dict[tuple, list[tuple[int, int]]] = {}
+        self._bodies: list[tuple[Atom, ...]] = []
+        self._sorted_uvars: list[tuple[Variable, ...]] = []
+        self._sorted_frontiers: list[tuple[Variable, ...]] = []
         for rule_index, rule in enumerate(theory):
-            for atom_index, atom in enumerate(rule.positive_body()):
+            body = tuple(rule.positive_body())
+            self._bodies.append(body)
+            self._sorted_uvars.append(
+                tuple(sorted(rule.uvars(), key=lambda v: v.name))
+            )
+            self._sorted_frontiers.append(
+                tuple(sorted(rule.frontier(), key=lambda v: v.name))
+            )
+            for atom_index, atom in enumerate(body):
                 self._body_index.setdefault(atom.relation_key, []).append(
                     (rule_index, atom_index)
                 )
@@ -316,7 +330,7 @@ class _Engine:
         while True:
             null = Null(f"{self.null_prefix}{self.null_counter}")
             self.null_counter += 1
-            if null not in self.database.terms():
+            if not self.database.has_term(null):
                 return null
 
     def _depth(self, term: Term) -> int:
@@ -350,8 +364,7 @@ class _Engine:
 
     def _trigger_key(self, rule_index: int, rule: Rule, assignment) -> tuple:
         ordered = tuple(
-            assignment[variable]
-            for variable in sorted(rule.uvars(), key=lambda v: v.name)
+            assignment[variable] for variable in self._sorted_uvars[rule_index]
         )
         return (rule_index, ordered)
 
@@ -377,7 +390,7 @@ class _Engine:
 
         if delta is None:
             for rule_index, rule in enumerate(self.theory):
-                body = list(rule.positive_body())
+                body = self._bodies[rule_index]
                 for assignment in homomorphisms(body, self.database):
                     consider(rule_index, rule, assignment)
         else:
@@ -390,18 +403,19 @@ class _Engine:
                     relation_key, ()
                 ):
                     rule = rules[rule_index]
-                    body = list(rule.positive_body())
+                    body = self._bodies[rule_index]
                     for assignment in homomorphisms(
                         body, self.database, forced=(atom_index, facts)
                     ):
                         consider(rule_index, rule, assignment)
         # deterministic firing order
+        sorted_uvars = self._sorted_uvars
         triggers.sort(
             key=lambda item: (
                 item[0],
                 tuple(
                     str(item[2][variable])
-                    for variable in sorted(item[1].uvars(), key=lambda v: v.name)
+                    for variable in sorted_uvars[item[0]]
                 ),
             )
         )
@@ -426,7 +440,7 @@ class _Engine:
                 return set()
         mapping: dict[Term, Term] = dict(assignment)
         frontier_image = tuple(
-            assignment[v] for v in sorted(rule.frontier(), key=lambda v: v.name)
+            assignment[v] for v in self._sorted_frontiers[rule_index]
         )
         for variable in rule.exist_vars:
             if self.policy == SKOLEM:

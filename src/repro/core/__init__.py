@@ -9,7 +9,16 @@ from .homomorphism import (
     first_homomorphism,
     has_homomorphism,
     homomorphisms,
+    naive_homomorphisms,
     satisfies_rule,
+)
+from .plan import (
+    JoinPlan,
+    cached_plan,
+    clear_plan_cache,
+    compile_plan,
+    execute_plan,
+    plan_cache_stats,
 )
 from .parser import (
     ParseError,
@@ -38,6 +47,7 @@ __all__ = [
     "Atom",
     "Constant",
     "Database",
+    "JoinPlan",
     "Literal",
     "NegatedAtom",
     "Null",
@@ -50,9 +60,13 @@ __all__ = [
     "Term",
     "Theory",
     "Variable",
+    "cached_plan",
     "canonical_rule_key",
+    "clear_plan_cache",
+    "compile_plan",
     "database_homomorphism",
     "databases_homomorphically_equivalent",
+    "execute_plan",
     "extends_to_head",
     "first_homomorphism",
     "fresh_null_factory",
@@ -60,12 +74,14 @@ __all__ = [
     "has_homomorphism",
     "homomorphisms",
     "is_ground_term",
+    "naive_homomorphisms",
     "parse_atom",
     "parse_database",
     "parse_rule",
     "parse_rules",
     "parse_term",
     "parse_theory",
+    "plan_cache_stats",
     "rename_apart",
     "satisfies_rule",
 ]

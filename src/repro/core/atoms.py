@@ -20,7 +20,7 @@ different relations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Union
 
 from .spans import SourceSpan
@@ -39,27 +39,119 @@ def substitute_terms(
     return tuple(mapping.get(term, term) for term in terms)
 
 
-@dataclass(frozen=True, slots=True)
 class Atom:
     """A (possibly annotated) atom ``R[annotation](args)``.
 
     ``span`` is parser-attached source metadata; it is excluded from
     equality and hashing (see :mod:`repro.core.spans`).
+
+    Atoms are immutable and hash-cached: they populate every database
+    index, every saturation closure key and every homomorphism candidate
+    set, so the hash is computed once at construction (cheap, because the
+    interned terms carry cached hashes themselves) and ``all_terms`` is
+    materialized once instead of concatenated per access.
     """
+
+    __slots__ = (
+        "relation",
+        "args",
+        "annotation",
+        "span",
+        "all_terms",
+        "relation_key",
+        "_hash",
+        "_vars",
+        "_skey",
+    )
 
     relation: str
     args: tuple[Term, ...]
-    annotation: tuple[Term, ...] = ()
-    span: SourceSpan | None = field(default=None, compare=False)
+    annotation: tuple[Term, ...]
+    span: SourceSpan | None
+    #: Argument terms followed by annotation terms (precomputed).
+    all_terms: tuple[Term, ...]
+    #: The effective relation identity (name, arity, annotation arity),
+    #: precomputed because it keys every database index and plan lookup.
+    relation_key: RelationKey
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.relation, str) or not self.relation:
-            raise ValueError(f"relation name must be non-empty, got {self.relation!r}")
-        object.__setattr__(self, "args", tuple(self.args))
-        object.__setattr__(self, "annotation", tuple(self.annotation))
-        for term in self.args + self.annotation:
+    def __init__(
+        self,
+        relation: str,
+        args: Iterable[Term],
+        annotation: Iterable[Term] = (),
+        span: SourceSpan | None = None,
+    ) -> None:
+        if not isinstance(relation, str) or not relation:
+            raise ValueError(f"relation name must be non-empty, got {relation!r}")
+        args = tuple(args)
+        annotation = tuple(annotation)
+        all_terms = args + annotation
+        for term in all_terms:
             if not isinstance(term, (Constant, Variable, Null)):
                 raise TypeError(f"atom argument is not a term: {term!r}")
+        _set = object.__setattr__
+        _set(self, "relation", relation)
+        _set(self, "args", args)
+        _set(self, "annotation", annotation)
+        _set(self, "span", span)
+        _set(self, "all_terms", all_terms)
+        _set(self, "relation_key", (relation, len(args), len(annotation)))
+        _set(self, "_hash", hash((relation, args, annotation)))
+        _set(self, "_vars", None)
+        _set(self, "_skey", None)
+
+    @classmethod
+    def _make(
+        cls,
+        relation: str,
+        args: tuple[Term, ...],
+        annotation: tuple[Term, ...],
+        span: SourceSpan | None,
+    ) -> "Atom":
+        """Unvalidated fast constructor for terms already known to be valid
+        (substitutions and relation renamings of an existing atom)."""
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "relation", relation)
+        _set(self, "args", args)
+        _set(self, "annotation", annotation)
+        _set(self, "span", span)
+        _set(self, "all_terms", args + annotation)
+        _set(self, "relation_key", (relation, len(args), len(annotation)))
+        _set(self, "_hash", hash((relation, args, annotation)))
+        _set(self, "_vars", None)
+        _set(self, "_skey", None)
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Atom:
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.relation == other.relation
+            and self.args == other.args
+            and self.annotation == other.annotation
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __reduce__(self):
+        return (_rebuild_atom, (self.relation, self.args, self.annotation, self.span))
 
     # ------------------------------------------------------------------
     # structural accessors
@@ -68,23 +160,19 @@ class Atom:
     def arity(self) -> int:
         return len(self.args)
 
-    @property
-    def relation_key(self) -> RelationKey:
-        """The effective relation identity (name, arity, annotation arity)."""
-        return (self.relation, len(self.args), len(self.annotation))
-
-    @property
-    def all_terms(self) -> tuple[Term, ...]:
-        """Argument terms followed by annotation terms."""
-        return self.args + self.annotation
-
     def terms(self) -> set[Term]:
         """``terms(α)`` — the set of terms occurring in the atom."""
         return set(self.all_terms)
 
-    def variables(self) -> set[Variable]:
-        """``vars(α) = terms(α) ∩ Δv``."""
-        return {term for term in self.all_terms if isinstance(term, Variable)}
+    def variables(self) -> frozenset[Variable]:
+        """``vars(α) = terms(α) ∩ Δv`` (computed once, cached)."""
+        cached = self._vars
+        if cached is None:
+            cached = frozenset(
+                term for term in self.all_terms if isinstance(term, Variable)
+            )
+            object.__setattr__(self, "_vars", cached)
+        return cached
 
     def argument_variables(self) -> set[Variable]:
         """Variables occurring in argument positions (not the annotation)."""
@@ -102,7 +190,10 @@ class Atom:
 
     def is_ground(self) -> bool:
         """Ground atoms carry no variables (constants and nulls allowed)."""
-        return not self.variables()
+        for term in self.all_terms:
+            if isinstance(term, Variable):
+                return False
+        return True
 
     def is_constant_free(self) -> bool:
         return not self.constants()
@@ -112,7 +203,7 @@ class Atom:
     # ------------------------------------------------------------------
     def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
         """Apply a term substitution to arguments and annotation."""
-        return Atom(
+        return Atom._make(
             self.relation,
             substitute_terms(self.args, mapping),
             substitute_terms(self.annotation, mapping),
@@ -127,7 +218,7 @@ class Atom:
 
     def without_annotation(self) -> "Atom":
         """Drop the annotation, keeping only argument positions."""
-        return Atom(self.relation, self.args, span=self.span)
+        return Atom._make(self.relation, self.args, (), self.span)
 
     # ------------------------------------------------------------------
     # rendering
@@ -146,12 +237,21 @@ class Atom:
         return self._sort_key() < other._sort_key()
 
     def _sort_key(self):
-        return (
-            self.relation,
-            len(self.args),
-            tuple(str(term) for term in self.args),
-            tuple(str(term) for term in self.annotation),
-        )
+        cached = self._skey
+        if cached is None:
+            cached = (
+                self.relation,
+                len(self.args),
+                tuple(str(term) for term in self.args),
+                tuple(str(term) for term in self.annotation),
+            )
+            object.__setattr__(self, "_skey", cached)
+        return cached
+
+
+def _rebuild_atom(relation, args, annotation, span):
+    """Pickle/copy helper (module-level so it is importable)."""
+    return Atom(relation, args, annotation, span)
 
 
 @dataclass(frozen=True, slots=True)

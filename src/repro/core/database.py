@@ -6,13 +6,20 @@ the Datalog engine:
 
 * a per-relation index (``atoms_for``),
 * a per-(relation, position, term) index used by the homomorphism search,
-* the *active constant domain* backing the built-in ``ACDom`` relation.
+* the *active constant domain* backing the built-in ``ACDom`` relation,
+* an incrementally maintained term set (``has_term``) so the chase can
+  mint fresh nulls without scanning every atom.
 
 Per the paper, ``ACDom(c)`` holds exactly for the constants occurring in a
 non-ACDom atom of the *input* database.  Because the chase must keep this
 extension fixed while it adds inferred atoms, the store distinguishes the
 constants present at construction (or at an explicit :meth:`freeze_acdom`)
 from constants introduced later by rules.
+
+The sorted active domain (:meth:`acdom_sorted`) is cached: once the
+extension is frozen the cache survives every subsequent :meth:`add`, so
+``ACDom`` enumeration in the join engines is an O(1) tuple fetch instead
+of a fresh sort per pattern atom.
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ class Database:
         self._atoms: set[Atom] = set()
         self._by_relation: dict[RelationKey, set[Atom]] = defaultdict(set)
         self._by_position: dict[tuple[RelationKey, int, Term], set[Atom]] = defaultdict(set)
+        self._terms: set[Term] = set()
         self._acdom: Optional[frozenset[Constant]] = None
+        self._acdom_sorted: Optional[tuple[Constant, ...]] = None
         for atom in atoms:
             self.add(atom)
         if freeze_acdom:
@@ -54,8 +63,15 @@ class Database:
         self._atoms.add(atom)
         key = atom.relation_key
         self._by_relation[key].add(atom)
+        by_position = self._by_position
         for position, term in enumerate(atom.all_terms):
-            self._by_position[(key, position, term)].add(atom)
+            by_position[(key, position, term)].add(atom)
+        self._terms.update(atom.all_terms)
+        if self._acdom is None:
+            # Unfrozen: the active domain tracks the current constants, so
+            # the sorted cache may be stale.  Once frozen the extension is
+            # fixed and the cache survives arbitrary adds.
+            self._acdom_sorted = None
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
@@ -64,6 +80,7 @@ class Database:
     def freeze_acdom(self) -> None:
         """Fix the ACDom extension to the constants currently present."""
         self._acdom = frozenset(self._constants_now())
+        self._acdom_sorted = None
 
     def ensure_acdom_frozen(self) -> None:
         """Freeze the ACDom extension unless already frozen.
@@ -120,6 +137,31 @@ class Database:
                 break
         return result
 
+    # ------------------------------------------------------------------
+    # planner-facing index statistics
+    # ------------------------------------------------------------------
+    def relation_size(self, key: RelationKey) -> int:
+        """Number of atoms of the given relation identity (O(1))."""
+        atoms = self._by_relation.get(key)
+        return len(atoms) if atoms is not None else 0
+
+    def position_candidates(
+        self, key: RelationKey, position: int, term: Term
+    ) -> frozenset[Atom]:
+        """Atoms of ``key`` holding ``term`` at ``position`` (index fetch)."""
+        atoms = self._by_position.get((key, position, term))
+        return frozenset(atoms) if atoms is not None else frozenset()
+
+    def index_stats(self) -> dict[str, int]:
+        """Summary sizes of the two indexes (exposed for ``--stats`` and
+        the benchmark harness)."""
+        return {
+            "atoms": len(self._atoms),
+            "relations": sum(1 for s in self._by_relation.values() if s),
+            "position_index_entries": len(self._by_position),
+            "terms": len(self._terms),
+        }
+
     def relations(self) -> set[RelationKey]:
         return {key for key, atoms in self._by_relation.items() if atoms}
 
@@ -137,26 +179,51 @@ class Database:
             return self._acdom
         return frozenset(self._constants_now())
 
+    def acdom_sorted(self) -> tuple[Constant, ...]:
+        """The active domain as a sorted tuple, cached.
+
+        After :meth:`freeze_acdom` the cache is permanent (the extension
+        can no longer change); before freezing it is invalidated by every
+        :meth:`add`.
+        """
+        cached = self._acdom_sorted
+        if cached is None:
+            cached = tuple(sorted(self.active_constants()))
+            self._acdom_sorted = cached
+        return cached
+
+    def has_term(self, term: Term) -> bool:
+        """Does the term occur in any atom?  O(1) membership check."""
+        return term in self._terms
+
     def terms(self) -> set[Term]:
-        result: set[Term] = set()
-        for atom in self._atoms:
-            result |= atom.terms()
-        return result
+        return set(self._terms)
 
     def nulls(self) -> set[Null]:
-        return {term for term in self.terms() if isinstance(term, Null)}
+        return {term for term in self._terms if isinstance(term, Null)}
 
     def constants(self) -> set[Constant]:
-        return {term for term in self.terms() if isinstance(term, Constant)}
+        return {term for term in self._terms if isinstance(term, Constant)}
 
     # ------------------------------------------------------------------
     # comparisons and copies
     # ------------------------------------------------------------------
     def copy(self) -> "Database":
-        clone = Database(freeze_acdom=False)
-        for atom in self._atoms:
-            clone.add(atom)
+        # Clone the indexes structurally instead of re-adding (and thus
+        # re-validating and re-indexing) every atom.
+        clone = Database.__new__(Database)
+        clone._atoms = set(self._atoms)
+        by_relation: dict[RelationKey, set[Atom]] = defaultdict(set)
+        for key, facts in self._by_relation.items():
+            by_relation[key] = set(facts)
+        clone._by_relation = by_relation
+        by_position: dict[tuple[RelationKey, int, Term], set[Atom]] = defaultdict(set)
+        for key, facts in self._by_position.items():
+            by_position[key] = set(facts)
+        clone._by_position = by_position
+        clone._terms = set(self._terms)
         clone._acdom = self._acdom
+        clone._acdom_sorted = self._acdom_sorted
         return clone
 
     def restrict_to_relations(self, names: set[str]) -> "Database":
@@ -166,6 +233,7 @@ class Database:
             freeze_acdom=False,
         )
         restricted._acdom = self._acdom
+        restricted._acdom_sorted = None
         return restricted
 
     def ground_atoms(self) -> frozenset[Atom]:

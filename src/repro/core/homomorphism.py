@@ -9,9 +9,21 @@ They are the single primitive behind:
 * conjunctive query evaluation,
 * universality checks between chase results.
 
-The search is a backtracking join over the database's positional indexes.
-Atoms are ordered greedily: at each step the atom with the most bound
-positions (i.e. smallest candidate set) is matched next.
+Two implementations share this module's public surface:
+
+* the **compiled** path (default): :func:`homomorphisms` compiles the
+  pattern once into a :class:`repro.core.plan.JoinPlan` (cached per
+  pattern/adornment/forced-index) and runs its slot-based executor — no
+  per-candidate dict copies, no per-step re-planning;
+* the **naive** interpreter (:func:`naive_homomorphisms`): a backtracking
+  join over the database's positional indexes where atoms are ordered
+  greedily at each step (most bound positions first).  It is the
+  reference implementation the compiled path is differentially tested
+  against, and the ``REPRO_NAIVE_JOIN=1`` environment variable routes
+  :func:`homomorphisms` back to it.
+
+Both enumerate the same assignment *set*; enumeration order is
+unspecified (the interpreter iterates hash sets).
 
 Two term conventions:
 
@@ -28,16 +40,19 @@ database, and binds a free variable to every active-domain constant.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from .atoms import Atom, NegatedAtom
 from .database import Database
+from .plan import cached_plan, execute_plan
 from .terms import Constant, Null, Term, Variable
 from .theory import ACDOM
 from ..obs.runtime import current as _obs_current
 
 __all__ = [
     "homomorphisms",
+    "naive_homomorphisms",
     "first_homomorphism",
     "has_homomorphism",
     "extends_to_head",
@@ -47,6 +62,28 @@ __all__ = [
 ]
 
 Assignment = dict[Variable, Term]
+
+_EMPTY_KEYS: frozenset[Variable] = frozenset()
+
+
+try:
+    # os.environ.get raises-and-catches KeyError internally on every miss,
+    # which is measurable on the per-homomorphism-call hot path; CPython
+    # keeps the live mapping in ``_data`` (bytes-keyed on POSIX), and
+    # monkeypatched/env mutations go through it, so probing it directly is
+    # both fast and current.
+    _ENV_DATA = os.environ._data
+    _NAIVE_KEY = os.environ.encodekey("REPRO_NAIVE_JOIN")
+except AttributeError:  # pragma: no cover - non-CPython fallback
+    _ENV_DATA = None
+    _NAIVE_KEY = None
+
+
+def _naive_requested() -> bool:
+    if _ENV_DATA is not None:
+        raw = _ENV_DATA.get(_NAIVE_KEY)
+        return raw is not None and raw not in (b"", b"0", "", "0")
+    return os.environ.get("REPRO_NAIVE_JOIN", "") not in ("", "0")
 
 
 def _is_acdom(atom: Atom) -> bool:
@@ -119,7 +156,7 @@ def _match_acdom(
     if isinstance(term, Variable):
         value = assignment.get(term)
         if value is None:
-            for constant in sorted(database.active_constants()):
+            for constant in database.acdom_sorted():
                 extension = dict(assignment)
                 extension[term] = constant
                 yield extension
@@ -155,12 +192,47 @@ def homomorphisms(
     ``partial`` pre-binds variables.  ``forced = (index, atoms)`` restricts
     the pattern atom at ``index`` to match one of the given facts — the
     semi-naive evaluation uses this to pin one atom to the delta relation.
+
+    Dispatches to the compiled :class:`~repro.core.plan.JoinPlan` executor
+    (plans cached across calls); set ``REPRO_NAIVE_JOIN=1`` to fall back to
+    the :func:`naive_homomorphisms` reference interpreter.
+    """
+    obs = _obs_current()
+    if obs is not None:
+        obs.inc("homomorphism_calls")
+    if _naive_requested():
+        yield from naive_homomorphisms(
+            pattern, database, partial=partial, forced=forced
+        )
+        return
+    atoms = tuple(pattern)
+    adornment_key = frozenset(partial.keys()) if partial else _EMPTY_KEYS
+    if forced is not None:
+        forced_index, forced_atoms = forced
+        plan = cached_plan(atoms, adornment_key, forced_index)
+        yield from execute_plan(plan, database, partial, forced_atoms)
+    else:
+        plan = cached_plan(atoms, adornment_key, None)
+        yield from execute_plan(plan, database, partial)
+
+
+def naive_homomorphisms(
+    pattern: Sequence[Atom],
+    database: Database,
+    *,
+    partial: Optional[Mapping[Variable, Term]] = None,
+    forced: Optional[tuple[int, Iterable[Atom]]] = None,
+) -> Iterator[Assignment]:
+    """The reference interpreter behind :func:`homomorphisms`.
+
+    Re-plans the pattern dynamically at every search step and copies the
+    assignment dict per candidate — simple, obviously correct, slow.  Kept
+    as the differential-testing oracle; it does not bump the
+    ``homomorphism_calls`` counter (the dispatcher does).
     """
     atoms = list(pattern)
     assignment: Assignment = dict(partial) if partial else {}
     obs = _obs_current()
-    if obs is not None:
-        obs.inc("homomorphism_calls")
 
     if forced is not None:
         forced_index, forced_atoms = forced
@@ -236,12 +308,27 @@ def extends_to_head(
     homomorphism ``h`` there must be a head homomorphism ``h'`` agreeing
     with ``h`` on the universal variables.
     """
-    frozen = {
-        variable: term
-        for variable, term in assignment.items()
-        if variable not in set(exist_vars)
-    }
-    return has_homomorphism(list(rule_head), database, partial=frozen)
+    evars = set(exist_vars)
+    if evars:
+        frozen = {
+            variable: term
+            for variable, term in assignment.items()
+            if variable not in evars
+        }
+    else:
+        # Existential-free head: when the assignment instantiates every
+        # head variable the check degenerates to plain membership — no
+        # join needed.
+        frozen = dict(assignment)
+        if all(
+            variable in frozen
+            for atom in rule_head
+            for variable in atom.variables()
+        ):
+            return all(
+                atom.substitute(frozen) in database for atom in rule_head
+            )
+    return has_homomorphism(tuple(rule_head), database, partial=frozen)
 
 
 def satisfies_rule(database: Database, rule) -> bool:

@@ -1,0 +1,582 @@
+"""Compiled join plans for the homomorphism search.
+
+The interpretive search in :mod:`repro.core.homomorphism` re-plans every
+pattern on every call: each backtracking step re-scores every remaining
+atom, and every candidate fact copies the whole assignment dict.  This
+module compiles a pattern **once** into a :class:`JoinPlan`:
+
+* a *static atom ordering* derived by bound-variable propagation — the
+  same greedy most-constrained-first heuristic the interpreter applies
+  dynamically, seeded by the *adornment* (which variables arrive
+  pre-bound via ``partial=``) and by the delta-pinned atom (``forced=``).
+  The dynamic heuristic's score at any step depends only on the *set* of
+  already-matched atoms, never on the matched values, so the static order
+  reproduces the interpreter's order exactly;
+* per-atom precomputed templates: constant positions, positions bound by
+  earlier atoms, *first-binding* positions and *check* positions (repeat
+  occurrences within one atom);
+* *slot-numbered assignments*: variables map to integer slots; in the
+  generated code each slot is a local variable of its loop level, so
+  backtracking (the enclosing ``for`` advancing) undoes bindings for free
+  — no dict copies, no explicit trail;
+* a *generated executor*: the ordered steps are emitted as a specialized
+  Python generator function — one nested ``for`` per pattern atom, with
+  smallest-index candidate selection, identity comparisons (terms are
+  interned, so ``is`` replaces ``==``) and a single ``yield`` of the
+  result dict at the innermost level — compiled with :func:`compile` once
+  and reused for every execution of the plan.
+
+Plans are cached per ``(pattern, adornment-keyset, forced-index)`` and
+reused across chase rounds, Datalog iterations, saturation and
+containment checks.  Cache traffic is visible in ``--stats`` output as
+``plan.cache_hits`` / ``plan.compile_calls``.
+
+Candidate selection probes the database's positional index at every
+bound position of an atom and scans the *smallest* bucket, verifying the
+other bound positions by identity — cheaper than materializing set
+intersections.  When an atom constrains exactly one position, the bucket
+is exact and verification is skipped entirely.
+
+The built-in ``ACDom`` relation compiles to dedicated step kinds: a
+*check* when its term is already fixed, an *enumeration* of the cached
+sorted active domain (:meth:`repro.core.database.Database.acdom_sorted`)
+when it is still free.  A malformed ``ACDom`` atom compiles to a step
+that raises when (and only when) the search reaches it, matching the
+interpreter's laziness.
+
+Two executor variants are generated per plan: a *fast* one and an
+*instrumented* one that accumulates ``homomorphism.match_calls`` /
+``homomorphism.backtracks`` for the observability layer; the dispatcher
+picks per call based on whether instrumentation is active.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from .atoms import Atom
+from .database import Database
+from .terms import Constant, Term, Variable
+from .theory import ACDOM
+from ..obs.runtime import current as _obs_current
+
+__all__ = [
+    "JoinPlan",
+    "compile_plan",
+    "cached_plan",
+    "execute_plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
+
+Assignment = dict[Variable, Term]
+
+# step kinds
+_ATOM = 0         # match against the database's positional indexes
+_FORCED = 1       # match against the caller-provided delta facts
+_ACDOM_ENUM = 2   # enumerate the active domain, binding a slot
+_ACDOM_CHECK = 3  # check a fixed term / bound slot against the active domain
+_ACDOM_BAD = 4    # malformed ACDom atom: raise when (and only when) reached
+
+
+class _Step:
+    """One compiled pattern atom."""
+
+    __slots__ = (
+        "kind",
+        "atom",
+        "relation_key",
+        "const_items",   # ((position, term), ...) — constants and nulls
+        "bound_items",   # ((position, slot), ...) — bound by earlier steps
+        "bind_items",    # ((position, slot), ...) — first occurrence: bind
+        "check_items",   # ((position, slot), ...) — repeat within this atom
+        "acdom_slot",    # slot of the ACDom variable (enum/check), or None
+        "acdom_term",    # fixed ACDom term (check with constant/null), or None
+    )
+
+    def __init__(self, kind: int, atom: Atom) -> None:
+        self.kind = kind
+        self.atom = atom
+        self.relation_key = atom.relation_key
+        self.const_items: tuple[tuple[int, Term], ...] = ()
+        self.bound_items: tuple[tuple[int, int], ...] = ()
+        self.bind_items: tuple[tuple[int, int], ...] = ()
+        self.check_items: tuple[tuple[int, int], ...] = ()
+        self.acdom_slot: Optional[int] = None
+        self.acdom_term: Optional[Term] = None
+
+
+class JoinPlan:
+    """A compiled pattern: static order, slot layout, per-atom templates."""
+
+    __slots__ = (
+        "atoms",
+        "order",
+        "steps",
+        "n_slots",
+        "out_items",
+        "adorned_slots",
+        "pattern_vars",
+        "adornment",
+        "has_extras",
+        "forced_index",
+        "_fast_fn",
+        "_instr_fn",
+        "_source",
+    )
+
+    def __init__(
+        self,
+        atoms: tuple[Atom, ...],
+        order: tuple[int, ...],
+        steps: tuple[_Step, ...],
+        n_slots: int,
+        out_items: tuple[tuple[Variable, int], ...],
+        adorned_slots: tuple[tuple[Variable, int], ...],
+        pattern_vars: frozenset[Variable],
+        adornment: frozenset[Variable],
+        has_extras: bool,
+        forced_index: Optional[int],
+    ) -> None:
+        self.atoms = atoms
+        self.order = order
+        self.steps = steps
+        self.n_slots = n_slots
+        self.out_items = out_items
+        self.adorned_slots = adorned_slots
+        self.pattern_vars = pattern_vars
+        self.adornment = adornment
+        self.has_extras = has_extras
+        self.forced_index = forced_index
+        self._fast_fn = None
+        self._instr_fn = None
+        self._source = None
+
+    def source(self) -> str:
+        """The generated (fast-variant) executor source — debugging aid."""
+        if self._source is None:
+            self._fast_fn = _generate(self, instrumented=False)
+        return self._source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JoinPlan(atoms={len(self.atoms)}, order={self.order}, "
+            f"slots={self.n_slots}, adorned={sorted(v.name for v in self.adornment)}, "
+            f"forced={self.forced_index})"
+        )
+
+
+def _is_acdom(atom: Atom) -> bool:
+    return atom.relation == ACDOM
+
+
+def static_order(
+    atoms: Sequence[Atom],
+    adornment: frozenset[Variable],
+    forced_index: Optional[int] = None,
+) -> tuple[int, ...]:
+    """The interpreter's greedy most-constrained-first order, computed
+    statically by bound-variable propagation.
+
+    Mirrors ``_select_next``: highest bound-position ratio first, fewer
+    total positions breaking ties, unbound ``ACDom`` atoms deferred; the
+    first strict improvement wins, scanning remaining atoms in original
+    index order.
+    """
+    bound_vars: set[Variable] = set(adornment)
+    order: list[int] = []
+    remaining = list(range(len(atoms)))
+    if forced_index is not None:
+        order.append(forced_index)
+        remaining.remove(forced_index)
+        bound_vars |= atoms[forced_index].variables()
+    while remaining:
+        best_index = None
+        best_score = None
+        for idx in remaining:
+            atom = atoms[idx]
+            terms = atom.all_terms
+            bound = sum(
+                1
+                for term in terms
+                if not isinstance(term, Variable) or term in bound_vars
+            )
+            total = len(terms)
+            acdom_penalty = 1 if (_is_acdom(atom) and bound == 0) else 0
+            score = (acdom_penalty, -(bound + 1) / (total + 1), total)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = idx
+        assert best_index is not None
+        order.append(best_index)
+        remaining.remove(best_index)
+        bound_vars |= atoms[best_index].variables()
+    return tuple(order)
+
+
+def compile_plan(
+    pattern: Sequence[Atom],
+    adornment: Iterable[Variable] = (),
+    forced_index: Optional[int] = None,
+) -> JoinPlan:
+    """Compile ``pattern`` into a :class:`JoinPlan`.
+
+    ``adornment`` names the variables that arrive pre-bound (the keys of a
+    ``partial=`` seed); variables not occurring in the pattern are
+    ignored.  ``forced_index`` pins that pattern atom to the front of the
+    order (delta pinning)."""
+    atoms = tuple(pattern)
+    pattern_vars: set[Variable] = set()
+    for atom in atoms:
+        pattern_vars |= atom.variables()
+    adorned = frozenset(v for v in adornment if v in pattern_vars)
+
+    order = static_order(atoms, adorned, forced_index)
+
+    slot_of: dict[Variable, int] = {}
+    for variable in sorted(adorned, key=lambda v: v.name):
+        slot_of[variable] = len(slot_of)
+
+    steps: list[_Step] = []
+    for position_in_order, idx in enumerate(order):
+        atom = atoms[idx]
+        is_forced = forced_index is not None and position_in_order == 0
+        if _is_acdom(atom) and not is_forced:
+            # A *forced* ACDom atom unifies literally against the supplied
+            # facts (as the interpreter does); only unforced occurrences
+            # compile to virtual active-domain steps.
+            steps.append(_compile_acdom_step(atom, slot_of))
+            continue
+        step = _Step(_FORCED if is_forced else _ATOM, atom)
+        const_items: list[tuple[int, Term]] = []
+        bound_items: list[tuple[int, int]] = []
+        bind_items: list[tuple[int, int]] = []
+        check_items: list[tuple[int, int]] = []
+        bound_here: set[Variable] = set()
+        for position, term in enumerate(atom.all_terms):
+            if not isinstance(term, Variable):
+                const_items.append((position, term))
+            elif term in bound_here:
+                check_items.append((position, slot_of[term]))
+            elif term in slot_of:
+                bound_items.append((position, slot_of[term]))
+            else:
+                slot = len(slot_of)
+                slot_of[term] = slot
+                bind_items.append((position, slot))
+                bound_here.add(term)
+        step.const_items = tuple(const_items)
+        step.bound_items = tuple(bound_items)
+        step.bind_items = tuple(bind_items)
+        step.check_items = tuple(check_items)
+        steps.append(step)
+
+    out_items = tuple(sorted(slot_of.items(), key=lambda item: item[1]))
+    adorned_slots = tuple(
+        (variable, slot_of[variable])
+        for variable in sorted(adorned, key=lambda v: v.name)
+    )
+    # Bindings in `partial` for variables outside the pattern are passed
+    # through into every result; whether any can exist is known from the
+    # adornment key set, so the generated code only merges when needed.
+    has_extras = any(v not in pattern_vars for v in adornment)
+    return JoinPlan(
+        atoms=atoms,
+        order=order,
+        steps=tuple(steps),
+        n_slots=len(slot_of),
+        out_items=out_items,
+        adorned_slots=adorned_slots,
+        pattern_vars=frozenset(pattern_vars),
+        adornment=adorned,
+        has_extras=has_extras,
+        forced_index=forced_index,
+    )
+
+
+def _compile_acdom_step(atom: Atom, slot_of: dict[Variable, int]) -> _Step:
+    if len(atom.args) != 1 or atom.annotation:
+        # The interpreter only rejects a malformed ACDom atom when the
+        # search actually reaches it; reproduce that laziness so patterns
+        # that die earlier behave identically.
+        return _Step(_ACDOM_BAD, atom)
+    term = atom.args[0]
+    if isinstance(term, Variable):
+        slot = slot_of.get(term)
+        if slot is None:
+            step = _Step(_ACDOM_ENUM, atom)
+            slot_of[term] = step.acdom_slot = len(slot_of)
+            return step
+        step = _Step(_ACDOM_CHECK, atom)
+        step.acdom_slot = slot
+        return step
+    step = _Step(_ACDOM_CHECK, atom)
+    step.acdom_term = term
+    return step
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+_PLAN_CACHE: dict[tuple, JoinPlan] = {}
+_PLAN_CACHE_CAP = 4096
+_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def cached_plan(
+    atoms: tuple[Atom, ...],
+    adornment_key: frozenset[Variable],
+    forced_index: Optional[int] = None,
+) -> JoinPlan:
+    """The memoized :func:`compile_plan`.
+
+    The cache key uses the caller's ``partial`` key set verbatim (its
+    intersection with the pattern variables is computed at compile time),
+    so repeated call sites hit without recomputing pattern variables."""
+    key = (atoms, adornment_key, forced_index)
+    plan = _PLAN_CACHE.get(key)
+    obs = _obs_current()
+    if plan is not None:
+        _stats["hits"] += 1
+        if obs is not None:
+            obs.inc("plan.cache_hits")
+        return plan
+    _stats["misses"] += 1
+    if obs is not None:
+        obs.inc("plan.compile_calls")
+    plan = compile_plan(atoms, adornment_key, forced_index)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
+        _PLAN_CACHE.clear()
+        _stats["evictions"] += 1
+    _PLAN_CACHE[key] = plan
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Lifetime cache counters (process-global)."""
+    return {"size": len(_PLAN_CACHE), **_stats}
+
+
+def clear_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+class _Emitter:
+    """Source-line accumulator with indent tracking and an interned
+    environment of objects the generated code closes over (relation keys,
+    pattern constants, output variables)."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+        self.env: dict[str, object] = {"Constant": Constant}
+        self._names: dict[int, str] = {}
+        self._counter = 0
+
+    def ref(self, obj: object, prefix: str) -> str:
+        """A stable global name for ``obj`` in the generated module."""
+        name = self._names.get(id(obj))
+        if name is None:
+            name = f"{prefix}{self._counter}"
+            self._counter += 1
+            self._names[id(obj)] = name
+            self.env[name] = obj
+        return name
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _generate(plan: JoinPlan, instrumented: bool):
+    """Emit, compile and return the executor for ``plan``.
+
+    The generated function is a Python generator: one nested ``for`` per
+    ordered pattern atom, slot bindings as loop-local variables, a single
+    ``yield`` at the innermost level.  Term comparisons use identity —
+    valid because terms are interned.  The instrumented variant
+    additionally accumulates match/backtrack counters and flushes them to
+    the active observability runtime in a ``finally``.
+    """
+    e = _Emitter()
+    steps = plan.steps
+    if instrumented:
+        e.emit("def _plan_fn(database, forced_facts, base, partial, obs):")
+    else:
+        e.emit("def _plan_fn(database, forced_facts, base, partial):")
+    e.indent += 1
+
+    if not steps:
+        e.emit("yield dict(base)")
+        return _compile_fn(plan, e, instrumented)
+
+    kinds = {step.kind for step in steps}
+    if _ATOM in kinds:
+        e.emit("P = database._by_position")
+        e.emit("R = database._by_relation")
+    if _ACDOM_ENUM in kinds:
+        e.emit("AC = database.acdom_sorted()")
+    if _ACDOM_CHECK in kinds:
+        e.emit("ACS = database.active_constants()")
+    for variable, slot in plan.adorned_slots:
+        e.emit(f"s{slot} = partial[{e.ref(variable, 'V')}]")
+
+    if instrumented:
+        e.emit("_m = 0")
+        e.emit("_b = 0")
+        e.emit("try:")
+        e.indent += 1
+
+    loop_indents: list[int] = []  # indent level of each opened `for`
+    truncated = False
+    for i, step in enumerate(steps):
+        fail = "continue" if loop_indents else "return"
+        guard_bt = "_b += 1; " if instrumented else ""
+        if step.kind == _ACDOM_BAD:
+            message = f"ACDom is unary, got {step.atom}"
+            e.emit(f"raise ValueError({e.ref(message, 'A')})")
+            truncated = True
+            break
+        if step.kind == _ACDOM_ENUM:
+            e.emit(f"for s{step.acdom_slot} in AC:")
+            loop_indents.append(e.indent)
+            e.indent += 1
+            if instrumented:
+                e.emit("_m += 1")
+            continue
+        if step.kind == _ACDOM_CHECK:
+            value = (
+                e.ref(step.acdom_term, "T")
+                if step.acdom_term is not None
+                else f"s{step.acdom_slot}"
+            )
+            e.emit(
+                f"if type({value}) is not Constant or {value} not in ACS: "
+                f"{guard_bt}{fail}"
+            )
+            if instrumented:
+                e.emit("_m += 1")
+            continue
+
+        # _ATOM / _FORCED
+        key = e.ref(step.relation_key, "K")
+        items = [
+            (position, e.ref(term, "T")) for position, term in step.const_items
+        ] + [(position, f"s{slot}") for position, slot in step.bound_items]
+        if step.kind == _FORCED:
+            e.emit(f"for f{i} in forced_facts:")
+            loop_indents.append(e.indent)
+            e.indent += 1
+            e.emit(f"if f{i}.relation_key != {key}: continue")
+            e.emit(f"t{i} = f{i}.all_terms")
+            verify = items  # no index bucket backs a forced fact
+        else:
+            if not items:
+                e.emit(f"best = R.get({key})")
+                e.emit(f"if not best: {guard_bt}{fail}")
+            elif len(items) == 1:
+                position, value = items[0]
+                e.emit(f"best = P.get(({key}, {position}, {value}))")
+                e.emit(f"if not best: {guard_bt}{fail}")
+            else:
+                position, value = items[0]
+                e.emit(f"b = P.get(({key}, {position}, {value}))")
+                e.emit(f"if not b: {guard_bt}{fail}")
+                e.emit("best = b")
+                for position, value in items[1:]:
+                    e.emit(f"b = P.get(({key}, {position}, {value}))")
+                    e.emit(f"if not b: {guard_bt}{fail}")
+                    e.emit("if len(b) < len(best): best = b")
+            e.emit(f"for f{i} in best:")
+            loop_indents.append(e.indent)
+            e.indent += 1
+            e.emit(f"t{i} = f{i}.all_terms")
+            # With a single constrained position the bucket is exact.
+            verify = items if len(items) > 1 else []
+        for position, value in verify:
+            e.emit(f"if t{i}[{position}] is not {value}: continue")
+        for position, slot in step.bind_items:
+            e.emit(f"s{slot} = t{i}[{position}]")
+        for position, slot in step.check_items:
+            e.emit(f"if t{i}[{position}] is not s{slot}: continue")
+        if instrumented:
+            e.emit("_m += 1")
+
+    if not truncated:
+        entries = ", ".join(
+            f"{e.ref(variable, 'V')}: s{slot}"
+            for variable, slot in plan.out_items
+        )
+        if plan.has_extras:
+            e.emit(f"yield {{**base, {entries}}}")
+        else:
+            e.emit(f"yield {{{entries}}}")
+
+    if instrumented:
+        # Count loop exhaustions as backtracks (innermost outward).
+        for indent in reversed(loop_indents):
+            e.indent = indent
+            e.emit("_b += 1")
+        e.indent = 1
+        e.emit("finally:")
+        e.indent += 1
+        e.emit("if obs is not None:")
+        e.indent += 1
+        e.emit("obs.inc('homomorphism.match_calls', _m)")
+        e.emit("if _b:")
+        e.indent += 1
+        e.emit("obs.inc('homomorphism.backtracks', _b)")
+    return _compile_fn(plan, e, instrumented)
+
+
+def _compile_fn(plan: JoinPlan, e: _Emitter, instrumented: bool):
+    source = e.source()
+    namespace = dict(e.env)
+    code = compile(source, f"<joinplan:{len(plan.atoms)} atoms>", "exec")
+    exec(code, namespace)  # noqa: S102 - source is generated, not user input
+    fn = namespace["_plan_fn"]
+    if instrumented:
+        plan._instr_fn = fn
+    else:
+        plan._fast_fn = fn
+        plan._source = source
+    return fn
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: JoinPlan,
+    database: Database,
+    partial: Optional[Mapping[Variable, Term]] = None,
+    forced_facts: Optional[Iterable[Atom]] = None,
+) -> Iterator[Assignment]:
+    """Enumerate the homomorphisms of ``plan.atoms`` into ``database``.
+
+    ``partial`` must bind at least the adornment the plan was compiled
+    for; bindings on variables outside the pattern are passed through to
+    every produced assignment, as in the interpreter.  ``forced_facts``
+    supplies the candidate facts for a delta-pinned plan.
+    """
+    base: Assignment = {}
+    if partial and (plan.has_extras or not plan.steps):
+        pattern_vars = plan.pattern_vars
+        for variable, value in partial.items():
+            if variable not in pattern_vars:
+                base[variable] = value
+    obs = _obs_current()
+    if obs is None:
+        fn = plan._fast_fn
+        if fn is None:
+            fn = _generate(plan, instrumented=False)
+        return fn(database, forced_facts, base, partial)
+    fn = plan._instr_fn
+    if fn is None:
+        fn = _generate(plan, instrumented=True)
+    return fn(database, forced_facts, base, partial, obs)

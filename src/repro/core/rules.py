@@ -78,13 +78,19 @@ class Rule:
         if not self.head:
             raise RuleError("a rule must have at least one head atom (m ≥ 1)")
         for literal in self.body:
-            if not isinstance(literal, (Atom, NegatedAtom)):
+            if isinstance(literal, Atom):
+                atom = literal
+            elif isinstance(literal, NegatedAtom):
+                atom = literal.atom
+            else:
                 raise RuleError(f"body literal is not an atom or negated atom: {literal!r}")
-            if any(isinstance(term, Null) for term in literal.terms()):
-                raise RuleError(f"rules must not contain labeled nulls: {literal}")
+            for term in atom.all_terms:
+                if isinstance(term, Null):
+                    raise RuleError(f"rules must not contain labeled nulls: {literal}")
         for atom in self.head:
-            if any(isinstance(term, Null) for term in atom.terms()):
-                raise RuleError(f"rules must not contain labeled nulls: {atom}")
+            for term in atom.all_terms:
+                if isinstance(term, Null):
+                    raise RuleError(f"rules must not contain labeled nulls: {atom}")
         evars = set(self.exist_vars)
         body_vars = self.body_variables()
         positive_vars = self.positive_body_variables()
@@ -102,7 +108,7 @@ class Rule:
                         f"unsafe negation: variables of {literal} not covered by "
                         "positive body literals"
                     )
-        unused = evars - set().union(*(atom.variables() for atom in self.head))
+        unused = evars - self.head_variables()
         if unused:
             names = ", ".join(sorted(v.name for v in unused))
             raise RuleError(f"existential variables must occur in the head: {names}")
@@ -110,33 +116,57 @@ class Rule:
     # ------------------------------------------------------------------
     # component accessors (paper notation)
     # ------------------------------------------------------------------
+    # The accessors below are pure functions of the (immutable) rule and
+    # sit on saturation/chase/Datalog hot paths, so each is computed once
+    # and memoized on the instance (``object.__setattr__`` threads the
+    # frozen-dataclass guard; the cache never participates in eq/hash).
     def positive_body(self) -> tuple[Atom, ...]:
         """``body(σ)`` restricted to positive literals."""
-        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+        cached = self.__dict__.get("_positive_body")
+        if cached is None:
+            cached = tuple(lit for lit in self.body if isinstance(lit, Atom))
+            object.__setattr__(self, "_positive_body", cached)
+        return cached
 
     def negative_body(self) -> tuple[NegatedAtom, ...]:
-        return tuple(lit for lit in self.body if isinstance(lit, NegatedAtom))
+        cached = self.__dict__.get("_negative_body")
+        if cached is None:
+            cached = tuple(lit for lit in self.body if isinstance(lit, NegatedAtom))
+            object.__setattr__(self, "_negative_body", cached)
+        return cached
 
-    def body_variables(self) -> set[Variable]:
+    def body_variables(self) -> frozenset[Variable]:
         """Variables of all body literals (positive and negative)."""
-        result: set[Variable] = set()
-        for literal in self.body:
-            result |= literal.variables()
-        return result
+        cached = self.__dict__.get("_body_vars")
+        if cached is None:
+            result: set[Variable] = set()
+            for literal in self.body:
+                result |= literal.variables()
+            cached = frozenset(result)
+            object.__setattr__(self, "_body_vars", cached)
+        return cached
 
-    def positive_body_variables(self) -> set[Variable]:
-        result: set[Variable] = set()
-        for atom in self.positive_body():
-            result |= atom.variables()
-        return result
+    def positive_body_variables(self) -> frozenset[Variable]:
+        cached = self.__dict__.get("_pos_body_vars")
+        if cached is None:
+            result: set[Variable] = set()
+            for atom in self.positive_body():
+                result |= atom.variables()
+            cached = frozenset(result)
+            object.__setattr__(self, "_pos_body_vars", cached)
+        return cached
 
-    def head_variables(self) -> set[Variable]:
-        result: set[Variable] = set()
-        for atom in self.head:
-            result |= atom.variables()
-        return result
+    def head_variables(self) -> frozenset[Variable]:
+        cached = self.__dict__.get("_head_vars")
+        if cached is None:
+            result: set[Variable] = set()
+            for atom in self.head:
+                result |= atom.variables()
+            cached = frozenset(result)
+            object.__setattr__(self, "_head_vars", cached)
+        return cached
 
-    def uvars(self) -> set[Variable]:
+    def uvars(self) -> frozenset[Variable]:
         """``uvars(σ) = vars(body(σ))`` — the universal variables."""
         return self.body_variables()
 
@@ -144,7 +174,7 @@ class Rule:
         """``evars(σ)`` — the existential variables."""
         return set(self.exist_vars)
 
-    def frontier(self) -> set[Variable]:
+    def frontier(self) -> frozenset[Variable]:
         """``fvars(σ) = vars(head(σ)) \\ evars(σ)``."""
         return self.head_variables() - set(self.exist_vars)
 
@@ -159,7 +189,7 @@ class Rule:
             found |= atom.argument_variables()
         return found - set(self.exist_vars)
 
-    def variables(self) -> set[Variable]:
+    def variables(self) -> frozenset[Variable]:
         """``vars(σ)`` — every variable of the rule."""
         return self.body_variables() | self.head_variables()
 

@@ -1,17 +1,29 @@
 """Terms of the existential-rule language.
 
 The paper (Section 2) works with three mutually disjoint infinite sets:
-constants ``Δc``, labeled nulls ``Δn`` and variables ``Δv``.  We model each
-by a small frozen dataclass.  Terms are immutable, hashable and totally
-ordered (first by kind, then by name), which gives all higher layers
-deterministic iteration orders — important for reproducible translations
-and for canonical forms used in saturation closures.
+constants ``Δc``, labeled nulls ``Δn`` and variables ``Δv``.  Terms are
+immutable, hashable and totally ordered (first by kind, then by name),
+which gives all higher layers deterministic iteration orders — important
+for reproducible translations and for canonical forms used in saturation
+closures.
+
+Terms sit on the hottest paths of the system — every homomorphism step,
+database index probe and saturation key hashes and compares them — so the
+three classes are hand-rolled rather than dataclasses:
+
+* ``__slots__`` instances with the hash computed once at construction,
+* *interned* per class: ``Constant("a") is Constant("a")``.  Interning
+  makes equality an identity check in the common case (the ``__eq__``
+  fast path) and lets the chase reuse null objects across runs.
+
+Equality still falls back to a name comparison for same-class operands so
+that instances smuggled past the intern table (e.g. by a racing thread)
+compare correctly.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 from typing import Union
 
 __all__ = [
@@ -36,18 +48,71 @@ def _check_name(name: str, kind: str) -> None:
         raise ValueError(f"{kind} name must match [A-Za-z0-9_]+, got {name!r}")
 
 
-@dataclass(frozen=True, slots=True)
-class Constant:
+class _Term:
+    """Shared machinery of the three term kinds (interning, hashing, order)."""
+
+    __slots__ = ("name", "_hash")
+
+    kind = "term"  # overridden per subclass
+    _label = "term"  # human word used in error messages
+
+    #: per-class intern table, defined on each concrete subclass
+    _intern: dict[str, "_Term"]
+
+    def __new__(cls, name: str) -> "_Term":
+        cached = cls._intern.get(name) if isinstance(name, str) else None
+        if cached is not None:
+            return cached
+        _check_name(name, cls._label)
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((cls.kind, name)))
+        cls._intern[name] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is self.__class__:
+            return self.name == other.name  # pragma: no cover - intern bypass
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if self is other:
+            return False
+        if other.__class__ is self.__class__:
+            return self.name != other.name  # pragma: no cover - intern bypass
+        return NotImplemented
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_sort_key(self) < _term_sort_key(other)
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+class Constant(_Term):
     """An element of the constant domain ``Δc``."""
 
-    name: str
-
-    def __post_init__(self) -> None:
-        _check_name(self.name, "constant")
-
-    @property
-    def kind(self) -> str:
-        return "const"
+    __slots__ = ()
+    kind = "const"
+    _label = "constant"
+    _intern: dict[str, "Constant"] = {}
 
     def __str__(self) -> str:
         return self.name
@@ -55,25 +120,17 @@ class Constant:
     def __repr__(self) -> str:
         return f"Constant({self.name!r})"
 
-    def __lt__(self, other: "Term") -> bool:
-        return _term_sort_key(self) < _term_sort_key(other)
 
-
-@dataclass(frozen=True, slots=True)
-class Variable:
+class Variable(_Term):
     """An element of the variable domain ``Δv``.
 
     Variables only occur in rules and queries, never in databases.
     """
 
-    name: str
-
-    def __post_init__(self) -> None:
-        _check_name(self.name, "variable")
-
-    @property
-    def kind(self) -> str:
-        return "var"
+    __slots__ = ()
+    kind = "var"
+    _label = "variable"
+    _intern: dict[str, "Variable"] = {}
 
     def __str__(self) -> str:
         return f"?{self.name}"
@@ -81,12 +138,8 @@ class Variable:
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
 
-    def __lt__(self, other: "Term") -> bool:
-        return _term_sort_key(self) < _term_sort_key(other)
 
-
-@dataclass(frozen=True, slots=True)
-class Null:
+class Null(_Term):
     """A labeled null from ``Δn``.
 
     Nulls are invented by the chase when existential variables are
@@ -94,23 +147,16 @@ class Null:
     map them anywhere, whereas constants are fixed points.
     """
 
-    name: str
-
-    def __post_init__(self) -> None:
-        _check_name(self.name, "null")
-
-    @property
-    def kind(self) -> str:
-        return "null"
+    __slots__ = ()
+    kind = "null"
+    _label = "null"
+    _intern: dict[str, "Null"] = {}
 
     def __str__(self) -> str:
         return f"_:{self.name}"
 
     def __repr__(self) -> str:
         return f"Null({self.name!r})"
-
-    def __lt__(self, other: "Term") -> bool:
-        return _term_sort_key(self) < _term_sort_key(other)
 
 
 Term = Union[Constant, Variable, Null]

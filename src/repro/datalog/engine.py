@@ -99,10 +99,15 @@ def _evaluate_stratum(
     if reason is not None:
         return reason
 
+    # Bodies are computed once per stratum: the same tuple objects feed
+    # every fixpoint iteration, so the join-plan cache is keyed stably.
+    bodies: list[tuple[Atom, ...]] = [
+        tuple(rule.positive_body()) for rule in stratum
+    ]
+
     # Initial round: every rule fires against the full database.
     delta: set[Atom] = set()
-    for rule in stratum:
-        body = list(rule.positive_body())
+    for rule, body in zip(stratum, bodies):
         for assignment in homomorphisms(body, database):
             if _negation_satisfied(rule, assignment, database):
                 _fire(rule, assignment, database, delta)
@@ -114,16 +119,15 @@ def _evaluate_stratum(
 
     # Precompute, per rule, the body-atom indices matching this stratum's
     # IDB relations — the candidates for delta pinning.
-    recursive_rules: list[tuple[Rule, list[int]]] = []
-    for rule in stratum:
-        body = rule.positive_body()
+    recursive_rules: list[tuple[Rule, tuple[Atom, ...], list[int]]] = []
+    for rule, body in zip(stratum, bodies):
         indices = [
             index
             for index, atom in enumerate(body)
             if atom.relation in defined_here
         ]
         if indices:
-            recursive_rules.append((rule, indices))
+            recursive_rules.append((rule, body, indices))
 
     while delta:
         iterations += 1
@@ -134,8 +138,7 @@ def _evaluate_stratum(
         for atom in delta:
             delta_by_relation[atom.relation].append(atom)
         next_delta: set[Atom] = set()
-        for rule, indices in recursive_rules:
-            body = list(rule.positive_body())
+        for rule, body, indices in recursive_rules:
             for index in indices:
                 candidates = delta_by_relation.get(body[index].relation)
                 if not candidates:
@@ -175,7 +178,7 @@ def _evaluate_stratum_naive(
         changed = False
         new_atoms: set[Atom] = set()
         for rule in stratum:
-            body = list(rule.positive_body())
+            body = tuple(rule.positive_body())
             for assignment in homomorphisms(body, database):
                 if _negation_satisfied(rule, assignment, database):
                     _fire(rule, assignment, database, new_atoms)

@@ -48,7 +48,7 @@ def cq_contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
         if bound.get(second_var, target) != target:
             return False
         bound[second_var] = target
-    assignment = first_homomorphism(list(second.atoms), frozen_db, partial=bound)
+    assignment = first_homomorphism(second.atoms, frozen_db, partial=bound)
     return assignment is not None
 
 

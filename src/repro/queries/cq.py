@@ -87,6 +87,8 @@ def evaluate_cq(
     """Direct CQ evaluation (no rules): all homomorphism images of the
     answer tuple — including nulls; filter if certain answers are meant."""
     results: set[tuple[Term, ...]] = set()
-    for assignment in homomorphisms(list(cq.atoms), database):
+    # cq.atoms is passed as the tuple it already is — repeated evaluations
+    # of the same query hit the same cached join plan.
+    for assignment in homomorphisms(cq.atoms, database):
         results.add(tuple(assignment[v] for v in cq.answer_variables))
     return results

@@ -140,33 +140,50 @@ def _merge_variables(rule: Rule) -> Iterator[Rule]:
             continue
 
 
-def _head_atoms_as_targets(rule: Rule) -> list[Atom]:
-    return list(rule.head)
+def _head_atoms_as_targets(rule: Rule) -> dict[tuple, list[Atom]]:
+    """Head atoms of the first premise, bucketed by relation identity, so
+    each Datalog body atom only unifies against same-relation targets.
+
+    Memoized on the rule instance — a saturation pass composes the same
+    premise against every Datalog rule, so the buckets are reused."""
+    cached = rule.__dict__.get("_head_targets")
+    if cached is None:
+        buckets: dict[tuple, list[Atom]] = {}
+        for atom in rule.head:
+            buckets.setdefault(atom.relation_key, []).append(atom)
+        object.__setattr__(rule, "_head_targets", buckets)
+        return buckets
+    return cached
 
 
 def _match_into_head(
-    pattern: Atom, targets: list[Atom], assignment: dict[Variable, Term]
+    pattern: Atom, targets: Iterable[Atom], assignment: dict[Variable, Term]
 ) -> Iterator[dict[Variable, Term]]:
-    """Unify a Datalog body atom with one of the head atoms of the first
-    premise, extending ``assignment``."""
+    """Unify a Datalog body atom with one of the same-relation head atoms
+    of the first premise, extending ``assignment``.
+
+    Terms are interned, so ``is`` comparisons are exact; the assignment is
+    only copied once a new binding is actually needed."""
+    pattern_terms = pattern.all_terms
     for target in targets:
-        if target.relation_key != pattern.relation_key:
-            continue
-        extension = dict(assignment)
+        extension: dict[Variable, Term] | None = None
         ok = True
-        for pattern_term, target_term in zip(pattern.all_terms, target.all_terms):
+        for pattern_term, target_term in zip(pattern_terms, target.all_terms):
             if isinstance(pattern_term, Variable):
-                bound = extension.get(pattern_term)
+                source = assignment if extension is None else extension
+                bound = source.get(pattern_term)
                 if bound is None:
+                    if extension is None:
+                        extension = dict(assignment)
                     extension[pattern_term] = target_term
-                elif bound != target_term:
+                elif bound is not target_term:
                     ok = False
                     break
-            elif pattern_term != target_term:
+            elif pattern_term is not target_term:
                 ok = False
                 break
         if ok:
-            yield extension
+            yield dict(assignment) if extension is None else extension
 
 
 def _compose(
@@ -186,7 +203,8 @@ def _compose(
     compositions entirely on the universal side are recovered at Datalog
     evaluation time by chaining the premise with head projections, so they
     are redundant for ``dat(Σ)`` — this is the goal-directed pruning."""
-    alpha_vars = sorted(first.uvars(), key=lambda v: v.name)
+    first_uvars = first.uvars()
+    alpha_vars = sorted(first_uvars, key=lambda v: v.name)
     if not alpha_vars and any(
         isinstance(t, Variable) for atom in datalog.positive_body() for t in atom.args
     ):
@@ -194,7 +212,15 @@ def _compose(
         # work, handled below by the general search.
         pass
     targets = _head_atoms_as_targets(first)
-    body = list(datalog.positive_body())
+    body = datalog.positive_body()
+    if require_evar_contact and not any(
+        atom.relation_key in targets for atom in body
+    ):
+        # Every surviving composition needs a non-empty homomorphism into
+        # head(first) (all-deferred splits have no existential contact), and
+        # a body atom can only map onto a same-relation head atom — no
+        # relation overlap means nothing to enumerate.
+        return
 
     def search(
         index: int,
@@ -206,7 +232,9 @@ def _compose(
             yield assignment, deferred
             return
         atom = body[index]
-        for extension in _match_into_head(atom, targets, assignment):
+        for extension in _match_into_head(
+            atom, targets.get(atom.relation_key, ()), assignment
+        ):
             yield from search(index + 1, extension, deferred, True)
         # defer this atom to γ1
         yield from search(index + 1, assignment, deferred + [atom], used_any)
@@ -232,10 +260,10 @@ def _compose(
             continue
         for images in itertools.product(alpha_vars, repeat=len(leftover)):
             mapping: dict[Term, Term] = dict(assignment)
-            mapping.update(dict(zip(leftover, images)))
+            mapping.update(zip(leftover, images))
             gamma1 = [atom.substitute(mapping) for atom in deferred]
             if any(
-                isinstance(term, Variable) and term not in first.uvars()
+                term not in first_uvars
                 for atom in gamma1
                 for term in atom.variables()
             ):
@@ -413,12 +441,21 @@ class _Context:
     body: frozenset[Atom]
     evars: tuple[Variable, ...]
     head: set[Atom]
+    _cached_rule: Optional[Rule] = None
+    _cached_head_size: int = -1
 
     def key(self) -> tuple:
         return (self.base, self.body, self.evars)
 
     def to_rule(self) -> Rule:
-        return Rule(_dedup_body(self.body), _dedup_head(self.head), self.evars)
+        # The head only ever grows (monotone accumulation), so its size
+        # identifies the materialized rule; body/evars are immutable.
+        if self._cached_rule is None or self._cached_head_size != len(self.head):
+            self._cached_rule = Rule(
+                _dedup_body(self.body), _dedup_head(self.head), self.evars
+            )
+            self._cached_head_size = len(self.head)
+        return self._cached_rule
 
 
 @dataclass

@@ -122,3 +122,44 @@ class TestParserIntegration:
     def test_parse_database_nulls(self):
         db = parse_database("R(a, _:n0).")
         assert Atom("R", (A, N)) in db
+
+
+class TestAcdomSortedCache:
+    """The sorted active-domain tuple is cached and only invalidated while
+    the ACDom extension can still change (PR 4 regression: `_match_acdom`
+    used to re-sort the active constants on every enumeration)."""
+
+    def test_sorted_matches_active_constants(self):
+        db = parse_database("R(b, a). S(c).")
+        assert db.acdom_sorted() == tuple(
+            sorted(db.active_constants(), key=lambda c: c.name)
+        )
+
+    def test_cache_survives_post_freeze_add(self):
+        db = parse_database("R(a, b).")
+        db.freeze_acdom()
+        before = db.acdom_sorted()
+        # the frozen extension is fixed by the input database, so adding a
+        # chase-derived atom (even with a new constant) must not drop or
+        # change the cached tuple
+        db.add(Atom("R", (C, Null("n9"))))
+        assert db.acdom_sorted() is before
+        assert db.active_constants() == frozenset({A, B})
+
+    def test_cache_invalidated_while_unfrozen(self):
+        db = Database([Atom("R", (A,))], freeze_acdom=False)
+        assert db.acdom_sorted() == (A,)
+        db.add(Atom("R", (B,)))
+        assert db.acdom_sorted() == (A, B)
+
+    def test_freeze_resets_cache(self):
+        db = Database([Atom("R", (A,))], freeze_acdom=False)
+        _ = db.acdom_sorted()
+        db.add(Atom("R", (B,)))
+        db.freeze_acdom()
+        assert db.acdom_sorted() == (A, B)
+
+    def test_copy_preserves_cache(self):
+        db = parse_database("R(a, b).")
+        original = db.acdom_sorted()
+        assert db.copy().acdom_sorted() == original

@@ -1,0 +1,257 @@
+"""Unit tests for the compiled join-plan layer (repro.core.plan).
+
+Each case checks the compiled executor against the naive reference
+interpreter on a handcrafted pattern, plus the plan-cache bookkeeping,
+the ``REPRO_NAIVE_JOIN`` escape hatch, and the generated-source shape.
+"""
+
+import pytest
+
+from repro.core import (
+    Atom,
+    Constant,
+    Database,
+    Variable,
+    cached_plan,
+    clear_plan_cache,
+    compile_plan,
+    execute_plan,
+    homomorphisms,
+    naive_homomorphisms,
+    plan_cache_stats,
+)
+from repro.core.parser import parse_database
+from repro.core.terms import Null
+from repro.core.theory import ACDOM
+from repro.obs import instrumented
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+
+
+def canon(assignments):
+    """Order-insensitive canonical form of an assignment enumeration."""
+    return sorted(
+        sorted((v.name, str(t)) for v, t in assignment.items())
+        for assignment in assignments
+    )
+
+
+def both_paths(pattern, database, **kwargs):
+    compiled = canon(homomorphisms(pattern, database, **kwargs))
+    naive = canon(naive_homomorphisms(pattern, database, **kwargs))
+    assert compiled == naive
+    return compiled
+
+
+class TestCompiledEqualsNaive:
+    def setup_method(self):
+        self.db = parse_database("E(a,b). E(b,c). E(c,a). E(a,c). T(a).")
+
+    def test_single_atom(self):
+        results = both_paths([Atom("E", (X, Y))], self.db)
+        assert len(results) == 4
+
+    def test_chain_join(self):
+        results = both_paths([Atom("E", (X, Y)), Atom("E", (Y, Z))], self.db)
+        assert len(results) == 5
+
+    def test_triangle(self):
+        pattern = [Atom("E", (X, Y)), Atom("E", (Y, Z)), Atom("E", (Z, X))]
+        results = both_paths(pattern, self.db)
+        assert len(results) == 3  # a→b→c→a rotations
+
+    def test_repeated_variable(self):
+        db = parse_database("E(a,a). E(a,b).")
+        assert both_paths([Atom("E", (X, X))], db) == [[("x", "a")]]
+
+    def test_constants_in_pattern(self):
+        results = both_paths([Atom("E", (A, Y))], self.db)
+        assert len(results) == 2
+
+    def test_no_match(self):
+        assert both_paths([Atom("E", (X, X))], self.db) == []
+
+    def test_empty_pattern(self):
+        assert both_paths([], self.db) == [[]]
+
+    def test_cross_product(self):
+        results = both_paths([Atom("E", (X, Y)), Atom("T", (Z,))], self.db)
+        assert len(results) == 4
+
+    def test_nulls_in_database(self):
+        db = Database([Atom("E", (A, Null("n0")))])
+        results = both_paths([Atom("E", (X, Y))], db)
+        assert results == [[("x", "a"), ("y", "_:n0")]]
+
+
+class TestPartialSeeds:
+    def setup_method(self):
+        self.db = parse_database("E(a,b). E(b,c).")
+
+    def test_partial_restricts(self):
+        results = both_paths([Atom("E", (X, Y))], self.db, partial={X: B})
+        assert results == [[("x", "b"), ("y", "c")]]
+
+    def test_partial_conflicts_yield_nothing(self):
+        assert both_paths([Atom("E", (X, Y))], self.db, partial={X: C}) == []
+
+    def test_extra_bindings_passed_through(self):
+        # a partial binding on a variable outside the pattern rides along
+        results = both_paths([Atom("E", (X, Y))], self.db, partial={W: C})
+        assert all(("w", "c") in row for row in results)
+        assert len(results) == 2
+
+    def test_distinct_adornments_get_distinct_plans(self):
+        pattern = (Atom("E", (X, Y)),)
+        plan_x = cached_plan(pattern, frozenset({X}), None)
+        plan_y = cached_plan(pattern, frozenset({Y}), None)
+        assert plan_x is not plan_y
+        assert plan_x is cached_plan(pattern, frozenset({X}), None)
+
+
+class TestForcedPinning:
+    def test_forced_restricts_one_atom(self):
+        db = parse_database("E(a,b). E(b,c). E(c,a).")
+        delta = [Atom("E", (B, C))]
+        pattern = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        results = both_paths(pattern, db, forced=(0, delta))
+        assert results == [[("x", "b"), ("y", "c"), ("z", "a")]]
+
+    def test_forced_ignores_other_relations(self):
+        db = parse_database("E(a,b). E(b,c).")
+        results = both_paths(
+            [Atom("E", (X, Y))], db, forced=(0, [Atom("F", (A, B))])
+        )
+        assert results == []
+
+    def test_forced_key_is_part_of_cache_identity(self):
+        pattern = (Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        assert cached_plan(pattern, frozenset(), 0) is not cached_plan(
+            pattern, frozenset(), 1
+        )
+
+
+class TestACDomPatterns:
+    def setup_method(self):
+        self.db = parse_database("E(a,b). T(c).")
+
+    def test_enumeration_when_unbound(self):
+        results = both_paths([Atom(ACDOM, (X,))], self.db)
+        assert results == [[("x", "a")], [("x", "b")], [("x", "c")]]
+
+    def test_check_when_bound(self):
+        pattern = [Atom("E", (X, Y)), Atom(ACDOM, (X,))]
+        results = both_paths(pattern, self.db)
+        assert len(results) == 1
+
+    def test_constant_membership(self):
+        assert both_paths([Atom(ACDOM, (A,))], self.db) == [[]]
+        assert both_paths([Atom(ACDOM, (Constant("zz"),))], self.db) == []
+
+    def test_null_never_in_acdom(self):
+        db = Database([Atom("E", (A, Null("n0")))])
+        pattern = [Atom("E", (X, Y)), Atom(ACDOM, (Y,))]
+        assert both_paths(pattern, db) == []
+
+    def test_malformed_acdom_raises_lazily(self):
+        bad = [Atom(ACDOM, (X, Y)), Atom("E", (X, Y))]
+        # building the generator does not raise ...
+        compiled = homomorphisms(bad, self.db)
+        naive = naive_homomorphisms(bad, self.db)
+        # ... consuming it does, on both paths, with the same message
+        with pytest.raises(ValueError, match="ACDom is unary"):
+            list(compiled)
+        with pytest.raises(ValueError, match="ACDom is unary"):
+            list(naive)
+
+
+class TestPlanCache:
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_hit_and_miss_counters(self):
+        pattern = (Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        before = plan_cache_stats()
+        first = cached_plan(pattern, frozenset(), None)
+        second = cached_plan(pattern, frozenset(), None)
+        after = plan_cache_stats()
+        assert first is second
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+    def test_obs_counters(self, monkeypatch):
+        # counters are a compiled-path contract; pin the escape hatch off
+        # so the test holds even when the suite runs under REPRO_NAIVE_JOIN=1
+        monkeypatch.delenv("REPRO_NAIVE_JOIN", raising=False)
+        db = parse_database("E(a,b). E(b,c).")
+        pattern = (Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        with instrumented() as instr:
+            list(homomorphisms(pattern, db))
+            list(homomorphisms(pattern, db))
+        assert instr.metrics.counter("plan.compile_calls") == 1
+        assert instr.metrics.counter("plan.cache_hits") == 1
+
+    def test_reuse_across_databases(self):
+        pattern = (Atom("E", (X, Y)),)
+        plan = cached_plan(pattern, frozenset(), None)
+        db1 = parse_database("E(a,b).")
+        db2 = parse_database("E(b,c). E(c,a).")
+        assert len(list(execute_plan(plan, db1))) == 1
+        assert len(list(execute_plan(plan, db2))) == 2
+
+    def test_cap_eviction(self, monkeypatch):
+        import repro.core.plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_PLAN_CACHE_CAP", 2)
+        evictions = plan_cache_stats()["evictions"]
+        for name in ("P", "Q", "R"):
+            cached_plan((Atom(name, (X,)),), frozenset(), None)
+        assert plan_cache_stats()["evictions"] > evictions
+        assert plan_cache_stats()["size"] <= 2
+
+
+class TestEscapeHatch:
+    def test_env_routes_to_interpreter(self, monkeypatch):
+        db = parse_database("E(a,b). E(b,c).")
+        pattern = (Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        expected = canon(homomorphisms(pattern, db))
+        clear_plan_cache()
+        monkeypatch.setenv("REPRO_NAIVE_JOIN", "1")
+        misses = plan_cache_stats()["misses"]
+        assert canon(homomorphisms(pattern, db)) == expected
+        # the interpreter path never consults the plan cache
+        assert plan_cache_stats()["misses"] == misses
+
+    def test_zero_means_compiled(self, monkeypatch):
+        db = parse_database("E(a,b).")
+        pattern = (Atom("E", (X, Y)),)
+        clear_plan_cache()
+        monkeypatch.setenv("REPRO_NAIVE_JOIN", "0")
+        misses = plan_cache_stats()["misses"]
+        list(homomorphisms(pattern, db))
+        assert plan_cache_stats()["misses"] == misses + 1
+
+
+class TestCompiledPlanShape:
+    def test_static_order_seeds_from_forced_atom(self):
+        pattern = (Atom("E", (X, Y)), Atom("E", (Y, Z)))
+        plan = compile_plan(pattern, forced_index=1)
+        assert plan.order[0] == 1
+
+    def test_adornment_outside_pattern_ignored(self):
+        plan = compile_plan((Atom("E", (X, Y)),), adornment=(W,))
+        assert W not in plan.adornment
+        assert plan.has_extras
+
+    def test_generated_source_is_a_generator(self):
+        plan = compile_plan((Atom("E", (X, Y)), Atom("E", (Y, Z))))
+        source = plan.source()
+        assert "def _plan_fn(" in source
+        assert "yield" in source
+
+    def test_plans_cover_all_atoms(self):
+        pattern = (Atom("E", (X, Y)), Atom("T", (Z,)), Atom("E", (Y, Z)))
+        plan = compile_plan(pattern)
+        assert sorted(plan.order) == [0, 1, 2]
+        assert plan.pattern_vars == frozenset({X, Y, Z})
