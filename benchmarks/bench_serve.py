@@ -1,0 +1,291 @@
+#!/usr/bin/env python
+"""Load benchmark for the reasoning service (``repro serve``).
+
+Starts a real server subprocess against the Section 7 weakly-guarded
+exemplar, fires N concurrent certain-answer queries from a thread-pool
+of blocking clients (one connection each — the protocol answers in
+order per connection, so concurrency means connections), and records:
+
+* **latency** — p50 / p95 / p99 / max per pass, in milliseconds;
+* **throughput** — completed queries per second per pass;
+* **warmth** — the server's ``service.worker.*`` registry and plan-cache
+  counters scraped from ``/metrics`` after each pass: the second pass
+  over the same theory+database must be all registry hits and
+  materialization reuse, which is the point of a warm service;
+* **hygiene** — zero transport errors, zero non-``ok`` responses, zero
+  tracebacks on the server's stderr, worker PIDs reaped after SIGTERM.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --queries 40 --chain 4  # smoke
+
+The JSON record lands next to the ``run_bench.py`` trajectory files and
+follows the same spirit: pinned workload, machine-readable, embeds the
+environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+sys.path.insert(0, HERE)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+SCHEMA = "repro-bench-serve/1"
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (values need not be pre-sorted)."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def scrape_counters(host: str, port: int) -> dict[str, float]:
+    from repro.service.client import http_get
+
+    _, body = http_get(host, port, "/metrics")
+    counters: dict[str, float] = {}
+    for line in body.strip().splitlines():
+        name, _, value = line.rpartition(" ")
+        try:
+            counters[name] = float(value)
+        except ValueError:
+            continue
+    return counters
+
+
+def run_pass(
+    host: str,
+    port: int,
+    *,
+    queries: int,
+    concurrency: int,
+    database: str,
+    timeout: float,
+) -> dict:
+    """One load pass: ``queries`` certain-answer requests, ``concurrency``
+    blocking clients, each on its own connection."""
+    from repro.service.client import ServiceClient
+
+    latencies: list[float] = []
+    failures: list[str] = []
+    answers_seen: set[str] = set()
+
+    def one_query(index: int) -> None:
+        started = time.perf_counter()
+        try:
+            with ServiceClient(host, port, timeout=timeout + 60) as client:
+                response = client.query(
+                    "Reach",
+                    database=database,
+                    timeout=timeout,
+                    request_id=index,
+                )
+        except Exception as exc:  # noqa: BLE001 - hygiene accounting
+            failures.append(f"{type(exc).__name__}: {exc}")
+            return
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if response.get("ok") and response.get("complete"):
+            latencies.append(elapsed_ms)
+            answers_seen.add(json.dumps(response["answers"]))
+        else:
+            failures.append(json.dumps(response)[:200])
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(one_query, range(queries)))
+    wall = time.perf_counter() - wall_start
+
+    record = {
+        "queries": queries,
+        "concurrency": concurrency,
+        "completed": len(latencies),
+        "failures": len(failures),
+        "failure_samples": failures[:5],
+        "distinct_answer_sets": len(answers_seen),
+        "wall_s": round(wall, 4),
+        "throughput_qps": round(len(latencies) / wall, 2) if wall else None,
+    }
+    if latencies:
+        record.update(
+            p50_ms=round(percentile(latencies, 50), 3),
+            p95_ms=round(percentile(latencies, 95), 3),
+            p99_ms=round(percentile(latencies, 99), 3),
+            max_ms=round(max(latencies), 3),
+            mean_ms=round(statistics.fmean(latencies), 3),
+        )
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=200,
+                        help="queries per pass (default 200)")
+    parser.add_argument("--concurrency", type=int, default=50,
+                        help="concurrent client connections (default 50)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker processes (default 4)")
+    parser.add_argument("--chain", type=int, default=5,
+                        help="Section 7 chain length (default 5: medium)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-query deadline sent with each request")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="load passes (pass 2+ measures warmth)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON record here (default stdout)")
+    parser.add_argument("--label", default="current")
+    args = parser.parse_args()
+
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+    from repro.service.client import http_get, wait_until_ready
+
+    database = chain_data(args.chain)
+    port, http_port = free_port(), free_port()
+    theory_path = os.path.join(HERE, "_bench_serve_theory.rules")
+    with open(theory_path, "w", encoding="utf-8") as handle:
+        handle.write(WG_THEORY_TEXT)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", theory_path,
+            "--port", str(port), "--http-port", str(http_port),
+            "--workers", str(args.workers),
+            "--queue-limit", str(max(args.queries, 64)),
+            "--default-timeout", str(args.timeout),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    passes = []
+    hygiene: dict = {}
+    try:
+        wait_until_ready("127.0.0.1", port, timeout=120)
+        for index in range(args.passes):
+            before = scrape_counters("127.0.0.1", http_port)
+            record = run_pass(
+                "127.0.0.1", port,
+                queries=args.queries,
+                concurrency=args.concurrency,
+                database=database,
+                timeout=args.timeout,
+            )
+            after = scrape_counters("127.0.0.1", http_port)
+            record["warmth"] = {
+                key.removeprefix("repro_service_worker_"): int(
+                    after.get(key, 0) - before.get(key, 0)
+                )
+                for key in (
+                    "repro_service_worker_registry_hits",
+                    "repro_service_worker_registry_misses",
+                    "repro_service_worker_plan_compile_calls",
+                    "repro_service_worker_plan_cache_hits",
+                )
+            }
+            record["pass"] = index + 1
+            passes.append(record)
+            print(
+                f"pass {index + 1}: {record['completed']}/{record['queries']} ok, "
+                f"p50={record.get('p50_ms')}ms p95={record.get('p95_ms')}ms "
+                f"{record['throughput_qps']} q/s, warmth={record['warmth']}",
+                file=sys.stderr,
+            )
+
+        health = json.loads(http_get("127.0.0.1", http_port, "/healthz")[1])
+        worker_pids = health["worker_pids"]
+        final = scrape_counters("127.0.0.1", http_port)
+        server.send_signal(signal.SIGTERM)
+        exit_code = server.wait(timeout=120)
+        deadline = time.monotonic() + 15
+        orphans = worker_pids
+        while orphans and time.monotonic() < deadline:
+            orphans = [
+                pid for pid in worker_pids
+                if _pid_alive(pid)
+            ]
+            time.sleep(0.1)
+        stderr_text = server.stderr.read().decode()
+        hygiene = {
+            "exit_code": exit_code,
+            "orphan_workers": orphans,
+            "restarts": int(final.get("repro_service_worker_restarts_total", 0)),
+            "traceback_on_stderr": "Traceback" in stderr_text,
+        }
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+        if os.path.exists(theory_path):
+            os.remove(theory_path)
+
+    record = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "workload": {
+            "theory": "section7-wg-exemplar",
+            "chain": args.chain,
+            "output": "Reach",
+            "workers": args.workers,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "passes": passes,
+        "hygiene": hygiene,
+    }
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+
+    ok = (
+        all(p["failures"] == 0 for p in passes)
+        and hygiene.get("exit_code") == 0
+        and not hygiene.get("orphan_workers")
+        and not hygiene.get("traceback_on_stderr")
+    )
+    return 0 if ok else 1
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover
+        return True
+    return True
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,7 +87,20 @@ from .translate import (
     rewrite_weakly_frontier_guarded,
 )
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """Prefer the installed distribution's metadata (the single source of
+    truth once packaged); fall back to the in-tree version for source
+    checkouts run via ``PYTHONPATH=src``."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+    except Exception:  # pragma: no cover - metadata backend quirks
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "ACDOM",

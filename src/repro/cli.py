@@ -36,6 +36,7 @@ import sys
 from contextlib import nullcontext
 from pathlib import Path
 
+from . import __version__
 from .analysis import Severity, analyze_text
 from .chase.runner import ChaseBudget, chase, try_certain_answers
 from .chase.termination import (
@@ -237,10 +238,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import ServiceConfig, serve
+
+    theory_text = None
+    if args.theory is not None:
+        theory_text = Path(args.theory).read_text()
+        # Fail fast on syntax errors before binding any socket.
+        parse_theory(theory_text, source=args.theory)
+    database_text = ""
+    if args.data is not None:
+        database_text = Path(args.data).read_text()
+        parse_database(database_text)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_timeout=args.default_timeout,
+        theory_text=theory_text,
+        theory_source=args.theory or "<default>",
+        database_text=database_text,
+        strategy=args.strategy,
+        strict=args.strict,
+        allow_faults=args.allow_faults,
+        registry_capacity=args.registry_capacity,
+        max_rules=args.max_rules,
+        drain_grace=args.drain_grace,
+    )
+    print(
+        f"repro {__version__} serving on {config.host}:{config.port} "
+        f"(ops on :{config.http_port if config.http_port is not None else config.port + 1}, "
+        f"{config.workers} workers)",
+        file=sys.stderr,
+    )
+    asyncio.run(serve(config))
+    print("repro serve: drained cleanly", file=sys.stderr)
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Guarded existential rules: classify, chase, translate, answer.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     obs_flags = argparse.ArgumentParser(add_help=False)
     obs_flags.add_argument(
@@ -328,6 +376,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(parse failures always exit 2)",
     )
     p.set_defaults(handler=_cmd_lint)
+
+    p = commands.add_parser(
+        "serve",
+        help="run the reasoning service (NDJSON query plane + ops plane)",
+        parents=[obs_flags],
+    )
+    p.add_argument(
+        "theory", nargs="?", default=None,
+        help="default theory served to queries naming none (optional)",
+    )
+    p.add_argument(
+        "--data", default=None,
+        help="default database for queries carrying none",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7464)
+    p.add_argument(
+        "--http-port", type=int, default=None,
+        help="ops (healthz/metrics) port (default: query port + 1)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission cap on outstanding requests; beyond it the "
+        "server sheds with an 'overloaded' response",
+    )
+    p.add_argument(
+        "--default-timeout", type=float, default=30.0,
+        help="per-query deadline when the request carries no timeout",
+    )
+    p.add_argument(
+        "--strategy", choices=("auto", "chase"), default="auto",
+        help="answering strategy for the default theory and for queries "
+        "that request none",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="reject theories whose lint report contains errors",
+    )
+    p.add_argument(
+        "--allow-faults", action="store_true",
+        help="honor fault-injection fields in requests (tests/CI only)",
+    )
+    p.add_argument("--registry-capacity", type=int, default=32)
+    p.add_argument("--max-rules", type=int, default=100_000)
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to let in-flight work finish on SIGTERM",
+    )
+    p.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -19,6 +19,7 @@ from .plan import (
     compile_plan,
     execute_plan,
     plan_cache_stats,
+    set_plan_cache_capacity,
 )
 from .parser import (
     ParseError,
@@ -82,6 +83,7 @@ __all__ = [
     "parse_term",
     "parse_theory",
     "plan_cache_stats",
+    "set_plan_cache_capacity",
     "rename_apart",
     "satisfies_rule",
 ]

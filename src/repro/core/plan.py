@@ -66,6 +66,7 @@ __all__ = [
     "cached_plan",
     "execute_plan",
     "plan_cache_stats",
+    "set_plan_cache_capacity",
     "clear_plan_cache",
 ]
 
@@ -318,6 +319,11 @@ def _compile_acdom_step(atom: Atom, slot_of: dict[Variable, int]) -> _Step:
 # ----------------------------------------------------------------------
 # plan cache
 # ----------------------------------------------------------------------
+# The cache is a true LRU: dicts preserve insertion order, so recency is
+# maintained by re-inserting on every hit and evicting from the front.
+# A long-lived server process (repro.service) leans on this — the old
+# clear-everything overflow policy would periodically discard every warm
+# plan at once and re-pay full compilation for the entire working set.
 _PLAN_CACHE: dict[tuple, JoinPlan] = {}
 _PLAN_CACHE_CAP = 4096
 _stats = {"hits": 0, "misses": 0, "evictions": 0}
@@ -340,21 +346,42 @@ def cached_plan(
         _stats["hits"] += 1
         if obs is not None:
             obs.inc("plan.cache_hits")
+        del _PLAN_CACHE[key]
+        _PLAN_CACHE[key] = plan
         return plan
     _stats["misses"] += 1
     if obs is not None:
         obs.inc("plan.compile_calls")
     plan = compile_plan(atoms, adornment_key, forced_index)
-    if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
-        _PLAN_CACHE.clear()
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
         _stats["evictions"] += 1
+        if obs is not None:
+            obs.inc("plan.cache_evictions")
     _PLAN_CACHE[key] = plan
     return plan
 
 
 def plan_cache_stats() -> dict[str, int]:
     """Lifetime cache counters (process-global)."""
-    return {"size": len(_PLAN_CACHE), **_stats}
+    return {"size": len(_PLAN_CACHE), "capacity": _PLAN_CACHE_CAP, **_stats}
+
+
+def set_plan_cache_capacity(capacity: int) -> int:
+    """Change the LRU capacity (evicting immediately if shrinking);
+    returns the previous capacity.  Used by tests and server tuning."""
+    global _PLAN_CACHE_CAP
+    if capacity < 1:
+        raise ValueError("plan cache capacity must be >= 1")
+    previous = _PLAN_CACHE_CAP
+    _PLAN_CACHE_CAP = capacity
+    obs = _obs_current()
+    while len(_PLAN_CACHE) > _PLAN_CACHE_CAP:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _stats["evictions"] += 1
+        if obs is not None:
+            obs.inc("plan.cache_evictions")
+    return previous
 
 
 def clear_plan_cache() -> None:

@@ -93,11 +93,19 @@ def instrumented(*sinks: Sink) -> Iterator[Instrumentation]:
     activation wins, and the outer one is restored afterwards.
     """
     instr = Instrumentation(tuple(sinks))
+    previous = _CURRENT.get()
     token = _CURRENT.set(instr)
     try:
         yield instr
     finally:
-        _CURRENT.reset(token)
+        try:
+            _CURRENT.reset(token)
+        except ValueError:
+            # The block was exited in a different context than it was
+            # entered in (executor offload, manually-run contexts); the
+            # token is unusable there, so restore the remembered value
+            # rather than leaking this instrumentation ambiently.
+            _CURRENT.set(previous)
         instr.close()
 
 

@@ -14,10 +14,21 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 __all__ = ["Span", "Tracer"]
+
+#: The open-span chain of the *current context*, keyed by tracer identity.
+#: Keeping the stack in a ``ContextVar`` (of immutable tuples, so child
+#: contexts snapshot it for free) means concurrently running asyncio tasks
+#: that share one tracer each grow their own branch of the span tree: a
+#: span opened by task A is never popped (or parented) by task B.  The
+#: per-tracer keying keeps nested distinct tracers independent.
+_OPEN_SPANS: ContextVar[dict[int, tuple["Span", ...]]] = ContextVar(
+    "repro_open_spans", default={}
+)
 
 
 @dataclass
@@ -47,13 +58,17 @@ class Span:
 class Tracer:
     """Records a tree of :class:`Span` objects.
 
-    ``on_close`` callbacks (sinks) fire as each span finishes.  The tracer
-    is not thread-safe by design: each engine run owns one tracer, and the
-    ambient layer (:mod:`repro.obs.runtime`) hands out per-context
-    instances via ``contextvars``.
+    ``on_close`` callbacks (sinks) fire as each span finishes.  The
+    recorded ``spans`` list is append-only and shared, but the *open-span
+    chain* (which determines nesting depth and :attr:`current`) lives in a
+    ``ContextVar``: concurrent asyncio tasks sharing one tracer — the
+    ``repro.service`` server holds a single server-wide instrumentation —
+    each see only their own ancestry, so interleaved requests cannot pop
+    or reparent each other's spans.  Mutating ``spans`` from multiple OS
+    threads still requires external serialization.
     """
 
-    __slots__ = ("spans", "_stack", "_on_close", "_clock")
+    __slots__ = ("spans", "_on_close", "_clock")
 
     def __init__(
         self,
@@ -62,28 +77,43 @@ class Tracer:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
         self._on_close = on_close
         self._clock = clock
+
+    def _chain(self) -> tuple[Span, ...]:
+        return _OPEN_SPANS.get().get(id(self), ())
+
+    def _set_chain(self, chain: tuple[Span, ...]) -> None:
+        table = dict(_OPEN_SPANS.get())
+        if chain:
+            table[id(self)] = chain
+        else:
+            table.pop(id(self), None)
+        _OPEN_SPANS.set(table)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a nested span; closes (and notifies sinks) on exit."""
-        span = Span(name, self._clock(), depth=len(self._stack), attrs=attrs)
+        chain = self._chain()
+        span = Span(name, self._clock(), depth=len(chain), attrs=attrs)
         self.spans.append(span)
-        self._stack.append(span)
+        self._set_chain(chain + (span,))
         try:
             yield span
         finally:
             span.end = self._clock()
-            self._stack.pop()
+            # Restore the chain as it was at entry.  ``chain`` was
+            # captured in this context, so exiting in a different task or
+            # thread (executor offload) still unwinds only our branch.
+            self._set_chain(chain)
             if self._on_close is not None:
                 self._on_close(span)
 
     @property
     def current(self) -> Optional[Span]:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the current context, if any."""
+        chain = self._chain()
+        return chain[-1] if chain else None
 
     def roots(self) -> list[Span]:
         """Top-level (depth 0) spans, in start order."""

@@ -221,6 +221,7 @@ def governed(governor: ResourceGovernor) -> Iterator[ResourceGovernor]:
     """
     obs = _obs_current()
     span_cm = obs.span("governor") if obs is not None else None
+    previous = _GOVERNOR.get()
     token = _GOVERNOR.set(governor)
     try:
         if span_cm is not None:
@@ -230,4 +231,10 @@ def governed(governor: ResourceGovernor) -> Iterator[ResourceGovernor]:
         else:
             yield governor
     finally:
-        _GOVERNOR.reset(token)
+        try:
+            _GOVERNOR.reset(token)
+        except ValueError:
+            # Exited in a different context than entered (executor
+            # offload): the token is foreign there — restore the
+            # remembered governor instead of leaking ours ambiently.
+            _GOVERNOR.set(previous)

@@ -1,0 +1,54 @@
+"""repro.service — reasoning as a service.
+
+The rest of the package is a library a process calls; this package is
+the process: a long-lived server that amortises theory preparation
+(parse → lint → classify → translate → plan-compile) across requests
+instead of paying it per invocation the way the one-shot CLI does.
+
+Layout (each module's docstring carries its own contract):
+
+``protocol``
+    The NDJSON wire protocol and its structured error vocabulary.
+``registry``
+    Content-addressed LRU of :class:`~repro.service.registry.CompiledTheory`
+    — the compile-once artifact, including per-database materialization.
+``pool``
+    Spawn-based persistent worker processes with same-theory batching,
+    health-monitored crash restart, and graceful drain.
+``server``
+    The asyncio front-end: admission control, batching dispatcher, and
+    the ``/healthz`` + ``/metrics`` ops plane.
+``client``
+    Blocking socket client plus ops-plane scrape helpers.
+
+Start one with ``repro serve theory.rules`` or programmatically via
+:func:`repro.service.server.serve`.
+"""
+
+from .client import ServiceClient, ServiceError, http_get, wait_until_ready
+from .pool import PoolConfig, WorkerPool
+from .registry import (
+    REQUESTABLE_STRATEGIES,
+    CompiledTheory,
+    TheoryRegistry,
+    compile_theory,
+    content_hash,
+)
+from .server import ReasoningServer, ServiceConfig, serve
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "http_get",
+    "wait_until_ready",
+    "PoolConfig",
+    "WorkerPool",
+    "REQUESTABLE_STRATEGIES",
+    "CompiledTheory",
+    "TheoryRegistry",
+    "compile_theory",
+    "content_hash",
+    "ReasoningServer",
+    "ServiceConfig",
+    "serve",
+]

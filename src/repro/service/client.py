@@ -1,0 +1,212 @@
+"""Blocking client for the reasoning service.
+
+The wire format is a one-liner (NDJSON over TCP), so the client is a
+thin convenience over a socket: it frames requests, reads exactly one
+response line per request, and raises :class:`ServiceError` for
+transport problems while passing the server's *structured* failures
+through as return values — an ``ok: false`` response is data, not an
+exception, because load shedding and budget exhaustion are expected
+operating conditions a caller must branch on.
+
+Also here: :func:`http_get`, a dependency-free scrape of the ops plane
+(``/healthz``, ``/metrics``) used by tests, the CI smoke job, and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Optional
+
+from . import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "http_get", "healthz", "wait_until_ready"]
+
+
+class ServiceError(RuntimeError):
+    """Transport-level failure: connection refused/reset, oversized or
+    malformed response frame.  Protocol-level failures (``ok: false``)
+    are returned, not raised."""
+
+
+class ServiceClient:
+    """One connection, synchronous request/response.
+
+    Responses on a connection arrive in request order, so a plain
+    send-then-read pair per call is exact.  Usable as a context
+    manager; ``connect()`` is implicit on first request.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7464,
+        *,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, obj: dict) -> dict:
+        """Send one request object, return its response object."""
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        try:
+            self._sock.sendall(protocol.encode(obj))
+            line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"connection failed mid-request: {exc}") from exc
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection without answering")
+        if len(line) > protocol.MAX_LINE_BYTES:
+            self.close()
+            raise ServiceError("response frame exceeds protocol line limit")
+        try:
+            return protocol.decode(line)
+        except ValueError as exc:
+            self.close()
+            raise ServiceError(f"malformed response frame: {exc}") from exc
+
+    # -- op helpers ----------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def register(
+        self, theory: str, *, strategy: str = "auto", request_id: Any = None
+    ) -> dict:
+        req: dict[str, Any] = {"op": "register", "theory": theory,
+                               "strategy": strategy}
+        if request_id is not None:
+            req["id"] = request_id
+        return self.request(req)
+
+    def query(
+        self,
+        output: str,
+        *,
+        theory: Optional[str] = None,
+        theory_text: Optional[str] = None,
+        database: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        strategy: Optional[str] = None,
+        request_id: Any = None,
+    ) -> dict:
+        req: dict[str, Any] = {"op": "query", "output": output}
+        if theory is not None:
+            req["theory"] = theory
+        if theory_text is not None:
+            req["theory_text"] = theory_text
+        if database is not None:
+            req["database"] = database
+        if timeout is not None:
+            req["timeout"] = timeout
+        if max_steps is not None:
+            req["max_steps"] = max_steps
+        if max_depth is not None:
+            req["max_depth"] = max_depth
+        if strategy is not None:
+            req["strategy"] = strategy
+        if request_id is not None:
+            req["id"] = request_id
+        return self.request(req)
+
+
+def http_get(
+    host: str, port: int, path: str, *, timeout: float = 10.0
+) -> tuple[int, str]:
+    """Minimal ``GET`` against the ops plane: ``(status, body)``."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    try:
+        status = int(status_line.split()[1])
+    except (IndexError, ValueError) as exc:
+        raise ServiceError(f"malformed HTTP response: {status_line!r}") from exc
+    return status, body.decode("utf-8", "replace")
+
+
+def healthz(host: str, port: int, *, timeout: float = 10.0) -> dict:
+    """Parsed ``/healthz`` payload."""
+    status, body = http_get(host, port, "/healthz", timeout=timeout)
+    if status != 200:
+        raise ServiceError(f"/healthz answered HTTP {status}")
+    return json.loads(body)
+
+
+def wait_until_ready(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.1,
+) -> dict:
+    """Poll the query plane with ``ping`` until the server answers.
+
+    Returns the first successful pong; raises :class:`ServiceError` when
+    ``timeout`` elapses first.  The startup helper for tests, the CI
+    smoke job, and the benchmark harness."""
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(host, port, timeout=interval + 1.0) as client:
+                return client.ping()
+        except ServiceError as exc:
+            last = exc
+            time.sleep(interval)
+    raise ServiceError(
+        f"server at {host}:{port} not ready after {timeout}s: {last}"
+    )

@@ -1,0 +1,501 @@
+"""Persistent worker pool: warm processes, batching, crash recovery.
+
+Query answering is CPU-bound Python, so the service's parallelism unit
+is the **process**: ``N`` workers, each owning a private
+:class:`~repro.service.registry.TheoryRegistry` (compiled theories,
+materialized models) and the process-global join-plan cache — the warmth
+the one-shot CLI kept throwing away.  Workers are started with the
+``spawn`` method: the parent runs threads (the result pump, the health
+monitor), and forking a threaded process is how you inherit a locked
+allocator; spawn keeps restarts safe at the cost of ~a hundred
+milliseconds per worker, paid only at start and after a crash.
+
+Dispatch is **batched per theory**: the server groups queued queries by
+theory content hash and ships one message carrying the rule text once
+plus every job in the group, so a worker registers (or cache-hits) the
+theory a single time per batch.  Each worker has a private inbox; the
+parent tracks which jobs are in flight on which worker, which is what
+makes crash recovery exact:
+
+* a per-worker **result pump** (thread) drains that worker's private
+  result queue and hands completions to the server's callback;
+* the **health monitor** (thread) watches ``Process.is_alive``; when a
+  worker dies it fails that worker's in-flight jobs with a structured
+  ``worker_crashed`` error (never a traceback), spawns a replacement,
+  and counts a restart.  A worker that exceeds a job's hard kill
+  deadline is terminated through the same path.
+
+Result queues are deliberately **not shared** across workers.
+``mp.Queue.put`` hands the payload to a background feeder thread that
+acquires a cross-process write lock before touching the pipe; a worker
+dying mid-``put`` (fault injection's ``os._exit``, or the watchdog's
+``terminate()``) can take that lock to the grave and wedge every other
+writer forever.  With one queue per worker the blast radius of a dirty
+death is the dead worker's own channel, which is discarded with it.
+
+Graceful drain (:meth:`WorkerPool.stop`) sends each inbox a poison
+pill, joins with a grace period, and only then escalates to
+``terminate``/``kill`` — the SIGTERM contract of ``repro serve`` is
+"no orphan workers, exit 0", and tests assert both.
+
+Fault injection: when the pool is constructed with ``allow_faults``
+(test harnesses, the CI smoke job), a query may carry
+``{"inject": "crash"}`` — the worker hard-exits mid-query via
+``os._exit``, exercising the recovery path end-to-end.  Without the
+flag the option is rejected, so a production deployment cannot be
+crashed by request payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import multiprocessing as mp
+
+from .registry import REQUESTABLE_STRATEGIES, TheoryRegistry
+
+__all__ = ["PoolConfig", "WorkerPool", "run_job", "worker_main"]
+
+_POISON = None
+
+
+@dataclass
+class PoolConfig:
+    """Worker-pool knobs (everything the worker process needs rides in
+    here, so it must stay picklable)."""
+
+    workers: int = 2
+    registry_capacity: int = 32
+    strict_registry: bool = False
+    max_rules: int = 100_000
+    saturation_max_rules: int = 200_000
+    allow_faults: bool = False
+    #: Seconds between health sweeps.
+    health_interval: float = 0.25
+    #: Grace period for drain before escalating to terminate().
+    drain_grace: float = 10.0
+    #: A job overrunning its own timeout by this factor (plus a floor)
+    #: is presumed wedged in non-ticking code; its worker is killed and
+    #: restarted.  ``None`` disables the watchdog.
+    hard_kill_factor: Optional[float] = 4.0
+    hard_kill_floor: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the child process)
+# ----------------------------------------------------------------------
+def run_job(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -> dict:
+    """Execute one query/register job against the worker's registry.
+
+    Returns the response payload (without the envelope ``id``).  Every
+    failure mode is a structured error dict — this function must never
+    raise, because an escaped exception would take down the worker and
+    turn one bad request into a crash-recovery event.
+    """
+    # Imported lazily so the module stays importable for type checking
+    # without triggering package cycles at spawn time.
+    from ..core.parser import ParseError, parse_database
+    from ..chase.runner import ChaseBudget
+    from ..core.plan import plan_cache_stats
+    from ..robustness.errors import (
+        BudgetExceeded,
+        Cancelled,
+        InvalidRequestError,
+        InvalidTheoryError,
+        ReproError,
+    )
+    from ..robustness.governor import ResourceGovernor, governed
+    from . import protocol
+
+    started = time.perf_counter()
+    plan_before = plan_cache_stats()
+    registry_before = registry.stats()
+
+    def stats(extra: Optional[dict] = None) -> dict:
+        plan_after = plan_cache_stats()
+        registry_after = registry.stats()
+        payload = {
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+            "registry_hits": registry_after["hits"] - registry_before["hits"],
+            "registry_misses": registry_after["misses"] - registry_before["misses"],
+            "registry_evictions": registry_after["evictions"]
+            - registry_before["evictions"],
+            "plan_cache_hits": plan_after["hits"] - plan_before["hits"],
+            "plan_compile_calls": plan_after["misses"] - plan_before["misses"],
+            "plan_cache_evictions": plan_after["evictions"] - plan_before["evictions"],
+        }
+        if extra:
+            payload.update(extra)
+        return payload
+
+    def failure(code: str, message: str) -> dict:
+        return {
+            "ok": False,
+            "error": {"code": code, "message": message},
+            "stats": stats(),
+        }
+
+    try:
+        kind = job.get("kind", "query")
+        strategy = job.get("strategy", "auto")
+        if strategy not in REQUESTABLE_STRATEGIES:
+            return failure(
+                protocol.ERR_INVALID_REQUEST,
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{REQUESTABLE_STRATEGIES}",
+            )
+        timeout = job.get("timeout")
+        governor = (
+            ResourceGovernor(timeout=float(timeout)) if timeout is not None else None
+        )
+
+        inject = job.get("inject")
+        if inject is not None:
+            if not allow_faults:
+                return failure(
+                    protocol.ERR_INVALID_REQUEST,
+                    "fault injection is disabled on this server",
+                )
+            if inject == "crash":
+                os._exit(70)  # simulated hard crash mid-query
+            return failure(
+                protocol.ERR_INVALID_REQUEST, f"unknown fault {inject!r}"
+            )
+
+        scope = governed(governor) if governor is not None else None
+        try:
+            if scope is not None:
+                scope.__enter__()
+            compiled = registry.register(
+                job["theory"], source=job.get("source", "<request>"),
+                strategy=strategy,
+            )
+            if kind == "register":
+                return {"ok": True, **compiled.describe(), "stats": stats()}
+            database = parse_database(job.get("database", ""))
+            db_key = hashlib.sha256(
+                job.get("database", "").encode("utf-8")
+            ).hexdigest()
+            budget = ChaseBudget(
+                max_steps=job.get("max_steps") or 100_000,
+                max_depth=job.get("max_depth"),
+            )
+            outcome = compiled.answer(
+                database, job["output"], budget=budget, db_key=db_key
+            )
+            answers = sorted(
+                [term.name for term in answer] for answer in outcome.value
+            )
+            return {
+                "ok": True,
+                "theory": compiled.content_hash,
+                "strategy": compiled.strategy,
+                "answers": answers,
+                "complete": outcome.complete,
+                "exhausted": outcome.exhausted,
+                "sound": outcome.sound,
+                "stats": stats(),
+            }
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+    except (BudgetExceeded, Cancelled) as exc:
+        # Exhaustion is an expected result: a sound (possibly empty)
+        # partial with the machine-readable reason, mirroring Outcome.
+        return {
+            "ok": True,
+            "answers": [],
+            "complete": False,
+            "exhausted": getattr(exc, "reason", "budget"),
+            "sound": True,
+            "stats": stats(),
+        }
+    except ParseError as exc:
+        return failure(protocol.ERR_PARSE, str(exc))
+    except (InvalidTheoryError, InvalidRequestError) as exc:
+        return failure(protocol.ERR_INVALID_REQUEST, str(exc))
+    except ReproError as exc:
+        return failure(protocol.ERR_ENGINE, f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 - the no-traceback boundary
+        return failure(protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+
+def worker_main(worker_id: int, inbox, results, config: PoolConfig) -> None:
+    """Child-process entry point: drain the inbox until the poison pill.
+
+    Messages are ``(theory_text, jobs)`` with ``jobs`` a list of
+    ``{"job_id": …, …}`` dicts sharing one theory; each job is answered
+    individually on this worker's private result queue as
+    ``(worker_id, job_id, payload)``."""
+    registry = TheoryRegistry(
+        capacity=config.registry_capacity,
+        strict=config.strict_registry,
+        max_rules=config.max_rules,
+        saturation_max_rules=config.saturation_max_rules,
+    )
+    while True:
+        message = inbox.get()
+        if message is _POISON:
+            break
+        theory_text, jobs = message
+        for job in jobs:
+            job = dict(job)
+            job["theory"] = theory_text
+            payload = run_job(registry, job, allow_faults=config.allow_faults)
+            results.put((worker_id, job["job_id"], payload))
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    """Parent-side view of one child process."""
+
+    process: mp.process.BaseProcess
+    inbox: Any
+    #: This worker's private result queue — never shared, so a dirty
+    #: death cannot wedge another worker's result path.
+    results: Any
+    #: Set by the monitor once the process is declared dead; tells the
+    #: pump thread to stop polling the (now writerless) result queue.
+    dead: threading.Event
+    pump: Optional[threading.Thread] = None
+    #: job_id -> (payload, enqueue monotonic time, hard deadline or None)
+    in_flight: dict[str, tuple[dict, float, Optional[float]]] = field(
+        default_factory=dict
+    )
+
+
+class WorkerPool:
+    """N spawn-started workers behind per-worker inbox/result queues,
+    with health monitoring and exact crash recovery."""
+
+    def __init__(self, config: PoolConfig) -> None:
+        self.config = config
+        self._ctx = mp.get_context("spawn")
+        self._workers: dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._lock = threading.Lock()
+        self._on_result: Optional[Callable[[str, dict], None]] = None
+        self._on_restart: Optional[Callable[[int], None]] = None
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self.restarts = 0
+        self.hard_kills = 0
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        on_result: Callable[[str, dict], None],
+        *,
+        on_restart: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Spawn the workers (each with its own pump thread) and the
+        monitor thread.
+
+        ``on_result(job_id, payload)`` fires on a pump thread — the
+        server wraps it in ``loop.call_soon_threadsafe``."""
+        self._on_result = on_result
+        self._on_restart = on_restart
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-pool-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        inbox = self._ctx.Queue()
+        results = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, inbox, results, self.config),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(
+            process=process, inbox=inbox, results=results,
+            dead=threading.Event(),
+        )
+        worker.pump = threading.Thread(
+            target=self._pump_loop,
+            args=(worker,),
+            name=f"repro-pool-pump-{worker_id}",
+            daemon=True,
+        )
+        with self._lock:
+            self._workers[worker_id] = worker
+        worker.pump.start()
+        return worker_id
+
+    # ------------------------------------------------------------------
+    def dispatch(self, theory_text: str, jobs: list[dict]) -> None:
+        """Send one same-theory batch to the least-loaded live worker."""
+        now = time.monotonic()
+        with self._lock:
+            live = [
+                (len(worker.in_flight), worker_id, worker)
+                for worker_id, worker in self._workers.items()
+                if worker.process.is_alive()
+            ]
+            if not live:
+                raise RuntimeError("no live workers")
+            _, _, worker = min(live, key=lambda item: (item[0], item[1]))
+            for job in jobs:
+                worker.in_flight[job["job_id"]] = (
+                    job,
+                    now,
+                    self._hard_deadline(job, now),
+                )
+        worker.inbox.put((theory_text, jobs))
+
+    def _hard_deadline(self, job: dict, now: float) -> Optional[float]:
+        factor = self.config.hard_kill_factor
+        if factor is None:
+            return None
+        timeout = job.get("timeout")
+        if timeout is None:
+            return None
+        return now + max(self.config.hard_kill_floor, float(timeout) * factor)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return sum(len(w.in_flight) for w in self._workers.values())
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for w in self._workers.values() if w.process.is_alive()
+            )
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [
+                w.process.pid
+                for w in self._workers.values()
+                if w.process.pid is not None and w.process.is_alive()
+            ]
+
+    # ------------------------------------------------------------------
+    def _pump_loop(self, worker: _Worker) -> None:
+        """Drain one worker's private result queue until the pool stops
+        or the monitor declares the worker dead.
+
+        A dirty death can leave a half-written message on the pipe; the
+        broad ``except`` treats any deserialization failure as terminal
+        for this channel — the monitor fails the worker's in-flight jobs
+        through its own path, so nothing is silently lost."""
+        while True:
+            try:
+                item = worker.results.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping.is_set() or worker.dead.is_set():
+                    return
+                continue
+            except Exception:  # noqa: BLE001 - corrupt stream from a dirty death
+                return
+            worker_id, job_id, payload = item
+            with self._lock:
+                current = self._workers.get(worker_id)
+                if current is worker:
+                    worker.in_flight.pop(job_id, None)
+            callback = self._on_result
+            if callback is not None:
+                callback(job_id, payload)
+
+    def _monitor_loop(self) -> None:
+        from . import protocol
+
+        while not self._stopping.wait(self.config.health_interval):
+            now = time.monotonic()
+            dead: list[tuple[int, _Worker, str]] = []
+            with self._lock:
+                for worker_id, worker in list(self._workers.items()):
+                    if not worker.process.is_alive():
+                        dead.append((worker_id, worker, "crashed"))
+                        del self._workers[worker_id]
+                        continue
+                    wedged = [
+                        job_id
+                        for job_id, (_, _, deadline) in worker.in_flight.items()
+                        if deadline is not None and now > deadline
+                    ]
+                    if wedged:
+                        # Non-cooperative overrun: kill through the same
+                        # recovery path a crash takes.
+                        worker.process.terminate()
+                        self.hard_kills += 1
+                        dead.append((worker_id, worker, "hard timeout"))
+                        del self._workers[worker_id]
+            for worker_id, worker, why in dead:
+                worker.dead.set()
+                orphaned = list(worker.in_flight.items())
+                worker.in_flight.clear()
+                exit_code = worker.process.exitcode
+                callback = self._on_result
+                for job_id, _ in orphaned:
+                    if callback is not None:
+                        callback(
+                            job_id,
+                            {
+                                "ok": False,
+                                "error": {
+                                    "code": protocol.ERR_WORKER_CRASHED,
+                                    "message": (
+                                        f"worker {why} (exit code {exit_code}) "
+                                        "while handling this request"
+                                    ),
+                                },
+                            },
+                        )
+                if not self._stopping.is_set():
+                    self.restarts += 1
+                    replacement = self._spawn_worker()
+                    if self._on_restart is not None:
+                        self._on_restart(replacement)
+
+    # ------------------------------------------------------------------
+    def stop(self, grace: Optional[float] = None) -> bool:
+        """Drain: poison pills, join with grace, escalate if needed.
+
+        Returns ``True`` when every worker exited within the grace
+        period (a clean drain)."""
+        grace = self.config.drain_grace if grace is None else grace
+        self._stopping.set()
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                worker.inbox.put(_POISON)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + grace
+        clean = True
+        for worker in workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            worker.process.join(remaining)
+            if worker.process.is_alive():
+                clean = False
+                worker.process.terminate()
+                worker.process.join(2.0)
+                if worker.process.is_alive():  # pragma: no cover - last resort
+                    worker.process.kill()
+                    worker.process.join(1.0)
+        for worker in workers:
+            if worker.pump is not None:
+                worker.pump.join(2.0)
+        if self._monitor is not None:
+            self._monitor.join(2.0)
+        with self._lock:
+            self._workers.clear()
+        return clean

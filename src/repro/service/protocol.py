@@ -1,0 +1,165 @@
+"""Wire protocol of the reasoning service.
+
+The query plane speaks **newline-delimited JSON** over a plain TCP
+socket: one request object per line, one response object per line, in
+order, UTF-8 encoded.  The framing is deliberately primitive — any
+language with a socket and a JSON parser is a client, and ``nc`` is a
+debugger.  A second, separate listener speaks just enough HTTP/1.1 for
+``GET /healthz`` and ``GET /metrics`` so ordinary scrapers and load
+balancers need no custom client.
+
+Requests
+--------
+Every request is an object with an ``op`` and an optional ``id`` (any
+JSON value; echoed verbatim on the response so clients may pipeline):
+
+``{"op": "ping"}``
+    Liveness probe; answers ``{"ok": true, "pong": true, "version": …}``.
+
+``{"op": "register", "theory": "<rules text>"}``
+    Parse, lint, classify, translate and plan-compile the theory into
+    every pool worker's registry.  Answers the content hash (``theory``)
+    under which later queries may reference it, the Figure 1 classes,
+    the chosen answering strategy, and the lint summary.
+
+``{"op": "query", "output": "Q", …}``
+    Certain answers for an output relation.  The theory is named by
+    ``theory`` (a content hash from ``register``), supplied inline as
+    ``theory_text``, or defaulted to the theory the server was started
+    with; the database likewise via ``database`` (data text) or the
+    server default.  ``timeout`` (seconds), ``max_steps`` and
+    ``max_depth`` bound the run per-request.  Answers carry
+    ``answers`` (sorted lists of constant names), ``complete``, and —
+    when a budget tripped — the machine-readable ``exhausted`` reason;
+    a partial answer set is *sound* (every tuple is a certain answer).
+
+``{"op": "status"}``
+    Operational snapshot: queue depth, worker liveness, registry and
+    admission counters.
+
+Responses
+---------
+``ok`` is ``true`` unless the request itself failed; resource
+exhaustion is **not** a failure — it answers ``ok: true`` with
+``complete: false``, mirroring :class:`repro.robustness.outcome.Outcome`.
+Failures carry ``error: {code, message}`` and never a traceback.  A
+response with ``shed: true`` was refused by admission control (queue
+full or server draining) without touching a worker — the client should
+back off and retry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERR_INVALID_REQUEST",
+    "ERR_PARSE",
+    "ERR_UNKNOWN_THEORY",
+    "ERR_OVERLOADED",
+    "ERR_DRAINING",
+    "ERR_WORKER_CRASHED",
+    "ERR_ENGINE",
+    "ERR_INTERNAL",
+    "encode",
+    "decode",
+    "error_response",
+    "shed_response",
+    "validate_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one framed line (request or response).  Theories and
+#: databases ride inline, so the bound is generous; it exists to keep a
+#: misbehaving client from ballooning server memory.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+OPS = ("ping", "register", "query", "status")
+
+ERR_INVALID_REQUEST = "invalid_request"
+ERR_PARSE = "parse_error"
+ERR_UNKNOWN_THEORY = "unknown_theory"
+ERR_OVERLOADED = "overloaded"
+ERR_DRAINING = "draining"
+ERR_WORKER_CRASHED = "worker_crashed"
+ERR_ENGINE = "engine_error"
+ERR_INTERNAL = "internal_error"
+
+#: Error codes produced by admission control — the response additionally
+#: carries ``shed: true`` and the request never reached a worker.
+SHED_CODES = (ERR_OVERLOADED, ERR_DRAINING)
+
+
+def encode(obj: dict) -> bytes:
+    """One framed response/request line (compact JSON + newline)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one framed line into a request object.
+
+    Raises ``ValueError`` on malformed JSON or a non-object payload."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("request must be a JSON object")
+    return obj
+
+
+def error_response(
+    code: str,
+    message: str,
+    *,
+    request_id: Any = None,
+    **extra: Any,
+) -> dict:
+    """A structured failure — the only shape errors ever take on the
+    wire (tracebacks never leave the server)."""
+    response: dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if code in SHED_CODES:
+        response["shed"] = True
+    response.update(extra)
+    return response
+
+
+def shed_response(code: str, message: str, *, request_id: Any = None) -> dict:
+    """An admission-control refusal (``shed: true``)."""
+    return error_response(code, message, request_id=request_id)
+
+
+def validate_request(obj: dict) -> Optional[str]:
+    """Cheap structural validation; returns a complaint or ``None``.
+
+    Anything beyond shape (unknown theory hashes, unparseable rule text)
+    is diagnosed where the information lives — server or worker — and
+    reported through :func:`error_response`."""
+    op = obj.get("op")
+    if op not in OPS:
+        return f"unknown op {op!r}; expected one of {OPS}"
+    if op == "register":
+        if not isinstance(obj.get("theory"), str) or not obj["theory"].strip():
+            return "register requires a non-empty 'theory' rule text"
+    if op == "query":
+        if not isinstance(obj.get("output"), str) or not obj["output"]:
+            return "query requires an 'output' relation name"
+        if "theory" in obj and not isinstance(obj["theory"], str):
+            return "'theory' must be a content-hash string"
+        if "theory_text" in obj and not isinstance(obj["theory_text"], str):
+            return "'theory_text' must be a rule text string"
+        if "database" in obj and not isinstance(obj["database"], str):
+            return "'database' must be a data text string"
+        for field in ("timeout",):
+            if field in obj and not isinstance(obj[field], (int, float)):
+                return f"'{field}' must be a number"
+        for field in ("max_steps", "max_depth"):
+            if field in obj and obj[field] is not None and not isinstance(obj[field], int):
+                return f"'{field}' must be an integer"
+    return None

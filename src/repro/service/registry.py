@@ -1,0 +1,431 @@
+"""Content-addressed registry of compiled theories.
+
+A one-shot CLI invocation pays the full preparation pipeline — parse,
+lint, classify, translate, plan-compile — on *every* call.  A server
+must pay it **once per theory**: the registry caches the whole prepared
+artifact (:class:`CompiledTheory`) under the SHA-256 of the rule text,
+with bounded LRU eviction so a long-lived process cannot accumulate
+unbounded translations.
+
+Compilation performs, in order (each under an ``obs`` span when
+instrumentation is active):
+
+1. **parse** — :func:`repro.core.parser.parse_theory`;
+2. **lint** — :func:`repro.analysis.analyze`; the severity summary is
+   recorded on the artifact, and a ``strict`` registry refuses theories
+   with error-level diagnostics at admission time (the service's
+   "don't accept work we know is broken" gate);
+3. **classify** — the Figure 1 lattice, which picks the *answering
+   strategy* exactly as :func:`repro.translate.pipeline.answer_query`
+   would: plain Datalog, translate-to-Datalog (PTime classes), the
+   Section 7 WFG pipeline, or a budgeted restricted chase;
+4. **translate** — whatever the strategy can precompute independent of
+   the database: the Datalog program for the translate strategy, the
+   Theorem 2 rewriting for the WFG pipeline;
+5. **plan-compile** — the join plans the semi-naive engine will request
+   for the translated program's rule bodies (unforced + delta-pinned),
+   so the first query after registration already runs on warm plans.
+
+Per-query work (``CompiledTheory.answer``) then touches only the
+database-dependent stages.  Answers honour the ambient
+:class:`~repro.robustness.governor.ResourceGovernor`, so the server's
+per-request deadlines reach every engine without new plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis import Severity, analyze
+from ..chase.runner import ChaseBudget, answers_in
+from ..chase.runner import chase as run_chase
+from ..core.database import Database
+from ..core.parser import parse_theory
+from ..core.plan import cached_plan
+from ..core.terms import Constant
+from ..core.theory import Theory
+from ..datalog.engine import evaluate
+from ..guardedness.classify import Classification, classify
+from ..guardedness.normalize import normalize
+from ..obs.runtime import current as _obs_current
+from ..obs.runtime import span as _obs_span
+from ..robustness.errors import InvalidRequestError, InvalidTheoryError
+from ..robustness.outcome import Outcome
+from ..translate.annotations import WfgRewriting, rewrite_weakly_frontier_guarded
+from ..translate.expansion import rewrite_nearly_frontier_guarded
+from ..translate.grounding import partial_grounding
+from ..translate.saturation import nearly_guarded_to_datalog
+
+__all__ = [
+    "STRATEGY_DATALOG",
+    "STRATEGY_TRANSLATE",
+    "STRATEGY_WFG",
+    "STRATEGY_CHASE",
+    "CompiledTheory",
+    "TheoryRegistry",
+    "content_hash",
+    "compile_theory",
+]
+
+STRATEGY_DATALOG = "datalog"
+STRATEGY_TRANSLATE = "translate"
+STRATEGY_WFG = "wfg-pipeline"
+STRATEGY_CHASE = "chase"
+
+#: What a client may *request*: ``auto`` dispatches on the Figure 1
+#: class (mirroring ``answer_query``); ``chase`` forces the budgeted
+#: restricted chase — the right call for terminating-chase theories
+#: whose class-based translation is far more expensive than the data
+#: (the publication ontology is the canonical example).
+REQUESTABLE_STRATEGIES = ("auto", "chase")
+
+
+def content_hash(text: str) -> str:
+    """The registry key: SHA-256 of the exact rule text.
+
+    Deliberately *textual* — two formattings of one theory compile twice
+    rather than risk a canonicalization bug conflating distinct theories.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CompiledTheory:
+    """Everything database-independent, prepared once — plus a small
+    LRU of *materializations*: the database-dependent fixpoint (or chase
+    instance), keyed by the database's content hash.  A worker that
+    answers many queries against the same knowledge base computes the
+    model once and serves every subsequent output relation by scanning
+    it, which is where the bulk of cross-request warmth comes from."""
+
+    content_hash: str
+    text: str
+    theory: Theory
+    labels: Classification
+    strategy: str
+    lint_summary: dict[str, int]
+    #: Translate/Datalog strategies: the precompiled Datalog program.
+    program: Optional[Theory] = None
+    #: WFG strategy: the Theorem 2 rewriting (database-independent half).
+    rewriting: Optional[WfgRewriting] = None
+    max_rules: int = 100_000
+    saturation_max_rules: int = 200_000
+    materialization_capacity: int = 8
+    requested_strategy: str = "auto"
+    plans_compiled: int = field(default=0, compare=False)
+    _materialized: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """The JSON-safe registration summary sent over the wire."""
+        return {
+            "theory": self.content_hash,
+            "rules": len(self.theory),
+            "classes": list(self.labels.names()),
+            "strategy": self.strategy,
+            "lint": dict(self.lint_summary),
+            "plans_compiled": self.plans_compiled,
+        }
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Optional[Database]:
+        """Materialization LRU lookup (recency-refreshing)."""
+        if key is None:
+            return None
+        value = self._materialized.get(key)
+        obs = _obs_current()
+        if value is None:
+            if obs is not None:
+                obs.inc("service.materialize.misses")
+            return None
+        del self._materialized[key]
+        self._materialized[key] = value
+        if obs is not None:
+            obs.inc("service.materialize.hits")
+        return value
+
+    def _cache_put(self, key, value: Database) -> None:
+        """Cache a *complete* materialization (a deadline-truncated model
+        must never poison later requests, so callers gate on
+        completeness)."""
+        if key is None:
+            return
+        obs = _obs_current()
+        while len(self._materialized) >= self.materialization_capacity:
+            self._materialized.pop(next(iter(self._materialized)))
+            if obs is not None:
+                obs.inc("service.materialize.evictions")
+        self._materialized[key] = value
+
+    def answer(
+        self,
+        database: Database,
+        output: str,
+        *,
+        budget: Optional[ChaseBudget] = None,
+        db_key: Optional[str] = None,
+    ) -> Outcome[set[tuple[Constant, ...]]]:
+        """Certain answers over ``database`` — the per-request hot path.
+
+        Only database-dependent stages run here; every engine reached
+        resolves the ambient governor, so a ``governed()`` scope around
+        this call bounds the whole computation.  ``db_key`` (the
+        database text's content hash) enables the materialization cache;
+        pass ``None`` to force a fresh computation.  Returns an
+        :class:`Outcome` (the chase strategy degrades to sound partials;
+        the fixpoint strategies either finish or raise the typed
+        exhaustion error, which the caller maps to a partial response).
+        """
+        if output not in self.theory.relations():
+            raise InvalidRequestError(
+                f"output relation {output!r} does not occur in the theory"
+            )
+        if self.strategy in (STRATEGY_DATALOG, STRATEGY_TRANSLATE):
+            assert self.program is not None
+            with _obs_span("service.answer", strategy=self.strategy):
+                fixpoint = self._cache_get(db_key)
+                if fixpoint is None:
+                    fixpoint = evaluate(self.program, database)
+                    self._cache_put(db_key, fixpoint)
+                return Outcome(value=answers_in(fixpoint, output), complete=True)
+        if self.strategy == STRATEGY_WFG:
+            assert self.rewriting is not None
+            with _obs_span("service.answer", strategy=self.strategy):
+                fixpoint = self._cache_get(db_key)
+                if fixpoint is None:
+                    prepared = self.rewriting.prepare_database(database)
+                    grounded = partial_grounding(self.rewriting.theory, prepared)
+                    datalog = nearly_guarded_to_datalog(
+                        grounded, max_rules=self.saturation_max_rules
+                    )
+                    fixpoint = evaluate(datalog, prepared)
+                    self._cache_put(db_key, fixpoint)
+                answers = {
+                    self.rewriting.restore_answer(output, answer)
+                    for answer in answers_in(fixpoint, output)
+                }
+                return Outcome(value=answers, complete=True)
+        with _obs_span("service.answer", strategy=STRATEGY_CHASE):
+            # A *complete* chase instance is budget-independent (budgets
+            # only truncate), so the cache key is the database alone and
+            # truncated runs are never stored.
+            instance = self._cache_get(db_key)
+            if instance is not None:
+                return Outcome(value=answers_in(instance, output), complete=True)
+            result = run_chase(self.theory, database, budget=budget)
+            answers = answers_in(result.database, output)
+            if result.complete:
+                self._cache_put(db_key, result.database)
+                return Outcome(value=answers, complete=True)
+            return Outcome(
+                value=answers,
+                complete=False,
+                exhausted=result.truncated_reason,
+                sound=True,
+                snapshot=result.snapshot,
+            )
+
+
+def _pick_strategy(
+    theory: Theory, labels: Classification, max_rules: int, requested: str
+) -> tuple[str, Optional[Theory], Optional[WfgRewriting]]:
+    """Mirror :func:`repro.translate.pipeline.answer_query`'s dispatch,
+    but perform the database-independent translation *now*.
+
+    ``requested="chase"`` overrides the class dispatch entirely — for
+    terminating-chase theories whose translation blows up far past the
+    data (the class-based route is worst-case optimal, not input-
+    optimal), the operator can pin the direct strategy."""
+    if requested == STRATEGY_CHASE:
+        return STRATEGY_CHASE, None, None
+    if requested not in REQUESTABLE_STRATEGIES:
+        raise InvalidRequestError(
+            f"unknown strategy {requested!r}; expected one of "
+            f"{REQUESTABLE_STRATEGIES}"
+        )
+    if labels.datalog and not theory.has_negation():
+        return STRATEGY_DATALOG, theory, None
+    if labels.nearly_guarded or labels.nearly_frontier_guarded:
+        normal = normalize(theory).theory
+        if classify(normal).nearly_guarded:
+            program = nearly_guarded_to_datalog(normal, max_rules=max_rules)
+        else:
+            rewritten = rewrite_nearly_frontier_guarded(
+                normal, max_rules=max_rules
+            )
+            program = nearly_guarded_to_datalog(rewritten, max_rules=max_rules)
+        return STRATEGY_TRANSLATE, program, None
+    if labels.weakly_guarded or labels.weakly_frontier_guarded:
+        rewriting = rewrite_weakly_frontier_guarded(theory, max_rules=max_rules)
+        return STRATEGY_WFG, None, rewriting
+    return STRATEGY_CHASE, None, None
+
+
+def _warm_plans(program: Theory) -> int:
+    """Precompile the join plans the semi-naive engine will ask for.
+
+    The engine keys plans by ``(positive_body tuple, ∅, forced_index)``
+    with ``forced_index`` ranging over body atoms of IDB relations
+    (delta pinning); atoms are interned, so compiling the same keys here
+    makes the engine's first run hit the cache throughout."""
+    idb = {atom.relation for rule in program.rules for atom in rule.head}
+    compiled = 0
+    empty: frozenset = frozenset()
+    for rule in program.rules:
+        body = rule.positive_body()
+        if not body:
+            continue
+        cached_plan(body, empty, None)
+        compiled += 1
+        for index, atom in enumerate(body):
+            if atom.relation in idb:
+                cached_plan(body, empty, index)
+                compiled += 1
+    return compiled
+
+
+def compile_theory(
+    text: str,
+    *,
+    source: str = "<registered>",
+    strict: bool = False,
+    strategy: str = "auto",
+    max_rules: int = 100_000,
+    saturation_max_rules: int = 200_000,
+    materialization_capacity: int = 8,
+) -> CompiledTheory:
+    """The full preparation pipeline, run exactly once per content hash.
+
+    Raises :class:`~repro.core.parser.ParseError` on syntax errors and
+    :class:`~repro.robustness.errors.InvalidTheoryError` when ``strict``
+    and the linter reports error-level diagnostics."""
+    digest = content_hash(text)
+    with _obs_span("service.compile", theory=digest[:12]):
+        with _obs_span("service.compile.parse"):
+            theory = parse_theory(text, source=source)
+        with _obs_span("service.compile.lint"):
+            report = analyze(theory)
+            summary = report.counts()
+        if strict and report.at_least(Severity.ERROR):
+            worst = report.errors()[0]
+            raise InvalidTheoryError(
+                f"theory rejected by strict lint gate: {len(report.errors())} "
+                f"error diagnostic(s), first: [{worst.code}] {worst.message}"
+            )
+        with _obs_span("service.compile.classify"):
+            labels = classify(theory)
+        with _obs_span("service.compile.translate"):
+            chosen, program, rewriting = _pick_strategy(
+                theory, labels, max_rules, strategy
+            )
+        compiled = CompiledTheory(
+            content_hash=digest,
+            text=text,
+            theory=theory,
+            labels=labels,
+            strategy=chosen,
+            lint_summary=summary,
+            program=program,
+            rewriting=rewriting,
+            max_rules=max_rules,
+            saturation_max_rules=saturation_max_rules,
+            materialization_capacity=materialization_capacity,
+            requested_strategy=strategy,
+        )
+        with _obs_span("service.compile.plans"):
+            if program is not None:
+                compiled.plans_compiled = _warm_plans(program)
+            elif rewriting is not None:
+                # The grounded program is database-dependent; warming the
+                # rewriting's rule bodies still covers the chase-free
+                # prefix shared by every request.
+                compiled.plans_compiled = _warm_plans(rewriting.theory)
+    return compiled
+
+
+class TheoryRegistry:
+    """Bounded LRU of :class:`CompiledTheory`, keyed by content hash.
+
+    Not thread-safe: the server confines it to the event loop, each pool
+    worker owns a private instance."""
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        *,
+        strict: bool = False,
+        max_rules: int = 100_000,
+        saturation_max_rules: int = 200_000,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidRequestError("registry capacity must be >= 1")
+        self.capacity = capacity
+        self.strict = strict
+        self.max_rules = max_rules
+        self.saturation_max_rules = saturation_max_rules
+        self._entries: dict[str, CompiledTheory] = {}
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> Optional[CompiledTheory]:
+        """Look up by content hash, refreshing recency; ``None`` if
+        absent (no counter traffic — misses here mean "ask the client
+        for the text", not "recompile")."""
+        entry = self._entries.get(digest)
+        if entry is not None:
+            del self._entries[digest]
+            self._entries[digest] = entry
+        return entry
+
+    def register(
+        self,
+        text: str,
+        *,
+        source: str = "<registered>",
+        strategy: str = "auto",
+    ) -> CompiledTheory:
+        """Compile-or-hit: the idempotent registration entry point.
+
+        Re-registering the same text with a *different* requested
+        strategy recompiles (the artifact shape depends on it); the new
+        artifact replaces the old under the same content hash."""
+        digest = content_hash(text)
+        entry = self._entries.get(digest)
+        obs = _obs_current()
+        if entry is not None and strategy == entry.requested_strategy:
+            self._stats["hits"] += 1
+            if obs is not None:
+                obs.inc("service.registry.hits")
+            del self._entries[digest]
+            self._entries[digest] = entry
+            return entry
+        self._stats["misses"] += 1
+        if obs is not None:
+            obs.inc("service.registry.misses")
+        entry = compile_theory(
+            text,
+            source=source,
+            strict=self.strict,
+            strategy=strategy,
+            max_rules=self.max_rules,
+            saturation_max_rules=self.saturation_max_rules,
+        )
+        while len(self._entries) >= self.capacity:
+            evicted = next(iter(self._entries))
+            del self._entries[evicted]
+            self._stats["evictions"] += 1
+            if obs is not None:
+                obs.inc("service.registry.evictions")
+        self._entries[digest] = entry
+        return entry
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._entries), "capacity": self.capacity, **self._stats}

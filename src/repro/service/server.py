@@ -1,0 +1,647 @@
+"""The asyncio front-end: admission control, batching, two listeners.
+
+One process, one event loop, two listeners:
+
+* the **query plane** (``asyncio.start_server``) speaks the NDJSON
+  protocol of :mod:`repro.service.protocol` — requests on a connection
+  are handled sequentially, so responses stay in order and concurrency
+  comes from concurrent connections;
+* the **ops plane** (a second listener on ``http_port``) speaks just
+  enough HTTP/1.1 for ``GET /healthz`` (JSON liveness: version, worker
+  PIDs, drain state) and ``GET /metrics`` (Prometheus-style text
+  rendering of the server's :class:`~repro.obs.metrics.MetricsRegistry`).
+
+Admission control is a single bounded count: ``queue_limit`` caps jobs
+that are admitted but not yet answered (queued *or* in flight on a
+worker).  A request over the cap is refused immediately with an
+``overloaded`` shed response — a structured partial per the protocol,
+never a traceback, and never a silent hang: the server's job is to stay
+responsive by refusing work, not to buffer unboundedly.  While draining
+(SIGTERM) every new request sheds with ``draining`` while in-flight work
+runs to completion.
+
+Batching: admitted query jobs land in a pending list and a dispatcher
+task drains it in one sweep, grouping jobs by theory content hash —
+each group travels to one worker as a single batch, so the worker
+resolves (or compiles) the theory once per batch rather than once per
+request.  Under load the sweep naturally collects many requests; at low
+load it degrades to batches of one with no added latency.
+
+Worker results arrive on the pool's pump thread and are marshalled onto
+the loop with ``call_soon_threadsafe``; per-job engine statistics
+(registry hits, plan-cache traffic) are folded into the server metrics
+under ``service.worker.*`` so ``/metrics`` shows cross-request warmth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .. import __version__
+from ..obs.metrics import MetricsRegistry
+from . import protocol
+from .pool import PoolConfig, WorkerPool
+from .registry import REQUESTABLE_STRATEGIES, content_hash
+
+__all__ = ["ServiceConfig", "ReasoningServer", "serve"]
+
+#: Per-job stat keys folded into the server's ``service.worker.*``
+#: counters when a result arrives.
+_WORKER_STAT_KEYS = (
+    "registry_hits",
+    "registry_misses",
+    "registry_evictions",
+    "plan_cache_hits",
+    "plan_compile_calls",
+    "plan_cache_evictions",
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 7464
+    #: Ops (healthz/metrics) listener port; ``None`` → ``port + 1``.
+    http_port: Optional[int] = None
+    workers: int = 2
+    #: Admission cap: jobs admitted but not yet answered.
+    queue_limit: int = 64
+    #: Applied when a query carries no ``timeout`` of its own.
+    default_timeout: Optional[float] = 30.0
+    #: Default chase step budget (per query, overridable per request).
+    default_max_steps: int = 100_000
+    #: Theory text served to queries that name no theory (optional).
+    theory_text: Optional[str] = None
+    theory_source: str = "<default>"
+    #: Database text used by queries that carry none (optional).
+    database_text: str = ""
+    strategy: str = "auto"
+    strict: bool = False
+    allow_faults: bool = False
+    registry_capacity: int = 32
+    max_rules: int = 100_000
+    saturation_max_rules: int = 200_000
+    drain_grace: float = 10.0
+
+    def pool_config(self) -> PoolConfig:
+        return PoolConfig(
+            workers=self.workers,
+            registry_capacity=self.registry_capacity,
+            strict_registry=self.strict,
+            max_rules=self.max_rules,
+            saturation_max_rules=self.saturation_max_rules,
+            allow_faults=self.allow_faults,
+            drain_grace=self.drain_grace,
+        )
+
+
+@dataclass
+class _Job:
+    """One admitted unit of work awaiting its worker response."""
+
+    job_id: str
+    payload: dict
+    theory_text: str
+    future: asyncio.Future = field(repr=False)
+
+
+class ReasoningServer:
+    """The service: listeners + admission + dispatcher + worker pool."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        if config.strategy not in REQUESTABLE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {config.strategy!r}; expected one of "
+                f"{REQUESTABLE_STRATEGIES}"
+            )
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.pool = WorkerPool(config.pool_config())
+        #: content hash -> rule text, for queries naming a theory by hash.
+        self._texts: dict[str, str] = {}
+        self._default_hash: Optional[str] = None
+        if config.theory_text is not None:
+            self._default_hash = content_hash(config.theory_text)
+            self._texts[self._default_hash] = config.theory_text
+        self._pending: list[_Job] = []
+        self._in_flight: dict[str, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._dispatch_wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._servers: list[asyncio.base_events.Server] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def http_port(self) -> int:
+        return (
+            self.config.http_port
+            if self.config.http_port is not None
+            else self.config.port + 1
+        )
+
+    def bound_ports(self) -> tuple[int, int]:
+        """The actually-bound (query, ops) ports — differs from the
+        config when it asked for port 0 (tests bind ephemerally)."""
+        if len(self._servers) != 2:
+            raise RuntimeError("server not started")
+        return tuple(
+            server.sockets[0].getsockname()[1] for server in self._servers
+        )
+
+    async def start(self) -> None:
+        """Bind both listeners, start the pool, warm the default theory."""
+        self._loop = asyncio.get_running_loop()
+        self._dispatch_wakeup = asyncio.Event()
+        self.pool.start(self._on_worker_result, on_restart=self._on_worker_restart)
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatch"
+        )
+        query_server = await asyncio.start_server(
+            self._handle_query_connection,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        ops_server = await asyncio.start_server(
+            self._handle_http_connection,
+            self.config.host,
+            self.http_port,
+            limit=64 * 1024,
+        )
+        self._servers = [query_server, ops_server]
+        if self.config.theory_text is not None:
+            await self._warm_default_theory()
+
+    async def _warm_default_theory(self) -> None:
+        """Broadcast a register job so every worker compiles the default
+        theory before the first query lands."""
+        assert self.config.theory_text is not None
+        jobs = []
+        for _ in range(self.config.workers):
+            job = self._admit(
+                {"kind": "register", "strategy": self.config.strategy,
+                 "source": self.config.theory_source},
+                self.config.theory_text,
+                force=True,
+            )
+            jobs.append(job)
+        # One register per worker: dispatch one batch at a time so the
+        # least-loaded choice rotates across workers.
+        for job in jobs:
+            self.pool.dispatch(job.theory_text, [job.payload])
+            self._in_flight[job.job_id] = job
+            self._pending.remove(job)
+        results = await asyncio.gather(*(job.future for job in jobs))
+        for result in results:
+            if not result.get("ok"):
+                raise RuntimeError(
+                    "default theory failed to compile: "
+                    f"{result.get('error', {}).get('message', result)}"
+                )
+
+    async def run(self) -> None:
+        """Start, install signal-driven drain, serve until drained."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain())
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        await self._drained.wait()
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: shed new work, finish in-flight, stop all.
+
+        Returns ``True`` when the pool drained cleanly within grace."""
+        if self._draining:
+            await self._drained.wait()
+            return True
+        self._draining = True
+        deadline = time.monotonic() + self.config.drain_grace
+        while (self._pending or self._in_flight) and time.monotonic() < deadline:
+            if self._dispatch_wakeup is not None:
+                self._dispatch_wakeup.set()
+            await asyncio.sleep(0.05)
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        loop = asyncio.get_running_loop()
+        clean = await loop.run_in_executor(None, self.pool.stop)
+        for job in list(self._in_flight.values()) + list(self._pending):
+            if not job.future.done():
+                job.future.set_result(
+                    protocol.error_response(
+                        protocol.ERR_DRAINING, "server shut down mid-request"
+                    )
+                )
+        self._pending.clear()
+        self._in_flight.clear()
+        self._drained.set()
+        return clean
+
+    # ------------------------------------------------------------------
+    # admission + dispatch
+    # ------------------------------------------------------------------
+    def _outstanding(self) -> int:
+        return len(self._pending) + len(self._in_flight)
+
+    def _admit(self, payload: dict, theory_text: str, *, force: bool = False) -> _Job:
+        """Assign a job id, enqueue, wake the dispatcher.
+
+        ``force`` bypasses the cap (internal warm-up jobs only).  Raises
+        nothing — admission *refusal* happens in the caller, which has
+        the request id to shed with."""
+        job_id = f"job-{next(self._job_ids)}"
+        payload = dict(payload)
+        payload["job_id"] = job_id
+        assert self._loop is not None
+        job = _Job(
+            job_id=job_id,
+            payload=payload,
+            theory_text=theory_text,
+            future=self._loop.create_future(),
+        )
+        self._pending.append(job)
+        if not force and self._dispatch_wakeup is not None:
+            self._dispatch_wakeup.set()
+        return job
+
+    async def _dispatch_loop(self) -> None:
+        """Sweep the pending list, group by theory hash, batch-dispatch."""
+        assert self._dispatch_wakeup is not None
+        while True:
+            await self._dispatch_wakeup.wait()
+            self._dispatch_wakeup.clear()
+            if not self._pending:
+                continue
+            batch, self._pending = self._pending, []
+            groups: dict[str, list[_Job]] = {}
+            for job in batch:
+                groups.setdefault(content_hash(job.theory_text), []).append(job)
+            for jobs in groups.values():
+                self.metrics.inc("service.batches")
+                self.metrics.inc("service.batched_jobs", len(jobs))
+                for job in jobs:
+                    self._in_flight[job.job_id] = job
+                try:
+                    self.pool.dispatch(
+                        jobs[0].theory_text, [job.payload for job in jobs]
+                    )
+                except RuntimeError as exc:  # no live workers
+                    for job in jobs:
+                        self._in_flight.pop(job.job_id, None)
+                        if not job.future.done():
+                            job.future.set_result(
+                                protocol.error_response(
+                                    protocol.ERR_INTERNAL, str(exc)
+                                )
+                            )
+
+    def _on_worker_result(self, job_id: str, payload: dict) -> None:
+        """Pump-thread callback — marshal onto the loop."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._complete_job, job_id, payload)
+
+    def _on_worker_restart(self, worker_id: int) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(
+                self.metrics.inc, "service.worker_restarts"
+            )
+
+    def _complete_job(self, job_id: str, payload: dict) -> None:
+        job = self._in_flight.pop(job_id, None)
+        if job is None or job.future.done():
+            return
+        stats = payload.get("stats")
+        if isinstance(stats, dict):
+            for key in _WORKER_STAT_KEYS:
+                value = stats.get(key)
+                if value:
+                    self.metrics.inc(f"service.worker.{key}", value)
+            elapsed = stats.get("elapsed_ms")
+            if elapsed is not None:
+                self.metrics.observe("service.worker.elapsed_ms", elapsed)
+        job.future.set_result(payload)
+
+    # ------------------------------------------------------------------
+    # query plane
+    # ------------------------------------------------------------------
+    async def _handle_query_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("service.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                protocol.ERR_INVALID_REQUEST,
+                                f"request line exceeds {protocol.MAX_LINE_BYTES}"
+                                " bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_request_line(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_request_line(self, line: bytes) -> dict:
+        self.metrics.inc("service.requests")
+        try:
+            request = protocol.decode(line)
+        except ValueError as exc:
+            self.metrics.inc("service.invalid")
+            return protocol.error_response(
+                protocol.ERR_INVALID_REQUEST, f"malformed request: {exc}"
+            )
+        request_id = request.get("id")
+        complaint = protocol.validate_request(request)
+        if complaint is not None:
+            self.metrics.inc("service.invalid")
+            return protocol.error_response(
+                protocol.ERR_INVALID_REQUEST, complaint, request_id=request_id
+            )
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}")
+        try:
+            response = await handler(request)
+        except Exception as exc:  # noqa: BLE001 - no-traceback boundary
+            self.metrics.inc("service.internal_errors")
+            response = protocol.error_response(
+                protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        response.setdefault("id", request_id)
+        return response
+
+    # -- ops ------------------------------------------------------------
+    async def _op_ping(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "pong": True,
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+        }
+
+    async def _op_status(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "version": __version__,
+            "draining": self._draining,
+            "queue": len(self._pending),
+            "in_flight": len(self._in_flight),
+            "queue_limit": self.config.queue_limit,
+            "workers": {
+                "configured": self.config.workers,
+                "alive": self.pool.alive_workers(),
+                "restarts": self.pool.restarts,
+                "hard_kills": self.pool.hard_kills,
+            },
+            "theories": len(self._texts),
+            "counters": dict(self.metrics.counters),
+        }
+
+    def _shed_or_none(self, request_id: Any) -> Optional[dict]:
+        """The admission-control gate, shared by register and query."""
+        if self._draining:
+            self.metrics.inc("service.shed.draining")
+            return protocol.shed_response(
+                protocol.ERR_DRAINING,
+                "server is draining; retry against another instance",
+                request_id=request_id,
+            )
+        if self._outstanding() >= self.config.queue_limit:
+            self.metrics.inc("service.shed.overloaded")
+            return protocol.shed_response(
+                protocol.ERR_OVERLOADED,
+                f"request queue full ({self.config.queue_limit} outstanding);"
+                " back off and retry",
+                request_id=request_id,
+            )
+        return None
+
+    async def _op_register(self, request: dict) -> dict:
+        shed = self._shed_or_none(request.get("id"))
+        if shed is not None:
+            return shed
+        strategy = request.get("strategy", "auto")
+        if strategy not in REQUESTABLE_STRATEGIES:
+            return protocol.error_response(
+                protocol.ERR_INVALID_REQUEST,
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{REQUESTABLE_STRATEGIES}",
+                request_id=request.get("id"),
+            )
+        text = request["theory"]
+        self.metrics.inc("service.registrations")
+        job = self._admit(
+            {"kind": "register", "strategy": strategy, "source": "<register op>"},
+            text,
+        )
+        result = await self._await_job(job, timeout=self.config.default_timeout)
+        if result.get("ok"):
+            self._texts[result["theory"]] = text
+        return result
+
+    async def _op_query(self, request: dict) -> dict:
+        request_id = request.get("id")
+        shed = self._shed_or_none(request_id)
+        if shed is not None:
+            return shed
+        theory_text = self._resolve_theory(request)
+        if theory_text is None:
+            return protocol.error_response(
+                protocol.ERR_UNKNOWN_THEORY,
+                "no theory: name a registered content hash in 'theory', "
+                "inline rules in 'theory_text', or start the server with a "
+                "default theory",
+                request_id=request_id,
+            )
+        timeout = request.get("timeout", self.config.default_timeout)
+        payload = {
+            "kind": "query",
+            "output": request["output"],
+            "database": request.get("database", self.config.database_text),
+            "strategy": request.get("strategy", self.config.strategy),
+            "timeout": timeout,
+            "max_steps": request.get("max_steps", self.config.default_max_steps),
+            "max_depth": request.get("max_depth"),
+        }
+        if "inject" in request:
+            payload["inject"] = request["inject"]
+        self.metrics.inc("service.queries")
+        job = self._admit(payload, theory_text)
+        return await self._await_job(job, timeout=timeout)
+
+    def _resolve_theory(self, request: dict) -> Optional[str]:
+        if "theory_text" in request:
+            return request["theory_text"]
+        if "theory" in request:
+            return self._texts.get(request["theory"])
+        if self._default_hash is not None:
+            return self._texts[self._default_hash]
+        return None
+
+    async def _await_job(self, job: _Job, *, timeout: Optional[float]) -> dict:
+        """Wait for the worker's answer, bounded well past the worker's
+        own governor + the pool's hard-kill watchdog — reaching this
+        bound means the recovery machinery itself failed."""
+        bound = None
+        if timeout is not None:
+            hard = self.pool.config
+            bound = (
+                float(timeout) * (hard.hard_kill_factor or 4.0)
+                + hard.hard_kill_floor
+                + 30.0
+            )
+        try:
+            return await asyncio.wait_for(asyncio.shield(job.future), bound)
+        except asyncio.TimeoutError:
+            self._in_flight.pop(job.job_id, None)
+            if job in self._pending:
+                self._pending.remove(job)
+            self.metrics.inc("service.lost_jobs")
+            return protocol.error_response(
+                protocol.ERR_INTERNAL,
+                "worker response overdue; job abandoned",
+            )
+
+    # ------------------------------------------------------------------
+    # ops plane (healthz / metrics)
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        alive = self.pool.alive_workers()
+        return {
+            "ok": (not self._draining) and alive > 0,
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "draining": self._draining,
+            "workers_alive": alive,
+            "worker_pids": self.pool.worker_pids(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the server registry (counters
+        and gauges; series render count/sum, which is all a scraper
+        needs for rates and means)."""
+        lines: list[str] = []
+
+        def emit(name: str, value) -> None:
+            metric = "repro_" + name.replace(".", "_").replace("-", "_")
+            lines.append(f"{metric} {value}")
+
+        snapshot = self.metrics.snapshot()
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            emit(name, value)
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            emit(name, value)
+        for name, values in sorted(snapshot.get("series", {}).items()):
+            emit(f"{name}_count", len(values))
+            emit(f"{name}_sum", round(sum(values), 6))
+        emit("service.queue_depth", len(self._pending))
+        emit("service.in_flight", len(self._in_flight))
+        emit("service.workers_alive", self.pool.alive_workers())
+        emit("service.worker_restarts_total", self.pool.restarts)
+        emit("service.uptime_seconds", round(time.monotonic() - self._started_at, 3))
+        return "\n".join(lines) + "\n"
+
+    async def _handle_http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1", "replace").split()
+            # Drain headers (we route on the request line alone).
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) >= 2 and parts[0] == "GET":
+                path = parts[1].split("?", 1)[0]
+            else:
+                path = None
+            if path == "/healthz":
+                body = json.dumps(self.healthz(), sort_keys=True).encode()
+                self._http_respond(writer, 200, "application/json", body)
+            elif path == "/metrics":
+                body = self.render_metrics().encode()
+                self._http_respond(
+                    writer, 200, "text/plain; version=0.0.4", body
+                )
+            else:
+                self._http_respond(
+                    writer, 404, "text/plain", b"not found: try /healthz or /metrics\n"
+                )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError, ValueError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _http_respond(
+        writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found"}.get(status, "OK")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+
+
+async def serve(config: ServiceConfig) -> None:
+    """Run a :class:`ReasoningServer` until it drains (the CLI entry)."""
+    server = ReasoningServer(config)
+    await server.run()

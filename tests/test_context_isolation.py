@@ -1,0 +1,140 @@
+"""Regression tests for contextvars scoping under asyncio.
+
+The service front-end runs many requests on one event loop, so the
+ambient machinery (``governed()`` governors, ``instrumented()``
+observation, the tracer's open-span chain) must be **task-local**: two
+interleaved tasks sharing a loop — or even sharing one
+``Instrumentation`` — must never observe each other's ambient state.
+These tests interleave tasks at explicit await points to pin down the
+bugs that motivated the fix: a shared span stack corrupting depths/pop
+order, and ``ContextVar.reset`` raising when a scope exits in a
+different context than it entered (executor offload).
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import Instrumentation
+from repro.obs.runtime import current as obs_current
+from repro.obs.runtime import instrumented
+from repro.robustness.governor import (
+    ResourceGovernor,
+    current_governor,
+    governed,
+)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+class TestGovernorIsolation:
+    def test_interleaved_tasks_see_their_own_governor(self):
+        async def task(marker: ResourceGovernor, barrier: asyncio.Barrier):
+            with governed(marker):
+                await barrier.wait()           # both tasks inside their scope
+                assert current_governor() is marker
+                await asyncio.sleep(0)          # force an interleave
+                assert current_governor() is marker
+            await barrier.wait()
+            assert current_governor() is None
+
+        async def scenario():
+            barrier = asyncio.Barrier(2)
+            a = ResourceGovernor(max_ticks=10)
+            b = ResourceGovernor(max_ticks=20)
+            await asyncio.gather(task(a, barrier), task(b, barrier))
+            assert current_governor() is None
+
+        run(scenario())
+
+    def test_exit_in_foreign_context_restores_previous(self):
+        # Enter governed() in one thread's context, exit in another:
+        # ContextVar.reset raises ValueError on the foreign token.  The
+        # scope must swallow that and install the remembered previous
+        # governor in the exiting context — not raise, and not leave the
+        # inner governor ambient there.
+        outer = ResourceGovernor(max_ticks=1)
+        inner = ResourceGovernor(max_ticks=2)
+        with governed(outer):
+            scope = governed(inner)
+            scope.__enter__()
+            assert current_governor() is inner
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                # The regression: this raised ValueError before the fix.
+                pool.submit(scope.__exit__, None, None, None).result()
+                assert pool.submit(current_governor).result() is outer
+
+
+class TestInstrumentationIsolation:
+    def test_interleaved_tasks_see_their_own_instrumentation(self):
+        async def task(name: str, barrier: asyncio.Barrier) -> int:
+            with instrumented() as instr:
+                await barrier.wait()
+                assert obs_current() is instr
+                instr.inc(f"count.{name}")
+                await asyncio.sleep(0)
+                assert obs_current() is instr
+                instr.inc(f"count.{name}")
+                return instr.metrics.counter(f"count.{name}")
+
+        async def scenario():
+            barrier = asyncio.Barrier(2)
+            counts = await asyncio.gather(task("a", barrier), task("b", barrier))
+            assert counts == [2, 2]
+
+        run(scenario())
+
+    def test_instrumented_exit_in_foreign_context(self):
+        with instrumented() as outer:
+            scope = instrumented()
+            inner = scope.__enter__()
+            assert obs_current() is inner
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                # Must not raise, and must leave the remembered previous
+                # instrumentation (not the inner one) in that context.
+                pool.submit(scope.__exit__, None, None, None).result()
+                assert pool.submit(obs_current).result() is outer
+
+
+class TestTracerIsolation:
+    def test_shared_instrumentation_spans_stay_task_local(self):
+        """Two tasks share ONE Instrumentation (the server pattern: one
+        metrics registry for the process) and open nested spans
+        interleaved.  Depths and parent/child structure must come out
+        per-task, not from a shared mutable stack."""
+
+        async def task(instr: Instrumentation, name: str,
+                       barrier: asyncio.Barrier):
+            with instr.span(f"outer.{name}") as outer:
+                await barrier.wait()            # both outers open
+                assert instr.tracer.current is outer
+                with instr.span(f"inner.{name}") as inner:
+                    await asyncio.sleep(0)      # interleave while nested
+                    assert instr.tracer.current is inner
+                assert instr.tracer.current is outer
+
+        async def scenario():
+            instr = Instrumentation()
+            barrier = asyncio.Barrier(2)
+            await asyncio.gather(
+                task(instr, "a", barrier), task(instr, "b", barrier)
+            )
+            spans = {span.name: span for span in instr.tracer.spans}
+            assert spans["inner.a"].depth == 1
+            assert spans["inner.b"].depth == 1
+            assert spans["outer.a"].depth == 0
+            assert spans["outer.b"].depth == 0
+            assert instr.tracer.current is None
+
+        run(scenario())
+
+    def test_sequential_nesting_unchanged(self):
+        instr = Instrumentation()
+        with instr.span("a"):
+            with instr.span("b"):
+                assert instr.tracer.current.name == "b"
+            assert instr.tracer.current.name == "a"
+        assert instr.tracer.current is None
+        depths = [span.depth for span in instr.tracer.spans]
+        assert sorted(depths) == [0, 1]

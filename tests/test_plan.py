@@ -211,6 +211,73 @@ class TestPlanCache:
         assert plan_cache_stats()["size"] <= 2
 
 
+class TestPlanCacheLru:
+    """Eviction is least-recently-*used*, not clear-everything: a plan
+    that keeps getting hit survives an overflow that evicts a colder
+    one (the service's warm-worker contract)."""
+
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_hit_refreshes_recency(self):
+        from repro.core import set_plan_cache_capacity
+
+        previous = set_plan_cache_capacity(2)
+        try:
+            hot = cached_plan((Atom("Hot", (X,)),), frozenset(), None)
+            cached_plan((Atom("Cold", (X,)),), frozenset(), None)
+            # Touch the older entry, making "Cold" the LRU victim…
+            assert cached_plan((Atom("Hot", (X,)),), frozenset(), None) is hot
+            cached_plan((Atom("New", (X,)),), frozenset(), None)
+            # …so re-requesting the hot plan is still a hit (identity),
+            # while the cold plan was the one evicted.
+            hits = plan_cache_stats()["hits"]
+            assert cached_plan((Atom("Hot", (X,)),), frozenset(), None) is hot
+            assert plan_cache_stats()["hits"] == hits + 1
+            misses = plan_cache_stats()["misses"]
+            cached_plan((Atom("Cold", (X,)),), frozenset(), None)
+            assert plan_cache_stats()["misses"] == misses + 1
+        finally:
+            set_plan_cache_capacity(previous)
+            clear_plan_cache()
+
+    def test_shrinking_capacity_evicts_immediately(self):
+        from repro.core import set_plan_cache_capacity
+
+        previous = plan_cache_stats()["capacity"]
+        for name in ("P", "Q", "R", "S"):
+            cached_plan((Atom(name, (X,)),), frozenset(), None)
+        evictions = plan_cache_stats()["evictions"]
+        assert set_plan_cache_capacity(2) == previous
+        try:
+            stats = plan_cache_stats()
+            assert stats["size"] == 2
+            assert stats["capacity"] == 2
+            assert stats["evictions"] == evictions + 2
+        finally:
+            set_plan_cache_capacity(previous)
+            clear_plan_cache()
+
+    def test_capacity_must_be_positive(self):
+        from repro.core import set_plan_cache_capacity
+
+        with pytest.raises(ValueError):
+            set_plan_cache_capacity(0)
+
+    def test_eviction_obs_counter(self, monkeypatch):
+        from repro.core import set_plan_cache_capacity
+
+        previous = set_plan_cache_capacity(1)
+        try:
+            with instrumented() as instr:
+                cached_plan((Atom("P", (X,)),), frozenset(), None)
+                cached_plan((Atom("Q", (X,)),), frozenset(), None)
+            assert instr.metrics.counter("plan.cache_evictions") == 1
+        finally:
+            set_plan_cache_capacity(previous)
+            clear_plan_cache()
+
+
 class TestEscapeHatch:
     def test_env_routes_to_interpreter(self, monkeypatch):
         db = parse_database("E(a,b). E(b,c).")

@@ -1,0 +1,142 @@
+"""Out-of-process contract of ``repro serve`` (the CI smoke in miniature).
+
+Starts the real console entry point as a subprocess against the shipped
+example ontology, drives it with the blocking client, scrapes the ops
+plane, and asserts the SIGTERM contract: exit code 0, no orphaned
+worker processes.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient, http_get, wait_until_ready
+
+REPO = Path(__file__).resolve().parent.parent
+LOOPING = (
+    "P(x) -> exists y. E2(x,y)\n"
+    "E2(x,y) -> exists z. E2(y,z)\n"
+    "E2(x,y), E2(u,v) -> H(y,v)\n"
+    "H(y,v) -> Q(y)"
+)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def served():
+    port = free_port()
+    http_port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "examples/publication.rules", "--data", "examples/publication.db",
+            "--strategy", "chase", "--workers", "2",
+            "--port", str(port), "--http-port", str(http_port),
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        wait_until_ready("127.0.0.1", port, timeout=60)
+        yield proc, port, http_port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_serve_end_to_end(served):
+    proc, port, http_port = served
+
+    with ServiceClient("127.0.0.1", port) as client:
+        pong = client.ping()
+        assert pong["ok"] and pong["version"]
+
+        answer = client.query("Q", request_id="smoke")
+        assert answer["ok"] and answer["id"] == "smoke"
+        assert answer["answers"] == [["a1"], ["a2"]]
+
+        again = client.query("Q")
+        assert again["stats"]["registry_hits"] == 1
+
+        exhausted = client.query(
+            "Q",
+            theory_text=LOOPING,
+            database="P(a).",
+            timeout=0.2,
+            strategy="chase",
+        )
+        # A per-request deadline is an Outcome-style partial, not an error.
+        assert exhausted["ok"]
+        assert exhausted["complete"] is False
+        assert exhausted["exhausted"] == "deadline"
+
+    status, body = http_get("127.0.0.1", http_port, "/healthz")
+    assert status == 200
+    assert '"ok": true' in body or '"ok":true' in body.replace(" ", "")
+
+    status, body = http_get("127.0.0.1", http_port, "/metrics")
+    assert status == 200
+    assert "repro_service_queries" in body
+    assert "repro_service_worker_registry_hits" in body
+
+    # SIGTERM drain: exit 0, workers reaped.
+    import json
+
+    health = json.loads(http_get("127.0.0.1", http_port, "/healthz")[1])
+    worker_pids = health["worker_pids"]
+    assert len(worker_pids) == 2
+
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        orphans = []
+        for pid in worker_pids:
+            try:
+                os.kill(pid, 0)
+                orphans.append(pid)
+            except ProcessLookupError:
+                pass
+        if not orphans:
+            break
+        time.sleep(0.1)
+    assert not orphans, f"orphaned worker processes: {orphans}"
+
+    stderr = proc.stderr.read().decode()
+    assert "drained cleanly" in stderr
+
+
+def test_version_flag():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--version"],
+        cwd=REPO,
+        env=dict(
+            os.environ,
+            PYTHONPATH=str(REPO / "src") + os.pathsep
+            + os.environ.get("PYTHONPATH", ""),
+        ),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert result.stdout.startswith("repro ")
+    version = result.stdout.split()[1]
+    assert version[0].isdigit()
