@@ -19,6 +19,15 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR5.json
     PYTHONPATH=src python benchmarks/bench_serve.py --queries 40 --chain 4  # smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py --compare-tracing \
+        --output BENCH_PR6.json   # tracing overhead: on vs off, same workload
+
+``--compare-tracing`` interleaves two rounds of the whole workload per
+mode (tracing on / ``--no-trace``, alternating T/U/T/U so machine drift
+cancels instead of being booked as overhead) and reports the deltas
+between the *best warm pass* of each mode (min latency / max throughput
+over passes 2+ across rounds), which is how the "< 5% p95 overhead"
+acceptance bar is measured.
 
 The JSON record lands next to the ``run_bench.py`` trajectory files and
 follows the same spirit: pinned workload, machine-readable, embeds the
@@ -137,52 +146,36 @@ def run_pass(
     return record
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--queries", type=int, default=200,
-                        help="queries per pass (default 200)")
-    parser.add_argument("--concurrency", type=int, default=50,
-                        help="concurrent client connections (default 50)")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="server worker processes (default 4)")
-    parser.add_argument("--chain", type=int, default=5,
-                        help="Section 7 chain length (default 5: medium)")
-    parser.add_argument("--timeout", type=float, default=120.0,
-                        help="per-query deadline sent with each request")
-    parser.add_argument("--passes", type=int, default=2,
-                        help="load passes (pass 2+ measures warmth)")
-    parser.add_argument("--output", default=None,
-                        help="write the JSON record here (default stdout)")
-    parser.add_argument("--label", default="current")
-    args = parser.parse_args()
-
-    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+def run_session(
+    args, theory_path: str, database: str, *, tracing: bool
+) -> tuple[list[dict], dict]:
+    """One full server lifecycle: start (``--no-trace`` when asked),
+    run every load pass, SIGTERM-drain, account hygiene."""
     from repro.service.client import http_get, wait_until_ready
 
-    database = chain_data(args.chain)
     port, http_port = free_port(), free_port()
-    theory_path = os.path.join(HERE, "_bench_serve_theory.rules")
-    with open(theory_path, "w", encoding="utf-8") as handle:
-        handle.write(WG_THEORY_TEXT)
-
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
     )
+    command = [
+        sys.executable, "-m", "repro.cli", "serve", theory_path,
+        "--port", str(port), "--http-port", str(http_port),
+        "--workers", str(args.workers),
+        "--queue-limit", str(max(args.queries, 64)),
+        "--default-timeout", str(args.timeout),
+    ]
+    if not tracing:
+        command.append("--no-trace")
     server = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "serve", theory_path,
-            "--port", str(port), "--http-port", str(http_port),
-            "--workers", str(args.workers),
-            "--queue-limit", str(max(args.queries, 64)),
-            "--default-timeout", str(args.timeout),
-        ],
+        command,
         cwd=REPO_ROOT,
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
     )
-    passes = []
+    mode = "traced" if tracing else "untraced"
+    passes: list[dict] = []
     hygiene: dict = {}
     try:
         wait_until_ready("127.0.0.1", port, timeout=120)
@@ -208,9 +201,11 @@ def main() -> int:
                 )
             }
             record["pass"] = index + 1
+            record["tracing"] = tracing
             passes.append(record)
             print(
-                f"pass {index + 1}: {record['completed']}/{record['queries']} ok, "
+                f"{mode} pass {index + 1}: "
+                f"{record['completed']}/{record['queries']} ok, "
                 f"p50={record.get('p50_ms')}ms p95={record.get('p95_ms')}ms "
                 f"{record['throughput_qps']} q/s, warmth={record['warmth']}",
                 file=sys.stderr,
@@ -240,6 +235,141 @@ def main() -> int:
         if server.poll() is None:
             server.kill()
             server.wait(timeout=30)
+    return passes, hygiene
+
+
+def _merge_hygiene(accumulated: dict, fresh: dict) -> dict:
+    """Fold one session's hygiene into the running account — every
+    session of a multi-round comparison must drain cleanly."""
+    if not accumulated:
+        return dict(fresh)
+    return {
+        "exit_code": accumulated["exit_code"] or fresh.get("exit_code", 0),
+        "orphan_workers": accumulated["orphan_workers"]
+        + fresh.get("orphan_workers", []),
+        "restarts": accumulated["restarts"] + fresh.get("restarts", 0),
+        "traceback_on_stderr": accumulated["traceback_on_stderr"]
+        or fresh.get("traceback_on_stderr", False),
+    }
+
+
+def _best_warm(passes: list[dict]) -> dict:
+    """Per-metric best over the warm passes (pass 2+): min latency, max
+    throughput.  Single short passes jitter by ±5% on an idle machine —
+    the best sustained value is the noise-robust steady-state estimator
+    (same rationale as ``min`` in timeit)."""
+    warm = [p for p in passes if p.get("pass", 1) > 1] or passes[-1:]
+    best: dict = {}
+    for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+        values = [p[key] for p in warm if p.get(key) is not None]
+        if values:
+            best[key] = min(values)
+    throughputs = [
+        p["throughput_qps"] for p in warm if p.get("throughput_qps")
+    ]
+    if throughputs:
+        best["throughput_qps"] = max(throughputs)
+    return best
+
+
+def tracing_overhead(
+    traced: list[dict], untraced: list[dict]
+) -> dict:
+    """Best-warm-pass deltas, tracing on vs off: positive percentages
+    mean tracing costs that much."""
+    if not traced or not untraced:
+        return {}
+    warm_on, warm_off = _best_warm(traced), _best_warm(untraced)
+    overhead: dict = {}
+    for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+        on, off = warm_on.get(key), warm_off.get(key)
+        if on is not None and off:
+            overhead[f"{key}_pct"] = round((on - off) / off * 100, 2)
+    on_qps, off_qps = warm_on.get("throughput_qps"), warm_off.get("throughput_qps")
+    if on_qps is not None and off_qps:
+        overhead["throughput_pct"] = round((on_qps - off_qps) / off_qps * 100, 2)
+    return overhead
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=200,
+                        help="queries per pass (default 200)")
+    parser.add_argument("--concurrency", type=int, default=50,
+                        help="concurrent client connections (default 50)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker processes (default 4)")
+    parser.add_argument("--chain", type=int, default=5,
+                        help="Section 7 chain length (default 5: medium)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-query deadline sent with each request")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="load passes (pass 2+ measures warmth)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON record here (default stdout)")
+    parser.add_argument("--label", default="current")
+    parser.add_argument("--compare-tracing", action="store_true",
+                        help="run the workload twice (tracing on, then "
+                        "--no-trace) and report the overhead deltas")
+    args = parser.parse_args()
+
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+
+    database = chain_data(args.chain)
+    theory_path = os.path.join(HERE, "_bench_serve_theory.rules")
+    with open(theory_path, "w", encoding="utf-8") as handle:
+        handle.write(WG_THEORY_TEXT)
+
+    try:
+        comparison = None
+        if args.compare_tracing:
+            # Interleave the modes over two rounds (T/U/T/U).  A small
+            # shared machine drifts by more than the effect under
+            # measurement over minutes; alternating sessions and taking
+            # the best warm pass per mode cancels the drift instead of
+            # booking it as tracing overhead.
+            passes, untraced_passes = [], []
+            hygiene, untraced_hygiene = {}, {}
+            # Three warm passes per session: a p95 over 200 samples is
+            # the ~10th-slowest value, far too jittery from one pass.
+            args.passes = max(args.passes, 4)
+            for round_index in (1, 2, 3):
+                for tracing in (True, False):
+                    round_passes, round_hygiene = run_session(
+                        args, theory_path, database, tracing=tracing
+                    )
+                    for record in round_passes:
+                        record["round"] = round_index
+                    if tracing:
+                        passes.extend(round_passes)
+                        hygiene = _merge_hygiene(hygiene, round_hygiene)
+                    else:
+                        untraced_passes.extend(round_passes)
+                        untraced_hygiene = _merge_hygiene(
+                            untraced_hygiene, round_hygiene
+                        )
+            comparison = {
+                "traced": passes,
+                "untraced": untraced_passes,
+                "untraced_hygiene": untraced_hygiene,
+                "traced_best_warm": _best_warm(passes),
+                "untraced_best_warm": _best_warm(untraced_passes),
+                "overhead": tracing_overhead(passes, untraced_passes),
+            }
+            if comparison["overhead"]:
+                print(
+                    "tracing overhead (best warm pass): "
+                    + " ".join(
+                        f"{key}={value}"
+                        for key, value in comparison["overhead"].items()
+                    ),
+                    file=sys.stderr,
+                )
+        else:
+            passes, hygiene = run_session(
+                args, theory_path, database, tracing=True
+            )
+    finally:
         if os.path.exists(theory_path):
             os.remove(theory_path)
 
@@ -260,6 +390,8 @@ def main() -> int:
         "passes": passes,
         "hygiene": hygiene,
     }
+    if comparison is not None:
+        record["tracing_comparison"] = comparison
     text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -268,11 +400,16 @@ def main() -> int:
     else:
         print(text)
 
-    ok = (
-        all(p["failures"] == 0 for p in passes)
-        and hygiene.get("exit_code") == 0
-        and not hygiene.get("orphan_workers")
-        and not hygiene.get("traceback_on_stderr")
+    checked_passes = list(passes)
+    checked_hygiene = [hygiene]
+    if comparison is not None:
+        checked_passes += comparison["untraced"]
+        checked_hygiene.append(comparison["untraced_hygiene"])
+    ok = all(p["failures"] == 0 for p in checked_passes) and all(
+        h.get("exit_code") == 0
+        and not h.get("orphan_workers")
+        and not h.get("traceback_on_stderr")
+        for h in checked_hygiene
     )
     return 0 if ok else 1
 

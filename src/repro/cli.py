@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro translate theory.rules --target datalog
     repro termination theory.rules
     repro lint theory.rules --format json --fail-on warning
+    repro serve theory.rules --workers 4
+    repro tail 127.0.0.1:7465                (the server's ops port)
 
 Theories use the rule syntax of :mod:`repro.core.parser`; databases use
 the data syntax (bare names are constants).
@@ -268,6 +270,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry_capacity=args.registry_capacity,
         max_rules=args.max_rules,
         drain_grace=args.drain_grace,
+        trace=not args.no_trace,
+        trace_sample=args.trace_sample,
+        recent_traces=args.recent_traces,
+        slow_traces=args.slow_traces,
     )
     print(
         f"repro {__version__} serving on {config.host}:{config.port} "
@@ -278,6 +284,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     asyncio.run(serve(config))
     print("repro serve: drained cleanly", file=sys.stderr)
     return EXIT_OK
+
+
+def _parse_ops_address(address: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``port``) naming a server's ops plane."""
+    host, _, port_text = address.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ParseError(
+            f"bad address {address!r}: expected host:port of the ops plane"
+        ) from None
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Follow a running server's flight recorder (``repro tail``)."""
+    import time as _time
+
+    from .service.client import ServiceError, debug_requests, fetch_trace
+    from .service.tracing import render_trace_line, render_trace_tree
+
+    host, port = _parse_ops_address(args.address)
+    try:
+        if args.trace is not None:
+            trace = fetch_trace(host, port, args.trace)
+            if trace is None:
+                print(
+                    f"trace {args.trace} not held by the flight recorder "
+                    "(evicted or unknown)",
+                    file=sys.stderr,
+                )
+                return EXIT_FAILED
+            print(render_trace_tree(trace))
+            return EXIT_OK
+        if args.slow:
+            listing = debug_requests(host, port)
+            for summary in listing.get("slowest", []):
+                print(render_trace_line(summary))
+            return EXIT_OK
+        seen: set[str] = set()
+        first_sweep = True
+        while True:
+            listing = debug_requests(host, port)
+            if first_sweep and not listing.get("tracing", True):
+                print(
+                    "warning: server runs with tracing disabled (--no-trace);"
+                    " nothing will appear",
+                    file=sys.stderr,
+                )
+            # ``recent`` is newest-first; replay unseen ones oldest-first
+            # so the tail reads chronologically.
+            for summary in reversed(listing.get("recent", [])):
+                trace_id = summary.get("trace_id")
+                if trace_id in seen:
+                    continue
+                seen.add(trace_id)
+                print(render_trace_line(summary), flush=True)
+            if args.once:
+                return EXIT_OK
+            first_sweep = False
+            _time.sleep(args.interval)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    except KeyboardInterrupt:
+        return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -425,7 +498,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=10.0,
         help="seconds to let in-flight work finish on SIGTERM",
     )
+    p.add_argument(
+        "--no-trace", action="store_true",
+        help="disable end-to-end request tracing and the flight recorder",
+    )
+    p.add_argument(
+        "--trace-sample", type=int, default=16,
+        help="deep-trace (capture worker spans for) 1 in N requests; "
+        "explicit trace context and explain:true always deep-trace; "
+        "0 = explicit-only",
+    )
+    p.add_argument(
+        "--recent-traces", type=int, default=256,
+        help="flight-recorder ring size: most recent traces kept",
+    )
+    p.add_argument(
+        "--slow-traces", type=int, default=32,
+        help="flight-recorder ring size: slowest traces kept",
+    )
     p.set_defaults(handler=_cmd_serve)
+
+    p = commands.add_parser(
+        "tail",
+        help="follow a running server's flight recorder (live traces)",
+    )
+    p.add_argument(
+        "address",
+        help="ops-plane address of a running server, host:port "
+        "(the --http-port, default query port + 1)",
+    )
+    p.add_argument(
+        "--slow", action="store_true",
+        help="show the slowest recorded requests instead of following "
+        "new ones",
+    )
+    p.add_argument(
+        "--trace", metavar="TRACE_ID", default=None,
+        help="print one full span tree by trace id and exit",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print the current recorder contents and exit (no follow)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll interval in seconds while following (default 1.0)",
+    )
+    p.set_defaults(handler=_cmd_tail, stats=False, trace_json=None, timeout=None)
 
     return parser
 

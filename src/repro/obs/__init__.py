@@ -24,12 +24,15 @@ Typical use::
 Counter semantics are documented in DESIGN.md (section "Observability").
 """
 
-from .metrics import MetricsRegistry
+from .metrics import DEFAULT_LATENCY_BOUNDS_MS, Histogram, MetricsRegistry
+from .prometheus import render_exposition, validate_exposition
 from .runtime import Instrumentation, current, instrumented, span
 from .sinks import JsonLinesSink, Sink, render_report
 from .tracer import Span, Tracer
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS_MS",
+    "Histogram",
     "Instrumentation",
     "JsonLinesSink",
     "MetricsRegistry",
@@ -38,6 +41,8 @@ __all__ = [
     "Tracer",
     "current",
     "instrumented",
+    "render_exposition",
     "render_report",
     "span",
+    "validate_exposition",
 ]

@@ -1,13 +1,19 @@
-"""Typed in-memory metrics: counters, gauges, and series.
+"""Typed in-memory metrics: counters, gauges, series, and histograms.
 
-Three metric kinds cover everything the engines report:
+Four metric kinds cover everything the engines and the service report:
 
 * **counter** — a monotonically increasing integer (``triggers_fired``,
   ``atoms_derived``, ``homomorphism_calls``, ``nulls_created``);
 * **gauge** — a last-value-wins scalar (``pipeline.datalog_rules``);
 * **series** — an append-only list of per-step observations
   (``datalog.delta_size`` per semi-naive iteration,
-  ``saturation.rules_added`` per closure round).
+  ``saturation.rules_added`` per closure round).  A series grows one
+  entry per observation, so it belongs to *bounded* runs — one chase,
+  one benchmark pass — never to a long-lived server hot path;
+* **histogram** — fixed log-spaced buckets with a running count and
+  sum.  Constant memory regardless of traffic, which is what the
+  service records latencies into: percentiles survive, unbounded
+  growth does not.
 
 The registry is deliberately dependency-free and cheap: metric names are
 plain dotted strings, values plain numbers, so a snapshot is directly JSON
@@ -16,19 +22,112 @@ serialisable and trivially diffable across runs.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from typing import Optional, Sequence
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BOUNDS_MS"]
+
+#: Default bucket upper bounds for latency histograms, in milliseconds:
+#: a 1–2–5 decade ladder from 100 µs to one minute (log-spaced, so p95s
+#: resolve equally well at 1 ms and at 10 s), plus the implicit +Inf.
+DEFAULT_LATENCY_BOUNDS_MS: tuple[float, ...] = (
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0,
+    10_000.0, 30_000.0, 60_000.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram: per-bucket counts plus count and sum.
+
+    ``bounds`` are the finite bucket *upper* bounds in ascending order;
+    an implicit ``+Inf`` bucket catches everything beyond the last one.
+    Memory is ``len(bounds) + 1`` integers forever — observing a million
+    values costs the same as observing ten, which is the whole point of
+    using a histogram (and not a series) on a server hot path.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be non-empty and ascending")
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.sum += other.sum
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (last one == count)."""
+        total, out = 0, []
+        for bucket in self.bucket_counts:
+            total += bucket
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (``0 < q <= 1``) by linear interpolation
+        inside the owning bucket — the same estimate Prometheus's
+        ``histogram_quantile`` computes.  ``None`` on an empty histogram;
+        observations beyond the last finite bound clamp to it."""
+        if self.count == 0:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            if seen + bucket < target:
+                seen += bucket
+                continue
+            if index >= len(self.bounds):
+                return self.bounds[-1]
+            lower = self.bounds[index - 1] if index else 0.0
+            upper = self.bounds[index]
+            return lower + (upper - lower) * ((target - seen) / bucket)
+        return self.bounds[-1]  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable copy: bounds, per-bucket counts, count, sum."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, sum={self.sum:.3f})"
 
 
 class MetricsRegistry:
-    """In-memory store for counters, gauges, and series."""
+    """In-memory store for counters, gauges, series, and histograms."""
 
-    __slots__ = ("counters", "gauges", "series")
+    __slots__ = ("counters", "gauges", "series", "histograms")
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.series: dict[str, list[float]] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, value: int = 1) -> None:
@@ -40,12 +139,33 @@ class MetricsRegistry:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Append ``value`` to the series ``name``."""
+        """Append ``value`` to the series ``name``.
+
+        Unbounded by design — one entry per observation — so only for
+        runs with a natural end (a chase, a CLI invocation).  Long-lived
+        processes record distributions with :meth:`observe_hist`."""
         self.series.setdefault(name, []).append(value)
+
+    def observe_hist(
+        self,
+        name: str,
+        value: float,
+        *,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS,
+    ) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use
+        with ``bounds``; later calls reuse the existing buckets)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
 
     # ------------------------------------------------------------------
     def counter(self, name: str, default: int = 0) -> int:
         return self.counters.get(name, default)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
 
     def snapshot(self) -> dict:
         """A JSON-serialisable copy of every metric."""
@@ -53,22 +173,32 @@ class MetricsRegistry:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "series": {name: list(values) for name, values in self.series.items()},
+            "histograms": {
+                name: hist.snapshot() for name, hist in self.histograms.items()
+            },
         }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry (counters add, gauges overwrite,
-        series concatenate) — used to aggregate per-stratum runs."""
+        series concatenate, histograms add bucket-wise) — used to
+        aggregate per-stratum runs."""
         for name, value in other.counters.items():
             self.inc(name, value)
         self.gauges.update(other.gauges)
         for name, values in other.series.items():
             self.series.setdefault(name, []).extend(values)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram(hist.bounds)
+            mine.merge(hist)
 
     def __bool__(self) -> bool:
-        return bool(self.counters or self.gauges or self.series)
+        return bool(self.counters or self.gauges or self.series or self.histograms)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetricsRegistry(counters={len(self.counters)}, "
-            f"gauges={len(self.gauges)}, series={len(self.series)})"
+            f"gauges={len(self.gauges)}, series={len(self.series)}, "
+            f"histograms={len(self.histograms)})"
         )

@@ -1,0 +1,307 @@
+"""Prometheus text-format exposition (and a grammar validator).
+
+The service's ``/metrics`` endpoint renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format, version 0.0.4.  Conformance is deliberate, not
+approximate:
+
+* metric names are **sanitized** to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — the
+  registry's dotted names (``service.request_ms``) become underscore
+  names (``repro_service_request_ms``), and any residual illegal
+  character collapses to ``_``;
+* every metric family gets ``# HELP`` and ``# TYPE`` lines, emitted once,
+  before its samples, with escaped help text;
+* histograms render the full ``_bucket{le="…"}`` ladder with cumulative
+  counts, the mandatory ``+Inf`` bucket, and ``_sum``/``_count``;
+* series (bounded per-run observation lists) degrade to ``_count`` and
+  ``_sum`` untyped samples — enough for rates and means, which is all a
+  scraper can use them for.
+
+:func:`validate_exposition` is the other half of the contract: a small,
+strict parser for the same grammar, used by the test suite and the CI
+smoke job to fail the build when the endpoint regresses.  It checks line
+syntax, name/label legality, float parsing (including ``+Inf``/``NaN``),
+``TYPE``-before-samples ordering, single-``TYPE``-per-family, and the
+histogram invariants (cumulative buckets, ``+Inf`` == ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Optional, Union
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "sanitize_metric_name",
+    "sanitize_label_value",
+    "render_exposition",
+    "validate_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_ILLEGAL_RE = re.compile(r"[^a-zA-Z0-9_:]+")
+#: One sample line: name, optional {labels}, value, optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto the legal Prometheus
+    charset: dots and dashes become ``_``, any other illegal character
+    collapses to ``_``, and a leading digit gains a ``_`` prefix."""
+    cleaned = _ILLEGAL_RE.sub("_", name.replace(".", "_").replace("-", "_"))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def sanitize_label_value(value: str) -> str:
+    """Escape a label value per the exposition grammar."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):  # pragma: no cover - we never emit NaN
+            return "NaN"
+        if value.is_integer():
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class _Writer:
+    """Accumulates families, enforcing one HELP/TYPE block per family."""
+
+    def __init__(self, prefix: str, help_texts: dict[str, str]) -> None:
+        self.prefix = prefix
+        self.help_texts = help_texts
+        self.lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def family(self, raw_name: str, kind: str, suffix: str = "") -> str:
+        name = sanitize_metric_name(self.prefix + raw_name) + suffix
+        if name not in self._declared:
+            self._declared.add(name)
+            help_text = self.help_texts.get(raw_name, f"repro metric {raw_name}")
+            self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            self.lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    def sample(
+        self, name: str, value: Union[int, float], labels: str = ""
+    ) -> None:
+        self.lines.append(f"{name}{labels} {_format_value(value)}")
+
+
+def render_exposition(
+    metrics: MetricsRegistry,
+    *,
+    prefix: str = "repro_",
+    help_texts: Optional[dict[str, str]] = None,
+    extra_gauges: Optional[dict[str, float]] = None,
+) -> str:
+    """Render a registry as Prometheus text exposition format 0.0.4.
+
+    ``extra_gauges`` lets a caller append point-in-time values (queue
+    depth, uptime) that are not stored in the registry.  ``help_texts``
+    maps *raw* (pre-sanitization) metric names to their HELP line."""
+    writer = _Writer(prefix, help_texts or {})
+    snapshot = metrics.snapshot()
+    for name, value in sorted(snapshot["counters"].items()):
+        writer.sample(writer.family(name, "counter"), value)
+    gauges = dict(snapshot["gauges"])
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for name, value in sorted(gauges.items()):
+        writer.sample(writer.family(name, "gauge"), value)
+    # Series degrade to count/sum: enough for a scraper to build rates
+    # and means out of bounded per-run observation lists.
+    for name, values in sorted(snapshot["series"].items()):
+        writer.sample(writer.family(name, "untyped", "_count"), len(values))
+        writer.sample(
+            writer.family(name, "untyped", "_sum"), round(sum(values), 6)
+        )
+    for name, hist in sorted(metrics.histograms.items()):
+        family = writer.family(name, "histogram")
+        cumulative = hist.cumulative()
+        for bound, running in zip(hist.bounds, cumulative):
+            writer.sample(
+                f"{family}_bucket", running, labels=f'{{le="{_format_value(float(bound))}"}}'
+            )
+        writer.sample(f"{family}_bucket", hist.count, labels='{le="+Inf"}')
+        writer.sample(f"{family}_sum", round(hist.sum, 6))
+        writer.sample(f"{family}_count", hist.count)
+    return "\n".join(writer.lines) + "\n"
+
+
+def _parse_float(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Validate Prometheus text format; returns a list of problems
+    (empty == conformant).  Strict on everything a scraper relies on:
+    line grammar, name/label charsets, float syntax, ``TYPE`` placement,
+    and histogram bucket invariants."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    sampled: set[str] = set()
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+
+    def base_family(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name.removesuffix(suffix)
+            if stripped != name and types.get(stripped) == "histogram":
+                return stripped
+        return name
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal; only HELP/TYPE are parsed.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    problems.append(f"line {lineno}: malformed {parts[1]} line")
+                continue
+            keyword, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                problems.append(f"line {lineno}: illegal metric name {name!r}")
+                continue
+            if keyword == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in _VALID_TYPES:
+                    problems.append(
+                        f"line {lineno}: invalid TYPE {kind!r} for {name}"
+                    )
+                if name in types:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name in sampled:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        sampled.add(base_family(name))
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_labels(raw_labels):
+                label_match = _LABEL_RE.match(pair)
+                if label_match is None:
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                    continue
+                labels[label_match.group("name")] = label_match.group("value")
+        try:
+            value = _parse_float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        family = base_family(name)
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                else:
+                    try:
+                        buckets.setdefault(family, []).append(
+                            (_parse_float(labels["le"]), value)
+                        )
+                    except ValueError:
+                        problems.append(
+                            f"line {lineno}: unparseable le {labels['le']!r}"
+                        )
+            elif name.endswith("_sum"):
+                sums[family] = value
+            elif name.endswith("_count"):
+                counts[family] = value
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        ladder = buckets.get(family, [])
+        if not any(math.isinf(le) and le > 0 for le, _ in ladder):
+            problems.append(f"histogram {family}: missing +Inf bucket")
+            continue
+        running = -1.0
+        for le, cumulative_count in ladder:
+            if cumulative_count < running:
+                problems.append(
+                    f"histogram {family}: bucket counts not cumulative"
+                )
+                break
+            running = cumulative_count
+        inf_count = next(c for le, c in ladder if math.isinf(le) and le > 0)
+        if family in counts and counts[family] != inf_count:
+            problems.append(
+                f"histogram {family}: +Inf bucket ({inf_count}) != _count "
+                f"({counts[family]})"
+            )
+        if family not in sums:
+            problems.append(f"histogram {family}: missing _sum")
+        if family not in counts:
+            problems.append(f"histogram {family}: missing _count")
+    return problems
+
+
+def _split_labels(raw: str) -> Iterable[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    out, current, in_quotes, escaped = [], [], False, False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            out.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        out.append("".join(current))
+    return out

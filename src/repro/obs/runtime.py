@@ -55,6 +55,9 @@ class Instrumentation:
     def observe(self, name: str, value: float) -> None:
         self.metrics.observe(name, value)
 
+    def observe_hist(self, name: str, value: float) -> None:
+        self.metrics.observe_hist(name, value)
+
     # -- spans ---------------------------------------------------------
     def span(self, name: str, **attrs):
         return self.tracer.span(name, **attrs)

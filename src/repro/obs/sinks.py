@@ -127,6 +127,19 @@ def render_report(
             if len(values) > 12:
                 shown += f", … ({len(values)} points)"
             out.write(f"  {name:<32s}[{shown}]\n")
+    if metrics.histograms:
+        out.write("histograms:\n")
+        for name in sorted(metrics.histograms):
+            hist = metrics.histograms[name]
+            if hist.count:
+                quantiles = " ".join(
+                    f"p{int(q * 100)}={_format_value(round(hist.quantile(q), 3))}"
+                    for q in (0.5, 0.95, 0.99)
+                )
+                detail = f"n={hist.count} sum={_format_value(round(hist.sum, 3))} {quantiles}"
+            else:
+                detail = "n=0"
+            out.write(f"  {name:<32s}{detail}\n")
     if not (spans or metrics):
         out.write("  (no data recorded)\n")
     return out.getvalue().rstrip("\n")

@@ -9,8 +9,8 @@ exception, because load shedding and budget exhaustion are expected
 operating conditions a caller must branch on.
 
 Also here: :func:`http_get`, a dependency-free scrape of the ops plane
-(``/healthz``, ``/metrics``) used by tests, the CI smoke job, and the
-benchmark harness.
+(``/healthz``, ``/metrics``, ``/debug/requests``) used by tests, the CI
+smoke job, the benchmark harness, and ``repro tail``.
 """
 
 from __future__ import annotations
@@ -22,7 +22,15 @@ from typing import Any, Optional
 
 from . import protocol
 
-__all__ = ["ServiceClient", "ServiceError", "http_get", "healthz", "wait_until_ready"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "http_get",
+    "healthz",
+    "debug_requests",
+    "fetch_trace",
+    "wait_until_ready",
+]
 
 
 class ServiceError(RuntimeError):
@@ -112,12 +120,19 @@ class ServiceClient:
         return self.request({"op": "status"})
 
     def register(
-        self, theory: str, *, strategy: str = "auto", request_id: Any = None
+        self,
+        theory: str,
+        *,
+        strategy: str = "auto",
+        request_id: Any = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
         req: dict[str, Any] = {"op": "register", "theory": theory,
                                "strategy": strategy}
         if request_id is not None:
             req["id"] = request_id
+        if trace_id is not None:
+            req["trace_id"] = trace_id
         return self.request(req)
 
     def query(
@@ -132,6 +147,8 @@ class ServiceClient:
         max_depth: Optional[int] = None,
         strategy: Optional[str] = None,
         request_id: Any = None,
+        trace_id: Optional[str] = None,
+        explain: bool = False,
     ) -> dict:
         req: dict[str, Any] = {"op": "query", "output": output}
         if theory is not None:
@@ -150,6 +167,10 @@ class ServiceClient:
             req["strategy"] = strategy
         if request_id is not None:
             req["id"] = request_id
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        if explain:
+            req["explain"] = True
         return self.request(req)
 
 
@@ -183,6 +204,29 @@ def healthz(host: str, port: int, *, timeout: float = 10.0) -> dict:
     status, body = http_get(host, port, "/healthz", timeout=timeout)
     if status != 200:
         raise ServiceError(f"/healthz answered HTTP {status}")
+    return json.loads(body)
+
+
+def debug_requests(host: str, port: int, *, timeout: float = 10.0) -> dict:
+    """Parsed flight-recorder listing (``/debug/requests``)."""
+    status, body = http_get(host, port, "/debug/requests", timeout=timeout)
+    if status != 200:
+        raise ServiceError(f"/debug/requests answered HTTP {status}")
+    return json.loads(body)
+
+
+def fetch_trace(
+    host: str, port: int, trace_id: str, *, timeout: float = 10.0
+) -> Optional[dict]:
+    """One full end-to-end trace by id, or ``None`` when the flight
+    recorder no longer holds it (evicted or never recorded)."""
+    status, body = http_get(
+        host, port, f"/debug/requests/{trace_id}", timeout=timeout
+    )
+    if status == 404:
+        return None
+    if status != 200:
+        raise ServiceError(f"/debug/requests/{trace_id} answered HTTP {status}")
     return json.loads(body)
 
 

@@ -97,7 +97,38 @@ def run_job(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -> dict:
     failure mode is a structured error dict — this function must never
     raise, because an escaped exception would take down the worker and
     turn one bad request into a crash-recovery event.
+
+    When the job carries ``trace: true`` the engine work runs under a
+    fresh ambient :func:`~repro.obs.runtime.instrumented` scope and the
+    recorded span tree (compile phases, materialization, CQ evaluation)
+    ships back in the payload under ``trace`` — the worker half of the
+    end-to-end request trace the server assembles.  The envelope anchors
+    its spans with the worker's ``time.monotonic()`` at job start, which
+    shares ``CLOCK_MONOTONIC`` with the parent on one host.
     """
+    if not job.get("trace"):
+        return _run_job_inner(registry, job, allow_faults=allow_faults)
+    from ..obs.runtime import instrumented
+    from .tracing import spans_to_wire
+
+    anchor_monotonic = time.monotonic()
+    anchor_perf = time.perf_counter()
+    with instrumented() as instr:
+        with instr.span("worker.job", kind=job.get("kind", "query")):
+            payload = _run_job_inner(registry, job, allow_faults=allow_faults)
+    wire_spans, dropped = spans_to_wire(instr.tracer.spans, anchor_perf)
+    payload["trace"] = {
+        "trace_id": job.get("trace_id"),
+        "parent_span_id": job.get("span_id"),
+        "started_monotonic": anchor_monotonic,
+        "spans": wire_spans,
+        "dropped": dropped,
+    }
+    return payload
+
+
+def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -> dict:
+    """The untraced body of :func:`run_job` (see its contract)."""
     # Imported lazily so the module stays importable for type checking
     # without triggering package cycles at spawn time.
     from ..core.parser import ParseError, parse_database
@@ -339,8 +370,9 @@ class WorkerPool:
         return worker_id
 
     # ------------------------------------------------------------------
-    def dispatch(self, theory_text: str, jobs: list[dict]) -> None:
-        """Send one same-theory batch to the least-loaded live worker."""
+    def dispatch(self, theory_text: str, jobs: list[dict]) -> int:
+        """Send one same-theory batch to the least-loaded live worker;
+        returns that worker's id (for trace attribution)."""
         now = time.monotonic()
         with self._lock:
             live = [
@@ -350,7 +382,7 @@ class WorkerPool:
             ]
             if not live:
                 raise RuntimeError("no live workers")
-            _, _, worker = min(live, key=lambda item: (item[0], item[1]))
+            _, worker_id, worker = min(live, key=lambda item: (item[0], item[1]))
             for job in jobs:
                 worker.in_flight[job["job_id"]] = (
                     job,
@@ -358,6 +390,7 @@ class WorkerPool:
                     self._hard_deadline(job, now),
                 )
         worker.inbox.put((theory_text, jobs))
+        return worker_id
 
     def _hard_deadline(self, job: dict, now: float) -> Optional[float]:
         factor = self.config.hard_kill_factor

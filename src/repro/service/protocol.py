@@ -37,6 +37,21 @@ JSON value; echoed verbatim on the response so clients may pipeline):
     Operational snapshot: queue depth, worker liveness, registry and
     admission counters.
 
+Trace context
+-------------
+``register`` and ``query`` accept distributed-tracing fields: a client
+may supply its own ``trace_id`` (a non-empty string, at most 128
+characters) and optionally a ``span_id`` naming the client-side parent
+span; the server generates a ``trace_id`` otherwise.  Every traced
+response echoes ``trace_id``, and the assembled end-to-end trace —
+server phases (admission, queue wait, dispatch) with the worker's engine
+spans nested under dispatch — is retrievable from the ops plane at
+``GET /debug/requests/<trace_id>`` while it lives in the flight
+recorder.  A query carrying ``"explain": true`` additionally returns the
+trace inline under ``trace`` (phase breakdown plus the worker span
+tree).  ``GET /debug/requests`` lists the most recent and the slowest
+recorded traces.
+
 Responses
 ---------
 ``ok`` is ``true`` unless the request itself failed; resource
@@ -53,9 +68,12 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from .tracing import TRACE_ID_MAX_CHARS
+
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
+    "TRACE_ID_MAX_CHARS",
     "OPS",
     "ERR_INVALID_REQUEST",
     "ERR_PARSE",
@@ -144,10 +162,24 @@ def validate_request(obj: dict) -> Optional[str]:
     op = obj.get("op")
     if op not in OPS:
         return f"unknown op {op!r}; expected one of {OPS}"
+    if op in ("register", "query"):
+        trace_id = obj.get("trace_id")
+        if trace_id is not None:
+            if not isinstance(trace_id, str) or not trace_id:
+                return "'trace_id' must be a non-empty string"
+            if len(trace_id) > TRACE_ID_MAX_CHARS:
+                return f"'trace_id' exceeds {TRACE_ID_MAX_CHARS} characters"
+        span_id = obj.get("span_id")
+        if span_id is not None and (
+            not isinstance(span_id, str) or len(span_id) > TRACE_ID_MAX_CHARS
+        ):
+            return "'span_id' must be a string of bounded length"
     if op == "register":
         if not isinstance(obj.get("theory"), str) or not obj["theory"].strip():
             return "register requires a non-empty 'theory' rule text"
     if op == "query":
+        if "explain" in obj and not isinstance(obj["explain"], bool):
+            return "'explain' must be a boolean"
         if not isinstance(obj.get("output"), str) or not obj["output"]:
             return "query requires an 'output' relation name"
         if "theory" in obj and not isinstance(obj["theory"], str):

@@ -184,38 +184,57 @@ class CompiledTheory:
             )
         if self.strategy in (STRATEGY_DATALOG, STRATEGY_TRANSLATE):
             assert self.program is not None
-            with _obs_span("service.answer", strategy=self.strategy):
+            with _obs_span("service.answer", strategy=self.strategy) as span:
                 fixpoint = self._cache_get(db_key)
+                if span is not None:
+                    span.set(cache_hit=fixpoint is not None)
                 if fixpoint is None:
-                    fixpoint = evaluate(self.program, database)
+                    with _obs_span("service.materialize", strategy=self.strategy):
+                        fixpoint = evaluate(self.program, database)
                     self._cache_put(db_key, fixpoint)
-                return Outcome(value=answers_in(fixpoint, output), complete=True)
+                with _obs_span("service.cq_eval", output=output):
+                    return Outcome(
+                        value=answers_in(fixpoint, output), complete=True
+                    )
         if self.strategy == STRATEGY_WFG:
             assert self.rewriting is not None
-            with _obs_span("service.answer", strategy=self.strategy):
+            with _obs_span("service.answer", strategy=self.strategy) as span:
                 fixpoint = self._cache_get(db_key)
+                if span is not None:
+                    span.set(cache_hit=fixpoint is not None)
                 if fixpoint is None:
-                    prepared = self.rewriting.prepare_database(database)
-                    grounded = partial_grounding(self.rewriting.theory, prepared)
-                    datalog = nearly_guarded_to_datalog(
-                        grounded, max_rules=self.saturation_max_rules
-                    )
-                    fixpoint = evaluate(datalog, prepared)
+                    with _obs_span("service.materialize", strategy=self.strategy):
+                        prepared = self.rewriting.prepare_database(database)
+                        grounded = partial_grounding(
+                            self.rewriting.theory, prepared
+                        )
+                        datalog = nearly_guarded_to_datalog(
+                            grounded, max_rules=self.saturation_max_rules
+                        )
+                        fixpoint = evaluate(datalog, prepared)
                     self._cache_put(db_key, fixpoint)
-                answers = {
-                    self.rewriting.restore_answer(output, answer)
-                    for answer in answers_in(fixpoint, output)
-                }
-                return Outcome(value=answers, complete=True)
-        with _obs_span("service.answer", strategy=STRATEGY_CHASE):
+                with _obs_span("service.cq_eval", output=output):
+                    answers = {
+                        self.rewriting.restore_answer(output, answer)
+                        for answer in answers_in(fixpoint, output)
+                    }
+                    return Outcome(value=answers, complete=True)
+        with _obs_span("service.answer", strategy=STRATEGY_CHASE) as span:
             # A *complete* chase instance is budget-independent (budgets
             # only truncate), so the cache key is the database alone and
             # truncated runs are never stored.
             instance = self._cache_get(db_key)
+            if span is not None:
+                span.set(cache_hit=instance is not None)
             if instance is not None:
-                return Outcome(value=answers_in(instance, output), complete=True)
-            result = run_chase(self.theory, database, budget=budget)
-            answers = answers_in(result.database, output)
+                with _obs_span("service.cq_eval", output=output):
+                    return Outcome(
+                        value=answers_in(instance, output), complete=True
+                    )
+            with _obs_span("service.materialize", strategy=STRATEGY_CHASE):
+                result = run_chase(self.theory, database, budget=budget)
+            with _obs_span("service.cq_eval", output=output):
+                answers = answers_in(result.database, output)
             if result.complete:
                 self._cache_put(db_key, result.database)
                 return Outcome(value=answers, complete=True)

@@ -8,8 +8,11 @@ One process, one event loop, two listeners:
   comes from concurrent connections;
 * the **ops plane** (a second listener on ``http_port``) speaks just
   enough HTTP/1.1 for ``GET /healthz`` (JSON liveness: version, worker
-  PIDs, drain state) and ``GET /metrics`` (Prometheus-style text
-  rendering of the server's :class:`~repro.obs.metrics.MetricsRegistry`).
+  PIDs, drain state), ``GET /metrics`` (Prometheus text exposition of
+  the server's :class:`~repro.obs.metrics.MetricsRegistry`, latency
+  histograms included), and ``GET /debug/requests[/<trace_id>]`` (the
+  flight recorder: recent/slowest trace summaries, or one full
+  end-to-end span tree by trace id — see :mod:`repro.service.tracing`).
 
 Admission control is a single bounded count: ``queue_limit`` caps jobs
 that are admitted but not yet answered (queued *or* in flight on a
@@ -45,9 +48,11 @@ from typing import Any, Optional
 
 from .. import __version__
 from ..obs.metrics import MetricsRegistry
+from ..obs.prometheus import render_exposition
 from . import protocol
 from .pool import PoolConfig, WorkerPool
 from .registry import REQUESTABLE_STRATEGIES, content_hash
+from .tracing import FlightRecorder, RequestTrace
 
 __all__ = ["ServiceConfig", "ReasoningServer", "serve"]
 
@@ -90,6 +95,21 @@ class ServiceConfig:
     max_rules: int = 100_000
     saturation_max_rules: int = 200_000
     drain_grace: float = 10.0
+    #: End-to-end request tracing (trace ids, worker span capture, the
+    #: flight recorder).  Off, requests run exactly as before.
+    trace: bool = True
+    #: Deep-trace (capture the worker's span tree for) one request in
+    #: ``trace_sample``; requests with explicit trace context
+    #: (client-supplied ``trace_id``/``span_id``) or ``explain: true``
+    #: always deep-trace.  0 disables sampling (explicit-only).  The
+    #: server-side trace — marks, phase breakdown, latency histograms,
+    #: flight-recorder entry — is kept for *every* request regardless;
+    #: only the worker-side instrumentation + envelope is sampled, so
+    #: the hot path stays within the tracing overhead budget.
+    trace_sample: int = 16
+    #: Flight-recorder ring sizes: last N traces / slowest M traces.
+    recent_traces: int = 256
+    slow_traces: int = 32
 
     def pool_config(self) -> PoolConfig:
         return PoolConfig(
@@ -111,6 +131,7 @@ class _Job:
     payload: dict
     theory_text: str
     future: asyncio.Future = field(repr=False)
+    trace: Optional[RequestTrace] = None
 
 
 class ReasoningServer:
@@ -124,6 +145,7 @@ class ReasoningServer:
             )
         self.config = config
         self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder(config.recent_traces, config.slow_traces)
         self.pool = WorkerPool(config.pool_config())
         #: content hash -> rule text, for queries naming a theory by hash.
         self._texts: dict[str, str] = {}
@@ -134,6 +156,7 @@ class ReasoningServer:
         self._pending: list[_Job] = []
         self._in_flight: dict[str, _Job] = {}
         self._job_ids = itertools.count(1)
+        self._trace_seq = itertools.count()
         self._dispatch_wakeup: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._servers: list[asyncio.base_events.Server] = []
@@ -269,7 +292,14 @@ class ReasoningServer:
     def _outstanding(self) -> int:
         return len(self._pending) + len(self._in_flight)
 
-    def _admit(self, payload: dict, theory_text: str, *, force: bool = False) -> _Job:
+    def _admit(
+        self,
+        payload: dict,
+        theory_text: str,
+        *,
+        force: bool = False,
+        trace: Optional[RequestTrace] = None,
+    ) -> _Job:
         """Assign a job id, enqueue, wake the dispatcher.
 
         ``force`` bypasses the cap (internal warm-up jobs only).  Raises
@@ -278,14 +308,23 @@ class ReasoningServer:
         job_id = f"job-{next(self._job_ids)}"
         payload = dict(payload)
         payload["job_id"] = job_id
+        if trace is not None and trace.deep:
+            # The worker runs the job under instrumentation and ships its
+            # span tree back in the result envelope (see pool.run_job).
+            payload["trace"] = True
+            payload["trace_id"] = trace.trace_id
+            payload["span_id"] = trace.span_id
         assert self._loop is not None
         job = _Job(
             job_id=job_id,
             payload=payload,
             theory_text=theory_text,
             future=self._loop.create_future(),
+            trace=trace,
         )
         self._pending.append(job)
+        if trace is not None:
+            trace.mark("admitted")
         if not force and self._dispatch_wakeup is not None:
             self._dispatch_wakeup.set()
         return job
@@ -308,18 +347,25 @@ class ReasoningServer:
                 for job in jobs:
                     self._in_flight[job.job_id] = job
                 try:
-                    self.pool.dispatch(
+                    worker_id = self.pool.dispatch(
                         jobs[0].theory_text, [job.payload for job in jobs]
                     )
                 except RuntimeError as exc:  # no live workers
                     for job in jobs:
                         self._in_flight.pop(job.job_id, None)
+                        if job.trace is not None:
+                            job.trace.event("dispatch_failed", message=str(exc))
                         if not job.future.done():
                             job.future.set_result(
                                 protocol.error_response(
                                     protocol.ERR_INTERNAL, str(exc)
                                 )
                             )
+                else:
+                    for job in jobs:
+                        if job.trace is not None:
+                            job.trace.mark("dispatched")
+                            job.trace.set(worker=worker_id, batch_size=len(jobs))
 
     def _on_worker_result(self, job_id: str, payload: dict) -> None:
         """Pump-thread callback — marshal onto the loop."""
@@ -338,6 +384,16 @@ class ReasoningServer:
         job = self._in_flight.pop(job_id, None)
         if job is None or job.future.done():
             return
+        if job.trace is not None:
+            job.trace.mark("completed")
+            error = payload.get("error")
+            if (
+                isinstance(error, dict)
+                and error.get("code") == protocol.ERR_WORKER_CRASHED
+            ):
+                job.trace.event(
+                    "worker_crashed", message=error.get("message", "")
+                )
         stats = payload.get("stats")
         if isinstance(stats, dict):
             for key in _WORKER_STAT_KEYS:
@@ -346,7 +402,9 @@ class ReasoningServer:
                     self.metrics.inc(f"service.worker.{key}", value)
             elapsed = stats.get("elapsed_ms")
             if elapsed is not None:
-                self.metrics.observe("service.worker.elapsed_ms", elapsed)
+                # Histogram, not a series: constant memory under any
+                # request volume (a series would grow per batch forever).
+                self.metrics.observe_hist("service.worker.elapsed_ms", elapsed)
         job.future.set_result(payload)
 
     # ------------------------------------------------------------------
@@ -440,6 +498,12 @@ class ReasoningServer:
                 "hard_kills": self.pool.hard_kills,
             },
             "theories": len(self._texts),
+            "tracing": {
+                "enabled": self.config.trace,
+                "sample": self.config.trace_sample,
+                "recorded": self.recorder.recorded,
+                "held": len(self.recorder),
+            },
             "counters": dict(self.metrics.counters),
         }
 
@@ -462,42 +526,120 @@ class ReasoningServer:
             )
         return None
 
+    def _begin_trace(
+        self, op: str, request: dict, *, deep_default: bool = False
+    ) -> Optional[RequestTrace]:
+        """Open a trace and decide its depth.
+
+        Every request gets the cheap server-side trace (marks, phase
+        breakdown, histograms, a flight-recorder entry).  *Deep* traces
+        additionally run the worker under instrumentation and ship its
+        span tree back — that is the expensive half, so it is reserved
+        for requests with explicit trace context (a client-supplied
+        ``trace_id``/``span_id``), ``explain: true``, and a 1-in-
+        ``trace_sample`` sample of the rest (see DESIGN.md §11.3)."""
+        if not self.config.trace:
+            return None
+        trace = RequestTrace.begin(op, request)
+        sample = self.config.trace_sample
+        trace.deep = bool(
+            deep_default
+            or trace.client_supplied
+            or trace.parent_span_id is not None
+            or request.get("explain")
+            or (sample > 0 and next(self._trace_seq) % sample == 0)
+        )
+        return trace
+
+    def _finish_trace(
+        self,
+        trace: Optional[RequestTrace],
+        response: dict,
+        *,
+        explain: bool = False,
+    ) -> dict:
+        """Finalise and record a trace; annotate (never mutate the shape
+        of) the response.
+
+        The worker's raw span envelope is popped off the response — it is
+        server-side assembly material, not client payload — and the
+        per-op / per-phase latency histograms are fed here, so the
+        ``/metrics`` ladder covers exactly the traced requests."""
+        if trace is None:
+            return response
+        envelope = response.pop("trace", None)
+        if isinstance(envelope, dict):
+            trace.attach_worker(envelope)
+        error = response.get("error")
+        if response.get("ok"):
+            status = "ok" if response.get("complete", True) else "partial"
+        elif isinstance(error, dict):
+            kind = "shed" if response.get("shed") else "error"
+            status = f"{kind}:{error.get('code', 'unknown')}"
+        else:
+            status = "error:unknown"
+        trace.finish(status)
+        self.recorder.record(trace)
+        if trace.elapsed_ms is not None:
+            self.metrics.observe_hist(
+                f"service.request_ms.{trace.op}", trace.elapsed_ms
+            )
+        for phase, duration in trace.phases().items():
+            self.metrics.observe_hist(f"service.phase_ms.{phase}", duration)
+        response["trace_id"] = trace.trace_id
+        if explain:
+            response["trace"] = trace.to_json()
+        return response
+
     async def _op_register(self, request: dict) -> dict:
-        shed = self._shed_or_none(request.get("id"))
+        request_id = request.get("id")
+        # Registers are rare and compile-dominated: always deep-trace.
+        trace = self._begin_trace("register", request, deep_default=True)
+        shed = self._shed_or_none(request_id)
         if shed is not None:
-            return shed
+            return self._finish_trace(trace, shed)
         strategy = request.get("strategy", "auto")
         if strategy not in REQUESTABLE_STRATEGIES:
-            return protocol.error_response(
-                protocol.ERR_INVALID_REQUEST,
-                f"unknown strategy {strategy!r}; expected one of "
-                f"{REQUESTABLE_STRATEGIES}",
-                request_id=request.get("id"),
+            return self._finish_trace(
+                trace,
+                protocol.error_response(
+                    protocol.ERR_INVALID_REQUEST,
+                    f"unknown strategy {strategy!r}; expected one of "
+                    f"{REQUESTABLE_STRATEGIES}",
+                    request_id=request_id,
+                ),
             )
         text = request["theory"]
         self.metrics.inc("service.registrations")
         job = self._admit(
             {"kind": "register", "strategy": strategy, "source": "<register op>"},
             text,
+            trace=trace,
         )
         result = await self._await_job(job, timeout=self.config.default_timeout)
         if result.get("ok"):
             self._texts[result["theory"]] = text
-        return result
+        return self._finish_trace(trace, result)
 
     async def _op_query(self, request: dict) -> dict:
         request_id = request.get("id")
+        trace = self._begin_trace("query", request)
+        explain = bool(request.get("explain"))
         shed = self._shed_or_none(request_id)
         if shed is not None:
-            return shed
+            return self._finish_trace(trace, shed, explain=explain)
         theory_text = self._resolve_theory(request)
         if theory_text is None:
-            return protocol.error_response(
-                protocol.ERR_UNKNOWN_THEORY,
-                "no theory: name a registered content hash in 'theory', "
-                "inline rules in 'theory_text', or start the server with a "
-                "default theory",
-                request_id=request_id,
+            return self._finish_trace(
+                trace,
+                protocol.error_response(
+                    protocol.ERR_UNKNOWN_THEORY,
+                    "no theory: name a registered content hash in 'theory', "
+                    "inline rules in 'theory_text', or start the server with "
+                    "a default theory",
+                    request_id=request_id,
+                ),
+                explain=explain,
             )
         timeout = request.get("timeout", self.config.default_timeout)
         payload = {
@@ -511,9 +653,12 @@ class ReasoningServer:
         }
         if "inject" in request:
             payload["inject"] = request["inject"]
+        if trace is not None:
+            trace.set(output=request["output"])
         self.metrics.inc("service.queries")
-        job = self._admit(payload, theory_text)
-        return await self._await_job(job, timeout=timeout)
+        job = self._admit(payload, theory_text, trace=trace)
+        result = await self._await_job(job, timeout=timeout)
+        return self._finish_trace(trace, result, explain=explain)
 
     def _resolve_theory(self, request: dict) -> Optional[str]:
         if "theory_text" in request:
@@ -543,6 +688,8 @@ class ReasoningServer:
             if job in self._pending:
                 self._pending.remove(job)
             self.metrics.inc("service.lost_jobs")
+            if job.trace is not None:
+                job.trace.event("abandoned")
             return protocol.error_response(
                 protocol.ERR_INTERNAL,
                 "worker response overdue; job abandoned",
@@ -563,30 +710,48 @@ class ReasoningServer:
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
 
+    #: ``# HELP`` text for the metrics a dashboard reaches for first.
+    _METRIC_HELP = {
+        "service.requests": "NDJSON requests received on the query plane.",
+        "service.queries": "Query ops admitted past validation.",
+        "service.worker.elapsed_ms": "Worker-side job latency histogram.",
+        "service.request_ms.query": "End-to-end query latency histogram.",
+        "service.request_ms.register": "End-to-end register latency histogram.",
+        "service.queue_depth": "Jobs admitted but not yet dispatched.",
+        "service.in_flight": "Jobs currently on a worker.",
+        "service.workers_alive": "Live worker processes.",
+        "service.worker_restarts_total": "Worker respawns since start.",
+        "service.uptime_seconds": "Seconds since server start.",
+    }
+
     def render_metrics(self) -> str:
-        """Prometheus text exposition of the server registry (counters
-        and gauges; series render count/sum, which is all a scraper
-        needs for rates and means)."""
-        lines: list[str] = []
+        """Prometheus text exposition (format 0.0.4) of the server
+        registry: counters, gauges, latency histograms with the full
+        ``_bucket``/``_sum``/``_count`` ladder, plus point-in-time
+        operational gauges.  Validated by
+        :func:`repro.obs.prometheus.validate_exposition` in CI."""
+        return render_exposition(
+            self.metrics,
+            help_texts=self._METRIC_HELP,
+            extra_gauges={
+                "service.queue_depth": len(self._pending),
+                "service.in_flight": len(self._in_flight),
+                "service.workers_alive": self.pool.alive_workers(),
+                "service.worker_restarts_total": self.pool.restarts,
+                "service.uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+            },
+        )
 
-        def emit(name: str, value) -> None:
-            metric = "repro_" + name.replace(".", "_").replace("-", "_")
-            lines.append(f"{metric} {value}")
-
-        snapshot = self.metrics.snapshot()
-        for name, value in sorted(snapshot.get("counters", {}).items()):
-            emit(name, value)
-        for name, value in sorted(snapshot.get("gauges", {}).items()):
-            emit(name, value)
-        for name, values in sorted(snapshot.get("series", {}).items()):
-            emit(f"{name}_count", len(values))
-            emit(f"{name}_sum", round(sum(values), 6))
-        emit("service.queue_depth", len(self._pending))
-        emit("service.in_flight", len(self._in_flight))
-        emit("service.workers_alive", self.pool.alive_workers())
-        emit("service.worker_restarts_total", self.pool.restarts)
-        emit("service.uptime_seconds", round(time.monotonic() - self._started_at, 3))
-        return "\n".join(lines) + "\n"
+    def debug_requests(self) -> dict:
+        """``GET /debug/requests``: recent + slowest trace summaries."""
+        return {
+            "tracing": self.config.trace,
+            "recorded": self.recorder.recorded,
+            "recent": [trace.to_summary() for trace in self.recorder.recent()],
+            "slowest": [trace.to_summary() for trace in self.recorder.slowest()],
+        }
 
     async def _handle_http_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -611,9 +776,31 @@ class ReasoningServer:
                 self._http_respond(
                     writer, 200, "text/plain; version=0.0.4", body
                 )
+            elif path == "/debug/requests":
+                body = json.dumps(self.debug_requests(), sort_keys=True).encode()
+                self._http_respond(writer, 200, "application/json", body)
+            elif path is not None and path.startswith("/debug/requests/"):
+                trace_id = path[len("/debug/requests/"):]
+                trace = self.recorder.lookup(trace_id)
+                if trace is None:
+                    self._http_respond(
+                        writer,
+                        404,
+                        "application/json",
+                        json.dumps(
+                            {"error": "trace not found (evicted or unknown)",
+                             "trace_id": trace_id}
+                        ).encode(),
+                    )
+                else:
+                    body = json.dumps(trace.to_json(), sort_keys=True).encode()
+                    self._http_respond(writer, 200, "application/json", body)
             else:
                 self._http_respond(
-                    writer, 404, "text/plain", b"not found: try /healthz or /metrics\n"
+                    writer,
+                    404,
+                    "text/plain",
+                    b"not found: try /healthz, /metrics or /debug/requests\n",
                 )
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError, ValueError):

@@ -1,0 +1,437 @@
+"""End-to-end request traces and the flight recorder.
+
+One NDJSON request = one :class:`RequestTrace`.  The server creates it
+at ingress (honouring a client-supplied ``trace_id``, generating one
+otherwise), stamps **marks** as the request moves through the pipeline
+(``admitted`` → ``dispatched`` → ``completed`` → finish), and grafts the
+**worker-side span tree** — shipped back in the result envelope by
+:func:`repro.service.pool.run_job` — under the dispatch phase.  The
+result is a single tree covering queue wait, dispatch/batching, and the
+worker's compile/materialize/CQ-evaluation phases, addressable by
+``trace_id``.
+
+Span taxonomy (stable names, see DESIGN.md §11):
+
+* ``request`` — the root; attrs carry op, worker id, batch size;
+* ``request.admission`` — ingress → admission decision;
+* ``request.queue`` — admitted → swept by the batching dispatcher
+  (**queue wait**);
+* ``request.dispatch`` — dispatched → worker result marshalled back
+  (IPC + worker inbox + execution); worker spans nest here;
+* ``request.respond`` — result → response finalised;
+* ``worker.job`` — the worker-side root, children are the engine spans
+  (``service.compile*``, ``service.answer``, ``service.materialize``,
+  ``service.cq_eval``, ``chase``, ``datalog.evaluate``, …).
+
+Cross-process clocks: the worker anchors its spans with
+``time.monotonic()`` captured at job start; parent and child share
+``CLOCK_MONOTONIC`` on one host, and the anchor is clamped into the
+dispatch window so a skewed clock can never produce a span outside its
+parent.
+
+The :class:`FlightRecorder` keeps two bounded rings: the most *recent*
+N traces (a deque — arrival order, oldest evicted) and the *slowest* M
+by wall latency (a min-heap — the fastest of the slow is evicted).  A
+trace can sit in both; lookup scans both, newest first.  Memory is
+O(N + M) regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..obs.tracer import Span
+
+__all__ = [
+    "TRACE_ID_MAX_CHARS",
+    "MAX_WIRE_SPANS",
+    "RequestTrace",
+    "FlightRecorder",
+    "new_trace_id",
+    "new_span_id",
+    "spans_to_wire",
+    "render_trace_line",
+    "render_trace_tree",
+]
+
+#: Upper bound on a client-supplied trace id (defensive: ids are echoed
+#: into responses, debug URLs, and log lines).
+TRACE_ID_MAX_CHARS = 128
+
+#: Upper bound on worker spans shipped per result envelope; beyond it
+#: the tail is dropped and counted, never silently truncated.
+MAX_WIRE_SPANS = 512
+
+#: The server-side phases, in pipeline order.
+PHASES = ("admission", "queue", "dispatch", "respond")
+
+
+# Generated ids are a random per-process prefix plus a counter — unique
+# across restarts, and ~20x cheaper than a uuid4 per id on the request
+# hot path (two ids per request; the entropy is paid once at import).
+_ID_PREFIX = uuid.uuid4().hex[:12]
+_TRACE_IDS = itertools.count(1)
+_SPAN_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    return f"{_ID_PREFIX}{next(_TRACE_IDS):08x}"
+
+
+def new_span_id() -> str:
+    return f"{_ID_PREFIX[:8]}{next(_SPAN_IDS):08x}"
+
+
+def _json_safe(attrs: dict) -> dict:
+    """Span attrs cross a process boundary as JSON; coerce exotic values
+    (terms, paths) to strings rather than fail the whole envelope."""
+    return {
+        str(key): value
+        if isinstance(value, (str, int, float, bool)) or value is None
+        else str(value)
+        for key, value in attrs.items()
+    }
+
+
+def spans_to_wire(
+    spans: list[Span], anchor: float
+) -> tuple[list[dict], int]:
+    """Serialise recorded spans for the result envelope.
+
+    ``anchor`` is the ``perf_counter`` instant of job start; offsets ship
+    relative to it.  Returns ``(wire_spans, dropped)`` where ``dropped``
+    counts spans beyond :data:`MAX_WIRE_SPANS`."""
+    wire = [
+        {
+            "name": span.name,
+            "depth": span.depth,
+            "start_ms": round((span.start - anchor) * 1e3, 3),
+            "duration_ms": round(span.duration * 1e3, 3),
+            "attrs": _json_safe(span.attrs),
+        }
+        for span in spans[:MAX_WIRE_SPANS]
+    ]
+    return wire, max(0, len(spans) - MAX_WIRE_SPANS)
+
+
+def _wire_spans_to_tree(wire_spans: list[dict], offset_ms: float) -> list[dict]:
+    """Rebuild the nesting from the flat depth-annotated list (spans are
+    recorded in start order, so a depth-stack walk is exact)."""
+    roots: list[dict] = []
+    stack: list[dict] = []
+    for record in wire_spans:
+        node = {
+            "name": record.get("name", "?"),
+            "start_ms": round(float(record.get("start_ms", 0.0)) + offset_ms, 3),
+            "duration_ms": record.get("duration_ms", 0.0),
+            "attrs": record.get("attrs", {}),
+            "children": [],
+        }
+        depth = int(record.get("depth", 0))
+        del stack[depth:]
+        if stack:
+            stack[-1]["children"].append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+@dataclass
+class RequestTrace:
+    """One request's end-to-end timeline, assembled server-side."""
+
+    trace_id: str
+    span_id: str
+    op: str
+    request_id: Any = None
+    parent_span_id: Optional[str] = None
+    client_supplied: bool = False
+    #: Deep traces additionally capture the worker's span tree (engine
+    #: phases); shallow ones keep only the server-side marks/phases.
+    #: The server decides at ingress — explicit trace context and
+    #: ``explain`` always go deep, the rest are sampled (DESIGN.md §11.3).
+    deep: bool = False
+    received_unix: float = field(default_factory=time.time)
+    started_monotonic: float = field(default_factory=time.monotonic)
+    attrs: dict = field(default_factory=dict)
+    #: mark name -> offset in ms from ``started_monotonic``.
+    marks: dict[str, float] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    #: The worker's result-envelope trace (spans + anchor), if any.
+    worker: Optional[dict] = None
+    status: str = "pending"
+    elapsed_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def begin(cls, op: str, request: dict) -> "RequestTrace":
+        """Open a trace at ingress, honouring client-supplied context."""
+        client_trace_id = request.get("trace_id")
+        client_supplied = isinstance(client_trace_id, str) and bool(client_trace_id)
+        return cls(
+            trace_id=client_trace_id if client_supplied else new_trace_id(),
+            span_id=new_span_id(),
+            op=op,
+            request_id=request.get("id"),
+            parent_span_id=request.get("span_id")
+            if isinstance(request.get("span_id"), str)
+            else None,
+            client_supplied=client_supplied,
+        )
+
+    def _offset_ms(self) -> float:
+        return (time.monotonic() - self.started_monotonic) * 1e3
+
+    def mark(self, name: str) -> None:
+        """Stamp a pipeline mark (first write wins — a retry cannot move
+        an earlier mark backwards)."""
+        self.marks.setdefault(name, round(self._offset_ms(), 3))
+
+    def event(self, name: str, **extra: Any) -> None:
+        """Record a point event (``worker_crashed``, ``shed``, …)."""
+        self.events.append(
+            {"t_ms": round(self._offset_ms(), 3), "event": name, **_json_safe(extra)}
+        )
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(_json_safe(attrs))
+
+    def attach_worker(self, envelope: dict) -> None:
+        """Adopt the worker's span envelope from the result payload."""
+        if isinstance(envelope, dict):
+            self.worker = envelope
+
+    def finish(self, status: str) -> None:
+        if self.elapsed_ms is None:
+            self.elapsed_ms = round(self._offset_ms(), 3)
+        self.status = status
+
+    # ------------------------------------------------------------------
+    def phases(self) -> dict[str, float]:
+        """Contiguous phase durations in ms; sums to ``elapsed_ms`` up to
+        rounding (each phase ends where the next begins)."""
+        if self.elapsed_ms is None:
+            return {}
+        edges = [0.0]
+        names: list[str] = []
+        cursor = 0.0
+        for phase, mark in (
+            ("admission", "admitted"),
+            ("queue", "dispatched"),
+            ("dispatch", "completed"),
+        ):
+            offset = self.marks.get(mark)
+            if offset is None:
+                continue
+            names.append(phase)
+            cursor = offset
+            edges.append(offset)
+        names.append("respond" if names else "admission")
+        edges.append(self.elapsed_ms)
+        return {
+            name: round(edges[index + 1] - edges[index], 3)
+            for index, name in enumerate(names)
+        }
+
+    def _worker_offset_ms(self) -> Optional[float]:
+        """Anchor the worker's span tree on this trace's timeline: the
+        worker's monotonic job-start, clamped into the dispatch window
+        (clock skew must never escape the parent span)."""
+        if not self.worker:
+            return None
+        anchor = self.worker.get("started_monotonic")
+        low = self.marks.get("dispatched", 0.0)
+        high = self.marks.get("completed", self.elapsed_ms or low)
+        if not isinstance(anchor, (int, float)):
+            return low
+        offset = (anchor - self.started_monotonic) * 1e3
+        return round(min(max(offset, low), high), 3)
+
+    def to_summary(self) -> dict:
+        """The one-line view (``/debug/requests``, ``repro tail``)."""
+        phases = self.phases()
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "id": self.request_id,
+            "status": self.status,
+            "received_unix": round(self.received_unix, 3),
+            "elapsed_ms": self.elapsed_ms,
+            "queue_ms": phases.get("queue"),
+            "dispatch_ms": phases.get("dispatch"),
+            "events": [event["event"] for event in self.events],
+            "attrs": dict(self.attrs),
+        }
+
+    def to_json(self) -> dict:
+        """The full span tree: server phases + grafted worker spans."""
+        phases = self.phases()
+        children: list[dict] = []
+        cursor = 0.0
+        for name in PHASES:
+            duration = phases.get(name)
+            if duration is None:
+                continue
+            node = {
+                "name": f"request.{name}",
+                "start_ms": round(cursor, 3),
+                "duration_ms": duration,
+                "attrs": {},
+                "children": [],
+            }
+            if name == "dispatch" and self.worker:
+                offset = self._worker_offset_ms() or cursor
+                node["children"] = _wire_spans_to_tree(
+                    self.worker.get("spans", []), offset
+                )
+                dropped = self.worker.get("dropped", 0)
+                if dropped:
+                    node["attrs"]["dropped_spans"] = dropped
+            children.append(node)
+            cursor += duration
+        root = {
+            "name": "request",
+            "start_ms": 0.0,
+            "duration_ms": self.elapsed_ms,
+            "attrs": {"op": self.op, **self.attrs},
+            "children": children,
+        }
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "op": self.op,
+            "id": self.request_id,
+            "status": self.status,
+            "received_unix": round(self.received_unix, 3),
+            "elapsed_ms": self.elapsed_ms,
+            "phases": phases,
+            "events": list(self.events),
+            "root": root,
+        }
+
+
+class FlightRecorder:
+    """Bounded rings of the most recent and the slowest request traces.
+
+    Eviction policy: the *recent* ring is a deque of the last
+    ``recent_capacity`` finished traces (arrival order, oldest out); the
+    *slow* ring keeps the ``slow_capacity`` largest ``elapsed_ms`` seen
+    since start (min-heap — a new trace must beat the fastest of the
+    slow to enter, which then leaves).  Lookup by id scans both rings,
+    preferring the most recent occurrence.  Everything is event-loop
+    confined; no locks.
+    """
+
+    def __init__(self, recent_capacity: int = 256, slow_capacity: int = 32) -> None:
+        if recent_capacity < 1 or slow_capacity < 0:
+            raise ValueError("flight recorder capacities must be positive")
+        self._recent: deque[RequestTrace] = deque(maxlen=recent_capacity)
+        self._slow: list[tuple[float, int, RequestTrace]] = []
+        self._slow_capacity = slow_capacity
+        self._seq = itertools.count()
+        self.recorded = 0
+
+    def record(self, trace: RequestTrace) -> None:
+        """Admit a finished trace to both rings (as it qualifies)."""
+        self.recorded += 1
+        self._recent.append(trace)
+        if self._slow_capacity and trace.elapsed_ms is not None:
+            entry = (trace.elapsed_ms, next(self._seq), trace)
+            if len(self._slow) < self._slow_capacity:
+                heapq.heappush(self._slow, entry)
+            elif entry[0] > self._slow[0][0]:
+                heapq.heapreplace(self._slow, entry)
+
+    def recent(self) -> list[RequestTrace]:
+        """Newest first."""
+        return list(reversed(self._recent))
+
+    def slowest(self) -> list[RequestTrace]:
+        """Slowest first."""
+        return [
+            trace
+            for _, _, trace in sorted(self._slow, key=lambda e: (-e[0], -e[1]))
+        ]
+
+    def lookup(self, trace_id: str) -> Optional[RequestTrace]:
+        for trace in self.recent():
+            if trace.trace_id == trace_id:
+                return trace
+        for trace in self.slowest():
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+
+# ----------------------------------------------------------------------
+# terminal rendering (repro tail)
+# ----------------------------------------------------------------------
+def _fmt_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}ms" if value < 1000 else f"{value / 1000:.2f}s"
+
+
+def render_trace_line(summary: dict) -> str:
+    """One request, one line: time, id, op, status, latency, phases."""
+    clock = time.strftime(
+        "%H:%M:%S", time.localtime(summary.get("received_unix", 0))
+    )
+    trace_id = str(summary.get("trace_id", "?"))
+    short_id = trace_id[:12] + "…" if len(trace_id) > 13 else trace_id
+    events = summary.get("events") or []
+    suffix = f"  !{','.join(events)}" if events else ""
+    return (
+        f"{clock}  {short_id:<13s} {summary.get('op', '?'):<8s} "
+        f"{str(summary.get('status', '?')):<22s} "
+        f"{_fmt_ms(summary.get('elapsed_ms')):>9s}  "
+        f"queue={_fmt_ms(summary.get('queue_ms'))} "
+        f"dispatch={_fmt_ms(summary.get('dispatch_ms'))}{suffix}"
+    )
+
+
+def render_trace_tree(trace: dict) -> str:
+    """Indented span tree of one full trace (``repro tail -v``)."""
+    lines = [
+        f"trace {trace.get('trace_id')} op={trace.get('op')} "
+        f"status={trace.get('status')} elapsed={_fmt_ms(trace.get('elapsed_ms'))}"
+    ]
+    for event in trace.get("events", []):
+        extras = " ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("t_ms", "event")
+        )
+        lines.append(
+            f"  ! {event.get('event')} @{_fmt_ms(event.get('t_ms'))}"
+            + (f" {extras}" if extras else "")
+        )
+
+    def walk(node: dict, depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        rendered_attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(attrs.items())
+        )
+        lines.append(
+            f"  {'  ' * depth}{node.get('name', '?'):<{max(30 - 2 * depth, 8)}s}"
+            f"{_fmt_ms(node.get('duration_ms')):>10s}"
+            + (f"  {rendered_attrs}" if rendered_attrs else "")
+        )
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    root = trace.get("root")
+    if root:
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Histogram metric kind and the Prometheus text exposition
+(`repro.obs.metrics.Histogram`, `repro.obs.prometheus`): bucket
+placement, merge, quantile interpolation, name sanitization, the
+rendered ``# HELP``/``# TYPE``/``_bucket`` ladder, and the strict
+grammar validator that CI runs against a live ``/metrics`` scrape.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Histogram,
+    MetricsRegistry,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.prometheus import sanitize_metric_name
+
+
+class TestHistogram:
+    def test_bucket_placement_is_le(self):
+        h = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 9.0, 10.0, 99.0, 1e6):
+            h.observe(value)
+        # le-semantics: a value equal to a bound lands in that bucket.
+        assert h.bucket_counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(0.5 + 1.0 + 9.0 + 10.0 + 99.0 + 1e6)
+
+    def test_cumulative_and_merge(self):
+        a = Histogram(bounds=(1.0, 10.0))
+        b = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0):
+            a.observe(v)
+        for v in (5.0, 50.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.cumulative() == [1, 3, 4]
+        mismatched = Histogram(bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(mismatched)
+
+    def test_quantiles_interpolate(self):
+        h = Histogram(bounds=(10.0, 20.0, 30.0))
+        for _ in range(100):
+            h.observe(15.0)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)  # domain is (0, 1]
+        # All mass in (10, 20]: the median interpolates inside it.
+        assert 10.0 < h.quantile(0.5) <= 20.0
+        assert Histogram(bounds=(1.0,)).quantile(0.5) is None
+
+    def test_quantile_clamps_overflow_to_last_finite_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(1e9)  # lands in the implicit +Inf bucket
+        assert h.quantile(0.99) == 2.0
+
+    def test_default_bounds_are_sorted_and_finite(self):
+        assert list(DEFAULT_LATENCY_BOUNDS_MS) == sorted(
+            DEFAULT_LATENCY_BOUNDS_MS
+        )
+        assert all(math.isfinite(b) for b in DEFAULT_LATENCY_BOUNDS_MS)
+
+    def test_registry_observe_hist_constant_memory(self):
+        metrics = MetricsRegistry()
+        for i in range(10_000):
+            metrics.observe_hist("svc.latency", float(i % 100))
+        h = metrics.histogram("svc.latency")
+        assert h is not None and h.count == 10_000
+        # The whole point: state is the bucket array, not the samples.
+        assert len(h.bucket_counts) == len(DEFAULT_LATENCY_BOUNDS_MS) + 1
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["svc.latency"]["count"] == 10_000
+        json.dumps(snapshot)  # must stay JSON-serialisable
+
+    def test_registry_merge_folds_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe_hist("x", 1.0)
+        b.observe_hist("x", 2.0)
+        b.observe_hist("y", 3.0)
+        a.merge(b)
+        assert a.histogram("x").count == 2
+        assert a.histogram("y").count == 1
+
+
+class TestSanitization:
+    def test_dots_and_dashes(self):
+        assert sanitize_metric_name("service.worker.elapsed_ms") == (
+            "service_worker_elapsed_ms"
+        )
+        assert sanitize_metric_name("a-b.c") == "a_b_c"
+
+    def test_illegal_runs_collapse_and_leading_digit(self):
+        assert sanitize_metric_name("weird !! name") == "weird_name"
+        assert sanitize_metric_name("7th_percentile").startswith("_")
+
+
+class TestExposition:
+    def build_registry(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.inc("service.requests", 5)
+        metrics.gauge("service.queue_depth", 2)
+        metrics.observe("chase.rounds", 3.0)
+        for v in (0.4, 12.0, 800.0):
+            metrics.observe_hist("service.request_ms.query", v)
+        return metrics
+
+    def test_render_is_valid_and_complete(self):
+        text = render_exposition(
+            self.build_registry(),
+            help_texts={"service.requests": "Requests received."},
+            extra_gauges={"service.uptime_seconds": 12.5},
+        )
+        assert validate_exposition(text) == []
+        assert "# HELP repro_service_requests Requests received." in text
+        assert "# TYPE repro_service_requests counter" in text
+        assert "# TYPE repro_service_request_ms_query histogram" in text
+        assert 'repro_service_request_ms_query_bucket{le="+Inf"} 3' in text
+        assert "repro_service_request_ms_query_count 3" in text
+        assert "repro_service_uptime_seconds 12.5" in text
+        # Series still render their count/sum summary.
+        assert "repro_chase_rounds_count 1" in text
+
+    def test_bucket_ladder_is_cumulative(self):
+        text = render_exposition(self.build_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_service_request_ms_query_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_validator_catches_corruption(self):
+        text = render_exposition(self.build_registry())
+        # An unparseable sample line.
+        broken = text.replace("repro_service_requests 5", "repro service 5", 1)
+        assert any("unparseable" in p for p in validate_exposition(broken))
+        # A histogram whose ladder decreases.
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("repro_service_request_ms_query_bucket"):
+                name, _, _ = line.rpartition(" ")
+                lines[i] = f"{name} 999999"
+                break
+        assert validate_exposition("\n".join(lines) + "\n")
+
+    def test_validator_accepts_inf_and_escaped_labels(self):
+        text = (
+            "# TYPE weird gauge\n"
+            'weird{path="a\\"b",le="+Inf"} +Inf\n'
+            "plain_metric 1\n"
+        )
+        assert validate_exposition(text) == []

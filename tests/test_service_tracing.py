@@ -1,0 +1,540 @@
+"""End-to-end request tracing (repro.service.tracing): trace-context
+propagation from the NDJSON request through the dispatcher and the
+worker process back into one assembled span tree, the flight recorder's
+bounded rings, the ``/debug/requests`` ops endpoints, and the ``explain``
+inline breakdown — including the crash path, where a trace must record
+``worker_crashed`` rather than vanish.
+
+Unit tests exercise :mod:`repro.service.tracing` directly; the server
+scenarios run a real in-process :class:`ReasoningServer` on ephemeral
+ports, exactly like ``test_service_server``.
+"""
+
+import asyncio
+import json
+
+from repro.service import protocol
+from repro.service.server import ReasoningServer, ServiceConfig
+from repro.service.tracing import (
+    MAX_WIRE_SPANS,
+    FlightRecorder,
+    RequestTrace,
+    render_trace_line,
+    render_trace_tree,
+    spans_to_wire,
+)
+from repro.obs.prometheus import validate_exposition
+from repro.obs.tracer import Tracer
+
+TC = "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)"
+DB = "E(a,b). E(b,c)."
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+async def started_server(**overrides) -> ReasoningServer:
+    defaults = dict(
+        host="127.0.0.1", port=0, http_port=0, workers=1, drain_grace=5.0
+    )
+    defaults.update(overrides)
+    server = ReasoningServer(ServiceConfig(**defaults))
+    await server.start()
+    return server
+
+
+async def roundtrip(port: int, *requests: dict) -> list[dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    try:
+        for request in requests:
+            writer.write(protocol.encode(request))
+            await writer.drain()
+            line = await reader.readline()
+            assert line, "server closed connection mid-exchange"
+            responses.append(protocol.decode(line))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return responses
+
+
+async def http_get(port: int, path: str) -> tuple[int, str]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(f"GET {path} HTTP/1.1\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body.decode()
+
+
+def span_names(node: dict) -> list[str]:
+    names = [node["name"]]
+    for child in node.get("children", []):
+        names.extend(span_names(child))
+    return names
+
+
+def find_span(node: dict, name: str):
+    if node["name"] == name:
+        return node
+    for child in node.get("children", []):
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+# ----------------------------------------------------------------------
+# unit: RequestTrace
+# ----------------------------------------------------------------------
+class TestRequestTrace:
+    def test_client_supplied_context_is_honoured(self):
+        trace = RequestTrace.begin(
+            "query", {"trace_id": "abc", "span_id": "parent-1", "id": 9}
+        )
+        assert trace.trace_id == "abc"
+        assert trace.client_supplied
+        assert trace.parent_span_id == "parent-1"
+        assert trace.request_id == 9
+
+    def test_server_generates_ids_otherwise(self):
+        a = RequestTrace.begin("query", {})
+        b = RequestTrace.begin("query", {})
+        assert a.trace_id and b.trace_id and a.trace_id != b.trace_id
+        assert not a.client_supplied
+
+    def test_marks_are_first_write_wins(self):
+        trace = RequestTrace.begin("query", {})
+        trace.marks["admitted"] = 1.0
+        trace.mark("admitted")
+        assert trace.marks["admitted"] == 1.0
+
+    def test_phases_are_contiguous_and_sum_to_elapsed(self):
+        trace = RequestTrace.begin("query", {})
+        trace.marks.update(admitted=1.0, dispatched=3.0, completed=10.0)
+        trace.elapsed_ms = 12.0
+        trace.finish("ok")
+        phases = trace.phases()
+        assert list(phases) == ["admission", "queue", "dispatch", "respond"]
+        assert phases == {
+            "admission": 1.0, "queue": 2.0, "dispatch": 7.0, "respond": 2.0
+        }
+        assert sum(phases.values()) == trace.elapsed_ms
+
+    def test_worker_anchor_is_clamped_into_dispatch_window(self):
+        trace = RequestTrace.begin("query", {})
+        trace.marks.update(admitted=1.0, dispatched=3.0, completed=10.0)
+        trace.elapsed_ms = 12.0
+        # A skewed anchor far before dispatch clamps to the window start.
+        trace.attach_worker(
+            {"started_monotonic": trace.started_monotonic - 100.0, "spans": []}
+        )
+        assert trace._worker_offset_ms() == 3.0
+        trace.worker["started_monotonic"] = trace.started_monotonic + 100.0
+        assert trace._worker_offset_ms() == 10.0
+
+    def test_to_json_grafts_worker_spans_under_dispatch(self):
+        trace = RequestTrace.begin("query", {})
+        trace.marks.update(admitted=0.5, dispatched=1.0, completed=9.0)
+        trace.attach_worker(
+            {
+                "started_monotonic": trace.started_monotonic,
+                "spans": [
+                    {"name": "worker.job", "depth": 0, "start_ms": 0.0,
+                     "duration_ms": 7.0, "attrs": {}},
+                    {"name": "service.answer", "depth": 1, "start_ms": 1.0,
+                     "duration_ms": 5.0, "attrs": {}},
+                ],
+            }
+        )
+        trace.elapsed_ms = 10.0
+        trace.finish("ok")
+        tree = trace.to_json()
+        dispatch = find_span(tree["root"], "request.dispatch")
+        assert dispatch is not None
+        assert [c["name"] for c in dispatch["children"]] == ["worker.job"]
+        assert [c["name"] for c in dispatch["children"][0]["children"]] == [
+            "service.answer"
+        ]
+
+    def test_render_helpers_are_total(self):
+        trace = RequestTrace.begin("query", {"trace_id": "r" * 40})
+        trace.event("worker_crashed", message="boom")
+        trace.finish("error:worker_crashed")
+        line = render_trace_line(trace.to_summary())
+        assert "worker_crashed" in line and "r" * 12 in line
+        tree_text = render_trace_tree(trace.to_json())
+        assert "worker_crashed" in tree_text
+
+
+class TestSpansToWire:
+    def test_roundtrip_preserves_nesting(self):
+        tracer = Tracer()
+        with tracer.span("worker.job"):
+            with tracer.span("service.answer", strategy="datalog"):
+                with tracer.span("service.cq_eval"):
+                    pass
+        wire, dropped = spans_to_wire(tracer.spans, tracer.spans[0].start)
+        assert dropped == 0
+        assert [(s["name"], s["depth"]) for s in wire] == [
+            ("worker.job", 0), ("service.answer", 1), ("service.cq_eval", 2)
+        ]
+        assert wire[1]["attrs"] == {"strategy": "datalog"}
+
+    def test_overflow_is_counted_not_silent(self):
+        tracer = Tracer()
+        for _ in range(MAX_WIRE_SPANS + 7):
+            with tracer.span("s"):
+                pass
+        wire, dropped = spans_to_wire(tracer.spans, 0.0)
+        assert len(wire) == MAX_WIRE_SPANS
+        assert dropped == 7
+
+
+# ----------------------------------------------------------------------
+# unit: FlightRecorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def make_trace(self, trace_id: str, elapsed: float) -> RequestTrace:
+        trace = RequestTrace.begin("query", {"trace_id": trace_id})
+        trace.elapsed_ms = elapsed
+        trace.finish("ok")
+        return trace
+
+    def test_recent_ring_evicts_oldest(self):
+        recorder = FlightRecorder(recent_capacity=2, slow_capacity=0)
+        for i in range(4):
+            recorder.record(self.make_trace(f"t{i}", float(i)))
+        assert [t.trace_id for t in recorder.recent()] == ["t3", "t2"]
+        assert recorder.lookup("t0") is None
+        assert recorder.recorded == 4
+        assert len(recorder) == 2
+
+    def test_slow_ring_keeps_the_slowest(self):
+        recorder = FlightRecorder(recent_capacity=1, slow_capacity=2)
+        for trace_id, elapsed in (
+            ("fast", 1.0), ("slow", 500.0), ("mid", 50.0), ("slower", 900.0)
+        ):
+            recorder.record(self.make_trace(trace_id, elapsed))
+        assert [t.trace_id for t in recorder.slowest()] == ["slower", "slow"]
+        # Evicted from recent (capacity 1) but retained as a slow outlier.
+        assert recorder.lookup("slow") is not None
+
+    def test_lookup_prefers_most_recent(self):
+        recorder = FlightRecorder(recent_capacity=4, slow_capacity=4)
+        first = self.make_trace("dup", 1.0)
+        second = self.make_trace("dup", 2.0)
+        recorder.record(first)
+        recorder.record(second)
+        assert recorder.lookup("dup") is second
+
+
+# ----------------------------------------------------------------------
+# server scenarios
+# ----------------------------------------------------------------------
+class TestTracePropagation:
+    def test_client_supplied_trace_with_nested_worker_spans(self):
+        async def scenario():
+            server = await started_server(theory_text=TC, database_text=DB)
+            try:
+                port, ops = server.bound_ports()
+                response, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "id": 1,
+                     "trace_id": "client-t1", "span_id": "client-parent",
+                     "explain": True},
+                )
+                assert response["ok"]
+                assert response["trace_id"] == "client-t1"
+                inline = response["trace"]
+                assert inline["parent_span_id"] == "client-parent"
+                # The worker's engine spans nest under request.dispatch.
+                dispatch = find_span(inline["root"], "request.dispatch")
+                nested = span_names(dispatch)
+                for name in ("worker.job", "service.answer",
+                             "service.materialize", "service.cq_eval"):
+                    assert name in nested, nested
+                # Phases are contiguous: they sum to the elapsed total.
+                assert abs(
+                    sum(inline["phases"].values()) - inline["elapsed_ms"]
+                ) < 0.05
+                # The same trace is retrievable from the ops plane.
+                code, body = await http_get(
+                    ops, "/debug/requests/client-t1"
+                )
+                assert code == 200
+                fetched = json.loads(body)
+                assert fetched["trace_id"] == "client-t1"
+                assert fetched["status"] == "ok"
+                assert span_names(fetched["root"]) == span_names(
+                    inline["root"]
+                )
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_server_generates_trace_id_and_strips_raw_envelope(self):
+        async def scenario():
+            server = await started_server(theory_text=TC, database_text=DB)
+            try:
+                port, _ = server.bound_ports()
+                response, = await roundtrip(
+                    port, {"op": "query", "output": "T"}
+                )
+                assert response["ok"]
+                assert response["trace_id"]
+                # Without explain the client sees the id only — never the
+                # raw worker envelope.
+                assert "trace" not in response
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_register_is_traced_too(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                port, ops = server.bound_ports()
+                response, = await roundtrip(
+                    port,
+                    {"op": "register", "theory": TC, "trace_id": "reg-1"},
+                )
+                assert response["ok"]
+                assert response["trace_id"] == "reg-1"
+                code, body = await http_get(ops, "/debug/requests/reg-1")
+                assert code == 200
+                fetched = json.loads(body)
+                assert fetched["op"] == "register"
+                assert "service.compile" in " ".join(
+                    span_names(fetched["root"])
+                )
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_crash_records_worker_crashed_event(self):
+        async def scenario():
+            server = await started_server(
+                theory_text=TC, database_text=DB, allow_faults=True
+            )
+            try:
+                port, ops = server.bound_ports()
+                response, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "inject": "crash",
+                     "trace_id": "crash-1", "timeout": 10.0},
+                )
+                assert not response["ok"]
+                assert response["error"]["code"] == protocol.ERR_WORKER_CRASHED
+                assert response["trace_id"] == "crash-1"
+                # The trace survived the crash and names the event.
+                code, body = await http_get(ops, "/debug/requests/crash-1")
+                assert code == 200
+                fetched = json.loads(body)
+                assert fetched["status"] == "error:worker_crashed"
+                assert "worker_crashed" in [
+                    event["event"] for event in fetched["events"]
+                ]
+                # The pool respawned: the next query works, traced.
+                deadline = asyncio.get_running_loop().time() + 30
+                while (
+                    server.pool.alive_workers() < 1
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                ok, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "trace_id": "after-1"},
+                )
+                assert ok["ok"] and ok["trace_id"] == "after-1"
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_deep_trace_sampling_policy(self):
+        """Worker spans are sampled: with sampling off, an anonymous
+        request keeps only the server-side phases, while explicit trace
+        context still deep-traces; with sample=1 every request is deep."""
+        async def scenario():
+            server = await started_server(
+                theory_text=TC, database_text=DB, trace_sample=0
+            )
+            try:
+                port, ops = server.bound_ports()
+                anonymous, = await roundtrip(
+                    port, {"op": "query", "output": "T"}
+                )
+                assert anonymous["ok"] and anonymous["trace_id"]
+                code, body = await http_get(
+                    ops, f"/debug/requests/{anonymous['trace_id']}"
+                )
+                assert code == 200
+                shallow = json.loads(body)
+                # Server-side phases survive; no worker span tree.
+                assert shallow["phases"]
+                assert "worker.job" not in span_names(shallow["root"])
+                explicit, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "trace_id": "deep-1"},
+                )
+                assert explicit["ok"]
+                _, body = await http_get(ops, "/debug/requests/deep-1")
+                assert "worker.job" in span_names(json.loads(body)["root"])
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+        async def every_request_deep():
+            server = await started_server(
+                theory_text=TC, database_text=DB, trace_sample=1
+            )
+            try:
+                port, ops = server.bound_ports()
+                for _ in range(3):
+                    response, = await roundtrip(
+                        port, {"op": "query", "output": "T"}
+                    )
+                    _, body = await http_get(
+                        ops, f"/debug/requests/{response['trace_id']}"
+                    )
+                    assert "worker.job" in span_names(
+                        json.loads(body)["root"]
+                    )
+            finally:
+                await server.drain()
+
+        run(every_request_deep())
+
+    def test_shed_requests_are_recorded(self):
+        async def scenario():
+            server = await started_server(
+                theory_text=TC, database_text=DB, queue_limit=0
+            )
+            try:
+                port, ops = server.bound_ports()
+                response, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "trace_id": "shed-1"},
+                )
+                assert response.get("shed") is True
+                code, body = await http_get(ops, "/debug/requests/shed-1")
+                assert code == 200
+                assert json.loads(body)["status"] == "shed:overloaded"
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_tracing_disabled_leaves_responses_clean(self):
+        async def scenario():
+            server = await started_server(
+                theory_text=TC, database_text=DB, trace=False
+            )
+            try:
+                port, ops = server.bound_ports()
+                response, = await roundtrip(
+                    port,
+                    {"op": "query", "output": "T", "trace_id": "ignored"},
+                )
+                assert response["ok"]
+                assert "trace_id" not in response
+                code, body = await http_get(ops, "/debug/requests")
+                listing = json.loads(body)
+                assert code == 200
+                assert listing["tracing"] is False
+                assert listing["recent"] == []
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_invalid_trace_context_is_rejected(self):
+        async def scenario():
+            server = await started_server(theory_text=TC, database_text=DB)
+            try:
+                port, _ = server.bound_ports()
+                too_long, empty, bad_explain = await roundtrip(
+                    server.bound_ports()[0],
+                    {"op": "query", "output": "T", "trace_id": "x" * 200},
+                    {"op": "query", "output": "T", "trace_id": ""},
+                    {"op": "query", "output": "T", "explain": "yes"},
+                )
+                for response in (too_long, empty, bad_explain):
+                    assert not response["ok"]
+                    assert response["error"]["code"] == (
+                        protocol.ERR_INVALID_REQUEST
+                    )
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+    def test_recorder_eviction_over_http(self):
+        async def scenario():
+            server = await started_server(
+                theory_text=TC, database_text=DB,
+                recent_traces=2, slow_traces=0,
+            )
+            try:
+                port, ops = server.bound_ports()
+                for index in range(3):
+                    await roundtrip(
+                        port,
+                        {"op": "query", "output": "T",
+                         "trace_id": f"ring-{index}"},
+                    )
+                code, _ = await http_get(ops, "/debug/requests/ring-0")
+                assert code == 404
+                code, _ = await http_get(ops, "/debug/requests/ring-2")
+                assert code == 200
+            finally:
+                await server.drain()
+
+        run(scenario())
+
+
+class TestMetricsIntegration:
+    def test_latency_histograms_replace_unbounded_series(self):
+        async def scenario():
+            server = await started_server(theory_text=TC, database_text=DB)
+            try:
+                port, ops = server.bound_ports()
+                for index in range(5):
+                    await roundtrip(
+                        port, {"op": "query", "output": "T", "id": index}
+                    )
+                # The hot path records histograms, not unbounded series.
+                assert "service.worker.elapsed_ms" not in server.metrics.series
+                # >= 5: warm-up register jobs also report elapsed stats.
+                worker_hist = server.metrics.histogram(
+                    "service.worker.elapsed_ms"
+                )
+                assert worker_hist is not None and worker_hist.count >= 5
+                request_hist = server.metrics.histogram(
+                    "service.request_ms.query"
+                )
+                assert request_hist is not None and request_hist.count == 5
+                for phase in ("admission", "queue", "dispatch", "respond"):
+                    hist = server.metrics.histogram(f"service.phase_ms.{phase}")
+                    assert hist is not None and hist.count == 5, phase
+                # And /metrics serves a valid exposition with the ladder.
+                code, text = await http_get(ops, "/metrics")
+                assert code == 200
+                assert validate_exposition(text) == []
+                assert "# TYPE repro_service_request_ms_query histogram" in text
+                assert 'repro_service_request_ms_query_bucket{le="+Inf"} 5' in text
+            finally:
+                await server.drain()
+
+        run(scenario())
