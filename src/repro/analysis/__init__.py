@@ -17,9 +17,16 @@ Entry points::
 The ``repro lint`` CLI is a thin wrapper over :func:`analyze_text`.
 """
 
+from .advisor import (
+    ADVICE_JSON_SCHEMA,
+    ADVICE_SCHEMA_VERSION,
+    StrategyAdvice,
+    advise,
+)
 from .diagnostics import (
     CODES,
     REPORT_JSON_SCHEMA,
+    REPORT_SCHEMA_VERSION,
     AnalysisReport,
     CodeInfo,
     Diagnostic,
@@ -29,6 +36,8 @@ from .passes import PASSES, AnalysisContext, analyze, analyze_text
 from .replay import ReplayError, replay
 
 __all__ = [
+    "ADVICE_JSON_SCHEMA",
+    "ADVICE_SCHEMA_VERSION",
     "AnalysisContext",
     "AnalysisReport",
     "CODES",
@@ -36,8 +45,11 @@ __all__ = [
     "Diagnostic",
     "PASSES",
     "REPORT_JSON_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
     "ReplayError",
     "Severity",
+    "StrategyAdvice",
+    "advise",
     "analyze",
     "analyze_text",
     "replay",

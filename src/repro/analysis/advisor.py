@@ -1,0 +1,291 @@
+"""Strategy advisor — predictive engine selection for the service.
+
+The registry's ``auto`` strategy used to *react* to translation blowups
+(translate first, fall back when ``max_rules`` explodes).  The advisor
+turns that decision predictive: it climbs the acyclicity ladder
+(weak ⊂ joint ⊂ super-weak ⊂ MFA, see ``chase/termination.py``), prices
+the chase on weakly acyclic theories via the position-graph cost
+estimator, and emits a :class:`StrategyAdvice` that
+``service.registry._pick_strategy`` consumes *before* any translation is
+attempted.  The verdict is sound in the never-overclaims direction: a
+``terminates=True`` advice certifies restricted/skolem chase
+termination on **every** database, so routing such theories straight to
+the chase can never trade completeness away.
+
+Every run is traced as an ``analysis.advisor`` span (with ``ladder``,
+``estimate``, and ``mfa`` sub-spans) and counted under
+``advisor.runs`` / ``advisor.criterion.<criterion>`` /
+``advisor.recommendation.<strategy>``, which the service surfaces on
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..chase.termination import (
+    CRITERION_DATALOG,
+    CRITERION_JOINTLY_ACYCLIC,
+    CRITERION_MFA,
+    CRITERION_SUPER_WEAKLY_ACYCLIC,
+    CRITERION_UNKNOWN,
+    CRITERION_WEAKLY_ACYCLIC,
+    MFA_TERMINATES,
+    TERMINATION_CRITERIA,
+    estimate_chase_cost,
+    find_joint_cycle,
+    find_super_weak_cycle,
+    is_weakly_acyclic,
+    mfa_check,
+)
+from ..core.theory import Theory
+from ..guardedness.classify import Classification, classify
+from ..obs import current, span
+
+__all__ = [
+    "ADVICE_SCHEMA_VERSION",
+    "ADVICE_JSON_SCHEMA",
+    "StrategyAdvice",
+    "advise",
+]
+
+#: Version of the ``repro advise`` JSON report layout.
+ADVICE_SCHEMA_VERSION = 1
+
+#: Default critical-instance chase budget for the MFA rung.  Larger than
+#: the linter's (the advisor runs once per registered theory, not on
+#: every editor keystroke) but still bounded: exhaustion degrades the
+#: verdict to "unknown", never to an overclaim.
+ADVISE_MFA_MAX_STEPS = 2048
+
+#: Engine applicability verdicts (``StrategyAdvice.engines`` values).
+ENGINE_COMPLETE = "complete"
+ENGINE_NOT_APPLICABLE = "not-applicable"
+ENGINE_TERMINATES = "terminates"
+ENGINE_BUDGETED = "budgeted"
+
+
+@dataclass(frozen=True)
+class StrategyAdvice:
+    """The advisor's verdict for one theory.
+
+    ``criterion`` is the termination-criterion constant that proved the
+    chase finite (or :data:`CRITERION_UNKNOWN`); ``engines`` maps each
+    answering strategy to its applicability verdict; ``cost`` is the
+    weak-acyclicity cost estimate (``None`` beyond the first rung);
+    ``mfa`` summarizes the bounded critical-instance chase when it ran;
+    ``witness`` carries the blocking evidence when no criterion holds.
+    """
+
+    criterion: str
+    terminates: bool
+    recommended: str
+    classes: tuple[str, ...]
+    engines: dict[str, str]
+    cost: Optional[dict[str, Any]] = None
+    mfa: Optional[dict[str, Any]] = None
+    witness: Optional[dict[str, Any]] = None
+    reasons: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "criterion": self.criterion,
+            "terminates": self.terminates,
+            "recommended": self.recommended,
+            "classes": list(self.classes),
+            "engines": dict(self.engines),
+            "cost": self.cost,
+            "mfa": self.mfa,
+            "witness": self.witness,
+            "reasons": list(self.reasons),
+        }
+
+
+def advise(
+    theory: Theory,
+    *,
+    labels: Optional[Classification] = None,
+    mfa_max_steps: int = ADVISE_MFA_MAX_STEPS,
+) -> StrategyAdvice:
+    """Predict the right answering strategy for ``theory``.
+
+    Climbs the acyclicity ladder lazily (each rung only when every
+    weaker one failed), so the common weakly acyclic case never pays for
+    the critical-instance chase.  The returned recommendation mirrors
+    the registry's ``auto`` dispatch; ``labels`` can be passed in when
+    classification already ran (the registry does)."""
+    with span("analysis.advisor", rules=len(theory)):
+        if labels is None:
+            with span("analysis.advisor.classify"):
+                labels = classify(theory)
+        mfa_summary: Optional[dict[str, Any]] = None
+        witness: Optional[dict[str, Any]] = None
+        with span("analysis.advisor.ladder") as ladder_span:
+            if theory.is_datalog():
+                criterion = CRITERION_DATALOG
+            elif is_weakly_acyclic(theory):
+                criterion = CRITERION_WEAKLY_ACYCLIC
+            elif find_joint_cycle(theory) is None:
+                criterion = CRITERION_JOINTLY_ACYCLIC
+            else:
+                swa_cycle = find_super_weak_cycle(theory)
+                if swa_cycle is None:
+                    criterion = CRITERION_SUPER_WEAKLY_ACYCLIC
+                else:
+                    with span("analysis.advisor.mfa", budget=mfa_max_steps):
+                        result = mfa_check(theory, max_steps=mfa_max_steps)
+                    mfa_summary = result.to_dict()
+                    if result.verdict == MFA_TERMINATES:
+                        criterion = CRITERION_MFA
+                    else:
+                        criterion = CRITERION_UNKNOWN
+                        witness = {
+                            "super_weak_cycle": [
+                                {"rule": rule_index, "variable": variable.name}
+                                for rule_index, variable in swa_cycle
+                            ],
+                            "mfa": mfa_summary,
+                        }
+            if ladder_span is not None:
+                ladder_span.set(criterion=criterion)
+        terminates = criterion != CRITERION_UNKNOWN
+        with span("analysis.advisor.estimate"):
+            estimate = estimate_chase_cost(theory)
+        cost = estimate.to_dict() if estimate is not None else None
+
+        datalog_ok = labels.datalog and not theory.has_negation()
+        translate_ok = labels.nearly_guarded or labels.nearly_frontier_guarded
+        wfg_ok = labels.weakly_guarded or labels.weakly_frontier_guarded
+        engines = {
+            "datalog": ENGINE_COMPLETE if datalog_ok else ENGINE_NOT_APPLICABLE,
+            "translate": (
+                ENGINE_COMPLETE if translate_ok else ENGINE_NOT_APPLICABLE
+            ),
+            "wfg-pipeline": (
+                ENGINE_COMPLETE if wfg_ok else ENGINE_NOT_APPLICABLE
+            ),
+            "chase": ENGINE_TERMINATES if terminates else ENGINE_BUDGETED,
+        }
+        reasons: list[str] = []
+        if terminates:
+            reasons.append(f"chase termination proven: {criterion}")
+        else:
+            reasons.append(
+                "no acyclicity criterion proves chase termination "
+                f"(critical-instance budget {mfa_max_steps})"
+            )
+        if datalog_ok:
+            recommended = "datalog"
+            reasons.append(
+                "plain Datalog without negation: semi-naive fixpoint is "
+                "complete with no translation"
+            )
+        elif terminates:
+            recommended = "chase"
+            reasons.append(
+                "terminating restricted chase is complete and avoids the "
+                "worst-case-sized class translation"
+            )
+        elif translate_ok:
+            recommended = "translate"
+            reasons.append(
+                "PTime class translation to Datalog is complete"
+            )
+        elif wfg_ok:
+            recommended = "wfg-pipeline"
+            reasons.append(
+                "Section 7 weakly-frontier-guarded pipeline is complete"
+            )
+        else:
+            recommended = "chase"
+            reasons.append(
+                "no complete engine applies; budgeted chase returns sound "
+                "partial answers"
+            )
+        instr = current()
+        if instr is not None:
+            instr.inc("advisor.runs")
+            instr.inc(f"advisor.criterion.{criterion}")
+            instr.inc(f"advisor.recommendation.{recommended}")
+        return StrategyAdvice(
+            criterion=criterion,
+            terminates=terminates,
+            recommended=recommended,
+            classes=tuple(labels.names()),
+            engines=engines,
+            cost=cost,
+            mfa=mfa_summary,
+            witness=witness,
+            reasons=tuple(reasons),
+        )
+
+
+#: JSON Schema (draft 2020-12) for the ``repro advise`` report — used by
+#: the CI gate that validates ``repro advise --format json`` output.
+ADVICE_JSON_SCHEMA: dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "type": "object",
+    "required": ["schema_version", "source", "rules", "advice"],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"const": ADVICE_SCHEMA_VERSION},
+        "source": {"type": ["string", "null"]},
+        "rules": {"type": "integer", "minimum": 0},
+        "advice": {
+            "type": "object",
+            "required": [
+                "criterion",
+                "terminates",
+                "recommended",
+                "classes",
+                "engines",
+                "cost",
+                "mfa",
+                "witness",
+                "reasons",
+            ],
+            "additionalProperties": False,
+            "properties": {
+                "criterion": {
+                    "enum": list(TERMINATION_CRITERIA) + [CRITERION_UNKNOWN]
+                },
+                "terminates": {"type": "boolean"},
+                "recommended": {
+                    "enum": ["datalog", "translate", "wfg-pipeline", "chase"]
+                },
+                "classes": {"type": "array", "items": {"type": "string"}},
+                "engines": {
+                    "type": "object",
+                    "required": [
+                        "datalog",
+                        "translate",
+                        "wfg-pipeline",
+                        "chase",
+                    ],
+                    "additionalProperties": False,
+                    "properties": {
+                        name: {
+                            "enum": [
+                                ENGINE_COMPLETE,
+                                ENGINE_NOT_APPLICABLE,
+                                ENGINE_TERMINATES,
+                                ENGINE_BUDGETED,
+                            ]
+                        }
+                        for name in (
+                            "datalog",
+                            "translate",
+                            "wfg-pipeline",
+                            "chase",
+                        )
+                    },
+                },
+                "cost": {"type": ["object", "null"]},
+                "mfa": {"type": ["object", "null"]},
+                "witness": {"type": ["object", "null"]},
+                "reasons": {"type": "array", "items": {"type": "string"}},
+            },
+        },
+    },
+}

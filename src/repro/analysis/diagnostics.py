@@ -29,8 +29,14 @@ __all__ = [
     "CodeInfo",
     "CODES",
     "AnalysisReport",
+    "REPORT_SCHEMA_VERSION",
     "REPORT_JSON_SCHEMA",
 ]
+
+#: Version of the ``repro lint --format json`` report layout.  Bumped
+#: whenever ``AnalysisReport.to_dict()`` changes shape; consumers pin it
+#: via ``REPORT_JSON_SCHEMA`` (``repro lint --print-schema``).
+REPORT_SCHEMA_VERSION = 2
 
 
 class Severity(enum.IntEnum):
@@ -112,6 +118,30 @@ CODES: dict[str, CodeInfo] = {
             "theory is not jointly acyclic",
             Severity.WARNING,
             "Section 9 [23]; Kroetzsch & Rudolph, IJCAI'11",
+        ),
+        CodeInfo(
+            "TRM003",
+            "theory is not super-weakly acyclic",
+            Severity.WARNING,
+            "Section 9 [23]; Marnette, PODS'09 (super-weak acyclicity)",
+        ),
+        CodeInfo(
+            "TRM004",
+            "critical-instance chase is cyclic (not MFA)",
+            Severity.WARNING,
+            "arXiv 1411.5220 §4; Cuenca Grau et al., JAIR'13 (MFA)",
+        ),
+        CodeInfo(
+            "EST001",
+            "predicted chase fact-count bound",
+            Severity.INFO,
+            "Fagin et al. (weak acyclicity gives polynomial chase bounds)",
+        ),
+        CodeInfo(
+            "EST002",
+            "predicted null-generation bound",
+            Severity.INFO,
+            "arXiv 1411.5220 §3 (existential fan-out along the position graph)",
         ),
         CodeInfo(
             "STR001",
@@ -197,6 +227,7 @@ class AnalysisReport:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "source": self.source,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "summary": self.counts(),
@@ -264,6 +295,39 @@ def _witness_lines(diagnostic: Diagnostic) -> list[str]:
         )
         if nodes:
             lines.append(f"existential dependency cycle: {rendered} -> (wraps)")
+    elif diagnostic.code == "TRM003":
+        nodes = witness.get("cycle", ())
+        rendered = " -> ".join(
+            f"{n['variable']}@rule{n['rule']}" for n in nodes
+        )
+        if nodes:
+            lines.append(
+                f"super-weak dependency cycle: {rendered} -> (wraps)"
+            )
+    elif diagnostic.code == "TRM004":
+        cyclic = witness.get("cyclic", {})
+        lines.append(
+            f"critical-instance chase re-nests the skolem term of "
+            f"{cyclic.get('evar')}@rule{cyclic.get('rule')} after "
+            f"{len(witness.get('trace', ()))} steps "
+            f"(budget {witness.get('max_steps')})"
+        )
+    elif diagnostic.code == "EST001":
+        for entry in witness.get("relations", ()):
+            lines.append(
+                f"  {entry['relation']}: degree {entry['degree']}"
+            )
+        lines.append(
+            f"max per-relation polynomial degree: "
+            f"{witness.get('total_degree')}"
+        )
+    elif diagnostic.code == "EST002":
+        for entry in witness.get("existentials", ()):
+            lines.append(
+                f"  {entry['variable']}@rule{entry['rule']}: "
+                f"degree {entry['degree']}, depth {entry['depth']}"
+            )
+        lines.append(f"max null nesting depth: {witness.get('max_rank')}")
     elif diagnostic.code == "STR001":
         lines.append("cycle through negation in the predicate graph:")
         for edge in witness.get("cycle", ()):
@@ -297,9 +361,10 @@ def _witness_lines(diagnostic: Diagnostic) -> list[str]:
 REPORT_JSON_SCHEMA: dict[str, Any] = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "type": "object",
-    "required": ["source", "diagnostics", "summary"],
+    "required": ["schema_version", "source", "diagnostics", "summary"],
     "additionalProperties": False,
     "properties": {
+        "schema_version": {"const": REPORT_SCHEMA_VERSION},
         "source": {"type": ["string", "null"]},
         "diagnostics": {
             "type": "array",

@@ -9,8 +9,13 @@
   not weakly frontier-guarded, i.e. the theory falls outside every class;
   GRD002/GRD003 notes), with guard-gap and affected-position-derivation
   witnesses;
-* **termination** — weak/joint acyclicity (TRM001/TRM002) with cycle
-  witnesses over the position dependency graph and the existential
+* **termination** — the acyclicity ladder (TRM001 weak, TRM002 joint,
+  TRM003 super-weak, TRM004 model-faithful via a bounded
+  critical-instance chase) with cycle/trace witnesses; each rung is
+  reported informationally when a later rung still proves termination;
+* **estimation** — predicted chase cost on weakly acyclic theories:
+  per-relation polynomial fact-count degrees (EST001) and
+  null-generation depth/degree bounds (EST002) from the position
   dependency graph;
 * **stratification** — negation cycles (STR001, Definition 22);
 * **reachability** — rules that can never fire (RCH001) and derived
@@ -27,8 +32,13 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..chase.termination import (
+    MFA_CYCLIC,
+    MFA_TERMINATES,
+    estimate_chase_cost,
     find_joint_cycle,
     find_special_cycle,
+    find_super_weak_cycle,
+    mfa_check,
     position_dependency_graph,
 )
 from ..core.atoms import Atom, NegatedAtom
@@ -233,8 +243,15 @@ def _argument_uvars(rule: Rule) -> set:
 
 
 # ----------------------------------------------------------------------
-# termination pass — TRM001 / TRM002
+# termination pass — TRM001 / TRM002 / TRM003 / TRM004
 # ----------------------------------------------------------------------
+
+#: Critical-instance chase budget used by the linter's MFA rung.  Small
+#: on purpose: lint must stay fast, and an inconclusive ("exhausted")
+#: check simply leaves TRM003 at warning severity.
+LINT_MFA_MAX_STEPS = 512
+
+
 def termination_pass(ctx: AnalysisContext) -> list[Diagnostic]:
     theory = ctx.theory
     if theory is None or theory.is_datalog():
@@ -243,7 +260,19 @@ def termination_pass(ctx: AnalysisContext) -> list[Diagnostic]:
     cycle = find_special_cycle(graph)
     if cycle is None:
         return []
+    # Climb the ladder only as far as needed: each rung is checked only
+    # when every weaker criterion has already failed.
     joint_cycle = find_joint_cycle(theory)
+    swa_cycle = find_super_weak_cycle(theory) if joint_cycle is not None else None
+    mfa = (
+        mfa_check(theory, max_steps=LINT_MFA_MAX_STEPS)
+        if swa_cycle is not None
+        else None
+    )
+    mfa_terminates = mfa is not None and mfa.verdict == MFA_TERMINATES
+    terminates_later = (
+        joint_cycle is None or swa_cycle is None or mfa_terminates
+    )
     cycle_witness = [
         {
             "source": list(source),
@@ -256,30 +285,49 @@ def termination_pass(ctx: AnalysisContext) -> list[Diagnostic]:
     anchor = next(
         (edge["rule"] for edge in cycle_witness if edge["rule"] is not None), None
     )
+    if joint_cycle is None:
+        trm001_suffix = "; joint acyclicity still guarantees chase termination"
+    elif swa_cycle is None:
+        trm001_suffix = (
+            "; super-weak acyclicity still guarantees chase termination"
+        )
+    elif mfa_terminates:
+        trm001_suffix = (
+            "; model-faithful acyclicity still guarantees chase termination"
+        )
+    else:
+        trm001_suffix = ", so the chase is not guaranteed to terminate"
     diagnostics = [
         _diag(
             "TRM001",
             "theory is not weakly acyclic: the position dependency graph has "
-            "a cycle through a special edge"
-            + (
-                "; joint acyclicity still guarantees chase termination"
-                if joint_cycle is None
-                else ", so the chase is not guaranteed to terminate"
-            ),
+            "a cycle through a special edge" + trm001_suffix,
             rule_index=anchor,
             span=ctx.span_of(anchor) if anchor is not None else None,
             witness={"cycle": cycle_witness},
-            severity=Severity.INFO if joint_cycle is None else None,
+            severity=Severity.INFO if terminates_later else None,
         )
     ]
     if joint_cycle is not None:
+        if swa_cycle is None:
+            trm002_suffix = (
+                "; super-weak acyclicity still guarantees chase termination"
+            )
+        elif mfa_terminates:
+            trm002_suffix = (
+                "; model-faithful acyclicity still guarantees chase "
+                "termination"
+            )
+        else:
+            trm002_suffix = (
+                ", so no acyclicity criterion proves chase termination"
+            )
         anchor = joint_cycle[0][0]
         diagnostics.append(
             _diag(
                 "TRM002",
                 "theory is not jointly acyclic: existential variables feed "
-                "each other in a cycle, so no acyclicity criterion proves "
-                "chase termination",
+                "each other in a cycle" + trm002_suffix,
                 rule_index=anchor,
                 span=ctx.span_of(anchor),
                 witness={
@@ -288,9 +336,99 @@ def termination_pass(ctx: AnalysisContext) -> list[Diagnostic]:
                         for rule_index, variable in joint_cycle
                     ]
                 },
+                severity=(
+                    Severity.INFO
+                    if swa_cycle is None or mfa_terminates
+                    else None
+                ),
+            )
+        )
+    if swa_cycle is not None:
+        if mfa_terminates:
+            trm003_suffix = (
+                "; model-faithful acyclicity still guarantees chase "
+                "termination"
+            )
+        elif mfa is not None and mfa.verdict == MFA_CYCLIC:
+            trm003_suffix = (
+                ", and the critical-instance chase is cyclic (see TRM004)"
+            )
+        else:
+            trm003_suffix = (
+                ", and the bounded critical-instance chase is inconclusive"
+            )
+        anchor = swa_cycle[0][0]
+        diagnostics.append(
+            _diag(
+                "TRM003",
+                "theory is not super-weakly acyclic: skolem terms can move "
+                "between existential positions in a cycle" + trm003_suffix,
+                rule_index=anchor,
+                span=ctx.span_of(anchor),
+                witness={
+                    "cycle": [
+                        {"rule": rule_index, "variable": variable.name}
+                        for rule_index, variable in swa_cycle
+                    ]
+                },
+                severity=Severity.INFO if mfa_terminates else None,
+            )
+        )
+    if mfa is not None and mfa.verdict == MFA_CYCLIC and mfa.cyclic is not None:
+        anchor = mfa.cyclic["rule"]
+        diagnostics.append(
+            _diag(
+                "TRM004",
+                "theory is not model-faithfully acyclic: the critical-"
+                "instance chase re-creates the skolem term of "
+                f"{mfa.cyclic['evar']}@rule{anchor} inside itself, so no "
+                "acyclicity criterion proves chase termination",
+                rule_index=anchor,
+                span=ctx.span_of(anchor),
+                witness={
+                    "max_steps": mfa.max_steps,
+                    "trace": [dict(step) for step in mfa.trace],
+                    "cyclic": dict(mfa.cyclic),
+                },
             )
         )
     return diagnostics
+
+
+# ----------------------------------------------------------------------
+# estimation pass — EST001 / EST002
+# ----------------------------------------------------------------------
+def estimation_pass(ctx: AnalysisContext) -> list[Diagnostic]:
+    theory = ctx.theory
+    if theory is None or theory.is_datalog():
+        return []
+    estimate = estimate_chase_cost(theory)
+    if estimate is None:
+        # Cost bounds are only derivable under weak acyclicity; the
+        # termination pass already reports why the ladder was needed.
+        return []
+    cost = estimate.to_dict()
+    return [
+        _diag(
+            "EST001",
+            f"chase materializes at most O(n^{estimate.total_degree}) facts "
+            "per relation on an n-constant database (weakly acyclic bound)",
+            witness={
+                "relations": cost["relations"],
+                "total_degree": cost["total_degree"],
+            },
+        ),
+        _diag(
+            "EST002",
+            f"chase generates nulls of nesting depth at most "
+            f"{estimate.max_rank} across {len(cost['existentials'])} "
+            "existential variable(s)",
+            witness={
+                "existentials": cost["existentials"],
+                "max_rank": cost["max_rank"],
+            },
+        ),
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -435,6 +573,7 @@ PASSES: tuple[tuple[str, Callable[[AnalysisContext], list[Diagnostic]]], ...] = 
     ("schema", schema_pass),
     ("guardedness", guardedness_pass),
     ("termination", termination_pass),
+    ("estimation", estimation_pass),
     ("stratification", stratification_pass),
     ("reachability", reachability_pass),
 )

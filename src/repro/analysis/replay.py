@@ -13,10 +13,19 @@ from __future__ import annotations
 
 from typing import NoReturn, Optional, Sequence
 
-from ..chase.termination import joint_dependency_edges, position_dependency_graph
+from ..chase.termination import (
+    TermToken,
+    critical_instance,
+    estimate_chase_cost,
+    joint_dependency_edges,
+    position_dependency_graph,
+    super_weak_dependency_edges,
+    term_token_from_json,
+)
+from ..core.atoms import Atom
 from ..core.parser import ParseError, parse_rules
 from ..core.rules import Rule
-from ..core.terms import Variable
+from ..core.terms import Constant, Variable
 from ..core.theory import ACDOM, Theory
 from ..datalog.stratification import dependency_edges
 from ..guardedness.affected import Position, variable_body_positions
@@ -237,8 +246,10 @@ def _replay_weak_acyclicity(diagnostic: Diagnostic, rules: Sequence[Rule]) -> No
             _fail(diagnostic, "cycle is not closed")
 
 
-def _replay_joint_acyclicity(diagnostic: Diagnostic, rules: Sequence[Rule]) -> None:
-    edges = joint_dependency_edges(Theory(rules))
+def _replay_evar_cycle(
+    diagnostic: Diagnostic, rules: Sequence[Rule], edges: dict
+) -> None:
+    """A cycle over ``(rule, existential variable)`` nodes in ``edges``."""
     nodes = diagnostic.witness["cycle"]
     if not nodes:
         _fail(diagnostic, "empty cycle")
@@ -258,6 +269,135 @@ def _replay_joint_acyclicity(diagnostic: Diagnostic, rules: Sequence[Rule]) -> N
             _fail(
                 diagnostic,
                 f"no existential dependency {key} -> {following}",
+            )
+
+
+def _replay_joint_acyclicity(diagnostic: Diagnostic, rules: Sequence[Rule]) -> None:
+    _replay_evar_cycle(diagnostic, rules, joint_dependency_edges(Theory(rules)))
+
+
+def _replay_super_weak_acyclicity(
+    diagnostic: Diagnostic, rules: Sequence[Rule]
+) -> None:
+    _replay_evar_cycle(
+        diagnostic, rules, super_weak_dependency_edges(Theory(rules))
+    )
+
+
+def _ground_tokens(
+    diagnostic: Diagnostic, atom: Atom, assignment: dict
+) -> tuple:
+    terms = []
+    for term in atom.all_terms:
+        if isinstance(term, Constant):
+            terms.append(("c", term.name))
+        elif term in assignment:
+            terms.append(assignment[term])
+        else:
+            _fail(diagnostic, f"variable {term} unbound in a trace step")
+    return (atom.relation_key, tuple(terms))
+
+
+def _contains_symbol(token: TermToken, symbol: tuple) -> bool:
+    if token[0] == "c":
+        return False
+    if (token[1], token[2]) == symbol:
+        return True
+    return any(_contains_symbol(arg, symbol) for arg in token[3])
+
+
+def _replay_mfa_cyclic(diagnostic: Diagnostic, rules: Sequence[Rule]) -> None:
+    """Walk the critical-instance chase trace step by step: every body
+    fact must hold in the instance built so far, skolem terms must be the
+    canonical function of the frontier image, every claimed addition must
+    be the grounded head — and the final step must mint a skolem term
+    nested inside its own symbol."""
+    witness = diagnostic.witness
+    trace = witness.get("trace", ())
+    cyclic = witness.get("cyclic")
+    if not trace or not cyclic:
+        _fail(diagnostic, "missing chase trace or cyclic term")
+    database = critical_instance(Theory(rules))
+    for number, step in enumerate(trace):
+        rule = _rule_at(diagnostic, rules, step["rule"])
+        assignment = {
+            Variable(name): term_token_from_json(token)
+            for name, token in step["assignment"].items()
+        }
+        frontier = sorted(rule.frontier(), key=lambda v: v.name)
+        if any(variable not in assignment for variable in frontier):
+            _fail(diagnostic, f"step {number} does not bind the frontier")
+        image = tuple(assignment[variable] for variable in frontier)
+        for evar in rule.exist_vars:
+            expected: TermToken = ("f", step["rule"], evar.name, image)
+            if assignment.get(evar) != expected:
+                _fail(
+                    diagnostic,
+                    f"step {number}: skolem term of {evar.name} is not "
+                    "determined by the frontier image",
+                )
+        for atom in rule.positive_body():
+            if _ground_tokens(diagnostic, atom, assignment) not in database:
+                _fail(
+                    diagnostic,
+                    f"step {number}: body atom {atom} does not hold in the "
+                    "chased instance",
+                )
+        grounded = [
+            _ground_tokens(diagnostic, atom, assignment) for atom in rule.head
+        ]
+        claimed = [
+            (
+                entry["relation"],
+                tuple(term_token_from_json(raw) for raw in entry["terms"]),
+            )
+            for entry in step["added"]
+        ]
+        if [(fact[0][0], fact[1]) for fact in grounded] != claimed:
+            _fail(
+                diagnostic,
+                f"step {number}: claimed additions are not the grounded head",
+            )
+        fresh = [fact for fact in grounded if fact not in database]
+        if not fresh and number != len(trace) - 1:
+            _fail(diagnostic, f"step {number} adds nothing new")
+        database.update(grounded)
+    term = term_token_from_json(cyclic["term"])
+    last = trace[-1]
+    if cyclic["rule"] != last["rule"]:
+        _fail(diagnostic, "cyclic term is not minted by the final step")
+    rule = _rule_at(diagnostic, rules, cyclic["rule"])
+    if Variable(cyclic["evar"]) not in rule.exist_vars:
+        _fail(
+            diagnostic,
+            f"{cyclic['evar']} is not existential in rule {cyclic['rule']}",
+        )
+    minted = last["assignment"].get(cyclic["evar"])
+    if minted is None or term_token_from_json(minted) != term:
+        _fail(diagnostic, "cyclic term differs from the final step's skolem")
+    if term[0] != "f" or (term[1], term[2]) != (cyclic["rule"], cyclic["evar"]):
+        _fail(diagnostic, "cyclic term does not belong to the claimed symbol")
+    if not any(_contains_symbol(arg, (term[1], term[2])) for arg in term[3]):
+        _fail(diagnostic, "cyclic term does not nest its own skolem symbol")
+
+
+def _replay_cost_estimate(diagnostic: Diagnostic, rules: Sequence[Rule]) -> None:
+    """EST bounds are a function of the position graph; recompute the
+    degree/rank fixpoint and compare every claimed figure exactly."""
+    estimate = estimate_chase_cost(Theory(rules))
+    if estimate is None:
+        _fail(diagnostic, "theory is not weakly acyclic; no bound derivable")
+    cost = estimate.to_dict()
+    witness = diagnostic.witness
+    if diagnostic.code == "EST001":
+        checks = (("relations", "relations"), ("total_degree", "total_degree"))
+    else:
+        checks = (("existentials", "existentials"), ("max_rank", "max_rank"))
+    for witness_key, cost_key in checks:
+        if witness.get(witness_key) != cost[cost_key]:
+            _fail(
+                diagnostic,
+                f"claimed {witness_key} does not match a fresh estimate",
             )
 
 
@@ -333,6 +473,10 @@ _HANDLERS = {
     "GRD003": _replay_guard,
     "TRM001": _replay_weak_acyclicity,
     "TRM002": _replay_joint_acyclicity,
+    "TRM003": _replay_super_weak_acyclicity,
+    "TRM004": _replay_mfa_cyclic,
+    "EST001": _replay_cost_estimate,
+    "EST002": _replay_cost_estimate,
     "STR001": _replay_stratification,
     "RCH001": _replay_dead_rule,
     "RCH002": _replay_unread_relation,

@@ -7,7 +7,9 @@ Installed as the ``repro`` console script::
     repro answer theory.rules data.db --output Q     (alias: repro query)
     repro translate theory.rules --target datalog
     repro termination theory.rules
+    repro advise theory.rules                (strategy advisor, JSON report)
     repro lint theory.rules --format json --fail-on warning
+    repro lint --print-schema                (the lint report's JSON Schema)
     repro serve theory.rules --workers 4
     repro tail 127.0.0.1:7465                (the server's ops port)
 
@@ -33,18 +35,27 @@ whatever sound partial output they have plus an ``# exhausted`` marker.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from contextlib import nullcontext
 from pathlib import Path
 
 from . import __version__
-from .analysis import Severity, analyze_text
+from .analysis import (
+    ADVICE_SCHEMA_VERSION,
+    REPORT_JSON_SCHEMA,
+    Severity,
+    advise,
+    analyze_text,
+)
 from .chase.runner import ChaseBudget, chase, try_certain_answers
 from .chase.termination import (
     chase_terminates,
     find_joint_cycle,
     find_special_cycle,
+    find_super_weak_cycle,
+    mfa_check,
     position_dependency_graph,
 )
 from .core.database import Database
@@ -203,9 +214,9 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 def _cmd_termination(args: argparse.Namespace) -> int:
     theory = _load_theory(args.theory)
-    terminates, reason = chase_terminates(theory)
+    terminates, reason = chase_terminates(theory, mfa_max_steps=args.mfa_steps)
     print(f"terminates: {'yes' if terminates else 'unknown'} ({reason})")
-    if reason in ("jointly-acyclic", "unknown"):
+    if reason not in ("datalog", "weakly-acyclic"):
         cycle = find_special_cycle(position_dependency_graph(theory))
         if cycle is not None:
             print("not weakly acyclic: cycle through a special edge:")
@@ -215,17 +226,67 @@ def _cmd_termination(args: argparse.Namespace) -> int:
                     f"  ({source[0]},{source[1]}) {arrow} "
                     f"({target[0]},{target[1]})"
                 )
-    if reason == "unknown":
+    if reason not in ("datalog", "weakly-acyclic", "jointly-acyclic"):
         joint_cycle = find_joint_cycle(theory)
         if joint_cycle is not None:
             rendered = " -> ".join(
                 f"{variable.name}@rule{index}" for index, variable in joint_cycle
             )
             print(f"not jointly acyclic: {rendered} -> (wraps)")
+    if reason in ("model-faithful-acyclic", "unknown"):
+        swa_cycle = find_super_weak_cycle(theory)
+        if swa_cycle is not None:
+            rendered = " -> ".join(
+                f"{variable.name}@rule{index}" for index, variable in swa_cycle
+            )
+            print(f"not super-weakly acyclic: {rendered} -> (wraps)")
+            result = mfa_check(theory, max_steps=args.mfa_steps or 512)
+            print(
+                f"critical-instance chase: {result.verdict} after "
+                f"{result.steps} steps ({result.atoms} atoms, "
+                f"null depth {result.depth})"
+            )
     return 0 if terminates else 1
 
 
+def _cmd_advise(args: argparse.Namespace) -> int:
+    text = Path(args.theory).read_text()
+    theory = parse_theory(text, source=args.theory)
+    advice = advise(theory, mfa_max_steps=args.mfa_steps)
+    if args.format == "json":
+        report = {
+            "schema_version": ADVICE_SCHEMA_VERSION,
+            "source": args.theory,
+            "rules": len(theory),
+            "advice": advice.to_dict(),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"recommended strategy: {advice.recommended}")
+        verdict = (
+            f"proven ({advice.criterion})" if advice.terminates else "not proven"
+        )
+        print(f"chase termination: {verdict}")
+        print("engines:")
+        for engine, status in advice.engines.items():
+            print(f"  {engine}: {status}")
+        if advice.cost is not None:
+            print(
+                f"cost estimate: O(n^{advice.cost['total_degree']}) facts "
+                f"per relation, null depth <= {advice.cost['max_rank']}"
+            )
+        for reason in advice.reasons:
+            print(f"# {reason}")
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.print_schema:
+        print(json.dumps(REPORT_JSON_SCHEMA, indent=2, sort_keys=True))
+        return EXIT_OK
+    if args.theory is None:
+        print("error: lint needs a theory file (or --print-schema)", file=sys.stderr)
+        return EXIT_PARSE
     report = analyze_text(Path(args.theory).read_text(), source=args.theory)
     if args.format == "json":
         print(report.render_json())
@@ -432,14 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
         "termination", help="static chase-termination check", parents=[obs_flags]
     )
     p.add_argument("theory")
+    p.add_argument(
+        "--mfa-steps", type=int, default=None, metavar="N",
+        help="also climb to the MFA rung with an N-step critical-instance "
+        "chase budget (default: graph criteria only)",
+    )
     p.set_defaults(handler=_cmd_termination)
+
+    p = commands.add_parser(
+        "advise",
+        help="strategy advisor: termination ladder, cost estimate, "
+        "recommended engine (JSON report)",
+        parents=[obs_flags],
+    )
+    p.add_argument("theory")
+    p.add_argument("--format", choices=("json", "text"), default="json")
+    p.add_argument(
+        "--mfa-steps", type=int, default=2048, metavar="N",
+        help="critical-instance chase budget for the MFA rung (default 2048)",
+    )
+    p.set_defaults(handler=_cmd_advise)
 
     p = commands.add_parser(
         "lint",
         help="static analysis: diagnostics with witnesses (see DESIGN.md)",
         parents=[obs_flags],
     )
-    p.add_argument("theory")
+    p.add_argument("theory", nargs="?", default=None)
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument(
         "--fail-on",
@@ -447,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="error",
         help="exit 1 when a diagnostic at or above this severity is present "
         "(parse failures always exit 2)",
+    )
+    p.add_argument(
+        "--print-schema", action="store_true",
+        help="print the JSON Schema of the --format json report and exit",
     )
     p.set_defaults(handler=_cmd_lint)
 

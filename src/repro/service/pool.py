@@ -157,6 +157,10 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
             "registry_misses": registry_after["misses"] - registry_before["misses"],
             "registry_evictions": registry_after["evictions"]
             - registry_before["evictions"],
+            "advisor_predicted_chase": registry_after["advisor_predicted_chase"]
+            - registry_before["advisor_predicted_chase"],
+            "advisor_fallbacks": registry_after["advisor_fallbacks"]
+            - registry_before["advisor_fallbacks"],
             "plan_cache_hits": plan_after["hits"] - plan_before["hits"],
             "plan_compile_calls": plan_after["misses"] - plan_before["misses"],
             "plan_cache_evictions": plan_after["evictions"] - plan_before["evictions"],

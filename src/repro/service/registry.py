@@ -38,8 +38,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..analysis import Severity, analyze
-from ..chase.runner import ChaseBudget, answers_in
+from ..analysis import Severity, StrategyAdvice, advise, analyze
+from ..chase.runner import RESTRICTED, ChaseBudget, answers_in
 from ..chase.runner import chase as run_chase
 from ..core.database import Database
 from ..core.parser import parse_theory
@@ -51,7 +51,12 @@ from ..guardedness.classify import Classification, classify
 from ..guardedness.normalize import normalize
 from ..obs.runtime import current as _obs_current
 from ..obs.runtime import span as _obs_span
-from ..robustness.errors import InvalidRequestError, InvalidTheoryError
+from ..robustness.errors import (
+    BudgetExceeded,
+    InvalidRequestError,
+    InvalidTheoryError,
+    TranslationError,
+)
 from ..robustness.outcome import Outcome
 from ..translate.annotations import WfgRewriting, rewrite_weakly_frontier_guarded
 from ..translate.expansion import rewrite_nearly_frontier_guarded
@@ -114,6 +119,13 @@ class CompiledTheory:
     saturation_max_rules: int = 200_000
     materialization_capacity: int = 8
     requested_strategy: str = "auto"
+    #: The strategy advisor's verdict (``StrategyAdvice.to_dict()``) —
+    #: why ``auto`` picked what it picked, kept on the artifact so the
+    #: ``/debug`` surface and registration replies can show the reasoning.
+    advice: Optional[dict] = None
+    #: True when the predictive pick failed reactively (translation
+    #: blowup) and the registry fell back to the budgeted chase.
+    advice_fallback: bool = False
     plans_compiled: int = field(default=0, compare=False)
     _materialized: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -126,6 +138,8 @@ class CompiledTheory:
             "classes": list(self.labels.names()),
             "strategy": self.strategy,
             "lint": dict(self.lint_summary),
+            "advice": dict(self.advice) if self.advice is not None else None,
+            "advice_fallback": self.advice_fallback,
             "plans_compiled": self.plans_compiled,
         }
 
@@ -232,7 +246,12 @@ class CompiledTheory:
                         value=answers_in(instance, output), complete=True
                     )
             with _obs_span("service.materialize", strategy=STRATEGY_CHASE):
-                result = run_chase(self.theory, database, budget=budget)
+                # Restricted, not oblivious: the advisor's termination
+                # verdicts certify the restricted/skolem chases only, and
+                # predictively routed theories must actually terminate.
+                result = run_chase(
+                    self.theory, database, policy=RESTRICTED, budget=budget
+                )
             with _obs_span("service.cq_eval", output=output):
                 answers = answers_in(result.database, output)
             if result.complete:
@@ -248,38 +267,62 @@ class CompiledTheory:
 
 
 def _pick_strategy(
-    theory: Theory, labels: Classification, max_rules: int, requested: str
-) -> tuple[str, Optional[Theory], Optional[WfgRewriting]]:
-    """Mirror :func:`repro.translate.pipeline.answer_query`'s dispatch,
-    but perform the database-independent translation *now*.
+    theory: Theory,
+    labels: Classification,
+    max_rules: int,
+    requested: str,
+    advice: Optional[StrategyAdvice] = None,
+) -> tuple[str, Optional[Theory], Optional[WfgRewriting], bool]:
+    """Pick the answering strategy *predictively*.
 
-    ``requested="chase"`` overrides the class dispatch entirely — for
-    terminating-chase theories whose translation blows up far past the
-    data (the class-based route is worst-case optimal, not input-
-    optimal), the operator can pin the direct strategy."""
+    The dispatch order: plain Datalog first (nothing beats the
+    semi-naive fixpoint), then — the advisor's contribution — any theory
+    whose chase is statically proven to terminate goes straight to the
+    restricted chase, skipping the class-based translation whose output
+    is worst-case sized rather than input sized.  Only theories with no
+    termination proof fall through to the Figure 1 class dispatch
+    (translate / WFG pipeline), and if *that* translation blows its
+    ``max_rules`` budget the registry falls back reactively to the
+    budgeted chase (flagged in the returned bool and counted as
+    ``advisor.fallback``) instead of refusing registration.
+
+    ``requested="chase"`` still overrides everything — for operators who
+    know better than the ladder."""
     if requested == STRATEGY_CHASE:
-        return STRATEGY_CHASE, None, None
+        return STRATEGY_CHASE, None, None, False
     if requested not in REQUESTABLE_STRATEGIES:
         raise InvalidRequestError(
             f"unknown strategy {requested!r}; expected one of "
             f"{REQUESTABLE_STRATEGIES}"
         )
     if labels.datalog and not theory.has_negation():
-        return STRATEGY_DATALOG, theory, None
-    if labels.nearly_guarded or labels.nearly_frontier_guarded:
-        normal = normalize(theory).theory
-        if classify(normal).nearly_guarded:
-            program = nearly_guarded_to_datalog(normal, max_rules=max_rules)
-        else:
-            rewritten = rewrite_nearly_frontier_guarded(
-                normal, max_rules=max_rules
+        return STRATEGY_DATALOG, theory, None, False
+    if advice is not None and advice.terminates:
+        return STRATEGY_CHASE, None, None, False
+    try:
+        if labels.nearly_guarded or labels.nearly_frontier_guarded:
+            normal = normalize(theory).theory
+            if classify(normal).nearly_guarded:
+                program = nearly_guarded_to_datalog(normal, max_rules=max_rules)
+            else:
+                rewritten = rewrite_nearly_frontier_guarded(
+                    normal, max_rules=max_rules
+                )
+                program = nearly_guarded_to_datalog(
+                    rewritten, max_rules=max_rules
+                )
+            return STRATEGY_TRANSLATE, program, None, False
+        if labels.weakly_guarded or labels.weakly_frontier_guarded:
+            rewriting = rewrite_weakly_frontier_guarded(
+                theory, max_rules=max_rules
             )
-            program = nearly_guarded_to_datalog(rewritten, max_rules=max_rules)
-        return STRATEGY_TRANSLATE, program, None
-    if labels.weakly_guarded or labels.weakly_frontier_guarded:
-        rewriting = rewrite_weakly_frontier_guarded(theory, max_rules=max_rules)
-        return STRATEGY_WFG, None, rewriting
-    return STRATEGY_CHASE, None, None
+            return STRATEGY_WFG, None, rewriting, False
+    except (TranslationError, BudgetExceeded):
+        obs = _obs_current()
+        if obs is not None:
+            obs.inc("advisor.fallback")
+        return STRATEGY_CHASE, None, None, True
+    return STRATEGY_CHASE, None, None, False
 
 
 def _warm_plans(program: Theory) -> int:
@@ -335,9 +378,11 @@ def compile_theory(
             )
         with _obs_span("service.compile.classify"):
             labels = classify(theory)
+        with _obs_span("service.compile.advise"):
+            advice = advise(theory, labels=labels)
         with _obs_span("service.compile.translate"):
-            chosen, program, rewriting = _pick_strategy(
-                theory, labels, max_rules, strategy
+            chosen, program, rewriting, fallback = _pick_strategy(
+                theory, labels, max_rules, strategy, advice=advice
             )
         compiled = CompiledTheory(
             content_hash=digest,
@@ -352,6 +397,8 @@ def compile_theory(
             saturation_max_rules=saturation_max_rules,
             materialization_capacity=materialization_capacity,
             requested_strategy=strategy,
+            advice=advice.to_dict(),
+            advice_fallback=fallback,
         )
         with _obs_span("service.compile.plans"):
             if program is not None:
@@ -385,7 +432,13 @@ class TheoryRegistry:
         self.max_rules = max_rules
         self.saturation_max_rules = saturation_max_rules
         self._entries: dict[str, CompiledTheory] = {}
-        self._stats = {"hits": 0, "misses": 0, "evictions": 0}
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "advisor_predicted_chase": 0,
+            "advisor_fallbacks": 0,
+        }
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -437,6 +490,17 @@ class TheoryRegistry:
             max_rules=self.max_rules,
             saturation_max_rules=self.saturation_max_rules,
         )
+        if entry.advice_fallback:
+            self._stats["advisor_fallbacks"] += 1
+        elif (
+            entry.strategy == STRATEGY_CHASE
+            and strategy != STRATEGY_CHASE
+            and entry.advice is not None
+            and entry.advice.get("terminates")
+        ):
+            self._stats["advisor_predicted_chase"] += 1
+            if obs is not None:
+                obs.inc("service.registry.advisor_predicted_chase")
         while len(self._entries) >= self.capacity:
             evicted = next(iter(self._entries))
             del self._entries[evicted]

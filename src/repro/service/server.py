@@ -10,9 +10,11 @@ One process, one event loop, two listeners:
   enough HTTP/1.1 for ``GET /healthz`` (JSON liveness: version, worker
   PIDs, drain state), ``GET /metrics`` (Prometheus text exposition of
   the server's :class:`~repro.obs.metrics.MetricsRegistry`, latency
-  histograms included), and ``GET /debug/requests[/<trace_id>]`` (the
+  histograms included), ``GET /debug/requests[/<trace_id>]`` (the
   flight recorder: recent/slowest trace summaries, or one full
-  end-to-end span tree by trace id — see :mod:`repro.service.tracing`).
+  end-to-end span tree by trace id — see :mod:`repro.service.tracing`),
+  and ``GET /debug/theories`` (per-registered-theory compile summaries:
+  chosen strategy plus the strategy advisor's reasoning).
 
 Admission control is a single bounded count: ``queue_limit`` caps jobs
 that are admitted but not yet answered (queued *or* in flight on a
@@ -62,6 +64,8 @@ _WORKER_STAT_KEYS = (
     "registry_hits",
     "registry_misses",
     "registry_evictions",
+    "advisor_predicted_chase",
+    "advisor_fallbacks",
     "plan_cache_hits",
     "plan_compile_calls",
     "plan_cache_evictions",
@@ -149,6 +153,9 @@ class ReasoningServer:
         self.pool = WorkerPool(config.pool_config())
         #: content hash -> rule text, for queries naming a theory by hash.
         self._texts: dict[str, str] = {}
+        #: content hash -> compile summary (strategy, classes, advisor
+        #: verdict), captured from register results for ``/debug/theories``.
+        self._theories: dict[str, dict] = {}
         self._default_hash: Optional[str] = None
         if config.theory_text is not None:
             self._default_hash = content_hash(config.theory_text)
@@ -405,6 +412,18 @@ class ReasoningServer:
                 # Histogram, not a series: constant memory under any
                 # request volume (a series would grow per batch forever).
                 self.metrics.observe_hist("service.worker.elapsed_ms", elapsed)
+        if (
+            payload.get("ok")
+            and job.payload.get("kind") == "register"
+            and "theory" in payload
+        ):
+            # Register results spread CompiledTheory.describe(); keep the
+            # summary (minus per-job stats) for the /debug/theories surface.
+            summary = {
+                key: value for key, value in payload.items()
+                if key not in ("ok", "stats", "id")
+            }
+            self._theories[payload["theory"]] = summary
         job.future.set_result(payload)
 
     # ------------------------------------------------------------------
@@ -715,6 +734,12 @@ class ReasoningServer:
         "service.requests": "NDJSON requests received on the query plane.",
         "service.queries": "Query ops admitted past validation.",
         "service.worker.elapsed_ms": "Worker-side job latency histogram.",
+        "service.worker.advisor_predicted_chase": (
+            "Registrations auto-routed to the chase by a termination proof."
+        ),
+        "service.worker.advisor_fallbacks": (
+            "Registrations that fell back to the budgeted chase reactively."
+        ),
         "service.request_ms.query": "End-to-end query latency histogram.",
         "service.request_ms.register": "End-to-end register latency histogram.",
         "service.queue_depth": "Jobs admitted but not yet dispatched.",
@@ -753,6 +778,18 @@ class ReasoningServer:
             "slowest": [trace.to_summary() for trace in self.recorder.slowest()],
         }
 
+    def debug_theories(self) -> dict:
+        """``GET /debug/theories``: compile summaries per registered
+        theory — the strategy the registry picked and the advisor's
+        reasoning (criterion, engine verdicts, cost estimate)."""
+        return {
+            "registered": len(self._texts),
+            "theories": [
+                self._theories[digest]
+                for digest in sorted(self._theories)
+            ],
+        }
+
     async def _handle_http_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -779,6 +816,9 @@ class ReasoningServer:
             elif path == "/debug/requests":
                 body = json.dumps(self.debug_requests(), sort_keys=True).encode()
                 self._http_respond(writer, 200, "application/json", body)
+            elif path == "/debug/theories":
+                body = json.dumps(self.debug_theories(), sort_keys=True).encode()
+                self._http_respond(writer, 200, "application/json", body)
             elif path is not None and path.startswith("/debug/requests/"):
                 trace_id = path[len("/debug/requests/"):]
                 trace = self.recorder.lookup(trace_id)
@@ -800,7 +840,8 @@ class ReasoningServer:
                     writer,
                     404,
                     "text/plain",
-                    b"not found: try /healthz, /metrics or /debug/requests\n",
+                    b"not found: try /healthz, /metrics, /debug/requests "
+                    b"or /debug/theories\n",
                 )
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError, ValueError):

@@ -1,0 +1,169 @@
+"""Unit tests for the strategy advisor (repro.analysis.advisor).
+
+Covers the lazy acyclicity ladder (every rung of weak ⊂ joint ⊂
+super-weak ⊂ MFA maps to the right criterion constant), engine
+applicability verdicts, the recommendation policy, witness/cost
+attachment, obs counters, and the ``repro advise`` subcommand with its
+published JSON schema.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ADVICE_JSON_SCHEMA,
+    ADVICE_SCHEMA_VERSION,
+    advise,
+)
+from repro.analysis.advisor import (
+    ENGINE_BUDGETED,
+    ENGINE_COMPLETE,
+    ENGINE_NOT_APPLICABLE,
+    ENGINE_TERMINATES,
+)
+from repro.cli import main
+from repro.core import parse_theory
+from repro.obs import instrumented
+
+jsonschema = pytest.importorskip("jsonschema")
+
+DATALOG = "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)"
+WA = (
+    "Publication(x) -> exists k. HasKeyword(x, k)\n"
+    "HasKeyword(x, k) -> Indexed(x)"
+)
+#: Jointly but not weakly acyclic: the position graph has the special
+#: cycle A.1 => C.2 -> A.1, but y's nulls never cover B.1, so the rule
+#: cannot refire on its own output.
+JA = "A(x), B(x) -> exists y. C(x, y)\nC(x, y) -> A(y)"
+#: Super-weakly but not jointly acyclic: distinct head/body constants
+#: make the positions unreachable at the term level.
+SWA = 'A(x) -> exists z. R(x, z, "c1")\nR(x, y, "c2") -> A(y)'
+#: Model-faithfully but not super-weakly acyclic: pairwise unification
+#: conflates the skolem images f("a") and f("b"); the critical-instance
+#: chase keeps them apart and reaches a fixpoint.
+MFA = (
+    "A(x) -> exists y. R(x, y)\n"
+    'R("a", y), R("b", y) -> T(y)\n'
+    "T(y) -> A(y)"
+)
+#: Guarded and genuinely non-terminating: every rung fails.
+LOOP = "E(x, y) -> exists z. E(y, z)"
+
+LADDER = [
+    (DATALOG, "datalog", "datalog"),
+    (WA, "weakly-acyclic", "chase"),
+    (JA, "jointly-acyclic", "chase"),
+    (SWA, "super-weakly-acyclic", "chase"),
+    (MFA, "model-faithful-acyclic", "chase"),
+]
+
+
+class TestLadder:
+    @pytest.mark.parametrize("text,criterion,recommended", LADDER)
+    def test_terminating_rungs(self, text, criterion, recommended):
+        advice = advise(parse_theory(text))
+        assert advice.criterion == criterion
+        assert advice.terminates is True
+        assert advice.recommended == recommended
+        assert advice.witness is None
+
+    def test_unprovable_theory_is_unknown(self):
+        advice = advise(parse_theory(LOOP))
+        assert advice.criterion == "unknown"
+        assert advice.terminates is False
+        # LOOP is guarded, so the class translation stays complete.
+        assert advice.recommended == "translate"
+
+    def test_unknown_verdict_carries_witness(self):
+        advice = advise(parse_theory(LOOP))
+        assert advice.witness is not None
+        assert advice.witness["super_weak_cycle"] == [
+            {"rule": 0, "variable": "z"}
+        ]
+        assert advice.witness["mfa"]["verdict"] in ("cyclic", "exhausted")
+        assert advice.mfa == advice.witness["mfa"]
+
+    def test_mfa_summary_attached_only_when_rung_ran(self):
+        assert advise(parse_theory(WA)).mfa is None
+        assert advise(parse_theory(SWA)).mfa is None
+        assert advise(parse_theory(MFA)).mfa is not None
+        assert advise(parse_theory(MFA)).mfa["verdict"] == "terminates"
+
+    def test_cost_estimate_only_on_weakly_acyclic(self):
+        advice = advise(parse_theory(WA))
+        assert advice.cost is not None
+        assert advice.cost["total_degree"] >= 1
+        assert advise(parse_theory(SWA)).cost is None
+
+
+class TestEngines:
+    def test_datalog_theory(self):
+        engines = advise(parse_theory(DATALOG)).engines
+        assert engines["datalog"] == ENGINE_COMPLETE
+        assert engines["chase"] == ENGINE_TERMINATES
+
+    def test_guarded_loop(self):
+        engines = advise(parse_theory(LOOP)).engines
+        assert engines["datalog"] == ENGINE_NOT_APPLICABLE
+        assert engines["translate"] == ENGINE_COMPLETE
+        assert engines["chase"] == ENGINE_BUDGETED
+
+    def test_reasons_are_prose(self):
+        advice = advise(parse_theory(MFA))
+        assert any("model-faithful-acyclic" in r for r in advice.reasons)
+
+
+class TestCounters:
+    def test_advise_increments_counters(self):
+        with instrumented() as instr:
+            advise(parse_theory(MFA))
+            advise(parse_theory(LOOP))
+        assert instr.metrics.counter("advisor.runs") == 2
+        assert (
+            instr.metrics.counter("advisor.criterion.model-faithful-acyclic")
+            == 1
+        )
+        assert instr.metrics.counter("advisor.criterion.unknown") == 1
+        assert instr.metrics.counter("advisor.recommendation.chase") == 1
+        assert instr.metrics.counter("advisor.recommendation.translate") == 1
+
+
+class TestCli:
+    @pytest.fixture()
+    def rules(self, tmp_path):
+        path = tmp_path / "mfa.rules"
+        path.write_text(MFA + "\n")
+        return str(path)
+
+    def test_advise_json_validates_against_schema(self, capsys, rules):
+        assert main(["advise", rules]) == 0
+        report = json.loads(capsys.readouterr().out)
+        jsonschema.validate(report, ADVICE_JSON_SCHEMA)
+        assert report["schema_version"] == ADVICE_SCHEMA_VERSION
+        assert report["rules"] == 3
+        assert report["advice"]["recommended"] == "chase"
+        assert report["advice"]["criterion"] == "model-faithful-acyclic"
+
+    def test_advise_text_mode(self, capsys, rules):
+        assert main(["advise", rules, "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended strategy: chase" in out
+        assert "proven (model-faithful-acyclic)" in out
+
+    def test_advise_respects_mfa_budget(self, capsys, rules):
+        # Starving the critical-instance chase degrades the verdict to
+        # "unknown" — never to an overclaim.
+        assert main(["advise", rules, "--mfa-steps", "1"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        jsonschema.validate(report, ADVICE_JSON_SCHEMA)
+        assert report["advice"]["terminates"] is False
+        assert report["advice"]["witness"]["mfa"]["verdict"] == "exhausted"
+
+    def test_shipped_example_recommends_chase(self, capsys):
+        assert main(["advise", "examples/publication.rules"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        jsonschema.validate(report, ADVICE_JSON_SCHEMA)
+        assert report["advice"]["criterion"] == "weakly-acyclic"
+        assert report["advice"]["recommended"] == "chase"

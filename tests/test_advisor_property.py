@@ -1,0 +1,148 @@
+"""Differential soundness suite for the strategy advisor.
+
+The advisor's contract is *never-overclaims*: whenever it reports
+``terminates=True`` for a theory, the restricted and skolem chases must
+actually reach a fixpoint — on the critical instance (the worst case the
+MFA rung certifies) and on random databases — within a generous budget.
+The converse direction is intentionally untested (the ladder is an
+underapproximation: ``unknown`` on a terminating theory is allowed), but
+``unknown`` verdicts must carry replayable blocking evidence.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import advise
+from repro.bench.generators import (
+    Signature,
+    random_database,
+    random_datalog_theory,
+    random_frontier_guarded_theory,
+    random_guarded_theory,
+    random_signature,
+)
+from repro.chase.runner import RESTRICTED, SKOLEM, ChaseBudget, chase
+from repro.chase.termination import (
+    MFA_TERMINATES,
+    critical_instance,
+    find_super_weak_cycle,
+    mfa_check,
+    super_weak_dependency_edges,
+)
+from repro.core import Atom, Constant, Database
+
+GENERATORS = (
+    random_guarded_theory,
+    random_frontier_guarded_theory,
+    random_datalog_theory,
+)
+
+#: Ample headroom over anything the generators can produce: an advisor
+#: overclaim would have to survive 4_000 chase steps to slip through.
+BUDGET = ChaseBudget(max_steps=4_000, max_atoms=40_000)
+
+
+def _theory(seed: int, generator_index: int):
+    rng = random.Random(seed)
+    signature = random_signature(rng, n_relations=4, min_arity=2, max_arity=3)
+    generator = GENERATORS[generator_index % len(GENERATORS)]
+    return generator(rng, signature, n_rules=4)
+
+
+def _database(seed: int, theory) -> Database:
+    rng = random.Random(seed)
+    signature = Signature(
+        {name: arity for name, arity, _ in theory.relation_keys()}
+    )
+    return random_database(rng, signature, n_constants=4, n_atoms=8)
+
+
+def _critical_database(theory) -> Database:
+    # The constant-level critical instance: every fact over the signature
+    # with terms drawn from the rule constants plus a fresh star
+    # constant.  Any database maps homomorphically into it, so a chase
+    # fixpoint here is the strongest budget-governed confirmation.  Must
+    # agree with ``critical_instance`` up to token encoding.
+    constants = [Constant("_star_")] + sorted(
+        theory.constants(), key=lambda constant: constant.name
+    )
+    atoms = []
+    for name, arity, annotation in sorted(theory.relation_keys()):
+        rows = [()]
+        for _ in range(arity + annotation):
+            rows = [row + (value,) for row in rows for value in constants]
+        atoms.extend(Atom(name, row) for row in rows)
+    database = Database(atoms)
+    assert len(atoms) == len(critical_instance(theory))
+    return database
+
+
+theories = st.builds(
+    _theory, st.integers(min_value=0, max_value=10_000), st.integers(0, 2)
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(theories, st.integers(min_value=0, max_value=10_000))
+def test_terminates_verdict_is_sound_on_random_databases(theory, db_seed):
+    advice = advise(theory)
+    if not advice.terminates:
+        return
+    database = _database(db_seed, theory)
+    for policy in (RESTRICTED, SKOLEM):
+        result = chase(theory, database, policy=policy, budget=BUDGET)
+        assert result.complete, (
+            f"advisor claimed {advice.criterion} termination but the "
+            f"{policy} chase was truncated: {result.truncated_reason}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(theories)
+def test_terminates_verdict_is_sound_on_the_critical_instance(theory):
+    # The critical instance dominates every database up to homomorphism,
+    # so a fixpoint here is the strongest budget-governed confirmation.
+    advice = advise(theory)
+    if not advice.terminates:
+        return
+    result = chase(
+        theory, _critical_database(theory), policy=SKOLEM, budget=BUDGET
+    )
+    assert result.complete, (
+        f"advisor claimed {advice.criterion} termination but the skolem "
+        f"chase of the critical instance was truncated: "
+        f"{result.truncated_reason}"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(theories)
+def test_unknown_verdict_carries_checkable_evidence(theory):
+    advice = advise(theory)
+    if advice.terminates:
+        return
+    witness = advice.witness
+    assert witness is not None
+    # The super-weak cycle must be a real cycle in the recomputed
+    # dependency relation, and the MFA summary must reflect a fresh
+    # bounded run that again fails to prove termination.
+    cycle = [
+        (entry["rule"], entry["variable"])
+        for entry in witness["super_weak_cycle"]
+    ]
+    edges = {
+        ((src_rule, src_var.name), (dst_rule, dst_var.name))
+        for (src_rule, src_var), targets in (
+            super_weak_dependency_edges(theory).items()
+        )
+        for (dst_rule, dst_var) in targets
+    }
+    for position, source in enumerate(cycle):
+        target = cycle[(position + 1) % len(cycle)]
+        assert (source, target) in edges
+    assert find_super_weak_cycle(theory) is not None
+    rerun = mfa_check(theory, max_steps=witness["mfa"]["max_steps"])
+    assert rerun.verdict != MFA_TERMINATES
+    assert rerun.verdict == witness["mfa"]["verdict"]

@@ -279,7 +279,7 @@ class TestReportApi:
         assert counts["error"] == 2
         assert sum(counts.values()) == len(report)
         assert report.max_severity() is Severity.ERROR
-        assert len(report.at_least(Severity.WARNING)) == 4
+        assert len(report.at_least(Severity.WARNING)) == 6
 
     def test_every_code_is_registered(self):
         report = analyze_text(FLAWED)

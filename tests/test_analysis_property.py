@@ -21,7 +21,12 @@ from repro.bench.generators import (
     random_guarded_theory,
     random_signature,
 )
-from repro.chase.termination import is_jointly_acyclic, is_weakly_acyclic
+from repro.chase.termination import (
+    is_jointly_acyclic,
+    is_model_faithful_acyclic,
+    is_super_weakly_acyclic,
+    is_weakly_acyclic,
+)
 from repro.core.parser import render_theory
 from repro.guardedness import is_weakly_frontier_guarded
 
@@ -78,10 +83,33 @@ def test_codes_agree_with_boolean_checkers(theory):
     assert bool(report.by_code("TRM002")) == (
         not theory.is_datalog() and not is_jointly_acyclic(theory)
     )
-    trm2 = report.by_code("TRM002")
-    for diagnostic in report.by_code("TRM001"):
-        expected = Severity.WARNING if trm2 else Severity.INFO
+    assert bool(report.by_code("TRM003")) == (
+        not theory.is_datalog() and not is_super_weakly_acyclic(theory)
+    )
+    # A rung is WARNING exactly when no later rung proves termination
+    # (the linter's MFA budget is smaller than the default, so a later
+    # rung can only *downgrade*: INFO implies a genuine proof exists).
+    later_proof = is_super_weakly_acyclic(theory) or (
+        bool(report.by_code("TRM003"))
+        and not report.by_code("TRM004")
+        and is_model_faithful_acyclic(theory, max_steps=512)
+    )
+    for diagnostic in report.by_code("TRM001") + report.by_code("TRM002"):
+        expected = Severity.INFO if later_proof else Severity.WARNING
         assert diagnostic.severity is expected
+    mfa_proof = bool(report.by_code("TRM003")) and is_model_faithful_acyclic(
+        theory, max_steps=512
+    )
+    for diagnostic in report.by_code("TRM003"):
+        expected = Severity.INFO if mfa_proof else Severity.WARNING
+        assert diagnostic.severity is expected
+    for diagnostic in report.by_code("TRM004"):
+        assert diagnostic.severity is Severity.WARNING
+    # EST bounds exist exactly on weakly acyclic existential theories.
+    assert bool(report.by_code("EST001")) == (
+        not theory.is_datalog() and is_weakly_acyclic(theory)
+    )
+    assert bool(report.by_code("EST002")) == bool(report.by_code("EST001"))
 
 
 @settings(max_examples=40, deadline=None)

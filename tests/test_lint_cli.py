@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.analysis import REPORT_JSON_SCHEMA
+from repro.analysis import REPORT_JSON_SCHEMA, REPORT_SCHEMA_VERSION
 from repro.cli import main
 
 jsonschema = pytest.importorskip("jsonschema")
@@ -23,6 +23,8 @@ class TestGoldenDiagnostics:
         golden = [
             ("TRM001", "warning", 8),
             ("TRM002", "warning", 8),
+            ("TRM003", "warning", 8),
+            ("TRM004", "warning", 8),
             ("GRD001", "error", 13),
             ("STR001", "error", 16),
             ("RCH001", "info", 21),
@@ -33,8 +35,8 @@ class TestGoldenDiagnostics:
             for d in report["diagnostics"]
         ]
         assert observed == golden
-        assert report["summary"] == {"error": 2, "warning": 2, "info": 2}
-        assert "summary: 2 errors, 2 warnings, 2 infos" in out
+        assert report["summary"] == {"error": 2, "warning": 4, "info": 2}
+        assert "summary: 2 errors, 4 warnings, 2 infos" in out
 
     def test_publication_rules(self, capsys):
         # The paper's flagship example (Figure 2) must lint without
@@ -52,14 +54,19 @@ class TestGoldenDiagnostics:
             ("GRD002", "info"),
             ("RCH001", "info"),
             ("RCH002", "info"),
+            ("EST001", "info"),
+            ("EST002", "info"),
         ]
-        assert report["summary"] == {"error": 0, "warning": 0, "info": 6}
+        assert report["summary"] == {"error": 0, "warning": 0, "info": 8}
 
     def test_witnesses_present_in_json(self, capsys):
         report = json_report(capsys, FLAWED)
         by_code = {d["code"]: d for d in report["diagnostics"]}
         assert by_code["GRD001"]["witness"]["unsafe"][0]["derivation"]
         assert by_code["TRM001"]["witness"]["cycle"]
+        assert by_code["TRM003"]["witness"]["cycle"]
+        assert by_code["TRM004"]["witness"]["cyclic"]
+        assert by_code["TRM004"]["witness"]["trace"]
         assert by_code["STR001"]["witness"]["cycle"]
         assert by_code["RCH001"]["witness"]["underivable"]
 
@@ -68,7 +75,20 @@ def json_report(capsys, path: str) -> dict:
     assert main(["lint", path, "--format", "json", "--fail-on", "never"]) == 0
     report = json.loads(capsys.readouterr().out)
     jsonschema.validate(report, REPORT_JSON_SCHEMA)
+    assert report["schema_version"] == REPORT_SCHEMA_VERSION
     return report
+
+
+class TestPrintSchema:
+    def test_print_schema_matches_published_constant(self, capsys):
+        assert main(["lint", "--print-schema"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == REPORT_JSON_SCHEMA
+        jsonschema.Draft202012Validator.check_schema(printed)
+
+    def test_lint_without_theory_or_flag_is_an_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestFailOn:

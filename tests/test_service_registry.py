@@ -25,13 +25,28 @@ EXISTENTIAL = (
     "Publication(x) -> exists k. HasKeyword(x, k)\n"
     "HasKeyword(x, k) -> Indexed(x)"
 )
-#: Section 7 exemplar (weakly guarded): classifies nearly-frontier-guarded,
-#: so auto strategy translates to Datalog.
+#: Section 7 exemplar (weakly guarded): classifies nearly-frontier-guarded
+#: *and* is weakly acyclic, so the advisor proves chase termination and
+#: auto now routes to the chase instead of the Datalog translation.
 WG = (
     "E(x,y) -> T(x,y)\n"
     "E(x,y), T(y,z) -> T(x,z)\n"
     "T(x,y) -> exists w. M(y, w)\n"
     "M(y,w), T(x,y) -> Reach(x)"
+)
+#: Guarded but provably-nonterminating-free: no acyclicity criterion
+#: applies, so auto falls back to the Datalog translation.
+LOOP = "E(x, y) -> exists z. E(y, z)"
+#: Super-weakly acyclic but not jointly acyclic (constants break the
+#: joint-acyclicity overapproximation).
+SWA = 'A(x) -> exists z. R(x, z, "c1")\nR(x, y, "c2") -> A(y)'
+#: Model-faithfully acyclic but not super-weakly acyclic (pairwise
+#: skolem unification conflates f(a) and f(b); the critical-instance
+#: chase does not).
+MFA = (
+    "A(x) -> exists y. R(x, y)\n"
+    'R("a", y), R("b", y) -> T(y)\n'
+    "T(y) -> A(y)"
 )
 
 
@@ -46,10 +61,24 @@ class TestStrategySelection:
         assert compiled.program is not None
         assert compiled.plans_compiled > 0
 
-    def test_auto_translates_nearly_frontier_guarded(self):
+    def test_auto_prefers_chase_when_termination_proven(self):
+        # WG is nearly-frontier-guarded *and* weakly acyclic: the
+        # advisor's termination proof wins over the translation.
         compiled = compile_theory(WG)
+        assert compiled.strategy == STRATEGY_CHASE
+        assert compiled.program is None and compiled.rewriting is None
+        assert compiled.advice is not None
+        assert compiled.advice["terminates"] is True
+        assert compiled.advice["criterion"] == "weakly-acyclic"
+        assert compiled.advice["recommended"] == STRATEGY_CHASE
+        assert compiled.advice_fallback is False
+
+    def test_auto_translates_unprovable_guarded_theory(self):
+        compiled = compile_theory(LOOP)
         assert compiled.strategy == STRATEGY_TRANSLATE
         assert compiled.program is not None
+        assert compiled.advice["terminates"] is False
+        assert compiled.advice["criterion"] == "unknown"
 
     def test_chase_override(self):
         compiled = compile_theory(WG, strategy="chase")
@@ -80,13 +109,23 @@ class TestAnswers:
         assert outcome.complete
         assert names(outcome.value) == names(reference)
 
-    def test_translate_strategy_matches_chase(self):
+    def test_auto_chase_matches_reference(self):
         compiled = compile_theory(WG)
+        assert compiled.strategy == STRATEGY_CHASE
         db = parse_database("E(a,b). E(b,c).")
         outcome = compiled.answer(db, "Reach")
         reference = certain_answers(Query(parse_theory(WG), "Reach"), db)
         assert outcome.complete
         assert names(outcome.value) == names(reference)
+
+    def test_translate_strategy_answers_unprovable_theory(self):
+        # LOOP's chase never terminates, so auto routes through the
+        # guarded translation; certain answers stay constants-only.
+        compiled = compile_theory(LOOP)
+        assert compiled.strategy == STRATEGY_TRANSLATE
+        outcome = compiled.answer(parse_database("E(a,b)."), "E")
+        assert outcome.complete
+        assert names(outcome.value) == [["a", "b"]]
 
     def test_unknown_output_relation_rejected(self):
         compiled = compile_theory(TC)
@@ -189,3 +228,48 @@ class TestRegistry:
             pytest.skip("linter reports no error for this exemplar")
         with pytest.raises(InvalidTheoryError):
             TheoryRegistry(capacity=4, strict=True).register(flawed)
+
+
+class TestAdvisorRouting:
+    def test_describe_surfaces_advice(self):
+        description = compile_theory(WG).describe()
+        assert description["advice"]["criterion"] == "weakly-acyclic"
+        assert description["advice"]["recommended"] == STRATEGY_CHASE
+        assert description["advice_fallback"] is False
+
+    def test_registry_counts_predicted_chase(self):
+        registry = TheoryRegistry(capacity=4)
+        registry.register(WG)
+        registry.register(TC)  # datalog: not a prediction
+        stats = registry.stats()
+        assert stats["advisor_predicted_chase"] == 1
+        assert stats["advisor_fallbacks"] == 0
+
+    def test_chase_only_corpus_never_falls_back(self):
+        # SWA and MFA sit beyond joint acyclicity, yet both must route
+        # to the chase predictively — zero translation-fallback events.
+        registry = TheoryRegistry(capacity=4)
+        with instrumented() as instr:
+            for text, criterion in (
+                (SWA, "super-weakly-acyclic"),
+                (MFA, "model-faithful-acyclic"),
+            ):
+                entry = registry.register(text)
+                assert entry.strategy == STRATEGY_CHASE
+                assert entry.advice["criterion"] == criterion
+                assert entry.advice_fallback is False
+        assert instr.metrics.counter("advisor.fallback") == 0
+        assert (
+            instr.metrics.counter("service.registry.advisor_predicted_chase")
+            == 2
+        )
+        stats = registry.stats()
+        assert stats["advisor_predicted_chase"] == 2
+        assert stats["advisor_fallbacks"] == 0
+
+    def test_mfa_theory_answers_without_fallback(self):
+        compiled = compile_theory(MFA)
+        outcome = compiled.answer(parse_database('A("a"). A("b").'), "T")
+        assert outcome.complete
+        reference = certain_answers(Query(parse_theory(MFA), "T"), parse_database('A("a"). A("b").'))
+        assert names(outcome.value) == names(reference)

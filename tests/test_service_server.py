@@ -312,3 +312,66 @@ class TestCrashRecoveryThroughServer:
                 await server.drain()
 
         run(scenario())
+
+
+class TestAdvisorSurface:
+    #: Beyond super-weak acyclicity, yet provably terminating (MFA): the
+    #: registry must route it to the chase predictively, and the advice
+    #: must show up on the wire, on /debug/theories, and in /metrics.
+    MFA = (
+        "A(x) -> exists y. R(x, y)\n"
+        'R("a", y), R("b", y) -> T(y)\n'
+        "T(y) -> A(y)"
+    )
+
+    def test_register_surfaces_advice_and_counters(self):
+        from repro.obs import validate_exposition
+
+        async def scenario():
+            server = await started_server(theory_text=TC, database_text=DB)
+            try:
+                port, ops_port = server.bound_ports()
+                reg, = await roundtrip(
+                    port, {"op": "register", "theory": self.MFA}
+                )
+                assert reg["ok"]
+                assert reg["strategy"] == "chase"
+                assert reg["advice_fallback"] is False
+                assert reg["advice"]["criterion"] == "model-faithful-acyclic"
+                assert reg["advice"]["recommended"] == "chase"
+
+                status, body = await http_get(ops_port, "/debug/theories")
+                debug = json.loads(body)
+                assert status == 200
+                assert debug["registered"] == 2
+                by_hash = {
+                    entry["theory"]: entry for entry in debug["theories"]
+                }
+                entry = by_hash[reg["theory"]]
+                assert entry["strategy"] == "chase"
+                assert (
+                    entry["advice"]["criterion"] == "model-faithful-acyclic"
+                )
+
+                status, body = await http_get(ops_port, "/metrics")
+                assert status == 200
+                assert validate_exposition(body) == []
+                metrics = dict(
+                    line.rsplit(" ", 1)
+                    for line in body.strip().splitlines()
+                    if not line.startswith("#")
+                )
+                predicted = metrics[
+                    "repro_service_worker_advisor_predicted_chase"
+                ]
+                assert int(predicted) >= 1
+                # Zero-valued counters are elided from the exposition:
+                # no translation fallback means no series at all.
+                fallbacks = metrics.get(
+                    "repro_service_worker_advisor_fallbacks", "0"
+                )
+                assert int(fallbacks) == 0
+            finally:
+                await server.drain()
+
+        run(scenario())
