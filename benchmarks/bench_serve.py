@@ -150,7 +150,13 @@ def run_session(
     args, theory_path: str, database: str, *, tracing: bool
 ) -> tuple[list[dict], dict]:
     """One full server lifecycle: start (``--no-trace`` when asked),
-    run every load pass, SIGTERM-drain, account hygiene."""
+    run every load pass, SIGTERM-drain, account hygiene.
+
+    With ``--chaos-rate`` above zero the load passes run through the
+    seeded fault-injection proxy restricted to ``delay`` faults —
+    latency without loss, so the zero-failure hygiene bar still holds
+    while the latency distribution absorbs deterministic jitter (how
+    resilient the percentiles are to a lossy-feeling network)."""
     from repro.service.client import http_get, wait_until_ready
 
     port, http_port = free_port(), free_port()
@@ -177,12 +183,24 @@ def run_session(
     mode = "traced" if tracing else "untraced"
     passes: list[dict] = []
     hygiene: dict = {}
+    proxy = None
     try:
         wait_until_ready("127.0.0.1", port, timeout=120)
+        load_port = port
+        if args.chaos_rate > 0:
+            from repro.chaos import ChaosProxy, ChaosSchedule
+
+            proxy = ChaosProxy(
+                "127.0.0.1", port,
+                ChaosSchedule(
+                    args.chaos_seed, faults=("delay",), rate=args.chaos_rate
+                ),
+            )
+            _, load_port = proxy.start()
         for index in range(args.passes):
             before = scrape_counters("127.0.0.1", http_port)
             record = run_pass(
-                "127.0.0.1", port,
+                "127.0.0.1", load_port,
                 queries=args.queries,
                 concurrency=args.concurrency,
                 database=database,
@@ -231,7 +249,16 @@ def run_session(
             "restarts": int(final.get("repro_service_worker_restarts_total", 0)),
             "traceback_on_stderr": "Traceback" in stderr_text,
         }
+        if proxy is not None:
+            hygiene["chaos"] = {
+                "seed": args.chaos_seed,
+                "rate": args.chaos_rate,
+                "exchanges": proxy.exchanges,
+                "injected": dict(sorted(proxy.injected.items())),
+            }
     finally:
+        if proxy is not None:
+            proxy.stop()
         if server.poll() is None:
             server.kill()
             server.wait(timeout=30)
@@ -308,6 +335,12 @@ def main() -> int:
     parser.add_argument("--output", default=None,
                         help="write the JSON record here (default stdout)")
     parser.add_argument("--label", default="current")
+    parser.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="route load through the chaos proxy injecting "
+                        "delay faults at this rate (0 = off; latency "
+                        "without loss, hygiene bars unchanged)")
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="seed for the chaos proxy's fault schedule")
     parser.add_argument("--compare-tracing", action="store_true",
                         help="run the workload twice (tracing on, then "
                         "--no-trace) and report the overhead deltas")

@@ -1,0 +1,47 @@
+"""repro.chaos — deterministic fault injection and soak testing.
+
+The service package (:mod:`repro.service`) claims a failure-model
+contract (DESIGN.md §13): structured errors, shed responses with back-off
+hints, crash recovery that never loses a request, a drain that exits
+clean.  This package is the machinery that *checks* those claims under
+adversity instead of trusting them:
+
+``proxy``
+    A seeded TCP fault-injection proxy that sits between a client and a
+    running server and injects transport faults — connection resets,
+    response delays, frame truncation, stalls, mid-exchange disconnects
+    — on a schedule that is a **pure function of the seed**, so every
+    chaotic run is replayable bit-for-bit.
+
+``soak``
+    The soak harness behind ``repro soak``: replays seeded mixed
+    register/query/status traffic through the proxy against a live
+    ``repro serve`` (spawned with ``--allow-faults`` so worker-side
+    crash faults ride along), and checks end-to-end invariants —
+    exactly one terminal outcome per request, sound partial answers,
+    consistent trace phase sums, a clean drain with no orphan workers,
+    and a registry that never caches a truncated model.
+
+Everything here is stdlib-only and driven by :class:`random.Random`
+instances derived via SHA-256 (never the salted builtin ``hash``), so a
+schedule reproduces across processes and Python versions.
+"""
+
+from .proxy import (
+    PROXY_FAULT_ACTIONS,
+    ChaosDecision,
+    ChaosProxy,
+    ChaosSchedule,
+    derive_rng,
+)
+from .soak import SoakConfig, run_soak
+
+__all__ = [
+    "PROXY_FAULT_ACTIONS",
+    "ChaosDecision",
+    "ChaosProxy",
+    "ChaosSchedule",
+    "derive_rng",
+    "SoakConfig",
+    "run_soak",
+]

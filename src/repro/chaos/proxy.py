@@ -1,0 +1,307 @@
+"""Seeded TCP fault-injection proxy for the NDJSON query plane.
+
+The proxy accepts client connections, opens one upstream connection per
+client, and relays **exchanges** (one request line in, one response line
+out — the service protocol's unit of work).  Before each exchange it
+consults a :class:`ChaosSchedule` for a fault decision:
+
+* ``reset``      — close the client connection with ``SO_LINGER 0``
+  (an RST on the wire) before the request is forwarded;
+* ``disconnect`` — forward the request, then drop the client without
+  relaying any response (the ambiguous-failure case retries exist for);
+* ``truncate``   — relay only a prefix of the response bytes, then
+  close (a torn frame: the client must reject it, never parse it);
+* ``delay:<ms>`` — hold the response for a bounded time, then relay it
+  intact (latency without loss);
+* ``stall``      — swallow the response and hold the connection open
+  until ``stall_s`` passes (the client's socket timeout must fire).
+
+Determinism is the whole point: decision ``i`` is a pure function of
+``(seed, faults, rate, i)`` via SHA-256-derived RNGs (:func:`derive_rng`
+— the builtin ``hash`` is salted per process and would silently break
+replays), so the byte-level fault schedule of a soak run reproduces
+exactly from its seed.  :meth:`ChaosSchedule.preview` renders the first
+N decisions for the soak report.
+
+The proxy is threads-and-sockets on purpose — it must keep working
+while the asyncio server it fronts is the thing being tortured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..robustness.errors import InvalidRequestError
+
+__all__ = [
+    "PROXY_FAULT_ACTIONS",
+    "ChaosDecision",
+    "ChaosSchedule",
+    "ChaosProxy",
+    "derive_rng",
+]
+
+#: Transport fault actions the proxy can inject, in severity order.
+PROXY_FAULT_ACTIONS = ("delay", "truncate", "stall", "reset", "disconnect")
+
+#: Upper bound on one relayed line; matches the protocol's frame cap.
+_MAX_LINE = 8 * 1024 * 1024 + 2
+
+
+def derive_rng(seed: int, *scope: object) -> random.Random:
+    """A :class:`random.Random` keyed on ``(seed, *scope)`` via SHA-256.
+
+    ``random.Random("7:traffic")`` would use the *salted* builtin string
+    hash — different across processes, silently breaking replay — so
+    every chaos RNG is derived through a stable digest instead."""
+    text = "repro-chaos:" + ":".join(str(part) for part in (seed, *scope))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """One exchange's fate: pass through clean, or one injected fault."""
+
+    index: int
+    action: str  # "none" or a member of PROXY_FAULT_ACTIONS
+    delay_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        payload = {"index": self.index, "action": self.action}
+        if self.action == "delay":
+            payload["delay_ms"] = self.delay_ms
+        return payload
+
+
+class ChaosSchedule:
+    """The deterministic fault plan: ``decision(i)`` is pure in
+    ``(seed, faults, rate, i)`` and therefore identical across runs,
+    processes, and machines for the same parameters."""
+
+    def __init__(
+        self,
+        seed: int,
+        faults: tuple[str, ...] = PROXY_FAULT_ACTIONS,
+        rate: float = 0.2,
+        delay_range_ms: tuple[float, float] = (25.0, 250.0),
+        stall_s: float = 3.0,
+    ) -> None:
+        for fault in faults:
+            if fault not in PROXY_FAULT_ACTIONS:
+                raise InvalidRequestError(
+                    f"unknown proxy fault {fault!r}; expected members of "
+                    f"{PROXY_FAULT_ACTIONS}"
+                )
+        if not 0.0 <= rate <= 1.0:
+            raise InvalidRequestError("fault rate must be within [0, 1]")
+        if delay_range_ms[0] < 0 or delay_range_ms[1] < delay_range_ms[0]:
+            raise InvalidRequestError("delay_range_ms must be 0 <= lo <= hi")
+        self.seed = seed
+        self.faults = tuple(faults)
+        self.rate = rate
+        self.delay_range_ms = delay_range_ms
+        self.stall_s = stall_s
+
+    def decision(self, index: int) -> ChaosDecision:
+        if not self.faults:
+            return ChaosDecision(index=index, action="none")
+        rng = derive_rng(self.seed, "proxy", index)
+        if rng.random() >= self.rate:
+            return ChaosDecision(index=index, action="none")
+        action = self.faults[rng.randrange(len(self.faults))]
+        delay_ms = 0.0
+        if action == "delay":
+            low, high = self.delay_range_ms
+            delay_ms = round(rng.uniform(low, high), 3)
+        return ChaosDecision(index=index, action=action, delay_ms=delay_ms)
+
+    def preview(self, count: int) -> list[dict]:
+        """The first ``count`` decisions, rendered for the soak report —
+        the byte-for-byte reproducibility witness of a seeded run."""
+        return [self.decision(index).to_dict() for index in range(count)]
+
+
+class ChaosProxy:
+    """A line-exchange TCP proxy applying a :class:`ChaosSchedule`.
+
+    ``start()`` binds (port 0 → ephemeral) and returns the listen
+    address; every client connection is served by its own daemon thread
+    with a dedicated upstream connection.  Counters (``exchanges``,
+    ``injected`` per action) and a bounded ``events`` ring record what
+    was actually injected, for the soak report."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: ChaosSchedule,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 30.0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule
+        self.host = host
+        self.port = port
+        self.io_timeout = io_timeout
+        self.exchanges = 0
+        self.injected: dict[str, int] = {}
+        self.events: deque[dict] = deque(maxlen=512)
+        self._counter_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._open_sockets: set[socket.socket] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._counter_lock:
+            stragglers = list(self._open_sockets)
+        for sock in stragglers:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _next_decision(self) -> ChaosDecision:
+        with self._counter_lock:
+            index = self.exchanges
+            self.exchanges += 1
+        decision = self.schedule.decision(index)
+        if decision.action != "none":
+            with self._counter_lock:
+                self.injected[decision.action] = (
+                    self.injected.get(decision.action, 0) + 1
+                )
+                self.events.append(decision.to_dict())
+        return decision
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._counter_lock:
+            self._open_sockets.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._counter_lock:
+            self._open_sockets.discard(sock)
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self._track(client)
+            threading.Thread(
+                target=self._serve_client,
+                args=(client,),
+                name="repro-chaos-conn",
+                daemon=True,
+            ).start()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hard_close(sock: socket.socket) -> None:
+        """Close with ``SO_LINGER 0`` → RST, the genuine article of a
+        "connection reset by peer"."""
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _serve_client(self, client: socket.socket) -> None:
+        upstream: Optional[socket.socket] = None
+        try:
+            client.settimeout(self.io_timeout)
+            upstream = socket.create_connection(
+                (self.upstream_host, self.upstream_port),
+                timeout=self.io_timeout,
+            )
+            self._track(upstream)
+            client_file = client.makefile("rb")
+            upstream_file = upstream.makefile("rb")
+            while not self._stopping.is_set():
+                request = client_file.readline(_MAX_LINE)
+                if not request:
+                    return
+                decision = self._next_decision()
+                if decision.action == "reset":
+                    self._untrack(client)
+                    self._hard_close(client)
+                    client = None  # type: ignore[assignment]
+                    return
+                upstream.sendall(request)
+                if decision.action == "disconnect":
+                    # Ambiguity by construction: the server acts, the
+                    # client never learns.  Idempotent-op retries exist
+                    # precisely for this exchange.
+                    return
+                response = upstream_file.readline(_MAX_LINE)
+                if not response:
+                    return
+                if decision.action == "truncate":
+                    cut = max(1, len(response) // 2)
+                    client.sendall(response[:cut])
+                    return
+                if decision.action == "stall":
+                    time.sleep(self.schedule.stall_s)
+                    return
+                if decision.action == "delay":
+                    time.sleep(decision.delay_ms / 1e3)
+                client.sendall(response)
+        except (OSError, ValueError):
+            pass
+        finally:
+            for sock in (client, upstream):
+                if sock is None:
+                    continue
+                self._untrack(sock)
+                try:
+                    sock.close()
+                except OSError:
+                    pass

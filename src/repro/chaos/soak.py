@@ -1,0 +1,597 @@
+"""The soak harness behind ``repro soak``.
+
+A soak run is a closed loop around a *live* server: seeded mixed traffic
+(register / query / status / ping, built from
+:mod:`repro.bench.generators`) travels through the fault-injection proxy
+of :mod:`repro.chaos.proxy` to a ``repro serve`` process started with
+``--allow-faults``, while a deterministic share of queries additionally
+carries worker-side ``inject: "crash"`` faults.  Everything random is a
+pure function of the seed (SHA-256-derived RNGs, one per concern), so a
+failing run replays exactly.
+
+What makes it a *test* rather than noise is the invariant set, checked
+against ground truth computed in-process before any socket is touched:
+
+``terminal_outcome``
+    Every issued request reaches exactly one terminal outcome — a
+    structured response (``ok``, partial, shed, typed error) or a typed
+    client exception.  No hangs, no double answers, no raw tracebacks.
+``sound_answers``
+    Every ``ok`` query response is checked against the workload's
+    ground truth: complete answers must equal it, partial answers must
+    be a subset (the Outcome soundness contract, end to end through
+    every injected fault).
+``phase_sums``
+    For traces held by the flight recorder, the per-phase durations sum
+    to the recorded elapsed time (within rounding), and ``/metrics``
+    parses as valid Prometheus exposition.
+``registry_cache``
+    A budget-truncated query over a closure-heavy theory must *not*
+    poison the materialization cache: the same query re-run with a full
+    budget must return the complete ground truth.
+``clean_drain``
+    SIGTERM ends the spawned server with exit code 0 and zero orphaned
+    worker processes (skipped when soaking an externally managed server
+    via ``connect``).
+
+The report (``run_soak`` return value / ``--report`` JSON) embeds the
+schedule preview — the first decisions of the proxy schedule and the
+traffic plan — which is byte-for-byte identical across runs with the
+same seed and fault set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..bench.generators import (
+    chain_database,
+    random_database,
+    random_datalog_theory,
+    random_signature,
+)
+from ..chase.runner import ChaseBudget, try_certain_answers
+from ..core.parser import render_theory
+from ..core.theory import Query
+from ..robustness.errors import InvalidRequestError
+from ..service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceUnavailable,
+    TransportError,
+    fetch_trace,
+    http_get,
+    wait_until_ready,
+)
+from .proxy import PROXY_FAULT_ACTIONS, ChaosProxy, ChaosSchedule, derive_rng
+
+__all__ = ["SoakConfig", "SoakWorkload", "run_soak", "build_workloads"]
+
+#: Fault names ``--faults`` accepts: worker-side actions are injected in
+#: request payloads (the server must run ``--allow-faults``); the rest
+#: are transport faults applied by the proxy.
+WORKER_SOAK_FAULTS = ("crash",)
+SOAK_FAULTS = WORKER_SOAK_FAULTS + PROXY_FAULT_ACTIONS
+
+#: Entries of the deterministic schedule/traffic previews embedded in
+#: the report — the replayability witness.
+PREVIEW_ENTRIES = 48
+
+#: The registry-cache probe: transitive closure over a chain forces a
+#: deep materialization, so a truncated run is visibly incomplete.
+PROBE_THEORY = "E(x,y), E(y,z) -> E(x,z)\nE(x,y) -> R(x,y)"
+PROBE_CHAIN = 24
+PROBE_OUTPUT = "R"
+PROBE_TRUNCATED_STEPS = 40
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything ``repro soak`` can tune (defaults match the CI job)."""
+
+    seed: int = 7
+    duration: float = 30.0
+    faults: tuple[str, ...] = ("crash", "delay", "truncate", "stall")
+    workers: int = 2
+    fault_rate: float = 0.2
+    #: ``(query_port, ops_port)`` of an externally managed server; when
+    #: ``None`` the harness spawns its own ``repro serve --allow-faults``.
+    connect: Optional[tuple[int, int]] = None
+    host: str = "127.0.0.1"
+    #: Engine deadline carried by each soak query.
+    query_timeout: float = 5.0
+    #: Client socket timeout (must undercut the proxy's stall hold).
+    client_timeout: float = 2.0
+
+    def split_faults(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        worker = tuple(f for f in self.faults if f in WORKER_SOAK_FAULTS)
+        transport = tuple(f for f in self.faults if f in PROXY_FAULT_ACTIONS)
+        unknown = [f for f in self.faults if f not in SOAK_FAULTS]
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown soak fault(s) {unknown}; expected members of "
+                f"{SOAK_FAULTS}"
+            )
+        return worker, transport
+
+
+@dataclass
+class SoakWorkload:
+    """One theory+database pair with its precomputed ground truth."""
+
+    name: str
+    theory_text: str
+    database_text: str
+    output: str
+    #: Sorted complete certain answers, as the wire renders them.
+    ground_truth: list[list[str]] = field(default_factory=list)
+
+
+def _render_database(database) -> str:
+    return "\n".join(
+        f"{atom.relation}({', '.join(term.name for term in atom.args)})."
+        for atom in sorted(database, key=str)
+    )
+
+
+def _wire_answers(outcome_value) -> list[list[str]]:
+    return sorted([term.name for term in answer] for answer in outcome_value)
+
+
+def build_workloads(seed: int) -> list[SoakWorkload]:
+    """Deterministic soak workloads: two seeded Datalog worlds plus the
+    closure probe — each with in-process ground truth (the oracle every
+    served answer is checked against)."""
+    workloads: list[SoakWorkload] = []
+    for variant in range(2):
+        rng = derive_rng(seed, "workload", variant)
+        signature = random_signature(rng, n_relations=3, max_arity=2)
+        theory = random_datalog_theory(rng, signature, n_rules=4)
+        database = random_database(rng, signature, n_constants=5, n_atoms=10)
+        output = signature.relations()[rng.randrange(len(signature.relations()))]
+        outcome = try_certain_answers(
+            Query(theory, output), database, budget=ChaseBudget(max_steps=500_000)
+        )
+        assert outcome.complete, "workload ground truth must be complete"
+        workloads.append(
+            SoakWorkload(
+                name=f"datalog-{variant}",
+                theory_text=render_theory(theory),
+                database_text=_render_database(database),
+                output=output,
+                ground_truth=_wire_answers(outcome.value),
+            )
+        )
+    probe_db = chain_database("E", PROBE_CHAIN)
+    from ..core.parser import parse_theory
+
+    probe_outcome = try_certain_answers(
+        Query(parse_theory(PROBE_THEORY), PROBE_OUTPUT),
+        probe_db,
+        budget=ChaseBudget(max_steps=500_000),
+    )
+    assert probe_outcome.complete
+    workloads.append(
+        SoakWorkload(
+            name="closure-probe",
+            theory_text=PROBE_THEORY,
+            database_text=_render_database(probe_db),
+            output=PROBE_OUTPUT,
+            ground_truth=_wire_answers(probe_outcome.value),
+        )
+    )
+    return workloads
+
+
+def plan_request(
+    seed: int, index: int, *, n_workloads: int, worker_faults: tuple[str, ...],
+    fault_rate: float,
+) -> dict:
+    """The ``index``-th traffic decision — pure in its arguments, so the
+    plan preview in the report replays byte-for-byte from the seed."""
+    rng = derive_rng(seed, "traffic", index)
+    roll = rng.random()
+    if roll < 0.06:
+        return {"index": index, "op": "ping"}
+    if roll < 0.16:
+        return {"index": index, "op": "status"}
+    workload = rng.randrange(n_workloads)
+    if roll < 0.28:
+        return {"index": index, "op": "register", "workload": workload}
+    plan = {"index": index, "op": "query", "workload": workload}
+    if worker_faults and rng.random() < fault_rate:
+        plan["inject"] = worker_faults[rng.randrange(len(worker_faults))]
+    return plan
+
+
+# ----------------------------------------------------------------------
+def _spawn_server(config: SoakConfig) -> tuple[subprocess.Popen, int, int]:
+    """``repro serve --allow-faults`` on ephemeral ports, ready to query."""
+    def free_port() -> int:
+        with socket.socket() as sock:
+            sock.bind((config.host, 0))
+            return sock.getsockname()[1]
+
+    port, http_port = free_port(), free_port()
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--allow-faults",
+            "--workers", str(config.workers),
+            "--host", config.host,
+            "--port", str(port),
+            "--http-port", str(http_port),
+            "--default-timeout", "10",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        wait_until_ready(config.host, port, timeout=60)
+    except Exception:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise
+    return proc, port, http_port
+
+
+def _classify_response(response: dict) -> str:
+    if response.get("shed"):
+        return "shed"
+    if response.get("ok"):
+        return "ok_complete" if response.get("complete", True) else "ok_partial"
+    error = response.get("error")
+    if isinstance(error, dict) and error.get("code"):
+        return f"error:{error['code']}"
+    return "malformed"
+
+
+def _check_phase_sums(
+    host: str, http_port: int, violations: list[str], *, sample: int = 40
+) -> int:
+    """Fetch recent traces and verify phase durations sum to elapsed."""
+    status, body = http_get(host, http_port, "/debug/requests")
+    if status != 200:
+        violations.append(f"/debug/requests answered HTTP {status}")
+        return 0
+    listing = json.loads(body)
+    checked = 0
+    for summary in listing.get("recent", [])[:sample]:
+        trace = fetch_trace(host, http_port, summary["trace_id"])
+        if trace is None or trace.get("elapsed_ms") is None:
+            continue
+        phase_sum = sum(trace.get("phases", {}).values())
+        elapsed = trace["elapsed_ms"]
+        if abs(phase_sum - elapsed) > 1.0:
+            violations.append(
+                f"trace {trace['trace_id']}: phases sum to {phase_sum}ms "
+                f"but elapsed is {elapsed}ms"
+            )
+        checked += 1
+    return checked
+
+
+def _check_metrics_exposition(
+    host: str, http_port: int, violations: list[str]
+) -> None:
+    from ..obs.prometheus import validate_exposition
+
+    status, body = http_get(host, http_port, "/metrics")
+    if status != 200:
+        violations.append(f"/metrics answered HTTP {status}")
+        return
+    problems = validate_exposition(body)
+    for problem in problems[:5]:
+        violations.append(f"/metrics exposition: {problem}")
+
+
+def _build_cache_probe() -> SoakWorkload:
+    """The registry-cache probe over a database the traffic loop never
+    touches (constant prefix ``p``): a complete model legitimately
+    cached by earlier full-budget traffic would otherwise satisfy the
+    truncated query and mask the invariant."""
+    from ..core.parser import parse_theory
+
+    database = chain_database("E", PROBE_CHAIN, prefix="p")
+    outcome = try_certain_answers(
+        Query(parse_theory(PROBE_THEORY), PROBE_OUTPUT),
+        database,
+        budget=ChaseBudget(max_steps=500_000),
+    )
+    assert outcome.complete
+    return SoakWorkload(
+        name="cache-probe",
+        theory_text=PROBE_THEORY,
+        database_text=_render_database(database),
+        output=PROBE_OUTPUT,
+        ground_truth=_wire_answers(outcome.value),
+    )
+
+
+def _check_registry_cache(
+    client: ServiceClient, violations: list[str]
+) -> dict:
+    """Truncated queries then a full query over the same fresh (theory,
+    database): the final answer must be complete and equal to ground
+    truth — a registry that cached a truncated model fails here.  The
+    truncated query runs once per worker-ish (twice) so a buggy cache
+    would be seeded wherever the full query lands."""
+    probe = _build_cache_probe()
+    result: dict = {}
+    for attempt in range(2):
+        truncated = client.query(
+            probe.output,
+            theory_text=probe.theory_text,
+            database=probe.database_text,
+            strategy="chase",
+            max_steps=PROBE_TRUNCATED_STEPS,
+            request_id=f"soak-probe-truncated-{attempt}",
+        )
+        result["truncated"] = _classify_response(truncated)
+        if truncated.get("ok") and truncated.get("complete"):
+            violations.append(
+                "registry probe: truncated-budget query reported complete "
+                f"(max_steps={PROBE_TRUNCATED_STEPS} should exhaust)"
+            )
+        if truncated.get("ok"):
+            partial = {tuple(answer) for answer in truncated.get("answers", [])}
+            truth = {tuple(answer) for answer in probe.ground_truth}
+            if not partial <= truth:
+                violations.append(
+                    "registry probe: truncated answers are unsound"
+                )
+    full = client.query(
+        probe.output,
+        theory_text=probe.theory_text,
+        database=probe.database_text,
+        strategy="chase",
+        request_id="soak-probe-full",
+    )
+    result["full"] = _classify_response(full)
+    if not full.get("ok") or not full.get("complete"):
+        violations.append(
+            "registry probe: full-budget query did not complete "
+            f"({_classify_response(full)})"
+        )
+    elif full.get("answers") != probe.ground_truth:
+        violations.append(
+            "registry probe: full-budget answers differ from ground truth — "
+            "the registry served a truncated cached model"
+        )
+    return result
+
+
+def _check_clean_drain(
+    proc: subprocess.Popen, host: str, http_port: int, violations: list[str]
+) -> dict:
+    """SIGTERM the spawned server: exit 0, no orphaned workers."""
+    try:
+        health = json.loads(http_get(host, http_port, "/healthz")[1])
+        worker_pids = list(health.get("worker_pids", []))
+    except Exception:
+        worker_pids = []
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+        violations.append("drain: server did not exit within 60s of SIGTERM")
+        return {"exit_code": None, "orphans": worker_pids}
+    if code != 0:
+        violations.append(f"drain: server exited {code}, expected 0")
+    orphans = []
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        orphans = []
+        for pid in worker_pids:
+            try:
+                os.kill(pid, 0)
+                orphans.append(pid)
+            except (ProcessLookupError, PermissionError):
+                pass
+        if not orphans:
+            break
+        time.sleep(0.1)
+    if orphans:
+        violations.append(f"drain: orphaned worker processes {orphans}")
+    return {"exit_code": code, "orphans": orphans}
+
+
+# ----------------------------------------------------------------------
+def run_soak(config: SoakConfig) -> dict:
+    """Run one soak; returns the (JSON-serialisable) report.
+
+    ``report["ok"]`` is ``True`` iff zero invariant violations."""
+    worker_faults, transport_faults = config.split_faults()
+    workloads = build_workloads(config.seed)
+    schedule = ChaosSchedule(
+        config.seed, faults=transport_faults, rate=config.fault_rate
+    )
+    violations: list[str] = []
+    outcomes: dict[str, int] = {}
+    issued = 0
+
+    proc: Optional[subprocess.Popen] = None
+    if config.connect is None:
+        proc, port, http_port = _spawn_server(config)
+    else:
+        port, http_port = config.connect
+        wait_until_ready(config.host, port, timeout=30)
+
+    proxy = ChaosProxy(config.host, port, schedule, host=config.host)
+    drain_result: dict = {"skipped": "externally managed server"}
+    try:
+        proxy_host, proxy_port = proxy.start()
+        retry = RetryPolicy(
+            attempts=5,
+            base_delay_ms=10.0,
+            max_delay_ms=250.0,
+            budget_ms=8_000.0,
+            rng=derive_rng(config.seed, "retry"),
+        )
+        client = ServiceClient(
+            proxy_host, proxy_port, timeout=config.client_timeout, retry=retry
+        )
+        deadline = time.monotonic() + config.duration
+        index = 0
+        with client:
+            while time.monotonic() < deadline:
+                plan = plan_request(
+                    config.seed,
+                    index,
+                    n_workloads=len(workloads),
+                    worker_faults=worker_faults,
+                    fault_rate=config.fault_rate,
+                )
+                index += 1
+                issued += 1
+                outcome = _issue(client, plan, workloads, violations)
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+        # Invariant: every issued request reached exactly one terminal
+        # outcome (structural — each loop iteration records exactly one).
+        if sum(outcomes.values()) != issued:
+            violations.append(
+                f"terminal-outcome accounting: issued {issued} requests but "
+                f"recorded {sum(outcomes.values())} outcomes"
+            )
+
+        # Post-traffic invariants run against the server directly (no
+        # proxy): the checks themselves must not be chaos-distorted.
+        direct = ServiceClient(
+            config.host, port, timeout=30.0,
+            retry=RetryPolicy(rng=derive_rng(config.seed, "direct")),
+        )
+        with direct:
+            probe_result = _check_registry_cache(direct, violations)
+            try:
+                final_status = direct.status()
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                final_status = {"error": str(exc)}
+        traces_checked = _check_phase_sums(config.host, http_port, violations)
+        _check_metrics_exposition(config.host, http_port, violations)
+        if proc is not None:
+            drain_result = _check_clean_drain(
+                proc, config.host, http_port, violations
+            )
+    finally:
+        proxy.stop()
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    report = {
+        "seed": config.seed,
+        "duration_s": config.duration,
+        "faults": sorted(config.faults),
+        "fault_rate": config.fault_rate,
+        "workers": config.workers,
+        # Byte-for-byte reproducible sections: pure functions of the
+        # seed + fault set, independent of timing and machine.
+        "schedule": {
+            "proxy": schedule.preview(PREVIEW_ENTRIES),
+            "traffic": [
+                plan_request(
+                    config.seed, i,
+                    n_workloads=len(workloads),
+                    worker_faults=worker_faults,
+                    fault_rate=config.fault_rate,
+                )
+                for i in range(PREVIEW_ENTRIES)
+            ],
+        },
+        "requests": issued,
+        "outcomes": dict(sorted(outcomes.items())),
+        "proxy": {
+            "exchanges": proxy.exchanges,
+            "injected": dict(sorted(proxy.injected.items())),
+        },
+        "registry_probe": probe_result,
+        "traces_checked": traces_checked,
+        "drain": drain_result,
+        "server": final_status,
+        "violations": violations,
+        "ok": not violations,
+    }
+    return report
+
+
+def _issue(
+    client: ServiceClient,
+    plan: dict,
+    workloads: list[SoakWorkload],
+    violations: list[str],
+) -> str:
+    """Send one planned request; classify its terminal outcome and check
+    answer soundness.  Returns the outcome label (exactly one per call —
+    the structural half of the terminal-outcome invariant)."""
+    request_id = f"soak-{plan['index']}"
+    try:
+        if plan["op"] == "ping":
+            response = client.ping()
+        elif plan["op"] == "status":
+            response = client.status()
+        elif plan["op"] == "register":
+            workload = workloads[plan["workload"]]
+            response = client.register(
+                workload.theory_text, request_id=request_id
+            )
+        else:
+            workload = workloads[plan["workload"]]
+            response = client.query(
+                workload.output,
+                theory_text=workload.theory_text,
+                database=workload.database_text,
+                strategy="chase",
+                timeout=5.0,
+                request_id=request_id,
+                inject=plan.get("inject"),
+            )
+    except ServiceUnavailable:
+        return "unavailable"
+    except TransportError:
+        return "transport_error"
+    except Exception as exc:  # noqa: BLE001 - anything untyped is a violation
+        violations.append(
+            f"request {request_id}: untyped client exception "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return "untyped_exception"
+    if not isinstance(response, dict) or "ok" not in response:
+        violations.append(f"request {request_id}: malformed terminal response")
+        return "malformed"
+    label = _classify_response(response)
+    if label == "malformed":
+        violations.append(
+            f"request {request_id}: ok:false response without error code"
+        )
+    if plan["op"] == "query" and response.get("ok") and "inject" not in plan:
+        workload = workloads[plan["workload"]]
+        answers = {tuple(answer) for answer in response.get("answers", [])}
+        truth = {tuple(answer) for answer in workload.ground_truth}
+        if response.get("complete", True):
+            if answers != truth:
+                violations.append(
+                    f"request {request_id}: complete answers differ from "
+                    f"ground truth on {workload.name}"
+                )
+        elif not answers <= truth:
+            violations.append(
+                f"request {request_id}: partial answers are unsound on "
+                f"{workload.name}"
+            )
+    return label

@@ -12,6 +12,7 @@ Installed as the ``repro`` console script::
     repro lint --print-schema                (the lint report's JSON Schema)
     repro serve theory.rules --workers 4
     repro tail 127.0.0.1:7465                (the server's ops port)
+    repro soak --seed 7 --duration 30 --faults crash,delay,truncate,stall
 
 Theories use the rule syntax of :mod:`repro.core.parser`; databases use
 the data syntax (bare names are constants).
@@ -365,7 +366,11 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     import time as _time
 
     from .service.client import ServiceError, debug_requests, fetch_trace
-    from .service.tracing import render_trace_line, render_trace_tree
+    from .service.tracing import (
+        render_event_line,
+        render_trace_line,
+        render_trace_tree,
+    )
 
     host, port = _parse_ops_address(args.address)
     try:
@@ -386,6 +391,7 @@ def _cmd_tail(args: argparse.Namespace) -> int:
                 print(render_trace_line(summary))
             return EXIT_OK
         seen: set[str] = set()
+        seen_events: set[str] = set()
         first_sweep = True
         while True:
             listing = debug_requests(host, port)
@@ -395,8 +401,17 @@ def _cmd_tail(args: argparse.Namespace) -> int:
                     " nothing will appear",
                     file=sys.stderr,
                 )
-            # ``recent`` is newest-first; replay unseen ones oldest-first
-            # so the tail reads chronologically.
+            # Service events (worker crashes, crash-loop backoff, shed
+            # storms) interleave with request lines, rendered distinctly
+            # so degradation pops out of the feed.  Both rings arrive
+            # newest-first; replay unseen entries oldest-first so the
+            # tail reads chronologically.
+            for event in reversed(listing.get("events", [])):
+                key = json.dumps(event, sort_keys=True)
+                if key in seen_events:
+                    continue
+                seen_events.add(key)
+                print(render_event_line(event), flush=True)
             for summary in reversed(listing.get("recent", [])):
                 trace_id = summary.get("trace_id")
                 if trace_id in seen:
@@ -412,6 +427,63 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         return EXIT_FAILED
     except KeyboardInterrupt:
         return EXIT_OK
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Seeded chaos soak against a live server (``repro soak``)."""
+    from .chaos.soak import SOAK_FAULTS, SoakConfig, run_soak
+
+    faults = tuple(
+        part.strip() for part in args.faults.split(",") if part.strip()
+    )
+    unknown = [fault for fault in faults if fault not in SOAK_FAULTS]
+    if unknown:
+        print(
+            f"error: unknown fault(s) {','.join(unknown)}; "
+            f"choose from {','.join(SOAK_FAULTS)}",
+            file=sys.stderr,
+        )
+        return EXIT_PARSE
+    connect = None
+    if args.connect is not None:
+        host, port = _parse_ops_address(args.connect)
+        http_port = args.connect_http or port + 1
+        connect = (port, http_port)
+    else:
+        host = "127.0.0.1"
+    config = SoakConfig(
+        seed=args.seed,
+        duration=args.duration,
+        faults=faults,
+        workers=args.workers,
+        fault_rate=args.fault_rate,
+        connect=connect,
+        host=host,
+    )
+    report = run_soak(config)
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    print(
+        f"soak seed={report['seed']} duration={report['duration_s']}s "
+        f"requests={report['requests']} "
+        f"proxy_faults={sum(report['proxy']['injected'].values())}",
+        file=sys.stderr,
+    )
+    for label, count in report["outcomes"].items():
+        print(f"  {label}: {count}", file=sys.stderr)
+    if report["violations"]:
+        for violation in report["violations"]:
+            print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+        print(
+            f"soak FAILED: {len(report['violations'])} invariant "
+            "violation(s)",
+            file=sys.stderr,
+        )
+        return EXIT_FAILED
+    print("soak passed: zero invariant violations", file=sys.stderr)
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -629,6 +701,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll interval in seconds while following (default 1.0)",
     )
     p.set_defaults(handler=_cmd_tail, stats=False, trace_json=None, timeout=None)
+
+    p = commands.add_parser(
+        "soak",
+        help="seeded chaos soak: replay faulty traffic through the "
+        "fault-injection proxy and check service invariants",
+    )
+    p.add_argument(
+        "--seed", type=int, default=7,
+        help="seed of the fault schedule and traffic plan (default 7); "
+        "the same seed reproduces the same schedule byte-for-byte",
+    )
+    p.add_argument(
+        "--duration", type=float, default=30.0,
+        help="soak length in seconds (default 30)",
+    )
+    p.add_argument(
+        "--faults", default="crash,delay,truncate,stall",
+        help="comma-separated fault set: 'crash' is injected into "
+        "workers, the rest are transport faults applied by the proxy "
+        "(delay, truncate, stall, reset, disconnect)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="workers of the spawned server (ignored with --connect)",
+    )
+    p.add_argument(
+        "--fault-rate", type=float, default=0.2,
+        help="per-exchange fault probability (default 0.2)",
+    )
+    p.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full JSON soak report to PATH",
+    )
+    p.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="soak an already-running server's query plane instead of "
+        "spawning one (it must run --allow-faults for worker faults)",
+    )
+    p.add_argument(
+        "--connect-http", type=int, default=None,
+        help="ops-plane port of the --connect server (default: port + 1)",
+    )
+    p.set_defaults(handler=_cmd_soak, stats=False, trace_json=None, timeout=None)
 
     return parser
 

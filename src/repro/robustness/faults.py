@@ -16,20 +16,82 @@ Because ticks are deterministic for a fixed input, a test can first
 :func:`probe` a run to learn its tick count and then replay it once per
 (tick, action) pair, asserting a structured partial outcome each time —
 the harness ``tests/test_faults.py`` walks every engine this way.
+
+Beyond the engine ``tick()`` granularity, the *service* boundary has its
+own fault taxonomy (see DESIGN.md §13): **worker faults** — request-
+injectable actions honoured by ``repro.service.pool`` workers when the
+pool runs with ``allow_faults`` — and **transport faults**, injected by
+the seeded chaos proxy of :mod:`repro.chaos.proxy`.  The worker fault
+vocabulary lives here (:data:`WORKER_FAULT_ACTIONS`,
+:func:`parse_worker_fault`) so tests, the pool, and the soak harness
+share one spelling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from .errors import FaultInjected, InvalidRequestError
 from .governor import CancellationToken, Deadline, ResourceGovernor
 
-__all__ = ["FAULT_ACTIONS", "FaultInjector", "inject", "probe"]
+__all__ = [
+    "FAULT_ACTIONS",
+    "WORKER_FAULT_ACTIONS",
+    "FaultInjector",
+    "inject",
+    "parse_worker_fault",
+    "probe",
+]
 
 #: Supported fault kinds, in the order the harness exercises them.
 FAULT_ACTIONS = ("deadline", "cancel", "error")
+
+#: Worker-process fault actions a request may carry (``inject: "…"``)
+#: when the pool was started with ``allow_faults``:
+#:
+#: * ``crash`` — hard ``os._exit`` mid-job (exercises crash recovery);
+#: * ``stall`` — wedge in non-ticking code forever (exercises the
+#:   hard-kill watchdog);
+#: * ``slow:<ms>`` — sleep ``ms`` milliseconds, then answer normally
+#:   (exercises latency tolerance without failure);
+#: * ``corrupt_envelope`` — put a malformed item on the worker's result
+#:   queue (exercises the parent's poisoned-channel handling).
+WORKER_FAULT_ACTIONS = ("crash", "stall", "slow", "corrupt_envelope")
+
+
+def parse_worker_fault(spec: str) -> tuple[str, Optional[float]]:
+    """Validate a worker fault spec; return ``(kind, argument)``.
+
+    ``slow`` requires a ``slow:<ms>`` argument (milliseconds, >= 0); the
+    other kinds take none.  Raises :class:`InvalidRequestError` on any
+    malformed spec — the pool maps that to a structured
+    ``invalid_request`` response, never a crash."""
+    if not isinstance(spec, str):
+        raise InvalidRequestError(
+            f"fault spec must be a string, got {type(spec).__name__}"
+        )
+    kind, sep, argument = spec.partition(":")
+    if kind not in WORKER_FAULT_ACTIONS:
+        raise InvalidRequestError(
+            f"unknown worker fault {spec!r}; expected one of "
+            f"{WORKER_FAULT_ACTIONS}"
+        )
+    if kind == "slow":
+        if not sep:
+            raise InvalidRequestError("'slow' fault needs 'slow:<ms>'")
+        try:
+            ms = float(argument)
+        except ValueError:
+            raise InvalidRequestError(
+                f"bad 'slow' argument {argument!r}: expected milliseconds"
+            ) from None
+        if ms < 0:
+            raise InvalidRequestError("'slow' milliseconds must be >= 0")
+        return kind, ms
+    if sep:
+        raise InvalidRequestError(f"fault {kind!r} takes no argument")
+    return kind, None
 
 
 @dataclass

@@ -19,13 +19,23 @@ Layout (each module's docstring carries its own contract):
     The asyncio front-end: admission control, batching dispatcher, and
     the ``/healthz`` + ``/metrics`` ops plane.
 ``client``
-    Blocking socket client plus ops-plane scrape helpers.
+    Blocking socket client (typed transport errors, optional retry
+    policy) plus ops-plane scrape helpers.
 
 Start one with ``repro serve theory.rules`` or programmatically via
-:func:`repro.service.server.serve`.
+:func:`repro.service.server.serve`.  Chaos-test one with ``repro soak``
+(see :mod:`repro.chaos`).
 """
 
-from .client import ServiceClient, ServiceError, http_get, wait_until_ready
+from .client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    TransportError,
+    http_get,
+    wait_until_ready,
+)
 from .pool import PoolConfig, WorkerPool
 from .registry import (
     REQUESTABLE_STRATEGIES,
@@ -37,8 +47,11 @@ from .registry import (
 from .server import ReasoningServer, ServiceConfig, serve
 
 __all__ = [
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
+    "TransportError",
     "http_get",
     "wait_until_ready",
     "PoolConfig",

@@ -1,12 +1,36 @@
-"""Blocking client for the reasoning service.
+"""Blocking client for the reasoning service, with typed transport
+errors and an optional retry policy.
 
 The wire format is a one-liner (NDJSON over TCP), so the client is a
 thin convenience over a socket: it frames requests, reads exactly one
-response line per request, and raises :class:`ServiceError` for
-transport problems while passing the server's *structured* failures
+response line per request, and raises a **typed** transport error for
+connection problems while passing the server's *structured* failures
 through as return values — an ``ok: false`` response is data, not an
 exception, because load shedding and budget exhaustion are expected
 operating conditions a caller must branch on.
+
+Error taxonomy (all under :class:`~repro.robustness.errors.ReproError`):
+
+* :class:`TransportError` — one transport-level failure (connection
+  refused/reset, timed-out read, oversized or malformed frame), carrying
+  the ``host``/``port``/``op`` context it happened in;
+* :class:`ServiceUnavailable` — the retry policy gave up: every attempt
+  failed at the transport level (or the connection could never be
+  established).  Subclasses :class:`TransportError`, and carries the
+  attempt count;
+* :class:`ServiceError` — the shared base (kept as the catch-all name
+  older call sites use).
+
+Retries: a :class:`RetryPolicy` (capped exponential backoff with *full
+jitter*, a per-request wall-clock retry budget) can be attached to a
+:class:`ServiceClient`.  Only ops listed in
+:data:`repro.service.protocol.IDEMPOTENT_OPS` are ever resent — an
+ambiguous failure on anything else raises immediately, because the
+client cannot know whether the server acted.  Shed responses
+(``shed: true``) carry the server's ``retry_after_ms`` hint, which the
+policy honours (bounded by ``max_retry_after_ms``); when the retry
+budget runs out, the last shed response is *returned* (it is data, and
+the caller owns the back-off decision from there).
 
 Also here: :func:`http_get`, a dependency-free scrape of the ops plane
 (``/healthz``, ``/metrics``, ``/debug/requests``) used by tests, the CI
@@ -15,16 +39,22 @@ smoke job, the benchmark harness, and ``repro tail``.
 
 from __future__ import annotations
 
-import json
+import random
 import socket
 import time
+import json
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..robustness.errors import ReproError
 from . import protocol
 
 __all__ = [
     "ServiceClient",
     "ServiceError",
+    "TransportError",
+    "ServiceUnavailable",
+    "RetryPolicy",
     "http_get",
     "healthz",
     "debug_requests",
@@ -33,10 +63,95 @@ __all__ = [
 ]
 
 
-class ServiceError(RuntimeError):
-    """Transport-level failure: connection refused/reset, oversized or
-    malformed response frame.  Protocol-level failures (``ok: false``)
-    are returned, not raised."""
+class ServiceError(ReproError, RuntimeError):
+    """Base class for client-side service failures.  Protocol-level
+    failures (``ok: false``) are returned, not raised."""
+
+
+class TransportError(ServiceError):
+    """One transport-level failure: connection refused/reset, timed-out
+    read, oversized or malformed response frame.  Carries the
+    ``host``/``port``/``op`` context so an operator reading the error
+    knows *which* hop of *which* operation failed."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        context = []
+        if op is not None:
+            context.append(f"op={op}")
+        if host is not None:
+            context.append(f"peer={host}:{port}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(message + suffix)
+        self.host = host
+        self.port = port
+        self.op = op
+
+
+class ServiceUnavailable(TransportError):
+    """The retry policy exhausted its attempts/budget without getting a
+    response — the service is unreachable from here, for now."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        op: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message, host=host, port=port, op=op)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter, per-request budget.
+
+    The ``attempt``-th retry sleeps ``uniform(0, min(max_delay_ms,
+    base_delay_ms * 2**attempt))`` milliseconds (full jitter — the
+    standard defence against retry synchronisation across many clients).
+    The total time spent waiting between retries of one request never
+    exceeds ``budget_ms``.  Only idempotent ops are retried; a shed
+    response's ``retry_after_ms`` hint is honoured as a floor on the
+    sleep, clamped to ``max_retry_after_ms`` so a buggy server cannot
+    park a client forever.
+    """
+
+    #: Total tries per request, the first included (1 = never retry).
+    attempts: int = 4
+    base_delay_ms: float = 25.0
+    max_delay_ms: float = 2_000.0
+    #: Wall-clock cap on retry *waiting* per request, in ms.
+    budget_ms: float = 10_000.0
+    #: Retry shed (``overloaded``/``draining``) responses too.
+    retry_shed: bool = True
+    #: Upper clamp on the server's ``retry_after_ms`` hint.
+    max_retry_after_ms: float = 5_000.0
+    #: Ops eligible for retry; everything else fails fast.
+    idempotent_ops: tuple[str, ...] = protocol.IDEMPOTENT_OPS
+    #: Seeded RNG for deterministic jitter in tests/soak; fresh when None.
+    rng: Optional[random.Random] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.rng is None:
+            object.__setattr__(self, "rng", random.Random())
+
+    def backoff_ms(self, retry_index: int, *, floor_ms: float = 0.0) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based), in ms."""
+        assert self.rng is not None
+        cap = min(self.max_delay_ms, self.base_delay_ms * (2 ** retry_index))
+        jittered = self.rng.uniform(0.0, max(cap, 0.0))
+        return max(jittered, min(floor_ms, self.max_retry_after_ms))
 
 
 class ServiceClient:
@@ -44,7 +159,11 @@ class ServiceClient:
 
     Responses on a connection arrive in request order, so a plain
     send-then-read pair per call is exact.  Usable as a context
-    manager; ``connect()`` is implicit on first request.
+    manager; ``connect()`` is implicit on first request.  With a
+    ``retry`` policy the client transparently reconnects and resends
+    idempotent requests on transport failures and honours shed
+    back-off hints; without one (the default) every transport failure
+    raises a :class:`TransportError` on the first occurrence.
     """
 
     def __init__(
@@ -53,10 +172,12 @@ class ServiceClient:
         port: int = 7464,
         *,
         timeout: Optional[float] = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
         self._sock: Optional[socket.socket] = None
         self._file = None
 
@@ -69,8 +190,11 @@ class ServiceClient:
                 (self.host, self.port), timeout=self.timeout
             )
         except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to {self.host}:{self.port}: {exc}"
+            raise TransportError(
+                f"cannot connect: {exc}",
+                host=self.host,
+                port=self.port,
+                op="connect",
             ) from exc
         self._file = self._sock.makefile("rb")
 
@@ -90,8 +214,10 @@ class ServiceClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def request(self, obj: dict) -> dict:
-        """Send one request object, return its response object."""
+    def _request_once(self, obj: dict) -> dict:
+        """One send + one read on the current connection; raises a typed
+        :class:`TransportError` on any transport-level problem."""
+        op = obj.get("op")
         self.connect()
         assert self._sock is not None and self._file is not None
         try:
@@ -99,18 +225,95 @@ class ServiceClient:
             line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
         except OSError as exc:
             self.close()
-            raise ServiceError(f"connection failed mid-request: {exc}") from exc
+            raise TransportError(
+                f"connection failed mid-request: {exc}",
+                host=self.host, port=self.port, op=op,
+            ) from exc
         if not line:
             self.close()
-            raise ServiceError("server closed the connection without answering")
+            raise TransportError(
+                "server closed the connection without answering",
+                host=self.host, port=self.port, op=op,
+            )
         if len(line) > protocol.MAX_LINE_BYTES:
             self.close()
-            raise ServiceError("response frame exceeds protocol line limit")
+            raise TransportError(
+                "response frame exceeds protocol line limit",
+                host=self.host, port=self.port, op=op,
+            )
         try:
             return protocol.decode(line)
         except ValueError as exc:
             self.close()
-            raise ServiceError(f"malformed response frame: {exc}") from exc
+            raise TransportError(
+                f"malformed response frame: {exc}",
+                host=self.host, port=self.port, op=op,
+            ) from exc
+
+    def request(self, obj: dict) -> dict:
+        """Send one request object, return its response object.
+
+        With a retry policy attached: transport failures on idempotent
+        ops reconnect and resend (capped exponential backoff + full
+        jitter), shed responses are retried after the server's
+        ``retry_after_ms`` hint, and the policy's attempt count and
+        wall-clock budget bound the whole exchange.  The terminal
+        outcome is always one of: a response object (possibly a shed),
+        or a typed error — never a silent hang."""
+        policy = self.retry
+        if policy is None:
+            return self._request_once(obj)
+        retryable = obj.get("op") in policy.idempotent_ops
+        waited_ms = 0.0
+        retries = 0
+        last_transport: Optional[TransportError] = None
+        while True:
+            try:
+                response = self._request_once(obj)
+            except TransportError as exc:
+                if not retryable:
+                    raise
+                last_transport = exc
+                delay_ms = policy.backoff_ms(retries)
+                retries += 1
+                if (
+                    retries >= policy.attempts
+                    or waited_ms + delay_ms > policy.budget_ms
+                ):
+                    raise ServiceUnavailable(
+                        f"no response after {retries} attempt(s): {exc}",
+                        host=self.host, port=self.port, op=obj.get("op"),
+                        attempts=retries,
+                    ) from last_transport
+                time.sleep(delay_ms / 1e3)
+                waited_ms += delay_ms
+                continue
+            if (
+                response.get("shed")
+                and policy.retry_shed
+                and retryable
+            ):
+                hint = response.get("retry_after_ms")
+                floor_ms = (
+                    float(hint)
+                    if isinstance(hint, (int, float))
+                    and not isinstance(hint, bool)
+                    and hint >= 0
+                    else 0.0
+                )
+                delay_ms = policy.backoff_ms(retries, floor_ms=floor_ms)
+                retries += 1
+                if (
+                    retries >= policy.attempts
+                    or waited_ms + delay_ms > policy.budget_ms
+                ):
+                    # Out of budget: the shed response is data — return
+                    # it, the caller owns the next-level back-off.
+                    return response
+                time.sleep(delay_ms / 1e3)
+                waited_ms += delay_ms
+                continue
+            return response
 
     # -- op helpers ----------------------------------------------------
     def ping(self) -> dict:
@@ -149,6 +352,7 @@ class ServiceClient:
         request_id: Any = None,
         trace_id: Optional[str] = None,
         explain: bool = False,
+        inject: Optional[str] = None,
     ) -> dict:
         req: dict[str, Any] = {"op": "query", "output": output}
         if theory is not None:
@@ -171,31 +375,46 @@ class ServiceClient:
             req["trace_id"] = trace_id
         if explain:
             req["explain"] = True
+        if inject is not None:
+            req["inject"] = inject
         return self.request(req)
 
 
 def http_get(
     host: str, port: int, path: str, *, timeout: float = 10.0
 ) -> tuple[int, str]:
-    """Minimal ``GET`` against the ops plane: ``(status, body)``."""
-    with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.sendall(
-            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
-            "Connection: close\r\n\r\n".encode()
-        )
-        chunks = []
-        while True:
-            chunk = sock.recv(65536)
-            if not chunk:
-                break
-            chunks.append(chunk)
+    """Minimal ``GET`` against the ops plane: ``(status, body)``.
+
+    Transport problems (refused connection, reset mid-body, timeout)
+    raise :class:`TransportError` with the host/port/path context —
+    never a raw ``socket.error``."""
+    op = f"GET {path}"
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: close\r\n\r\n".encode()
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except OSError as exc:
+        raise TransportError(
+            f"ops-plane request failed: {exc}", host=host, port=port, op=op
+        ) from exc
     raw = b"".join(chunks)
     head, _, body = raw.partition(b"\r\n\r\n")
     status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
     try:
         status = int(status_line.split()[1])
     except (IndexError, ValueError) as exc:
-        raise ServiceError(f"malformed HTTP response: {status_line!r}") from exc
+        raise TransportError(
+            f"malformed HTTP response: {status_line!r}",
+            host=host, port=port, op=op,
+        ) from exc
     return status, body.decode("utf-8", "replace")
 
 
@@ -239,18 +458,22 @@ def wait_until_ready(
 ) -> dict:
     """Poll the query plane with ``ping`` until the server answers.
 
-    Returns the first successful pong; raises :class:`ServiceError` when
-    ``timeout`` elapses first.  The startup helper for tests, the CI
-    smoke job, and the benchmark harness."""
+    Returns the first successful pong; raises
+    :class:`ServiceUnavailable` (with the last transport failure as its
+    cause) when ``timeout`` elapses first.  The startup helper for
+    tests, the CI smoke job, and the benchmark harness."""
     deadline = time.monotonic() + timeout
     last: Optional[Exception] = None
+    tries = 0
     while time.monotonic() < deadline:
+        tries += 1
         try:
             with ServiceClient(host, port, timeout=interval + 1.0) as client:
                 return client.ping()
         except ServiceError as exc:
             last = exc
             time.sleep(interval)
-    raise ServiceError(
-        f"server at {host}:{port} not ready after {timeout}s: {last}"
+    raise ServiceUnavailable(
+        f"server not ready after {timeout}s: {last}",
+        host=host, port=port, op="ping", attempts=tries,
     )

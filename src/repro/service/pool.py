@@ -38,12 +38,35 @@ pill, joins with a grace period, and only then escalates to
 ``terminate``/``kill`` — the SIGTERM contract of ``repro serve`` is
 "no orphan workers, exit 0", and tests assert both.
 
+Crash-loop protection: a worker that dies is normally respawned on the
+next health sweep, but a *crash loop* (a poisoned input, a broken
+binary, an OOM-killer feedback cycle) would turn instant respawn into a
+fork bomb.  The monitor therefore tracks crash times in a sliding
+window; past ``crash_loop_threshold`` crashes in ``crash_loop_window``
+seconds, respawns are delayed by capped exponential backoff
+(``respawn_backoff_base``··``respawn_backoff_max``).  The pool keeps
+serving with whatever workers remain — degraded but alive — and the
+backoff state is exported (``respawn_backoff_ms`` gauge,
+``crash_loops`` counter, ``worker.crash_loop`` events) so operators see
+the loop, not just its symptoms.
+
 Fault injection: when the pool is constructed with ``allow_faults``
-(test harnesses, the CI smoke job), a query may carry
-``{"inject": "crash"}`` — the worker hard-exits mid-query via
-``os._exit``, exercising the recovery path end-to-end.  Without the
-flag the option is rejected, so a production deployment cannot be
-crashed by request payload.
+(test harnesses, the CI smoke job, ``repro soak``), a query may carry
+``{"inject": …}`` with any action from
+:data:`repro.robustness.faults.WORKER_FAULT_ACTIONS`:
+
+* ``"crash"`` — the worker hard-exits mid-query via ``os._exit``
+  (exercises crash recovery end-to-end);
+* ``"stall"`` — the worker wedges in non-ticking code (exercises the
+  hard-kill watchdog);
+* ``"slow:<ms>"`` — the worker sleeps, then answers normally
+  (exercises latency tolerance);
+* ``"corrupt_envelope"`` — the worker puts a malformed item on its
+  result queue (exercises the parent's poisoned-channel handling: the
+  worker is terminated and its jobs fail structured, never hang).
+
+Without the flag every ``inject`` is rejected, so a production
+deployment cannot be crashed by request payload.
 """
 
 from __future__ import annotations
@@ -53,6 +76,7 @@ import os
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -60,9 +84,26 @@ import multiprocessing as mp
 
 from .registry import REQUESTABLE_STRATEGIES, TheoryRegistry
 
-__all__ = ["PoolConfig", "WorkerPool", "run_job", "worker_main"]
+__all__ = [
+    "NoLiveWorkers",
+    "PoolConfig",
+    "WorkerPool",
+    "run_job",
+    "worker_main",
+]
 
 _POISON = None
+
+#: Marker payload ``run_job`` returns for the ``corrupt_envelope`` fault;
+#: ``worker_main`` turns it into an actually-malformed queue item.
+_CORRUPT_MARKER = "__corrupt_envelope__"
+
+
+class NoLiveWorkers(RuntimeError):
+    """Dispatch found no live worker process (all crashed, respawns
+    possibly held back by crash-loop backoff).  The server maps this to
+    an ``overloaded`` shed whose ``retry_after_ms`` reflects the
+    remaining backoff — degraded-but-serving, never a hang."""
 
 
 @dataclass
@@ -85,6 +126,16 @@ class PoolConfig:
     #: restarted.  ``None`` disables the watchdog.
     hard_kill_factor: Optional[float] = 4.0
     hard_kill_floor: float = 30.0
+    #: Crash-loop detection: more than ``crash_loop_threshold`` worker
+    #: deaths inside ``crash_loop_window`` seconds switches respawn from
+    #: immediate to exponential backoff (base doubling per excess crash,
+    #: capped) — degraded-but-serving instead of a fork bomb.
+    crash_loop_window: float = 10.0
+    crash_loop_threshold: int = 5
+    #: First backoff step, seconds (doubles per excess crash).
+    respawn_backoff_base: float = 0.25
+    #: Backoff ceiling, seconds.
+    respawn_backoff_max: float = 10.0
 
 
 # ----------------------------------------------------------------------
@@ -192,16 +243,26 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
 
         inject = job.get("inject")
         if inject is not None:
+            from ..robustness.faults import parse_worker_fault
+
             if not allow_faults:
                 return failure(
                     protocol.ERR_INVALID_REQUEST,
                     "fault injection is disabled on this server",
                 )
-            if inject == "crash":
+            fault_kind, fault_arg = parse_worker_fault(inject)
+            if fault_kind == "crash":
                 os._exit(70)  # simulated hard crash mid-query
-            return failure(
-                protocol.ERR_INVALID_REQUEST, f"unknown fault {inject!r}"
-            )
+            elif fault_kind == "stall":
+                # Wedge in non-ticking code: only the hard-kill watchdog
+                # (or drain escalation) gets this worker back.
+                while True:  # pragma: no cover - killed externally
+                    time.sleep(3600)
+            elif fault_kind == "corrupt_envelope":
+                return {_CORRUPT_MARKER: True}
+            else:  # "slow:<ms>" — delay, then answer normally.
+                assert fault_arg is not None
+                time.sleep(fault_arg / 1e3)
 
         scope = governed(governor) if governor is not None else None
         try:
@@ -283,6 +344,12 @@ def worker_main(worker_id: int, inbox, results, config: PoolConfig) -> None:
             job = dict(job)
             job["theory"] = theory_text
             payload = run_job(registry, job, allow_faults=config.allow_faults)
+            if config.allow_faults and payload.get(_CORRUPT_MARKER):
+                # Injected envelope corruption: a deliberately malformed
+                # item (wrong shape) lands on the result queue.  The
+                # parent's pump must treat the channel as poisoned.
+                results.put(("corrupt-envelope", job["job_id"]))
+                continue
             results.put((worker_id, job["job_id"], payload))
 
 
@@ -320,10 +387,22 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._on_result: Optional[Callable[[str, dict], None]] = None
         self._on_restart: Optional[Callable[[int], None]] = None
+        self._on_event: Optional[Callable[[str, dict], None]] = None
         self._stopping = threading.Event()
         self._monitor: Optional[threading.Thread] = None
         self.restarts = 0
         self.hard_kills = 0
+        #: Malformed result-queue items seen (each poisons its worker).
+        self.corrupt_envelopes = 0
+        #: Times respawn was pushed into crash-loop backoff.
+        self.crash_loops = 0
+        #: Current respawn backoff (gauge; 0.0 while healthy).
+        self.respawn_backoff_ms = 0.0
+        #: Recent crash times (sliding ``crash_loop_window``).
+        self._crash_times: deque[float] = deque()
+        #: Workers owed a replacement (respawn may be backed off).
+        self._pending_respawns = 0
+        self._respawn_not_before = 0.0
 
     # ------------------------------------------------------------------
     def start(
@@ -331,14 +410,20 @@ class WorkerPool:
         on_result: Callable[[str, dict], None],
         *,
         on_restart: Optional[Callable[[int], None]] = None,
+        on_event: Optional[Callable[[str, dict], None]] = None,
     ) -> None:
         """Spawn the workers (each with its own pump thread) and the
         monitor thread.
 
         ``on_result(job_id, payload)`` fires on a pump thread — the
-        server wraps it in ``loop.call_soon_threadsafe``."""
+        server wraps it in ``loop.call_soon_threadsafe``.  ``on_event``
+        (same threading caveat) receives typed lifecycle events —
+        ``worker.crashed``, ``worker.hard_kill``, ``worker.crash_loop``,
+        ``worker.corrupt_envelope``, ``worker.respawned`` — which the
+        server forwards to the flight recorder."""
         self._on_result = on_result
         self._on_restart = on_restart
+        self._on_event = on_event
         for _ in range(self.config.workers):
             self._spawn_worker()
         self._monitor = threading.Thread(
@@ -373,6 +458,17 @@ class WorkerPool:
         worker.pump.start()
         return worker_id
 
+    def _emit(self, event: str, **attrs: Any) -> None:
+        """Fire the lifecycle-event callback; a listener error must never
+        take down a pool thread."""
+        callback = self._on_event
+        if callback is None:
+            return
+        try:
+            callback(event, attrs)
+        except Exception:  # noqa: BLE001 - observer isolation
+            pass
+
     # ------------------------------------------------------------------
     def dispatch(self, theory_text: str, jobs: list[dict]) -> int:
         """Send one same-theory batch to the least-loaded live worker;
@@ -385,7 +481,7 @@ class WorkerPool:
                 if worker.process.is_alive()
             ]
             if not live:
-                raise RuntimeError("no live workers")
+                raise NoLiveWorkers("no live workers")
             _, worker_id, worker = min(live, key=lambda item: (item[0], item[1]))
             for job in jobs:
                 worker.in_flight[job["job_id"]] = (
@@ -415,6 +511,17 @@ class WorkerPool:
                 1 for w in self._workers.values() if w.process.is_alive()
             )
 
+    def respawn_backoff_remaining_ms(self) -> float:
+        """Milliseconds until the next delayed respawn may run (0 when
+        no backoff is active) — the server's ``retry_after_ms`` hint for
+        no-live-worker sheds."""
+        if not self._pending_respawns:
+            return 0.0
+        return max(
+            0.0,
+            round((self._respawn_not_before - time.monotonic()) * 1e3, 3),
+        )
+
     def worker_pids(self) -> list[int]:
         with self._lock:
             return [
@@ -428,10 +535,12 @@ class WorkerPool:
         """Drain one worker's private result queue until the pool stops
         or the monitor declares the worker dead.
 
-        A dirty death can leave a half-written message on the pipe; the
-        broad ``except`` treats any deserialization failure as terminal
-        for this channel — the monitor fails the worker's in-flight jobs
-        through its own path, so nothing is silently lost."""
+        A dirty death can leave a half-written message on the pipe, and
+        fault injection can put a deliberately malformed item there.
+        Either way the channel is *poisoned*: the worker is terminated
+        so the monitor's crash path fails its in-flight jobs with a
+        structured ``worker_crashed`` — a corrupt envelope must cost a
+        worker restart, never a silently hung request."""
         while True:
             try:
                 item = worker.results.get(timeout=0.2)
@@ -440,8 +549,15 @@ class WorkerPool:
                     return
                 continue
             except Exception:  # noqa: BLE001 - corrupt stream from a dirty death
+                self._poison_channel(worker)
                 return
-            worker_id, job_id, payload = item
+            try:
+                worker_id, job_id, payload = item
+                if not isinstance(payload, dict):
+                    raise TypeError("result payload must be a dict")
+            except (TypeError, ValueError):
+                self._poison_channel(worker)
+                continue
             with self._lock:
                 current = self._workers.get(worker_id)
                 if current is worker:
@@ -449,6 +565,15 @@ class WorkerPool:
             callback = self._on_result
             if callback is not None:
                 callback(job_id, payload)
+
+    def _poison_channel(self, worker: _Worker) -> None:
+        """A malformed item arrived on ``worker``'s result queue: count
+        it and terminate the worker — the monitor then fails its
+        in-flight jobs and (backoff permitting) respawns."""
+        self.corrupt_envelopes += 1
+        self._emit("worker.corrupt_envelope", pid=worker.process.pid)
+        if worker.process.is_alive():
+            worker.process.terminate()
 
     def _monitor_loop(self) -> None:
         from . import protocol
@@ -479,6 +604,13 @@ class WorkerPool:
                 orphaned = list(worker.in_flight.items())
                 worker.in_flight.clear()
                 exit_code = worker.process.exitcode
+                self._emit(
+                    "worker.hard_kill" if why == "hard timeout"
+                    else "worker.crashed",
+                    worker=worker_id,
+                    exit_code=exit_code,
+                    failed_jobs=len(orphaned),
+                )
                 callback = self._on_result
                 for job_id, _ in orphaned:
                     if callback is not None:
@@ -496,10 +628,66 @@ class WorkerPool:
                             },
                         )
                 if not self._stopping.is_set():
-                    self.restarts += 1
-                    replacement = self._spawn_worker()
-                    if self._on_restart is not None:
-                        self._on_restart(replacement)
+                    self._crash_times.append(time.monotonic())
+                    self._pending_respawns += 1
+            self._respawn_pending()
+
+    def _respawn_pending(self) -> None:
+        """Replace dead workers, with crash-loop backoff.
+
+        Respawn is immediate while crashes are rare; past
+        ``crash_loop_threshold`` crashes inside ``crash_loop_window``
+        seconds each further respawn waits ``respawn_backoff_base *
+        2**excess`` (capped) — the pool degrades to fewer workers
+        instead of fork-bombing a host whose workers die on arrival.
+
+        Accounting contract: ``restarts`` and ``on_restart`` fire only
+        *after* the replacement process was spawned and confirmed alive
+        — a failed spawn leaves the counter untouched and retries on the
+        next health sweep."""
+        while self._pending_respawns and not self._stopping.is_set():
+            now = time.monotonic()
+            window = self.config.crash_loop_window
+            while self._crash_times and now - self._crash_times[0] > window:
+                self._crash_times.popleft()
+            excess = len(self._crash_times) - self.config.crash_loop_threshold
+            if excess >= 0:
+                backoff = min(
+                    self.config.respawn_backoff_max,
+                    self.config.respawn_backoff_base * (2 ** excess),
+                )
+                self.respawn_backoff_ms = round(backoff * 1e3, 3)
+                if now < self._respawn_not_before:
+                    return  # still backing off; retry next sweep
+            else:
+                backoff = 0.0
+                self.respawn_backoff_ms = 0.0
+            try:
+                replacement = self._spawn_worker()
+            except Exception:  # noqa: BLE001 - spawn failure: retry next sweep
+                return
+            with self._lock:
+                spawned = self._workers.get(replacement)
+                alive = spawned is not None and spawned.process.is_alive()
+            if not alive:
+                # Died before confirmation: the next sweep's dead-worker
+                # scan reaps it; no restart is recorded for a replacement
+                # that never served.
+                return
+            self._pending_respawns -= 1
+            self.restarts += 1
+            if backoff > 0.0:
+                self.crash_loops += 1
+                self._respawn_not_before = time.monotonic() + backoff
+                self._emit(
+                    "worker.crash_loop",
+                    backoff_ms=self.respawn_backoff_ms,
+                    crashes_in_window=len(self._crash_times),
+                    pending=self._pending_respawns,
+                )
+            self._emit("worker.respawned", worker=replacement)
+            if self._on_restart is not None:
+                self._on_restart(replacement)
 
     # ------------------------------------------------------------------
     def stop(self, grace: Optional[float] = None) -> bool:

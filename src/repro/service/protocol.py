@@ -59,8 +59,24 @@ exhaustion is **not** a failure — it answers ``ok: true`` with
 ``complete: false``, mirroring :class:`repro.robustness.outcome.Outcome`.
 Failures carry ``error: {code, message}`` and never a traceback.  A
 response with ``shed: true`` was refused by admission control (queue
-full or server draining) without touching a worker — the client should
-back off and retry.
+full, server draining, or no live worker) without touching a worker —
+the client should back off and retry.  Every shed response carries
+``retry_after_ms``: the server's hint for how long to wait before the
+retry (a number of milliseconds, >= 0).  Clients honour it through
+:class:`repro.service.client.RetryPolicy`; the hint is advisory, so
+ignoring it is legal but impolite.
+
+Retry safety
+------------
+All four current ops are **idempotent** (:data:`IDEMPOTENT_OPS`), so a
+client that got no response may blindly resend: ``ping``/``status`` are
+read-only, ``query`` computes certain answers over immutable inputs,
+and ``register`` is content-addressed (registering the same rule text
+twice lands on the same SHA-256 entry — the second call is a cache
+hit).  A future mutating op (``update``) must NOT be listed here until
+it carries a deduplication token; the client's retry policy refuses to
+retry ops outside this tuple.  See DESIGN.md §13 for the full
+retry-safety matrix.
 """
 
 from __future__ import annotations
@@ -75,6 +91,8 @@ __all__ = [
     "MAX_LINE_BYTES",
     "TRACE_ID_MAX_CHARS",
     "OPS",
+    "IDEMPOTENT_OPS",
+    "DEFAULT_RETRY_AFTER_MS",
     "ERR_INVALID_REQUEST",
     "ERR_PARSE",
     "ERR_UNKNOWN_THEORY",
@@ -98,6 +116,15 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 OPS = ("ping", "register", "query", "status")
+
+#: Ops a client may safely resend after an ambiguous failure (see the
+#: "Retry safety" section above).  Currently all of them: queries are
+#: read-only and register is content-addressed.
+IDEMPOTENT_OPS = ("ping", "register", "query", "status")
+
+#: Fallback ``retry_after_ms`` for shed responses built without an
+#: explicit server hint.
+DEFAULT_RETRY_AFTER_MS = 100.0
 
 ERR_INVALID_REQUEST = "invalid_request"
 ERR_PARSE = "parse_error"
@@ -148,9 +175,34 @@ def error_response(
     return response
 
 
-def shed_response(code: str, message: str, *, request_id: Any = None) -> dict:
-    """An admission-control refusal (``shed: true``)."""
-    return error_response(code, message, request_id=request_id)
+def shed_response(
+    code: str,
+    message: str,
+    *,
+    request_id: Any = None,
+    retry_after_ms: float = DEFAULT_RETRY_AFTER_MS,
+) -> dict:
+    """An admission-control refusal (``shed: true``) carrying the
+    server's backoff hint.
+
+    ``retry_after_ms`` must be a finite number >= 0 — validated here so
+    a malformed hint can never reach the wire (clients sleep on it)."""
+    if (
+        not isinstance(retry_after_ms, (int, float))
+        or isinstance(retry_after_ms, bool)
+        or retry_after_ms < 0
+        or retry_after_ms != retry_after_ms  # NaN
+        or retry_after_ms == float("inf")
+    ):
+        raise ValueError(
+            f"retry_after_ms must be a finite number >= 0, got {retry_after_ms!r}"
+        )
+    return error_response(
+        code,
+        message,
+        request_id=request_id,
+        retry_after_ms=round(float(retry_after_ms), 3),
+    )
 
 
 def validate_request(obj: dict) -> Optional[str]:
@@ -194,4 +246,6 @@ def validate_request(obj: dict) -> Optional[str]:
         for field in ("max_steps", "max_depth"):
             if field in obj and obj[field] is not None and not isinstance(obj[field], int):
                 return f"'{field}' must be an integer"
+        if "inject" in obj and not isinstance(obj["inject"], str):
+            return "'inject' must be a fault-spec string (tests/CI only)"
     return None

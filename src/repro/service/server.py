@@ -49,10 +49,11 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from .. import __version__
+from ..robustness.errors import InternalError
 from ..obs.metrics import MetricsRegistry
 from ..obs.prometheus import render_exposition
 from . import protocol
-from .pool import PoolConfig, WorkerPool
+from .pool import NoLiveWorkers, PoolConfig, WorkerPool
 from .registry import REQUESTABLE_STRATEGIES, content_hash
 from .tracing import FlightRecorder, RequestTrace
 
@@ -99,6 +100,15 @@ class ServiceConfig:
     max_rules: int = 100_000
     saturation_max_rules: int = 200_000
     drain_grace: float = 10.0
+    #: Baseline backoff hint carried by every shed response; when the
+    #: shed is caused by a crash-looping pool the hint grows to cover
+    #: the pool's current respawn backoff instead.
+    shed_retry_after_ms: float = 100.0
+    #: Crash-loop protection knobs (see ``PoolConfig`` for semantics).
+    crash_loop_window: float = 10.0
+    crash_loop_threshold: int = 5
+    respawn_backoff_base: float = 0.25
+    respawn_backoff_max: float = 10.0
     #: End-to-end request tracing (trace ids, worker span capture, the
     #: flight recorder).  Off, requests run exactly as before.
     trace: bool = True
@@ -124,6 +134,10 @@ class ServiceConfig:
             saturation_max_rules=self.saturation_max_rules,
             allow_faults=self.allow_faults,
             drain_grace=self.drain_grace,
+            crash_loop_window=self.crash_loop_window,
+            crash_loop_threshold=self.crash_loop_threshold,
+            respawn_backoff_base=self.respawn_backoff_base,
+            respawn_backoff_max=self.respawn_backoff_max,
         )
 
 
@@ -196,10 +210,20 @@ class ReasoningServer:
         """Bind both listeners, start the pool, warm the default theory."""
         self._loop = asyncio.get_running_loop()
         self._dispatch_wakeup = asyncio.Event()
-        self.pool.start(self._on_worker_result, on_restart=self._on_worker_restart)
+        self.pool.start(
+            self._on_worker_result,
+            on_restart=self._on_worker_restart,
+            on_event=self._on_pool_event,
+        )
         self._dispatcher = asyncio.create_task(
             self._dispatch_loop(), name="repro-serve-dispatch"
         )
+        # Warm before binding: once the query plane answers at all, the
+        # default theory is compiled on every worker — no request can
+        # race the warm-up registers (a crash-injected query sharing a
+        # warm-up batch would otherwise take the whole server down).
+        if self.config.theory_text is not None:
+            await self._warm_default_theory()
         query_server = await asyncio.start_server(
             self._handle_query_connection,
             self.config.host,
@@ -213,8 +237,6 @@ class ReasoningServer:
             limit=64 * 1024,
         )
         self._servers = [query_server, ops_server]
-        if self.config.theory_text is not None:
-            await self._warm_default_theory()
 
     async def _warm_default_theory(self) -> None:
         """Broadcast a register job so every worker compiles the default
@@ -238,14 +260,26 @@ class ReasoningServer:
         results = await asyncio.gather(*(job.future for job in jobs))
         for result in results:
             if not result.get("ok"):
-                raise RuntimeError(
+                raise InternalError(
                     "default theory failed to compile: "
                     f"{result.get('error', {}).get('message', result)}"
                 )
 
     async def run(self) -> None:
         """Start, install signal-driven drain, serve until drained."""
-        await self.start()
+        try:
+            await self.start()
+        except Exception:
+            # Startup failed after the pool was spawned (e.g. the default
+            # theory's warm-up register came back as an error): reap the
+            # workers before propagating so a failed boot leaves no
+            # orphan processes behind.
+            if self._dispatcher is not None:
+                self._dispatcher.cancel()
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.stop
+            )
+            raise
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -357,7 +391,26 @@ class ReasoningServer:
                     worker_id = self.pool.dispatch(
                         jobs[0].theory_text, [job.payload for job in jobs]
                     )
-                except RuntimeError as exc:  # no live workers
+                except NoLiveWorkers as exc:
+                    # Degraded-but-serving: with every worker dead (or
+                    # crash-loop backoff holding respawns), shed with a
+                    # hint that covers the backoff instead of erroring —
+                    # a well-behaved client retries into a healed pool.
+                    self.metrics.inc("service.shed.no_workers")
+                    hint = self._retry_after_ms()
+                    for job in jobs:
+                        self._in_flight.pop(job.job_id, None)
+                        if job.trace is not None:
+                            job.trace.event("dispatch_failed", message=str(exc))
+                        if not job.future.done():
+                            job.future.set_result(
+                                protocol.shed_response(
+                                    protocol.ERR_OVERLOADED,
+                                    f"no live workers ({exc}); back off and retry",
+                                    retry_after_ms=hint,
+                                )
+                            )
+                except RuntimeError as exc:  # dispatch failed some other way
                     for job in jobs:
                         self._in_flight.pop(job.job_id, None)
                         if job.trace is not None:
@@ -386,6 +439,21 @@ class ReasoningServer:
             loop.call_soon_threadsafe(
                 self.metrics.inc, "service.worker_restarts"
             )
+
+    def _on_pool_event(self, event: str, attrs: dict) -> None:
+        """Pool-thread callback (monitor/pump) — marshal onto the loop.
+
+        Every pool event becomes (a) a counter under its own name
+        (``worker.crash_loop``, ``worker.crashed``, …) and (b) a flight-
+        recorder service event, so ``repro tail`` shows *why* the pool
+        degraded alongside the requests it degraded."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._record_pool_event, event, attrs)
+
+    def _record_pool_event(self, event: str, attrs: dict) -> None:
+        self.metrics.inc(event)
+        self.recorder.note(event, **attrs)
 
     def _complete_job(self, job_id: str, payload: dict) -> None:
         job = self._in_flight.pop(job_id, None)
@@ -515,6 +583,9 @@ class ReasoningServer:
                 "alive": self.pool.alive_workers(),
                 "restarts": self.pool.restarts,
                 "hard_kills": self.pool.hard_kills,
+                "crash_loops": self.pool.crash_loops,
+                "corrupt_envelopes": self.pool.corrupt_envelopes,
+                "respawn_backoff_ms": self.pool.respawn_backoff_remaining_ms(),
             },
             "theories": len(self._texts),
             "tracing": {
@@ -526,6 +597,17 @@ class ReasoningServer:
             "counters": dict(self.metrics.counters),
         }
 
+    def _retry_after_ms(self) -> float:
+        """The backoff hint for shed responses: the configured baseline,
+        stretched to cover the pool's respawn backoff when the shed is a
+        crash-loop symptom — a client that honours the hint then retries
+        *after* a replacement worker could exist, not into the same
+        hole."""
+        return max(
+            self.config.shed_retry_after_ms,
+            self.pool.respawn_backoff_remaining_ms(),
+        )
+
     def _shed_or_none(self, request_id: Any) -> Optional[dict]:
         """The admission-control gate, shared by register and query."""
         if self._draining:
@@ -534,6 +616,7 @@ class ReasoningServer:
                 protocol.ERR_DRAINING,
                 "server is draining; retry against another instance",
                 request_id=request_id,
+                retry_after_ms=self._retry_after_ms(),
             )
         if self._outstanding() >= self.config.queue_limit:
             self.metrics.inc("service.shed.overloaded")
@@ -542,6 +625,7 @@ class ReasoningServer:
                 f"request queue full ({self.config.queue_limit} outstanding);"
                 " back off and retry",
                 request_id=request_id,
+                retry_after_ms=self._retry_after_ms(),
             )
         return None
 
@@ -747,6 +831,14 @@ class ReasoningServer:
         "service.workers_alive": "Live worker processes.",
         "service.worker_restarts_total": "Worker respawns since start.",
         "service.uptime_seconds": "Seconds since server start.",
+        "pool.respawn_backoff_ms": (
+            "Current crash-loop respawn backoff (0 when healthy)."
+        ),
+        "pool.crash_loops_total": "Respawns deferred by crash-loop backoff.",
+        "pool.corrupt_envelopes_total": (
+            "Worker result envelopes rejected as malformed."
+        ),
+        "worker.crash_loop": "Crash-loop backoff activations.",
     }
 
     def render_metrics(self) -> str:
@@ -766,6 +858,11 @@ class ReasoningServer:
                 "service.uptime_seconds": round(
                     time.monotonic() - self._started_at, 3
                 ),
+                "pool.respawn_backoff_ms": (
+                    self.pool.respawn_backoff_remaining_ms()
+                ),
+                "pool.crash_loops_total": self.pool.crash_loops,
+                "pool.corrupt_envelopes_total": self.pool.corrupt_envelopes,
             },
         )
 
@@ -776,6 +873,7 @@ class ReasoningServer:
             "recorded": self.recorder.recorded,
             "recent": [trace.to_summary() for trace in self.recorder.recent()],
             "slowest": [trace.to_summary() for trace in self.recorder.slowest()],
+            "events": self.recorder.events(),
         }
 
     def debug_theories(self) -> dict:

@@ -34,6 +34,13 @@ N traces (a deque — arrival order, oldest evicted) and the *slowest* M
 by wall latency (a min-heap — the fastest of the slow is evicted).  A
 trace can sit in both; lookup scans both, newest first.  Memory is
 O(N + M) regardless of traffic.
+
+Beyond per-request traces, the recorder also keeps a third bounded ring
+of **service events** (:meth:`FlightRecorder.note`): pool-level facts
+that belong to no single request — worker crashes, hard kills,
+crash-loop backoff, corrupt result envelopes, shed storms.  ``repro
+tail`` interleaves them with request lines so an operator sees *why*
+latency moved, not just that it did.
 """
 
 from __future__ import annotations
@@ -56,9 +63,24 @@ __all__ = [
     "new_trace_id",
     "new_span_id",
     "spans_to_wire",
+    "render_event_line",
     "render_trace_line",
     "render_trace_tree",
 ]
+
+#: Request statuses / event names that signal degradation; ``repro
+#: tail`` and :func:`render_trace_line` flag them so they stand out in
+#: a scrolling feed.
+ALERT_EVENTS = frozenset(
+    {
+        "shed",
+        "worker_crashed",
+        "worker.crashed",
+        "worker.hard_kill",
+        "worker.crash_loop",
+        "worker.corrupt_envelope",
+    }
+)
 
 #: Upper bound on a client-supplied trace id (defensive: ids are echoed
 #: into responses, debug URLs, and log lines).
@@ -330,14 +352,21 @@ class FlightRecorder:
     confined; no locks.
     """
 
-    def __init__(self, recent_capacity: int = 256, slow_capacity: int = 32) -> None:
-        if recent_capacity < 1 or slow_capacity < 0:
+    def __init__(
+        self,
+        recent_capacity: int = 256,
+        slow_capacity: int = 32,
+        event_capacity: int = 256,
+    ) -> None:
+        if recent_capacity < 1 or slow_capacity < 0 or event_capacity < 1:
             raise ValueError("flight recorder capacities must be positive")
         self._recent: deque[RequestTrace] = deque(maxlen=recent_capacity)
         self._slow: list[tuple[float, int, RequestTrace]] = []
         self._slow_capacity = slow_capacity
+        self._events: deque[dict] = deque(maxlen=event_capacity)
         self._seq = itertools.count()
         self.recorded = 0
+        self.noted = 0
 
     def record(self, trace: RequestTrace) -> None:
         """Admit a finished trace to both rings (as it qualifies)."""
@@ -349,6 +378,23 @@ class FlightRecorder:
                 heapq.heappush(self._slow, entry)
             elif entry[0] > self._slow[0][0]:
                 heapq.heapreplace(self._slow, entry)
+
+    def note(self, event: str, **attrs: Any) -> None:
+        """Record a service-level event (no owning request): worker
+        crashes, crash-loop backoff, corrupt envelopes, …  Bounded ring,
+        oldest evicted; attrs are coerced JSON-safe like span attrs."""
+        self.noted += 1
+        self._events.append(
+            {
+                "unix": round(time.time(), 3),
+                "event": str(event),
+                **_json_safe(attrs),
+            }
+        )
+
+    def events(self) -> list[dict]:
+        """Service events, newest first."""
+        return [dict(event) for event in reversed(self._events)]
 
     def recent(self) -> list[RequestTrace]:
         """Newest first."""
@@ -384,21 +430,48 @@ def _fmt_ms(value: Optional[float]) -> str:
 
 
 def render_trace_line(summary: dict) -> str:
-    """One request, one line: time, id, op, status, latency, phases."""
+    """One request, one line: time, id, op, status, latency, phases.
+
+    Degraded requests are visually distinct: a shed status or an alert
+    event (worker crash, crash loop, …) earns a leading ``!!`` marker so
+    it pops out of a scrolling ``repro tail`` feed."""
     clock = time.strftime(
         "%H:%M:%S", time.localtime(summary.get("received_unix", 0))
     )
     trace_id = str(summary.get("trace_id", "?"))
     short_id = trace_id[:12] + "…" if len(trace_id) > 13 else trace_id
-    events = summary.get("events") or []
+    status = str(summary.get("status", "?"))
+    events = [str(event) for event in summary.get("events") or []]
+    alert = status.startswith(("shed", "error:worker_crashed")) or any(
+        event in ALERT_EVENTS for event in events
+    )
+    marker = "!! " if alert else "   "
     suffix = f"  !{','.join(events)}" if events else ""
     return (
-        f"{clock}  {short_id:<13s} {summary.get('op', '?'):<8s} "
-        f"{str(summary.get('status', '?')):<22s} "
+        f"{marker}{clock}  {short_id:<13s} {summary.get('op', '?'):<8s} "
+        f"{status:<22s} "
         f"{_fmt_ms(summary.get('elapsed_ms')):>9s}  "
         f"queue={_fmt_ms(summary.get('queue_ms'))} "
         f"dispatch={_fmt_ms(summary.get('dispatch_ms'))}{suffix}"
     )
+
+
+def render_event_line(event: dict) -> str:
+    """One service event, one line — same column rhythm as a request
+    line, flagged like an alerting request so crashes and crash-loop
+    backoff read unmistakably in the feed."""
+    clock = time.strftime("%H:%M:%S", time.localtime(event.get("unix", 0)))
+    name = str(event.get("event", "?"))
+    marker = "!! " if name in ALERT_EVENTS else "   "
+    extras = " ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("unix", "event")
+    )
+    return (
+        f"{marker}{clock}  {'~event':<13s} {name:<31s} "
+        + (extras if extras else "")
+    ).rstrip()
 
 
 def render_trace_tree(trace: dict) -> str:

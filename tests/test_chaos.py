@@ -1,0 +1,370 @@
+"""Unit tests for the chaos layer: seeded schedules, the TCP
+fault-injection proxy, the client retry policy, and worker fault specs.
+
+The proxy tests run against a tiny scripted NDJSON upstream (a real
+socket server on an ephemeral port) so every fault's client-visible
+symptom — typed transport error, honoured back-off hint, recovered
+retry — is asserted end to end without spawning the full service.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.chaos import (
+    PROXY_FAULT_ACTIONS,
+    ChaosProxy,
+    ChaosSchedule,
+    derive_rng,
+)
+from repro.robustness.errors import InvalidRequestError
+from repro.robustness.faults import parse_worker_fault
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceUnavailable,
+    TransportError,
+)
+
+
+class ScriptedUpstream:
+    """A threaded NDJSON upstream: each request line is answered with the
+    next scripted response, then with ``{"ok": true, "echo": <id>}``."""
+
+    def __init__(self, responses: list[dict] | None = None) -> None:
+        self.responses = list(responses or [])
+        self.requests: list[dict] = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._accept, daemon=True)
+        self._thread.start()
+
+    def request_count(self) -> int:
+        with self._lock:
+            return len(self.requests)
+
+    def _accept(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            with conn, conn.makefile("rb") as reader:
+                for line in reader:
+                    request = json.loads(line)
+                    with self._lock:
+                        self.requests.append(request)
+                        scripted = (
+                            self.responses.pop(0) if self.responses else None
+                        )
+                    response = scripted or {
+                        "ok": True,
+                        "echo": request.get("id"),
+                    }
+                    conn.sendall(
+                        json.dumps(response).encode("utf-8") + b"\n"
+                    )
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def upstream():
+    server = ScriptedUpstream()
+    yield server
+    server.close()
+
+
+class FixedSchedule(ChaosSchedule):
+    """Deterministic per-index actions for targeted proxy tests: the
+    ``actions`` list indexes exchanges, everything after passes clean."""
+
+    def __init__(self, actions: list[str], delay_ms: float = 20.0):
+        super().__init__(seed=0, faults=PROXY_FAULT_ACTIONS, rate=1.0,
+                         stall_s=0.5)
+        self._actions = actions
+        self._delay_ms = delay_ms
+
+    def decision(self, index):
+        from repro.chaos.proxy import ChaosDecision
+
+        action = (
+            self._actions[index] if index < len(self._actions) else "none"
+        )
+        return ChaosDecision(index=index, action=action,
+                             delay_ms=self._delay_ms)
+
+
+class TestChaosSchedule:
+    def test_same_seed_reproduces_byte_for_byte(self):
+        first = ChaosSchedule(7, rate=1.0).preview(64)
+        second = ChaosSchedule(7, rate=1.0).preview(64)
+        assert json.dumps(first) == json.dumps(second)
+
+    def test_different_seeds_diverge(self):
+        assert ChaosSchedule(7, rate=1.0).preview(64) != \
+            ChaosSchedule(8, rate=1.0).preview(64)
+
+    def test_decision_is_pure(self):
+        schedule = ChaosSchedule(11, rate=0.5)
+        # Interleaved/out-of-order calls must not perturb any decision.
+        expected = [schedule.decision(i) for i in range(20)]
+        assert [schedule.decision(i) for i in reversed(range(20))] == \
+            list(reversed(expected))
+
+    def test_rate_zero_never_injects(self):
+        schedule = ChaosSchedule(7, rate=0.0)
+        assert all(
+            schedule.decision(i).action == "none" for i in range(100)
+        )
+
+    def test_rate_one_always_injects(self):
+        schedule = ChaosSchedule(7, rate=1.0)
+        actions = {schedule.decision(i).action for i in range(100)}
+        assert "none" not in actions
+        assert actions <= set(PROXY_FAULT_ACTIONS)
+
+    def test_restricted_faults_are_respected(self):
+        schedule = ChaosSchedule(7, faults=("delay",), rate=1.0)
+        assert all(
+            schedule.decision(i).action == "delay" for i in range(50)
+        )
+
+    def test_delay_bounds(self):
+        schedule = ChaosSchedule(
+            7, faults=("delay",), rate=1.0, delay_range_ms=(10.0, 30.0)
+        )
+        for i in range(50):
+            assert 10.0 <= schedule.decision(i).delay_ms <= 30.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            ChaosSchedule(7, faults=("lag",))
+        with pytest.raises(InvalidRequestError):
+            ChaosSchedule(7, rate=1.5)
+        with pytest.raises(InvalidRequestError):
+            ChaosSchedule(7, delay_range_ms=(30.0, 10.0))
+
+    def test_derive_rng_is_stable_across_instances(self):
+        assert derive_rng(7, "proxy", 3).random() == \
+            derive_rng(7, "proxy", 3).random()
+        assert derive_rng(7, "proxy", 3).random() != \
+            derive_rng(7, "proxy", 4).random()
+
+
+class TestChaosProxy:
+    def test_passthrough_when_rate_zero(self, upstream):
+        schedule = ChaosSchedule(7, rate=0.0)
+        with ChaosProxy(upstream.host, upstream.port, schedule) as proxy:
+            with ServiceClient(proxy.host, proxy.port, timeout=5.0) as client:
+                for index in range(5):
+                    response = client.request({"op": "ping", "id": index})
+                    assert response == {"ok": True, "echo": index}
+        assert proxy.exchanges == 5
+        assert proxy.injected == {}
+
+    def test_reset_raises_typed_transport_error(self, upstream):
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["reset"])
+        ) as proxy:
+            client = ServiceClient(proxy.host, proxy.port, timeout=5.0)
+            with pytest.raises(TransportError) as excinfo:
+                client.request({"op": "ping"})
+            assert excinfo.value.op == "ping"
+            assert excinfo.value.port == proxy.port
+            client.close()
+        # The request never reached the upstream.
+        assert upstream.request_count() == 0
+        assert proxy.injected == {"reset": 1}
+
+    def test_truncated_frame_is_rejected_not_parsed(self, upstream):
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["truncate"])
+        ) as proxy:
+            client = ServiceClient(proxy.host, proxy.port, timeout=5.0)
+            with pytest.raises(TransportError):
+                client.request({"op": "ping", "id": "torn"})
+            client.close()
+        assert proxy.injected == {"truncate": 1}
+
+    def test_disconnect_after_forward_is_the_ambiguous_case(self, upstream):
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["disconnect"])
+        ) as proxy:
+            client = ServiceClient(proxy.host, proxy.port, timeout=5.0)
+            with pytest.raises(TransportError):
+                client.request({"op": "ping"})
+            client.close()
+        # Unlike reset, the server *did* see and answer the request.
+        assert upstream.request_count() == 1
+
+    def test_delay_is_latency_without_loss(self, upstream):
+        with ChaosProxy(
+            upstream.host, upstream.port,
+            FixedSchedule(["delay"], delay_ms=80.0),
+        ) as proxy:
+            with ServiceClient(proxy.host, proxy.port, timeout=5.0) as client:
+                started = time.monotonic()
+                response = client.request({"op": "ping", "id": "slow"})
+                elapsed = time.monotonic() - started
+        assert response == {"ok": True, "echo": "slow"}
+        assert elapsed >= 0.08
+
+    def test_stall_trips_the_client_socket_timeout(self, upstream):
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["stall"])
+        ) as proxy:
+            client = ServiceClient(proxy.host, proxy.port, timeout=0.2)
+            with pytest.raises(TransportError):
+                client.request({"op": "ping"})
+            client.close()
+
+    def test_retry_recovers_from_one_reset(self, upstream):
+        policy = RetryPolicy(
+            attempts=3, base_delay_ms=1.0, max_delay_ms=5.0,
+            rng=derive_rng(1, "test"),
+        )
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["reset"])
+        ) as proxy:
+            with ServiceClient(
+                proxy.host, proxy.port, timeout=5.0, retry=policy
+            ) as client:
+                response = client.request({"op": "ping", "id": 9})
+        assert response == {"ok": True, "echo": 9}
+        assert proxy.exchanges == 2
+
+    def test_retry_exhaustion_raises_service_unavailable(self, upstream):
+        policy = RetryPolicy(
+            attempts=3, base_delay_ms=1.0, max_delay_ms=5.0,
+            rng=derive_rng(2, "test"),
+        )
+        with ChaosProxy(
+            upstream.host, upstream.port,
+            FixedSchedule(["reset", "reset", "reset", "reset"]),
+        ) as proxy:
+            client = ServiceClient(
+                proxy.host, proxy.port, timeout=5.0, retry=policy
+            )
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.request({"op": "ping"})
+            client.close()
+        assert excinfo.value.attempts == 3
+        assert proxy.injected["reset"] == 3
+
+    def test_non_idempotent_op_fails_fast(self, upstream):
+        policy = RetryPolicy(
+            attempts=4, base_delay_ms=1.0, idempotent_ops=("ping",),
+            rng=derive_rng(3, "test"),
+        )
+        with ChaosProxy(
+            upstream.host, upstream.port, FixedSchedule(["reset", "reset"])
+        ) as proxy:
+            client = ServiceClient(
+                proxy.host, proxy.port, timeout=5.0, retry=policy
+            )
+            with pytest.raises(TransportError) as excinfo:
+                client.request({"op": "status"})
+            client.close()
+        assert not isinstance(excinfo.value, ServiceUnavailable)
+        assert proxy.exchanges == 1
+
+
+class TestRetryPolicy:
+    def test_backoff_respects_exponential_cap(self):
+        policy = RetryPolicy(
+            base_delay_ms=25.0, max_delay_ms=400.0, rng=derive_rng(4, "test")
+        )
+        for retry_index in range(8):
+            cap = min(400.0, 25.0 * (2 ** retry_index))
+            for _ in range(50):
+                assert 0.0 <= policy.backoff_ms(retry_index) <= cap
+
+    def test_retry_after_floor_is_honoured_and_clamped(self):
+        policy = RetryPolicy(
+            base_delay_ms=1.0, max_delay_ms=5.0, max_retry_after_ms=500.0,
+            rng=derive_rng(5, "test"),
+        )
+        assert policy.backoff_ms(0, floor_ms=200.0) >= 200.0
+        # A hostile hint cannot park the client past the clamp.
+        assert policy.backoff_ms(0, floor_ms=60_000.0) <= 500.0
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_shed_hint_is_waited_then_request_retried(self, upstream):
+        upstream.responses.append(
+            {"ok": False, "shed": True, "retry_after_ms": 60.0,
+             "error": {"code": "overloaded", "message": "queue full"}}
+        )
+        policy = RetryPolicy(
+            attempts=4, base_delay_ms=1.0, max_delay_ms=2.0,
+            rng=derive_rng(6, "test"),
+        )
+        with ServiceClient(
+            upstream.host, upstream.port, timeout=5.0, retry=policy
+        ) as client:
+            started = time.monotonic()
+            response = client.request({"op": "ping", "id": "after-shed"})
+            elapsed = time.monotonic() - started
+        assert response == {"ok": True, "echo": "after-shed"}
+        assert elapsed >= 0.06
+        assert upstream.request_count() == 2
+
+    def test_shed_is_returned_as_data_when_budget_runs_out(self, upstream):
+        shed = {"ok": False, "shed": True, "retry_after_ms": 5.0,
+                "error": {"code": "overloaded", "message": "queue full"}}
+        upstream.responses.extend([dict(shed) for _ in range(8)])
+        policy = RetryPolicy(
+            attempts=3, base_delay_ms=1.0, max_delay_ms=2.0,
+            rng=derive_rng(7, "test"),
+        )
+        with ServiceClient(
+            upstream.host, upstream.port, timeout=5.0, retry=policy
+        ) as client:
+            response = client.request({"op": "ping"})
+        assert response.get("shed") is True
+        assert upstream.request_count() == 3
+
+
+class TestWorkerFaultSpecs:
+    def test_plain_actions(self):
+        assert parse_worker_fault("crash") == ("crash", None)
+        assert parse_worker_fault("stall") == ("stall", None)
+        assert parse_worker_fault("corrupt_envelope") == \
+            ("corrupt_envelope", None)
+
+    def test_slow_parses_milliseconds(self):
+        assert parse_worker_fault("slow:250") == ("slow", 250.0)
+        assert parse_worker_fault("slow:0") == ("slow", 0.0)
+
+    @pytest.mark.parametrize("spec", [
+        "melt", "slow", "slow:abc", "slow:-5", "crash:now", 42,
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(InvalidRequestError):
+            parse_worker_fault(spec)

@@ -140,3 +140,137 @@ def test_version_flag():
     assert result.stdout.startswith("repro ")
     version = result.stdout.split()[1]
     assert version[0].isdigit()
+
+
+def _spawn_serve(*extra_args: str):
+    """A fresh ``repro serve`` subprocess on ephemeral ports, ready."""
+    port = free_port()
+    http_port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "examples/publication.rules", "--data", "examples/publication.db",
+            "--strategy", "chase", "--workers", "2",
+            "--port", str(port), "--http-port", str(http_port),
+            *extra_args,
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    wait_until_ready("127.0.0.1", port, timeout=60)
+    return proc, port, http_port
+
+
+def _assert_drained(proc, worker_pids):
+    assert proc.wait(timeout=60) == 0
+    deadline = time.monotonic() + 10
+    orphans = list(worker_pids)
+    while orphans and time.monotonic() < deadline:
+        alive = []
+        for pid in orphans:
+            try:
+                os.kill(pid, 0)
+                alive.append(pid)
+            except ProcessLookupError:
+                pass
+        orphans = alive
+        time.sleep(0.1)
+    assert not orphans, f"orphaned worker processes: {orphans}"
+
+
+def test_sigterm_drain_completes_in_flight_work():
+    """SIGTERM with a register and a slow query in flight: both requests
+    must still get their answers (ok, never a shed or a dropped
+    connection), then exit 0 with no orphans."""
+    import json as json_mod
+    import threading
+
+    proc, port, http_port = _spawn_serve()
+    try:
+        health = json_mod.loads(http_get("127.0.0.1", http_port, "/healthz")[1])
+        worker_pids = health["worker_pids"]
+
+        # A chase query on LOOPING with a 1.5s budget keeps a worker
+        # genuinely busy across the SIGTERM, so the drain provably waits.
+        results = {}
+
+        def slow_query():
+            with ServiceClient("127.0.0.1", port, timeout=120) as client:
+                results["query"] = client.query(
+                    "Q", theory_text=LOOPING, database="P(a).",
+                    timeout=1.5, strategy="chase", request_id="drain-q",
+                )
+
+        def register():
+            with ServiceClient("127.0.0.1", port, timeout=120) as client:
+                results["register"] = client.register(
+                    LOOPING, strategy="chase", request_id="drain-r",
+                )
+
+        threads = [
+            threading.Thread(target=slow_query),
+            threading.Thread(target=register),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # both requests admitted, query mid-chase
+        proc.send_signal(signal.SIGTERM)
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+        assert results["query"]["ok"], results["query"]
+        assert results["query"]["exhausted"] == "deadline"
+        assert results["register"]["ok"], results["register"]
+        _assert_drained(proc, worker_pids)
+        stderr = proc.stderr.read().decode()
+        assert "drained cleanly" in stderr
+        assert "Traceback" not in stderr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_service_resumes_after_worker_crash():
+    """An injected worker crash fails its own request with a structured
+    ``worker_crashed`` — and the server keeps serving: the pool respawns
+    and the very next query on a fresh connection succeeds."""
+    import json as json_mod
+
+    proc, port, http_port = _spawn_serve("--allow-faults")
+    try:
+        with ServiceClient("127.0.0.1", port, timeout=120) as client:
+            crashed = client.query("Q", inject="crash", request_id="boom")
+            assert crashed["ok"] is False
+            assert crashed["error"]["code"] == "worker_crashed"
+            assert "Traceback" not in crashed["error"]["message"]
+
+        deadline = time.monotonic() + 30
+        workers = 0
+        while time.monotonic() < deadline:
+            health = json_mod.loads(
+                http_get("127.0.0.1", http_port, "/healthz")[1]
+            )
+            workers = len(health["worker_pids"])
+            if workers == 2:
+                break
+            time.sleep(0.1)
+        assert workers == 2, f"pool did not respawn: {workers} live"
+
+        with ServiceClient("127.0.0.1", port, timeout=120) as client:
+            answer = client.query("Q", request_id="after-boom")
+            assert answer["ok"] and answer["answers"] == [["a1"], ["a2"]]
+            status = client.status()
+            assert status["workers"]["restarts"] >= 1
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

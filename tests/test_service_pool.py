@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.service.pool import PoolConfig, WorkerPool, run_job
+from repro.service.pool import NoLiveWorkers, PoolConfig, WorkerPool, run_job
 from repro.service.registry import TheoryRegistry
 
 TC = "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)"
@@ -211,3 +211,204 @@ class TestDrain:
         pool.start(lambda job_id, payload: None)
         assert pool.stop() is True
         assert pool.alive_workers() == 0
+
+
+class TestWorkerFaults:
+    """The ``--allow-faults`` action vocabulary beyond ``crash``."""
+
+    def test_slow_fault_delays_then_answers(self, pool_and_collector):
+        pool, collector = pool_and_collector
+        collector.expect("slow-job")
+        pool.dispatch(
+            TC,
+            [{"job_id": "slow-job", "kind": "query", "output": "T",
+              "database": DB, "inject": "slow:150", "timeout": 30.0}],
+        )
+        result = collector.wait("slow-job")
+        assert result["ok"]
+        assert result["answers"] == [["a", "b"], ["a", "c"], ["b", "c"]]
+        assert result["stats"]["elapsed_ms"] >= 150.0
+
+    def test_corrupt_envelope_poisons_the_channel(self, pool_and_collector):
+        pool, collector = pool_and_collector
+        corrupt_before = pool.corrupt_envelopes
+        collector.expect("corrupt-job")
+        pool.dispatch(
+            TC,
+            [{"job_id": "corrupt-job", "kind": "query", "output": "T",
+              "database": DB, "inject": "corrupt_envelope", "timeout": 30.0}],
+        )
+        # The malformed queue item must cost the worker its life and the
+        # job a structured failure — never a hang, never a traceback.
+        result = collector.wait("corrupt-job")
+        assert not result["ok"]
+        assert result["error"]["code"] == "worker_crashed"
+        assert pool.corrupt_envelopes == corrupt_before + 1
+
+        deadline = time.monotonic() + 30
+        while pool.alive_workers() < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.alive_workers() == 2
+
+        collector.expect("after-corrupt")
+        pool.dispatch(
+            TC,
+            [{"job_id": "after-corrupt", "kind": "query", "output": "T",
+              "database": DB, "timeout": 30.0}],
+        )
+        assert collector.wait("after-corrupt")["ok"]
+
+
+class TestCrashLoopBackoff:
+    def test_backoff_engages_and_pool_keeps_serving(self):
+        collector = Collector()
+        events = []
+        event_lock = threading.Lock()
+
+        def on_event(event, attrs):
+            with event_lock:
+                events.append(event)
+
+        pool = WorkerPool(
+            PoolConfig(
+                workers=1, allow_faults=True, health_interval=0.05,
+                crash_loop_window=60.0, crash_loop_threshold=1,
+                respawn_backoff_base=0.3, respawn_backoff_max=2.0,
+            )
+        )
+        pool.start(collector, on_event=on_event)
+        try:
+            assert pool.respawn_backoff_remaining_ms() == 0.0
+            for round_index in range(2):
+                job_id = f"loop-{round_index}"
+                deadline = time.monotonic() + 30
+                while pool.alive_workers() < 1 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                collector.expect(job_id)
+                pool.dispatch(
+                    TC,
+                    [{"job_id": job_id, "kind": "query", "output": "T",
+                      "database": DB, "inject": "crash", "timeout": 30.0}],
+                )
+                result = collector.wait(job_id)
+                assert result["error"]["code"] == "worker_crashed"
+
+            # Threshold 1 with two crashes in the window: backoff must
+            # have engaged, visibly (counter, gauge, typed event).
+            deadline = time.monotonic() + 30
+            while pool.crash_loops < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.crash_loops >= 1
+            assert pool.respawn_backoff_ms > 0.0
+
+            # Degraded-but-serving: the pool comes back and answers.
+            deadline = time.monotonic() + 30
+            while pool.alive_workers() < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.alive_workers() == 1
+            collector.expect("after-loop")
+            pool.dispatch(
+                TC,
+                [{"job_id": "after-loop", "kind": "query", "output": "T",
+                  "database": DB, "timeout": 30.0}],
+            )
+            assert collector.wait("after-loop")["ok"]
+            with event_lock:
+                seen = set(events)
+            assert "worker.crashed" in seen
+            assert "worker.crash_loop" in seen
+            assert "worker.respawned" in seen
+        finally:
+            pool.stop()
+
+    def test_dispatch_with_no_live_workers_raises_typed(self):
+        collector = Collector()
+        # A long health interval keeps the monitor from respawning inside
+        # the assertion window, so the all-dead state is observable.
+        pool = WorkerPool(
+            PoolConfig(workers=1, allow_faults=True, health_interval=2.0)
+        )
+        pool.start(collector)
+        try:
+            collector.expect("kill")
+            pool.dispatch(
+                TC,
+                [{"job_id": "kill", "kind": "query", "output": "T",
+                  "database": DB, "inject": "crash", "timeout": 30.0}],
+            )
+            deadline = time.monotonic() + 30
+            while pool.alive_workers() > 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.alive_workers() == 0
+            with pytest.raises(NoLiveWorkers):
+                pool.dispatch(
+                    TC,
+                    [{"job_id": "orphan", "kind": "query", "output": "T",
+                      "database": DB, "timeout": 30.0}],
+                )
+            # The crashed job still resolves at the next health sweep.
+            assert collector.wait("kill")["error"]["code"] == "worker_crashed"
+        finally:
+            pool.stop()
+
+
+class FlakySpawnPool(WorkerPool):
+    """Fails the next ``spawn_failures`` spawn attempts; records the
+    value of ``restarts`` observed at the entry of every attempt."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.spawn_failures = 0
+        self.spawn_attempts = 0
+        self.restarts_at_spawn = []
+
+    def _spawn_worker(self):
+        self.spawn_attempts += 1
+        self.restarts_at_spawn.append(self.restarts)
+        if self.spawn_failures > 0:
+            self.spawn_failures -= 1
+            raise RuntimeError("injected spawn failure")
+        return super()._spawn_worker()
+
+
+class TestRespawnAccounting:
+    def test_restart_counted_only_after_replacement_is_alive(self):
+        """Regression: a failed respawn must not bump ``restarts`` or
+        fire ``on_restart`` — both fire only once the replacement
+        process is confirmed alive, so health accounting never reports
+        a recovery that did not happen."""
+        collector = Collector()
+        restart_log = []
+        pool = FlakySpawnPool(
+            PoolConfig(workers=1, allow_faults=True, health_interval=0.05)
+        )
+        pool.start(collector, on_restart=restart_log.append)
+        try:
+            pool.spawn_failures = 1
+            collector.expect("acct")
+            pool.dispatch(
+                TC,
+                [{"job_id": "acct", "kind": "query", "output": "T",
+                  "database": DB, "inject": "crash", "timeout": 30.0}],
+            )
+            assert collector.wait("acct")["error"]["code"] == "worker_crashed"
+
+            deadline = time.monotonic() + 30
+            while pool.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.restarts == 1
+            assert restart_log == [1]  # worker 0 died; worker 1 replaced it
+            # Attempt 1: initial start.  Attempt 2: the injected failure
+            # — restarts must still read 0 there.  Attempt 3: success.
+            assert pool.spawn_attempts == 3
+            assert pool.restarts_at_spawn == [0, 0, 0]
+
+            collector.expect("after-acct")
+            pool.dispatch(
+                TC,
+                [{"job_id": "after-acct", "kind": "query", "output": "T",
+                  "database": DB, "timeout": 30.0}],
+            )
+            assert collector.wait("after-acct")["ok"]
+        finally:
+            pool.stop()

@@ -1,0 +1,113 @@
+"""Soak-harness tests (repro.chaos.soak): a short real soak with zero
+invariant violations, and the determinism contract — the schedule
+sections of the report are pure functions of the seed, reproducible
+byte for byte.
+
+One short end-to-end soak is the priciest test in the suite (it spawns
+a real server, tortures it through the proxy, and drains it), so it
+runs once at module scope and several assertions share the report.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosSchedule
+from repro.chaos.soak import (
+    PREVIEW_ENTRIES,
+    SOAK_FAULTS,
+    SoakConfig,
+    build_workloads,
+    plan_request,
+    run_soak,
+)
+from repro.robustness.errors import InvalidRequestError
+
+SEED = 7
+FAULTS = ("crash", "delay", "truncate", "stall")
+
+
+@pytest.fixture(scope="module")
+def soak_report():
+    return run_soak(SoakConfig(seed=SEED, duration=4.0, faults=FAULTS))
+
+
+class TestSoakRun:
+    def test_zero_invariant_violations(self, soak_report):
+        assert soak_report["violations"] == []
+        assert soak_report["ok"] is True
+
+    def test_traffic_actually_flowed(self, soak_report):
+        assert soak_report["requests"] > 0
+        assert soak_report["proxy"]["exchanges"] > 0
+        assert sum(soak_report["outcomes"].values()) == soak_report["requests"]
+
+    def test_spawned_server_drained_cleanly(self, soak_report):
+        assert soak_report["drain"]["exit_code"] == 0
+        assert soak_report["drain"]["orphans"] == []
+
+    def test_registry_probe_ran(self, soak_report):
+        assert soak_report["registry_probe"]["truncated"] == "ok_partial"
+        assert soak_report["registry_probe"]["full"] == "ok_complete"
+
+    def test_report_is_json_serialisable(self, soak_report):
+        assert json.loads(json.dumps(soak_report)) == json.loads(
+            json.dumps(soak_report)
+        )
+
+    def test_schedule_sections_replay_from_the_seed(self, soak_report):
+        """The report's schedule previews must equal a pure in-process
+        recomputation — the byte-for-byte reproducibility witness."""
+        config = SoakConfig(seed=SEED, duration=4.0, faults=FAULTS)
+        worker_faults, transport_faults = config.split_faults()
+        schedule = ChaosSchedule(
+            SEED, faults=transport_faults, rate=config.fault_rate
+        )
+        n_workloads = len(build_workloads(SEED))
+        expected = {
+            "proxy": schedule.preview(PREVIEW_ENTRIES),
+            "traffic": [
+                plan_request(
+                    SEED, i, n_workloads=n_workloads,
+                    worker_faults=worker_faults,
+                    fault_rate=config.fault_rate,
+                )
+                for i in range(PREVIEW_ENTRIES)
+            ],
+        }
+        assert json.dumps(soak_report["schedule"], sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+
+
+class TestSoakDeterminism:
+    def test_workloads_reproduce_from_the_seed(self):
+        first = build_workloads(SEED)
+        second = build_workloads(SEED)
+        assert [(w.name, w.theory_text, w.database_text, w.output,
+                 w.ground_truth) for w in first] == \
+            [(w.name, w.theory_text, w.database_text, w.output,
+              w.ground_truth) for w in second]
+
+    def test_different_seeds_build_different_worlds(self):
+        assert build_workloads(7)[0].theory_text != \
+            build_workloads(8)[0].theory_text
+
+    def test_traffic_plan_is_pure(self):
+        plans = [
+            plan_request(SEED, i, n_workloads=3,
+                         worker_faults=("crash",), fault_rate=0.2)
+            for i in range(64)
+        ]
+        replay = [
+            plan_request(SEED, i, n_workloads=3,
+                         worker_faults=("crash",), fault_rate=0.2)
+            for i in range(64)
+        ]
+        assert plans == replay
+        ops = {plan["op"] for plan in plans}
+        assert {"query", "register"} <= ops
+
+    def test_unknown_fault_is_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            SoakConfig(faults=("crash", "meteor")).split_faults()
+        assert "crash" in SOAK_FAULTS
