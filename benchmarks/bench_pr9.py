@@ -1,0 +1,347 @@
+#!/usr/bin/env python
+"""PR 9 benchmark record: columnar store vs dict store, cold vs warm.
+
+Two experiments, one JSON record (``BENCH_PR9.json``):
+
+**Store comparison** — every ``bench_store`` workload (bulk load, point
+probe, scan, join-heavy fixpoint) runs under both stores.  Each
+(workload, store) cell runs in its *own subprocess* so the peak RSS
+(``ru_maxrss``) and ``tracemalloc`` peak are attributable to that cell
+rather than to whatever ran before it in the process.  The acceptance
+bar for this PR is the ``store_join_fixpoint`` row: the columnar store
+must be at least 2x faster (median) than the dict store on the same
+commit.
+
+**Snapshot warm restart** — a real server is started with
+``--snapshot-dir``, a certain-answer query forces a materialization
+(which is persisted), the server is SIGTERM-drained, and a second server
+over the same directory answers the same query.  The record shows the
+first-query latency of both sessions and the scraped
+``service.worker.*`` counters proving the warm session loaded the
+snapshot and recomputed nothing (``materializations == 0``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr9.py --output BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/bench_pr9.py --size tiny   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+sys.path.insert(0, HERE)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+SCHEMA = "repro-bench-pr9/1"
+
+STORE_WORKLOADS = (
+    "store_bulk_load",
+    "store_point_probe",
+    "store_scan",
+    "store_join_fixpoint",
+)
+
+
+# ----------------------------------------------------------------------
+# one (workload, store) cell, run in a subprocess
+# ----------------------------------------------------------------------
+def run_cell(workload: str, store: str, size: str, repeats: int) -> dict:
+    """Measure one cell in-process; called via ``--cell`` in a child."""
+    import gc
+
+    from run_bench import WORKLOADS
+
+    if store == "dict":
+        os.environ["REPRO_DICT_STORE"] = "1"
+    # Re-import after the env var lands: the dispatch probe is read per
+    # construction, but the guard keeps the intent obvious.
+    spec = next(s for s in WORKLOADS if s["name"] == workload)
+    params = spec["sizes"][size]
+    run = spec["factory"](params)
+
+    tracemalloc.start()
+    run()  # warm-up: parse caches, join plans, interned terms
+    times = []
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - start)
+    finally:
+        gc.enable()
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "workload": workload,
+        "store": store,
+        "size": size,
+        "params": params,
+        "runs": repeats,
+        "median_s": statistics.median(times),
+        "stddev_s": statistics.stdev(times) if repeats > 1 else 0.0,
+        "min_s": min(times),
+        "tracemalloc_peak_bytes": traced_peak,
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def run_cell_subprocess(
+    workload: str, store: str, size: str, repeats: int
+) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    env.pop("REPRO_DICT_STORE", None)
+    proc = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--cell", workload, store, size, str(repeats),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=HERE,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"cell {workload}/{store} failed:\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout)
+
+
+# ----------------------------------------------------------------------
+# snapshot warm-restart measurement
+# ----------------------------------------------------------------------
+def _counter(metrics: dict, name: str) -> float:
+    return metrics.get(name, metrics.get(f"{name}_total", 0.0))
+
+
+def _serve_session(
+    theory_path: str,
+    database: str,
+    snapshot_dir: str,
+    *,
+    queries: int,
+) -> dict:
+    """One server lifecycle: start with ``--snapshot-dir``, time the
+    first query (registration + materialization or snapshot load),
+    scrape the worker counters, SIGTERM-drain."""
+    from bench_serve import free_port, scrape_counters
+    from repro.service.client import ServiceClient, wait_until_ready
+
+    port, http_port = free_port(), free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    command = [
+        sys.executable, "-m", "repro.cli", "serve", theory_path,
+        "--port", str(port), "--http-port", str(http_port),
+        "--workers", "1",
+        "--snapshot-dir", snapshot_dir,
+    ]
+    server = subprocess.Popen(
+        command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    try:
+        wait_until_ready("127.0.0.1", port, timeout=120)
+        latencies = []
+        with ServiceClient("127.0.0.1", port, timeout=300) as client:
+            for index in range(queries):
+                started = time.perf_counter()
+                response = client.query(
+                    "Reach", database=database, timeout=240, request_id=index
+                )
+                latencies.append((time.perf_counter() - started) * 1e3)
+                if not response.get("ok") or not response.get("complete"):
+                    raise RuntimeError(f"query failed: {response}")
+        metrics = scrape_counters("127.0.0.1", http_port)
+        server.send_signal(signal.SIGTERM)
+        exit_code = server.wait(timeout=120)
+        return {
+            "first_query_ms": round(latencies[0], 3),
+            "later_queries_ms": [round(v, 3) for v in latencies[1:]],
+            "exit_code": exit_code,
+            "counters": {
+                name: int(_counter(metrics, f"repro_service_worker_{name}"))
+                for name in (
+                    "materializations",
+                    "snapshot_loads",
+                    "snapshot_saves",
+                    "snapshot_errors",
+                )
+            },
+            "store_bytes": int(
+                _counter(metrics, "repro_service_worker_store_bytes")
+            ),
+        }
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+
+def snapshot_restart_comparison(chain: int, queries: int) -> dict:
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+
+    database = chain_data(chain)
+    with tempfile.TemporaryDirectory(prefix="repro-snap-") as snapshot_dir:
+        theory_path = os.path.join(snapshot_dir, "theory.rules")
+        with open(theory_path, "w", encoding="utf-8") as handle:
+            handle.write(WG_THEORY_TEXT)
+        cold = _serve_session(
+            theory_path, database, snapshot_dir, queries=queries
+        )
+        snapshots = [
+            name for name in os.listdir(snapshot_dir)
+            if name.endswith(".snap")
+        ]
+        warm = _serve_session(
+            theory_path, database, snapshot_dir, queries=queries
+        )
+    record = {
+        "workload": {"theory": "section7-wg-exemplar", "chain": chain},
+        "cold": cold,
+        "warm": warm,
+        "snapshot_files": snapshots,
+        "warm_speedup_first_query": (
+            round(cold["first_query_ms"] / warm["first_query_ms"], 2)
+            if warm["first_query_ms"]
+            else None
+        ),
+        # The acceptance bar: a snapshot-warm restart answers its first
+        # query without recomputing anything.
+        "warm_zero_recompute": (
+            warm["counters"]["materializations"] == 0
+            and warm["counters"]["snapshot_loads"] >= 1
+        ),
+    }
+    return record
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--cell":
+        workload, store, size, repeats = sys.argv[2:6]
+        print(json.dumps(run_cell(workload, store, size, int(repeats))))
+        return 0
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", default="medium", choices=("tiny", "medium"),
+        help="parameter point for the store workloads (default medium)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="override per-workload repeats",
+    )
+    parser.add_argument(
+        "--chain", type=int, default=5,
+        help="Section 7 chain length for the serve comparison",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=3,
+        help="queries per serve session (first one is the cold/warm probe)",
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="store comparison only (no server subprocesses)",
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_PR9.json")
+    )
+    parser.add_argument("--label", default="current")
+    args = parser.parse_args()
+
+    from run_bench import WORKLOADS, _commit
+
+    results = []
+    for workload in STORE_WORKLOADS:
+        spec = next(s for s in WORKLOADS if s["name"] == workload)
+        repeats = args.repeats or spec["repeats"][args.size]
+        row = {"workload": workload, "size": args.size}
+        for store in ("columnar", "dict"):
+            cell = run_cell_subprocess(workload, store, args.size, repeats)
+            row[store] = {
+                key: cell[key]
+                for key in (
+                    "median_s", "stddev_s", "min_s",
+                    "tracemalloc_peak_bytes", "max_rss_kb",
+                )
+            }
+            row["params"] = cell["params"]
+        row["speedup"] = (
+            round(row["dict"]["median_s"] / row["columnar"]["median_s"], 2)
+            if row["columnar"]["median_s"]
+            else None
+        )
+        results.append(row)
+        print(
+            f"{workload:22s} columnar={row['columnar']['median_s']:.6f}s "
+            f"dict={row['dict']['median_s']:.6f}s "
+            f"speedup={row['speedup']}x",
+            file=sys.stderr,
+        )
+
+    serve_record = None
+    if not args.skip_serve:
+        serve_record = snapshot_restart_comparison(args.chain, args.queries)
+        print(
+            "snapshot restart: "
+            f"cold_first={serve_record['cold']['first_query_ms']}ms "
+            f"warm_first={serve_record['warm']['first_query_ms']}ms "
+            f"zero_recompute={serve_record['warm_zero_recompute']}",
+            file=sys.stderr,
+        )
+
+    join_row = next(
+        row for row in results if row["workload"] == "store_join_fixpoint"
+    )
+    document = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "commit": _commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "size": args.size,
+        "store_comparison": results,
+        "snapshot_restart": serve_record,
+        "acceptance": {
+            "join_fixpoint_speedup": join_row["speedup"],
+            "join_fixpoint_speedup_ok": (join_row["speedup"] or 0) >= 2.0,
+            "warm_zero_recompute": (
+                serve_record["warm_zero_recompute"]
+                if serve_record
+                else None
+            ),
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    ok = document["acceptance"]["join_fixpoint_speedup_ok"] and (
+        args.skip_serve or document["acceptance"]["warm_zero_recompute"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -173,6 +173,8 @@ def run_session(
     ]
     if not tracing:
         command.append("--no-trace")
+    if getattr(args, "snapshot_dir", None):
+        command += ["--snapshot-dir", args.snapshot_dir]
     server = subprocess.Popen(
         command,
         cwd=REPO_ROOT,
@@ -216,6 +218,9 @@ def run_session(
                     "repro_service_worker_registry_misses",
                     "repro_service_worker_plan_compile_calls",
                     "repro_service_worker_plan_cache_hits",
+                    "repro_service_worker_materializations",
+                    "repro_service_worker_snapshot_loads",
+                    "repro_service_worker_snapshot_saves",
                 )
             }
             record["pass"] = index + 1
@@ -341,6 +346,11 @@ def main() -> int:
                         "without loss, hygiene bars unchanged)")
     parser.add_argument("--chaos-seed", type=int, default=7,
                         help="seed for the chaos proxy's fault schedule")
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="pass --snapshot-dir through to the server "
+                        "(materialization snapshots persist across "
+                        "sessions; see bench_pr9.py for the cold-vs-warm "
+                        "comparison)")
     parser.add_argument("--compare-tracing", action="store_true",
                         help="run the workload twice (tracing on, then "
                         "--no-trace) and report the overhead deltas")

@@ -132,6 +132,88 @@ def _cq_triangle(params):
     return lambda: evaluate_cq(cq, database)
 
 
+def _store_atoms(n_constants, n_atoms, seed=11):
+    from repro.bench.generators import random_database, random_signature
+
+    rng = random.Random(seed)
+    signature = random_signature(rng, n_relations=4, max_arity=3)
+    return list(
+        random_database(
+            rng, signature, n_constants=n_constants, n_atoms=n_atoms
+        )
+    )
+
+
+def _store_bulk_load(params):
+    from repro.core import Database
+
+    atoms = _store_atoms(params["n_constants"], params["n_atoms"])
+    return lambda: Database(atoms)
+
+
+def _store_point_probe(params):
+    from repro.core import Database
+
+    atoms = _store_atoms(params["n_constants"], params["n_atoms"])
+    database = Database(atoms)
+    probes = atoms[:: max(1, len(atoms) // 500)]
+    bindings = [
+        (atom.relation_key, {0: atom.args[0]}) for atom in probes
+    ]
+
+    def run():
+        for atom in probes:
+            assert atom in database
+        for key, binding in bindings:
+            database.atoms_matching(key, binding)
+
+    return run
+
+
+def _store_scan(params):
+    from repro.core import Database
+
+    atoms = _store_atoms(params["n_constants"], params["n_atoms"])
+    database = Database(atoms)
+
+    def run():
+        count = 0
+        for _ in database:
+            count += 1
+        for key in database.relations():
+            count += len(database.atoms_for(key))
+        return count
+
+    return run
+
+
+def _store_join_fixpoint(params):
+    """Join-heavy materialization: transitive closure plus a two-hop
+    join over a random graph — the workload the columnar fast path is
+    built for (every fixpoint iteration is index probes)."""
+    from repro.core import parse_database, parse_theory
+    from repro.datalog import evaluate
+
+    n, degree = params["n_nodes"], params["degree"]
+    rng = random.Random(23)
+    edges = " ".join(
+        f"E(c{i}, c{rng.randrange(n)})."
+        for i in range(n)
+        for _ in range(degree)
+    )
+    # Transitive closure makes T dense (O(n^2) atoms); the triangle rule
+    # then enumerates T-join-T candidate pairs against a hash probe on
+    # the third atom — O(|T| * degree) probe work per iteration with a
+    # tiny output, so join execution dominates rule firing.
+    theory = parse_theory(
+        "E(x,y) -> T(x,y)\n"
+        "E(x,y), T(y,z) -> T(x,z)\n"
+        "T(x,y), T(y,z), T(z,x) -> Tri(x)"
+    )
+    database = parse_database(edges)
+    return lambda: evaluate(theory, database)
+
+
 WORKLOADS = [
     {
         "name": "figure2_chase",
@@ -174,6 +256,46 @@ WORKLOADS = [
         "factory": _cq_triangle,
         "sizes": {"tiny": {"n_atoms": 200}, "medium": {"n_atoms": 1500}},
         "repeats": {"tiny": 5, "medium": 10},
+    },
+    {
+        "name": "store_bulk_load",
+        "suite": "bench_store",
+        "factory": _store_bulk_load,
+        "sizes": {
+            "tiny": {"n_constants": 50, "n_atoms": 2_000},
+            "medium": {"n_constants": 200, "n_atoms": 20_000},
+        },
+        "repeats": {"tiny": 5, "medium": 10},
+    },
+    {
+        "name": "store_point_probe",
+        "suite": "bench_store",
+        "factory": _store_point_probe,
+        "sizes": {
+            "tiny": {"n_constants": 50, "n_atoms": 2_000},
+            "medium": {"n_constants": 200, "n_atoms": 20_000},
+        },
+        "repeats": {"tiny": 5, "medium": 10},
+    },
+    {
+        "name": "store_scan",
+        "suite": "bench_store",
+        "factory": _store_scan,
+        "sizes": {
+            "tiny": {"n_constants": 50, "n_atoms": 2_000},
+            "medium": {"n_constants": 200, "n_atoms": 20_000},
+        },
+        "repeats": {"tiny": 5, "medium": 10},
+    },
+    {
+        "name": "store_join_fixpoint",
+        "suite": "bench_store",
+        "factory": _store_join_fixpoint,
+        "sizes": {
+            "tiny": {"n_nodes": 40, "degree": 2},
+            "medium": {"n_nodes": 150, "degree": 2},
+        },
+        "repeats": {"tiny": 3, "medium": 5},
     },
 ]
 

@@ -336,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         recent_traces=args.recent_traces,
         slow_traces=args.slow_traces,
+        snapshot_dir=args.snapshot_dir,
     )
     print(
         f"repro {__version__} serving on {config.host}:{config.port} "
@@ -671,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--slow-traces", type=int, default=32,
         help="flight-recorder ring size: slowest traces kept",
+    )
+    p.add_argument(
+        "--snapshot-dir", default=None,
+        help="directory for materialization snapshots: complete "
+        "materializations are persisted there and restarts warm from "
+        "disk instead of re-chasing (default: no persistence)",
     )
     p.set_defaults(handler=_cmd_serve)
 

@@ -24,6 +24,8 @@ of a fresh sort per pattern atom.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Optional
 
@@ -31,11 +33,75 @@ from .atoms import Atom, RelationKey
 from .terms import Constant, Null, Term
 from .theory import ACDOM
 
-__all__ = ["Database"]
+__all__ = ["Database", "dict_database"]
+
+try:
+    # Same direct-environ probe as REPRO_NAIVE_JOIN in homomorphism.py:
+    # ``Database(...)`` is called on construction-heavy paths (parsing,
+    # restrict/copy, every test), so the escape-hatch check must not pay
+    # the full ``os.environ.__getitem__`` machinery.
+    _ENV_DATA = os.environ._data
+    _DICT_STORE_KEY = os.environ.encodekey("REPRO_DICT_STORE")
+except AttributeError:  # pragma: no cover - non-CPython fallback
+    _ENV_DATA = None
+    _DICT_STORE_KEY = None
+
+
+def _dict_store_requested() -> bool:
+    if _ENV_DATA is not None:
+        raw = _ENV_DATA.get(_DICT_STORE_KEY)
+        return raw is not None and raw not in (b"", b"0", "", "0")
+    return os.environ.get("REPRO_DICT_STORE", "") not in ("", "0")
+
+
+#: Resolved lazily by ``Database.__new__`` to avoid an import cycle with
+#: ``repro.core.store`` (which subclasses ``Database``).
+_COLUMNAR_CLS = None
+
+
+def _atom_fingerprint(atom: Atom) -> str:
+    """A process-stable text form of one atom for content hashing.
+
+    ``str(atom)`` would almost work, but the fingerprint must also be
+    injective across term kinds (the constant ``a`` and a null labeled
+    ``a`` are different databases), so kinds are spelled out explicitly.
+    """
+    parts = [atom.relation]
+    for term in atom.args:
+        parts.append(term.kind)
+        parts.append(term.name)
+    parts.append("|")
+    for term in atom.annotation:
+        parts.append(term.kind)
+        parts.append(term.name)
+    return "\x1f".join(parts)
 
 
 class Database:
-    """A mutable, indexed set of ground atoms."""
+    """A mutable, indexed set of ground atoms.
+
+    ``Database(...)`` is a dispatching constructor: by default it builds
+    the columnar store (:class:`repro.core.store.ColumnarDatabase`, a
+    subclass presenting this exact interface); setting
+    ``REPRO_DICT_STORE=1`` — or calling :func:`dict_database` — yields
+    the dict-of-sets implementation defined in this module.
+    """
+
+    #: True on the columnar subclass; lets hot paths (the compiled join
+    #: plans, the Datalog delta loop) branch on the store kind without
+    #: an isinstance check.
+    _columnar = False
+
+    def __new__(cls, *args, **kwargs) -> "Database":
+        if cls is Database and not _dict_store_requested():
+            global _COLUMNAR_CLS
+            columnar = _COLUMNAR_CLS
+            if columnar is None:
+                from .store import ColumnarDatabase as columnar
+
+                _COLUMNAR_CLS = columnar
+            return object.__new__(columnar)
+        return object.__new__(cls)
 
     def __init__(self, atoms: Iterable[Atom] = (), freeze_acdom: bool = True) -> None:
         self._atoms: set[Atom] = set()
@@ -44,6 +110,7 @@ class Database:
         self._terms: set[Term] = set()
         self._acdom: Optional[frozenset[Constant]] = None
         self._acdom_sorted: Optional[tuple[Constant, ...]] = None
+        self._content_hash: Optional[str] = None
         for atom in atoms:
             self.add(atom)
         if freeze_acdom:
@@ -67,6 +134,7 @@ class Database:
         for position, term in enumerate(atom.all_terms):
             by_position[(key, position, term)].add(atom)
         self._terms.update(atom.all_terms)
+        self._content_hash = None
         if self._acdom is None:
             # Unfrozen: the active domain tracks the current constants, so
             # the sorted cache may be stale.  Once frozen the extension is
@@ -162,6 +230,35 @@ class Database:
             "terms": len(self._terms),
         }
 
+    def store_stats(self) -> dict[str, int | str]:
+        """O(1) size summary for the ``store.*`` observability gauges."""
+        return {
+            "kind": "dict",
+            "atoms": len(self._atoms),
+            "symbols": len(self._terms),
+            "bytes": 0,
+        }
+
+    def content_hash(self) -> str:
+        """A SHA-256 over the atom set, memoized until the next mutation.
+
+        The hash is *structural* — order-independent and stable across
+        processes and input formatting — so it can key both the
+        registry's materialization LRU and the on-disk snapshot cache.
+        Mutation (:meth:`add`) invalidates the memo; lookups between
+        mutations are O(1).
+        """
+        cached = self._content_hash
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        for line in sorted(_atom_fingerprint(atom) for atom in self):
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        digest = hasher.hexdigest()
+        self._content_hash = digest
+        return digest
+
     def relations(self) -> set[RelationKey]:
         return {key for key, atoms in self._by_relation.items() if atoms}
 
@@ -210,8 +307,10 @@ class Database:
     # ------------------------------------------------------------------
     def copy(self) -> "Database":
         # Clone the indexes structurally instead of re-adding (and thus
-        # re-validating and re-indexing) every atom.
-        clone = Database.__new__(Database)
+        # re-validating and re-indexing) every atom.  ``object.__new__``
+        # on purpose: this must clone *this* implementation regardless of
+        # what ``Database(...)`` currently dispatches to.
+        clone = object.__new__(Database)
         clone._atoms = set(self._atoms)
         by_relation: dict[RelationKey, set[Atom]] = defaultdict(set)
         for key, facts in self._by_relation.items():
@@ -224,12 +323,13 @@ class Database:
         clone._terms = set(self._terms)
         clone._acdom = self._acdom
         clone._acdom_sorted = self._acdom_sorted
+        clone._content_hash = self._content_hash
         return clone
 
     def restrict_to_relations(self, names: set[str]) -> "Database":
         """A new database keeping only atoms whose relation name is in ``names``."""
         restricted = Database(
-            (atom for atom in self._atoms if atom.relation in names),
+            (atom for atom in self if atom.relation in names),
             freeze_acdom=False,
         )
         restricted._acdom = self._acdom
@@ -241,12 +341,31 @@ class Database:
         return frozenset(atom for atom in self._atoms if not atom.nulls())
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Database):
             return NotImplemented
-        return self._atoms == other._atoms
+        if type(other) is Database:
+            return self._atoms == other._atoms
+        # Mixed store kinds: compare the logical atom sets.
+        return len(self) == len(other) and self.atoms() == other.atoms()
 
     def __str__(self) -> str:
-        return "{" + ", ".join(str(atom) for atom in sorted(self._atoms)) + "}"
+        return "{" + ", ".join(str(atom) for atom in sorted(self)) + "}"
 
     def __repr__(self) -> str:
         return f"Database({len(self._atoms)} atoms)"
+
+
+def dict_database(
+    atoms: Iterable[Atom] = (), freeze_acdom: bool = True
+) -> Database:
+    """Build the dict-of-sets store explicitly, ignoring the dispatch.
+
+    Used by the differential tests and benchmarks that need both store
+    implementations side by side in one process, where flipping
+    ``REPRO_DICT_STORE`` would be global state.
+    """
+    database = object.__new__(Database)
+    database.__init__(atoms, freeze_acdom=freeze_acdom)
+    return database

@@ -46,6 +46,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 from .atoms import Atom, NegatedAtom
 from .database import Database
 from .plan import cached_plan, execute_plan
+from .store import ColumnDelta
 from .terms import Constant, Null, Term, Variable
 from .theory import ACDOM
 from ..obs.runtime import current as _obs_current
@@ -201,6 +202,17 @@ def homomorphisms(
     if obs is not None:
         obs.inc("homomorphism_calls")
     if _naive_requested():
+        if forced is not None:
+            # The columnar Datalog engine ships deltas as encoded row
+            # blocks; the reference interpreter works on atoms.
+            forced_index, candidates = forced
+            decoded: list[Atom] = []
+            for item in candidates:
+                if type(item) is ColumnDelta:
+                    decoded.extend(item.decode(database))
+                else:
+                    decoded.append(item)
+            forced = (forced_index, decoded)
         yield from naive_homomorphisms(
             pattern, database, partial=partial, forced=forced
         )

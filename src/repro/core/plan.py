@@ -56,6 +56,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from .atoms import Atom
 from .database import Database
+from .store import ColumnDelta
 from .terms import Constant, Term, Variable
 from .theory import ACDOM
 from ..obs.runtime import current as _obs_current
@@ -123,6 +124,9 @@ class JoinPlan:
         "forced_index",
         "_fast_fn",
         "_instr_fn",
+        "_col_fast_fn",
+        "_col_instr_fn",
+        "_row_fns",
         "_source",
     )
 
@@ -151,6 +155,10 @@ class JoinPlan:
         self.forced_index = forced_index
         self._fast_fn = None
         self._instr_fn = None
+        self._col_fast_fn = None
+        self._col_instr_fn = None
+        #: head-tuple -> compiled row-emitting rule executor (columnar).
+        self._row_fns = None
         self._source = None
 
     def source(self) -> str:
@@ -561,18 +569,372 @@ def _generate(plan: JoinPlan, instrumented: bool):
     return _compile_fn(plan, e, instrumented)
 
 
-def _compile_fn(plan: JoinPlan, e: _Emitter, instrumented: bool):
+def _compile_fn(
+    plan: JoinPlan,
+    e: _Emitter,
+    instrumented: bool,
+    columnar: bool = False,
+    store: bool = True,
+):
     source = e.source()
     namespace = dict(e.env)
     code = compile(source, f"<joinplan:{len(plan.atoms)} atoms>", "exec")
     exec(code, namespace)  # noqa: S102 - source is generated, not user input
     fn = namespace["_plan_fn"]
-    if instrumented:
+    if not store:
+        return fn
+    if columnar:
+        if instrumented:
+            plan._col_instr_fn = fn
+        else:
+            plan._col_fast_fn = fn
+    elif instrumented:
         plan._instr_fn = fn
     else:
         plan._fast_fn = fn
         plan._source = source
     return fn
+
+
+def _generate_col(
+    plan: JoinPlan,
+    instrumented: bool,
+    heads: Optional[tuple[Atom, ...]] = None,
+):
+    """Emit, compile and return the *columnar* executor for ``plan``.
+
+    Same nested-loop shape as :func:`_generate`, but unification runs
+    entirely in ID space: pattern constants and adorned bindings resolve
+    to int IDs once in the prelude (an absent term resolves to the
+    sentinel ``-1``, which no fact cell ever holds, so the search fails
+    at exactly the step where the dict executor's index probe would),
+    candidate selection probes the relations' lazily built hash buckets,
+    joins compare ints read straight out of the column vectors, and IDs
+    decode back to terms only at the final ``yield``.  Forced facts
+    arrive as pre-encoded ID rows (see :func:`_encode_forced`).
+
+    With ``heads`` the generator becomes a *rule executor*: instead of
+    decoding assignments, each match appends the encoded head rows
+    (skipping rows already in the database) into a per-relation staging
+    set — nothing is boxed at all.  Used by the Datalog engine's
+    fixpoint loop (see :func:`derive_rule_rows`); requires an unadorned
+    plan and no instrumentation.
+    """
+    e = _Emitter()
+    steps = plan.steps
+    if heads is not None:
+        assert not instrumented and not plan.adorned_slots
+        e.emit("def _plan_fn(database, forced_rows, out):")
+    elif instrumented:
+        e.emit("def _plan_fn(database, forced_rows, base, partial, obs):")
+    else:
+        e.emit("def _plan_fn(database, forced_rows, base, partial):")
+    e.indent += 1
+
+    def emit_heads_prelude(slot_of: Mapping[Variable, int]):
+        """Resolve head relations/constants; returns per-head emitters."""
+        e.emit("SI = database._symtab.intern")
+        head_ids: dict[Term, str] = {}
+        emissions: list[tuple[str, str]] = []
+        for j, atom in enumerate(heads):
+            key = e.ref(atom.relation_key, "HK")
+            e.emit(f"RS{j} = database._existing_rows({key})")
+            e.emit(f"O{j} = out.get({key})")
+            e.emit(f"if O{j} is None:")
+            e.indent += 1
+            e.emit(f"O{j} = out[{key}] = set()")
+            e.indent -= 1
+            e.emit(f"A{j} = O{j}.add")
+            parts = []
+            for term in atom.all_terms:
+                if isinstance(term, Variable):
+                    parts.append(f"s{slot_of[term]}")
+                else:
+                    name = head_ids.get(term)
+                    if name is None:
+                        name = f"h{len(head_ids)}"
+                        head_ids[term] = name
+                        e.emit(f"{name} = SI({e.ref(term, 'HT')})")
+                    parts.append(name)
+            row = f"({', '.join(parts)},)" if parts else "()"
+            emissions.append((f"RS{j}", row))
+        return emissions
+
+    def emit_head_rows(emissions):
+        for j, (rs, row) in enumerate(emissions):
+            e.emit(f"hr{j} = {row}")
+            e.emit(f"if hr{j} not in {rs}: A{j}(hr{j})")
+
+    if not steps:
+        if heads is not None:
+            emit_head_rows(emit_heads_prelude({}))
+        else:
+            e.emit("yield dict(base)")
+        return _compile_fn(
+            plan, e, instrumented, columnar=True, store=heads is None
+        )
+
+    # Generation truncates at a malformed-ACDom step (it raises when and
+    # only when the search reaches it); only earlier steps need prelude
+    # support.
+    active: list[tuple[int, _Step]] = []
+    for i, step in enumerate(steps):
+        if step.kind == _ACDOM_BAD:
+            break
+        active.append((i, step))
+    kinds = {step.kind for _, step in active}
+
+    e.emit("S = database._symtab._ids")
+    if heads is None and plan.out_items:
+        e.emit("TT = database._symtab._terms")
+    if _ATOM in kinds:
+        e.emit("RELS = database._relations")
+    # ACDom resolution first: computing the ID set interns active-domain
+    # constants that occur in no fact, so later S.get probes find them.
+    if _ACDOM_ENUM in kinds:
+        e.emit("AC = database._acdom_enum_ids()")
+    if _ACDOM_CHECK in kinds:
+        e.emit("ACS = database._acdom_id_set()")
+
+    id_names: dict[Term, str] = {}
+
+    def term_id(term: Term) -> str:
+        name = id_names.get(term)
+        if name is None:
+            name = f"c{len(id_names)}"
+            id_names[term] = name
+            e.emit(f"{name} = S.get({e.ref(term, 'T')}, -1)")
+        return name
+
+    for _, step in active:
+        for _, term in step.const_items:
+            term_id(term)
+        if step.kind == _ACDOM_CHECK and step.acdom_term is not None:
+            term_id(step.acdom_term)
+    for variable, slot in plan.adorned_slots:
+        e.emit(f"s{slot} = S.get(partial[{e.ref(variable, 'V')}], -1)")
+
+    # Per-step index/column prelude.  Every name is assigned on both
+    # branches so the step bodies stay branch-free.
+    step_items: dict[int, list[tuple[int, str]]] = {}
+    for i, step in active:
+        if step.kind != _ATOM:
+            continue
+        items = [
+            (position, id_names[term]) for position, term in step.const_items
+        ] + [(position, f"s{slot}") for position, slot in step.bound_items]
+        step_items[i] = items
+        bucket_positions = sorted({position for position, _ in items})
+        column_positions = set()
+        if len(items) > 1:
+            column_positions.update(position for position, _ in items)
+        column_positions.update(position for position, _ in step.bind_items)
+        column_positions.update(position for position, _ in step.check_items)
+        column_positions = sorted(column_positions)
+        key = e.ref(step.relation_key, "K")
+        e.emit(f"rl{i} = RELS.get({key})")
+        e.emit(f"if rl{i} is None:")
+        e.indent += 1
+        assigned = False
+        for position in bucket_positions:
+            e.emit(f"B{i}_{position} = {{}}")
+            assigned = True
+        for position in column_positions:
+            e.emit(f"C{i}_{position} = ()")
+            assigned = True
+        if not items:
+            e.emit(f"N{i} = 0")
+            assigned = True
+        if not assigned:
+            e.emit("pass")
+        e.indent -= 1
+        e.emit("else:")
+        e.indent += 1
+        for position in bucket_positions:
+            e.emit(f"B{i}_{position} = rl{i}.bucket({position})")
+        for position in column_positions:
+            e.emit(f"C{i}_{position} = rl{i}._cols[{position}]")
+        if not items:
+            e.emit(f"N{i} = rl{i}.n_rows")
+        e.indent -= 1
+
+    head_emissions = (
+        emit_heads_prelude(dict(plan.out_items)) if heads is not None else None
+    )
+
+    if instrumented:
+        e.emit("_m = 0")
+        e.emit("_b = 0")
+        e.emit("try:")
+        e.indent += 1
+
+    loop_indents: list[int] = []
+    truncated = False
+    for i, step in enumerate(steps):
+        fail = "continue" if loop_indents else "return"
+        guard_bt = "_b += 1; " if instrumented else ""
+        if step.kind == _ACDOM_BAD:
+            message = f"ACDom is unary, got {step.atom}"
+            e.emit(f"raise ValueError({e.ref(message, 'A')})")
+            truncated = True
+            break
+        if step.kind == _ACDOM_ENUM:
+            e.emit(f"for s{step.acdom_slot} in AC:")
+            loop_indents.append(e.indent)
+            e.indent += 1
+            if instrumented:
+                e.emit("_m += 1")
+            continue
+        if step.kind == _ACDOM_CHECK:
+            value = (
+                id_names[step.acdom_term]
+                if step.acdom_term is not None
+                else f"s{step.acdom_slot}"
+            )
+            e.emit(f"if {value} not in ACS: {guard_bt}{fail}")
+            if instrumented:
+                e.emit("_m += 1")
+            continue
+
+        if step.kind == _FORCED:
+            # Rows are pre-filtered to this relation key by
+            # ``_encode_forced``; no per-row key check needed.
+            e.emit(f"for r{i} in forced_rows:")
+            loop_indents.append(e.indent)
+            e.indent += 1
+            for position, term in step.const_items:
+                e.emit(f"if r{i}[{position}] != {id_names[term]}: continue")
+            for position, slot in step.bound_items:
+                e.emit(f"if r{i}[{position}] != s{slot}: continue")
+            for position, slot in step.bind_items:
+                e.emit(f"s{slot} = r{i}[{position}]")
+            for position, slot in step.check_items:
+                e.emit(f"if r{i}[{position}] != s{slot}: continue")
+            if instrumented:
+                e.emit("_m += 1")
+            continue
+
+        # _ATOM
+        items = step_items[i]
+        if not items:
+            e.emit(f"for o{i} in range(N{i}):")
+        elif len(items) == 1:
+            position, value = items[0]
+            e.emit(f"best = B{i}_{position}.get({value})")
+            e.emit(f"if best is None: {guard_bt}{fail}")
+            e.emit(f"for o{i} in best:")
+        else:
+            position, value = items[0]
+            e.emit(f"b = B{i}_{position}.get({value})")
+            e.emit(f"if b is None: {guard_bt}{fail}")
+            e.emit("best = b")
+            for position, value in items[1:]:
+                e.emit(f"b = B{i}_{position}.get({value})")
+                e.emit(f"if b is None: {guard_bt}{fail}")
+                e.emit("if len(b) < len(best): best = b")
+            e.emit(f"for o{i} in best:")
+        loop_indents.append(e.indent)
+        e.indent += 1
+        if len(items) > 1:
+            # The winning bucket is only known at run time, so verify
+            # every constrained position (as the dict executor does).
+            for position, value in items:
+                e.emit(f"if C{i}_{position}[o{i}] != {value}: continue")
+        for position, slot in step.bind_items:
+            e.emit(f"s{slot} = C{i}_{position}[o{i}]")
+        for position, slot in step.check_items:
+            e.emit(f"if C{i}_{position}[o{i}] != s{slot}: continue")
+        if instrumented:
+            e.emit("_m += 1")
+
+    if not truncated:
+        if heads is not None:
+            emit_head_rows(head_emissions)
+        else:
+            entries = ", ".join(
+                f"{e.ref(variable, 'V')}: TT[s{slot}]"
+                for variable, slot in plan.out_items
+            )
+            if plan.has_extras:
+                e.emit(f"yield {{**base, {entries}}}")
+            else:
+                e.emit(f"yield {{{entries}}}")
+
+    if instrumented:
+        for indent in reversed(loop_indents):
+            e.indent = indent
+            e.emit("_b += 1")
+        e.indent = 1
+        e.emit("finally:")
+        e.indent += 1
+        e.emit("if obs is not None:")
+        e.indent += 1
+        e.emit("obs.inc('homomorphism.match_calls', _m)")
+        e.emit("if _b:")
+        e.indent += 1
+        e.emit("obs.inc('homomorphism.backtracks', _b)")
+    return _compile_fn(
+        plan, e, instrumented, columnar=True, store=heads is None
+    )
+
+
+def _encode_forced(plan: JoinPlan, database: Database, forced_facts) -> list:
+    """Normalize a forced-facts payload into encoded ID rows.
+
+    Accepts :class:`~repro.core.store.ColumnDelta` blocks (the Datalog
+    engine's range-scan deltas) and plain atoms (the chase runner), in
+    any mix; only entries matching the plan's forced relation key
+    survive.  Atom terms are interned *without* occurrence marking —
+    forced facts are matched literally and need not be in the database.
+    """
+    if forced_facts is None:
+        return []
+    key = plan.steps[0].relation_key
+    intern = database._symtab.intern
+    rows: list[tuple[int, ...]] = []
+    for item in forced_facts:
+        if type(item) is ColumnDelta:
+            if item.key == key:
+                rows.extend(item.rows)
+        elif item.relation_key == key:
+            rows.append(tuple(intern(term) for term in item.all_terms))
+    return rows
+
+
+def derive_rule_rows(
+    body: Sequence[Atom],
+    heads: Sequence[Atom],
+    database: Database,
+    forced,
+    out: dict,
+) -> None:
+    """Fire a Datalog rule entirely in ID space (columnar stores only).
+
+    Joins ``body`` against ``database`` with the columnar executor and
+    stages every head row not already present into ``out`` (a mapping
+    from relation key to a set of encoded rows) — no assignment dicts,
+    no :class:`Atom` boxing.  ``forced`` is ``None`` for the initial
+    round or ``(body_index, delta_blocks)`` for semi-naive iteration;
+    the compiled executor is cached on the plan keyed by the head tuple.
+    """
+    atoms = tuple(body)
+    if forced is not None:
+        index, candidates = forced
+        plan = cached_plan(atoms, frozenset(), index)
+        rows = _encode_forced(plan, database, candidates)
+        if not rows:
+            return
+    else:
+        plan = cached_plan(atoms, frozenset(), None)
+        rows = ()
+    head_key = tuple(heads)
+    fns = plan._row_fns
+    if fns is None:
+        fns = plan._row_fns = {}
+    fn = fns.get(head_key)
+    if fn is None:
+        fn = fns[head_key] = _generate_col(plan, False, heads=head_key)
+    fn(database, rows, out)
 
 
 # ----------------------------------------------------------------------
@@ -598,6 +960,18 @@ def execute_plan(
             if variable not in pattern_vars:
                 base[variable] = value
     obs = _obs_current()
+    if database._columnar:
+        if plan.forced_index is not None:
+            forced_facts = _encode_forced(plan, database, forced_facts)
+        if obs is None:
+            fn = plan._col_fast_fn
+            if fn is None:
+                fn = _generate_col(plan, instrumented=False)
+            return fn(database, forced_facts, base, partial)
+        fn = plan._col_instr_fn
+        if fn is None:
+            fn = _generate_col(plan, instrumented=True)
+        return fn(database, forced_facts, base, partial, obs)
     if obs is None:
         fn = plan._fast_fn
         if fn is None:

@@ -1,0 +1,997 @@
+"""Columnar, interned fact store with persistent snapshots.
+
+The dict store (:class:`repro.core.database.Database`) keeps every fact
+three times over: as an :class:`~repro.core.atoms.Atom` in a set, in a
+per-relation set, and in a per-``(relation, position, term)`` bucket.
+Each index probe hashes a 3-tuple whose components are themselves
+tuples, and each join candidate is a boxed Python object.  This module
+replaces that layout with a Soufflé-style columnar store:
+
+* a per-database :class:`SymbolTable` interning every term that occurs
+  in a fact to a dense integer ID (the decode direction is a plain list
+  index, the encode direction one dict probe on a hash-cached term);
+* per-relation :class:`ColumnRelation` objects holding one **column
+  vector of int IDs per position**.  Mutable columns are id-interned
+  int vectors (every occurrence of a symbol references the symbol's one
+  ``int`` object, so a cell costs one pointer); snapshot-loaded columns
+  are zero-copy ``memoryview('q')`` windows into an ``mmap`` and are
+  copied to mutable vectors only on first append (copy-on-write);
+* two index tiers per column: **hash buckets** (``dict[id] -> row
+  ordinals``, built lazily per position, maintained incrementally) feed
+  the compiled join plans' O(1) probes, and **sorted secondary indexes
+  with bisect probes** (a sorted permutation of the column plus a
+  linearly-scanned append tail) back the interpreter-facing
+  ``atoms_matching``/``position_candidates`` paths;
+* semi-naive **delta iteration as index range scans**: because rows are
+  append-only and deduplicated, the atoms added in one fixpoint
+  iteration are exactly the row ordinals ``[mark, n_rows)``; the
+  Datalog engine ships those ranges as :class:`ColumnDelta` row blocks
+  instead of re-boxed atom sets.
+
+Everything stays behind the ``Database`` facade — ``add``,
+``__contains__``, iteration, the index accessors — so every engine
+(chase, Datalog, saturation, WFG pipeline) runs unchanged.  Setting
+``REPRO_DICT_STORE=1`` routes ``Database(...)`` back to the dict store,
+mirroring the ``REPRO_NAIVE_JOIN`` escape hatch for the join compiler.
+
+Snapshots
+---------
+
+A complete materialization (a chase instance or Datalog fixpoint) is a
+bounded artifact for the paper's terminating fragments, so it is worth
+persisting: :func:`save_snapshot` writes the symbol table and the raw
+column payload to a versioned, checksummed binary file, and
+:func:`load_snapshot` maps it back with ``mmap`` — columns come up as
+``memoryview('q')`` windows without copying the payload.  The format::
+
+    magic     8s   b"RPROSNP1"
+    version   <I   SNAPSHOT_VERSION
+    hdr_len   <I   length of the JSON header
+    header    ...  {"byteorder", "symbols", "relations": [[name, arity,
+                    annotation-arity, rows], ...], "acdom": [ids]|null,
+                    "occurring": int, "atoms": int, "theory": sha|null,
+                    "db_key": sha|null, "strategy": str|null}
+    symbols   ...  per symbol: kind byte (bit 0: null, bit 1: occurs)
+                    + <I name length + UTF-8 name
+    padding   ...  zero bytes to an 8-byte boundary
+    columns   ...  per relation, per position: rows × int64 (native LE)
+    checksum  32s  SHA-256 over everything above
+
+Every load verifies magic, version, byte order, and the checksum before
+trusting a single offset; any mismatch (truncation, corruption, format
+drift) raises the typed :class:`SnapshotError` so callers can fall back
+to recomputing the model — a stale or torn snapshot must never poison
+an answer.  The header carries the theory hash, the *input* database's
+content hash and the answering strategy, which together form the cache
+key contract: the registry only accepts a snapshot whose header matches
+all three expectations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+import sys
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom, RelationKey
+from .database import Database
+from .terms import Constant, Null, Term
+from .theory import ACDOM
+from ..obs.runtime import current as _obs_current
+
+__all__ = [
+    "SymbolTable",
+    "ColumnRelation",
+    "ColumnarDatabase",
+    "ColumnDelta",
+    "SnapshotError",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_stats",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+]
+
+SNAPSHOT_MAGIC = b"RPROSNP1"
+SNAPSHOT_VERSION = 1
+
+#: Kind bits of the per-symbol byte in the snapshot symbol section.
+_KIND_NULL = 0b01
+_KIND_OCCURS = 0b10
+
+#: Rebuild (rather than tail-scan) a sorted secondary index once the
+#: unsorted append tail outgrows this floor plus 1/8 of the sorted part.
+_SORTED_TAIL_FLOOR = 64
+
+#: Process-lifetime snapshot counters, mirroring ``plan._stats`` — the
+#: worker pool reads them as before/after deltas per job.
+_snapshot_stats = {
+    "loads": 0,
+    "saves": 0,
+    "load_errors": 0,
+    "bytes_read": 0,
+    "bytes_written": 0,
+}
+
+
+def snapshot_stats() -> dict[str, int]:
+    """Lifetime snapshot I/O counters (process-global)."""
+    return dict(_snapshot_stats)
+
+
+class SnapshotError(Exception):
+    """A snapshot file failed validation (bad magic/version/byte order,
+    truncated payload, checksum mismatch, or a header that does not match
+    the expected theory/database/strategy).  Callers recover by
+    recomputing the materialization; the bad file is never trusted."""
+
+
+class SymbolTable:
+    """Dense term ↔ int ID interning for one database.
+
+    IDs are assigned in first-intern order and never reused.  The
+    ``_occurs`` bitmap distinguishes symbols that appear in an actual
+    fact from symbols interned merely to answer a probe (a query
+    constant, an ACDom member, a forced-fact encoding) — ``has_term``
+    must reflect fact occurrence only, or the chase's fresh-null loop
+    would skip names that look taken but are not.
+    """
+
+    __slots__ = ("_ids", "_terms", "_occurs")
+
+    def __init__(self) -> None:
+        self._ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+        self._occurs = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def intern(self, term: Term) -> int:
+        """The ID for ``term``, assigning a fresh one on first sight.
+        Does **not** mark the symbol as occurring in a fact."""
+        i = self._ids.get(term)
+        if i is None:
+            i = len(self._terms)
+            self._ids[term] = i
+            self._terms.append(term)
+            self._occurs.append(0)
+        return i
+
+    def decode(self, i: int) -> Term:
+        return self._terms[i]
+
+    def occurring(self) -> Iterator[Term]:
+        """Terms that occur in at least one stored fact."""
+        occurs = self._occurs
+        for i, term in enumerate(self._terms):
+            if occurs[i]:
+                yield term
+
+    def copy(self) -> "SymbolTable":
+        clone = object.__new__(SymbolTable)
+        clone._ids = dict(self._ids)
+        clone._terms = list(self._terms)
+        clone._occurs = bytearray(self._occurs)
+        return clone
+
+
+class ColumnDelta:
+    """A block of encoded delta rows for one relation — the columnar
+    currency of semi-naive delta pinning.  ``rows`` are the id-tuples
+    appended in one fixpoint iteration (an ordinal range scan of the
+    relation), handed to ``forced=`` in place of an atom list."""
+
+    __slots__ = ("key", "rows")
+
+    def __init__(self, key: RelationKey, rows: list[tuple[int, ...]]) -> None:
+        self.key = key
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def decode(self, database: "ColumnarDatabase") -> list[Atom]:
+        """Atoms for the rows — the naive interpreter's fallback shape."""
+        terms = database._symtab._terms
+        name, arity, _ = self.key
+        out = []
+        for row in self.rows:
+            args = tuple(terms[i] for i in row[:arity])
+            annotation = tuple(terms[i] for i in row[arity:])
+            out.append(Atom._make(name, args, annotation, None))
+        return out
+
+
+class ColumnRelation:
+    """One relation's rows as per-position int-ID column vectors."""
+
+    __slots__ = (
+        "key",
+        "width",
+        "n_rows",
+        "_cols",
+        "_frozen",
+        "_rowset",
+        "_buckets",
+        "_sorted",
+        "_atoms_cache",
+        "_decoded",
+    )
+
+    def __init__(self, key: RelationKey) -> None:
+        self.key = key
+        self.width = key[1] + key[2]
+        self.n_rows = 0
+        self._cols: list = [[] for _ in range(self.width)]
+        #: True while columns are immutable memoryviews over a snapshot.
+        self._frozen = False
+        #: Row-tuple set for O(1) dedup/contains; ``None`` until needed
+        #: (snapshot-loaded relations that are only scanned never pay it).
+        self._rowset: Optional[set[tuple[int, ...]]] = None
+        #: Hash tier: per position, ``id -> [row ordinals]`` (lazy).
+        self._buckets: list = [None] * self.width
+        #: Sorted tier: per position, ``(sorted values, ordinals, upto)``.
+        self._sorted: list = [None] * self.width
+        #: ``(n_rows, frozenset[Atom])`` decode cache for ``atoms_for``.
+        self._atoms_cache: Optional[tuple[int, frozenset[Atom]]] = None
+        #: Ordinal-aligned boxed-atom cache: rows are append-only, so a
+        #: decoded :class:`Atom` stays valid forever and every probe that
+        #: hits the same row returns the same object (the dict store
+        #: gets this for free; re-boxing per probe would dominate it).
+        self._decoded: list = []
+
+    # -- mutation ------------------------------------------------------
+    def _thaw(self) -> None:
+        """Copy-on-write: materialize mutable columns from snapshot views."""
+        self._cols = [list(col) for col in self._cols]
+        self._frozen = False
+
+    def _build_rowset(self) -> set[tuple[int, ...]]:
+        if self.width == 1:
+            col0 = self._cols[0]
+            rowset = {(v,) for v in col0}
+        else:
+            rowset = set(self.iter_rows())
+        self._rowset = rowset
+        return rowset
+
+    def add_row(self, row: tuple[int, ...]) -> bool:
+        """Append a row unless present; returns True if it was new."""
+        rowset = self._rowset
+        if rowset is None:
+            rowset = self._build_rowset()
+        if row in rowset:
+            return False
+        if self._frozen:
+            self._thaw()
+        rowset.add(row)
+        ordinal = self.n_rows
+        cols = self._cols
+        buckets = self._buckets
+        for position, value in enumerate(row):
+            cols[position].append(value)
+            bucket = buckets[position]
+            if bucket is not None:
+                existing = bucket.get(value)
+                if existing is None:
+                    bucket[value] = [ordinal]
+                else:
+                    existing.append(ordinal)
+        self.n_rows = ordinal + 1
+        self._atoms_cache = None
+        return True
+
+    # -- row access ----------------------------------------------------
+    def row(self, ordinal: int) -> tuple[int, ...]:
+        return tuple(col[ordinal] for col in self._cols)
+
+    def iter_rows(self) -> Iterator[tuple[int, ...]]:
+        if self.width == 0:
+            for _ in range(self.n_rows):
+                yield ()
+            return
+        yield from zip(*self._cols)
+
+    def rows_between(self, start: int, stop: int) -> list[tuple[int, ...]]:
+        """The rows appended in the ordinal range ``[start, stop)`` — the
+        delta range scan behind semi-naive iteration."""
+        if self.width == 0:
+            return [()] * (stop - start)
+        cols = self._cols
+        if self.width == 1:
+            col0 = cols[0]
+            return [(col0[o],) for o in range(start, stop)]
+        return list(zip(*(col[start:stop] for col in cols)))
+
+    # -- hash index tier (compiled-plan probes) ------------------------
+    def bucket(self, position: int) -> dict:
+        """The hash bucket index for ``position`` (built on first use,
+        maintained incrementally by :meth:`add_row` afterwards)."""
+        bucket = self._buckets[position]
+        if bucket is None:
+            bucket = {}
+            for ordinal, value in enumerate(self._cols[position]):
+                existing = bucket.get(value)
+                if existing is None:
+                    bucket[value] = [ordinal]
+                else:
+                    existing.append(ordinal)
+            self._buckets[position] = bucket
+        return bucket
+
+    # -- sorted index tier (bisect probes) -----------------------------
+    def sorted_probe(self, position: int, value: int) -> list[int]:
+        """Row ordinals holding ``value`` at ``position``, via bisect on
+        the sorted secondary index.  Appends since the last (re)build sit
+        in an unsorted tail that is scanned linearly; the index is
+        rebuilt once the tail outgrows its budget."""
+        col = self._cols[position]
+        n = self.n_rows
+        index = self._sorted[position]
+        if index is None or (n - index[2]) > _SORTED_TAIL_FLOOR + (index[2] >> 3):
+            ordinals = sorted(range(n), key=col.__getitem__)
+            values = [col[o] for o in ordinals]
+            index = (values, ordinals, n)
+            self._sorted[position] = index
+        values, ordinals, upto = index
+        lo = bisect_left(values, value, 0, upto)
+        hi = bisect_right(values, value, lo, upto)
+        result = ordinals[lo:hi]
+        for ordinal in range(upto, n):
+            if col[ordinal] == value:
+                result.append(ordinal)
+        return result
+
+    def column_bytes(self) -> int:
+        """Logical size of the column payload (8 bytes per cell)."""
+        return self.n_rows * self.width * 8
+
+    def copy(self) -> "ColumnRelation":
+        clone = object.__new__(ColumnRelation)
+        clone.key = self.key
+        clone.width = self.width
+        clone.n_rows = self.n_rows
+        if self._frozen:
+            # Immutable snapshot views are shared; the copy thaws on its
+            # own first append without disturbing this relation.
+            clone._cols = list(self._cols)
+            clone._frozen = True
+        else:
+            clone._cols = [list(col) for col in self._cols]
+            clone._frozen = False
+        # Derived structures rebuild lazily on the copy.
+        clone._rowset = None
+        clone._buckets = [None] * self.width
+        clone._sorted = [None] * self.width
+        clone._atoms_cache = self._atoms_cache
+        clone._decoded = list(self._decoded)  # atoms are immutable
+        return clone
+
+
+class ColumnarDatabase(Database):
+    """The columnar store behind the :class:`Database` facade.
+
+    Construction goes through ``Database(...)`` — ``Database.__new__``
+    dispatches here unless ``REPRO_DICT_STORE`` is set — so all parser,
+    engine and service code keeps creating plain Databases.
+    """
+
+    _columnar = True
+
+    #: Set by :func:`load_snapshot` to the provenance header fields
+    #: (theory / db_key / strategy / bytes); ``None`` on built databases.
+    _snapshot_meta: Optional[dict] = None
+
+    def __init__(self, atoms: Iterable[Atom] = (), freeze_acdom: bool = True) -> None:
+        self._symtab = SymbolTable()
+        self._relations: dict[RelationKey, ColumnRelation] = {}
+        self._n_atoms = 0
+        self._cells = 0
+        self._acdom: Optional[frozenset[Constant]] = None
+        self._acdom_sorted: Optional[tuple[Constant, ...]] = None
+        self._acdom_ids: Optional[frozenset[int]] = None
+        self._acdom_ids_sorted: Optional[tuple[int, ...]] = None
+        self._content_hash: Optional[str] = None
+        #: Buffers (mmap objects) kept alive for snapshot-backed columns.
+        self._buffers: list = []
+        for atom in atoms:
+            self.add(atom)
+        if freeze_acdom:
+            self.freeze_acdom()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, atom: Atom) -> bool:
+        if not isinstance(atom, Atom):
+            raise TypeError(f"databases contain atoms, got {atom!r}")
+        if not atom.is_ground():
+            raise ValueError(f"databases contain only ground atoms, got {atom}")
+        key = atom.relation_key
+        relation = self._relations.get(key)
+        if relation is None:
+            relation = ColumnRelation(key)
+            self._relations[key] = relation
+        symtab = self._symtab
+        ids = symtab._ids
+        terms = symtab._terms
+        occurs = symtab._occurs
+        row = []
+        append = row.append
+        for term in atom.all_terms:
+            i = ids.get(term)
+            if i is None:
+                i = len(terms)
+                ids[term] = i
+                terms.append(term)
+                occurs.append(1)
+            else:
+                occurs[i] = 1
+            append(i)
+        if not relation.add_row(tuple(row)):
+            return False
+        self._n_atoms += 1
+        self._cells += relation.width
+        self._content_hash = None
+        if self._acdom is None:
+            self._acdom_sorted = None
+            self._acdom_ids = None
+            self._acdom_ids_sorted = None
+        return True
+
+    def _existing_rows(self, key: RelationKey) -> "set[tuple[int, ...]] | frozenset":
+        """The relation's row set (built if needed); empty if absent.
+        Backs the compiled rule executors' fire-time membership checks."""
+        relation = self._relations.get(key)
+        if relation is None:
+            return frozenset()
+        rowset = relation._rowset
+        if rowset is None:
+            rowset = relation._build_rowset()
+        return rowset
+
+    def _add_row(self, key: RelationKey, row: tuple[int, ...]) -> bool:
+        """Append one already-encoded row — the ID-space twin of
+        :meth:`add`, used by the Datalog engine's row-staged firing.
+        Marks the row's symbols as occurring, exactly as ``add`` would."""
+        relation = self._relations.get(key)
+        if relation is None:
+            relation = ColumnRelation(key)
+            self._relations[key] = relation
+        if not relation.add_row(row):
+            return False
+        occurs = self._symtab._occurs
+        for i in row:
+            occurs[i] = 1
+        self._n_atoms += 1
+        self._cells += relation.width
+        self._content_hash = None
+        if self._acdom is None:
+            self._acdom_sorted = None
+            self._acdom_ids = None
+            self._acdom_ids_sorted = None
+        return True
+
+    def freeze_acdom(self) -> None:
+        self._acdom = frozenset(self._constants_now())
+        self._acdom_sorted = None
+        self._acdom_ids = None
+        self._acdom_ids_sorted = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, atom: Atom) -> bool:
+        relation = self._relations.get(atom.relation_key)
+        if relation is None or relation.n_rows == 0:
+            return False
+        ids = self._symtab._ids
+        row = []
+        for term in atom.all_terms:
+            i = ids.get(term)
+            if i is None:
+                return False
+            row.append(i)
+        rowset = relation._rowset
+        if rowset is None:
+            rowset = relation._build_rowset()
+        return tuple(row) in rowset
+
+    def __iter__(self) -> Iterator[Atom]:
+        for key, relation in self._relations.items():
+            if relation.n_rows:
+                yield from self.atoms_for(key)
+
+    def __len__(self) -> int:
+        return self._n_atoms
+
+    def _decode_row(self, key: RelationKey, row: tuple[int, ...]) -> Atom:
+        terms = self._symtab._terms
+        arity = key[1]
+        args = tuple(terms[i] for i in row[:arity])
+        annotation = tuple(terms[i] for i in row[arity:])
+        return Atom._make(key[0], args, annotation, None)
+
+    def _decode_ordinal(self, relation: ColumnRelation, ordinal: int) -> Atom:
+        """Decode one row through the relation's ordinal-aligned atom
+        cache — repeated probes of the same row return the same object."""
+        decoded = relation._decoded
+        if ordinal < len(decoded):
+            atom = decoded[ordinal]
+            if atom is not None:
+                return atom
+        else:
+            decoded.extend([None] * (relation.n_rows - len(decoded)))
+        atom = self._decode_row(relation.key, relation.row(ordinal))
+        decoded[ordinal] = atom
+        return atom
+
+    def atoms(self) -> frozenset[Atom]:
+        out: frozenset[Atom] = frozenset()
+        for key, relation in self._relations.items():
+            if relation.n_rows:
+                out |= self.atoms_for(key)
+        return out
+
+    def atoms_for(self, key: RelationKey) -> frozenset[Atom]:
+        relation = self._relations.get(key)
+        if relation is None or relation.n_rows == 0:
+            return frozenset()
+        cached = relation._atoms_cache
+        if cached is not None and cached[0] == relation.n_rows:
+            return cached[1]
+        decoded = frozenset(
+            self._decode_ordinal(relation, ordinal)
+            for ordinal in range(relation.n_rows)
+        )
+        relation._atoms_cache = (relation.n_rows, decoded)
+        return decoded
+
+    def atoms_matching(
+        self, key: RelationKey, bindings: Mapping[int, Term]
+    ) -> set[Atom]:
+        relation = self._relations.get(key)
+        if relation is None or relation.n_rows == 0:
+            return set()
+        if not bindings:
+            return set(self.atoms_for(key))
+        ids = self._symtab._ids
+        encoded: list[tuple[int, int]] = []
+        for position, term in bindings.items():
+            i = ids.get(term)
+            if i is None:
+                return set()
+            encoded.append((position, i))
+        if len(encoded) == 1:
+            # Single-binding fast path: one hash-bucket probe, decoded
+            # through the ordinal atom cache — matches the dict store's
+            # prebuilt per-position sets without materializing them.
+            position, value = encoded[0]
+            ordinals = relation.bucket(position).get(value)
+            if not ordinals:
+                return set()
+            decode = self._decode_ordinal
+            return {decode(relation, ordinal) for ordinal in ordinals}
+        # Bisect-probe the sorted secondary index at every bound
+        # position, then verify the smallest candidate range against the
+        # raw columns (cheaper than materializing ordinal-set
+        # intersections, same shape as the dict store's probe).
+        candidates = [
+            relation.sorted_probe(position, value)
+            for position, value in encoded
+        ]
+        smallest = min(candidates, key=len)
+        cols = relation._cols
+        matches: set[Atom] = set()
+        for ordinal in smallest:
+            for position, value in encoded:
+                if cols[position][ordinal] != value:
+                    break
+            else:
+                matches.add(self._decode_ordinal(relation, ordinal))
+        return matches
+
+    # ------------------------------------------------------------------
+    # planner-facing index statistics
+    # ------------------------------------------------------------------
+    def relation_size(self, key: RelationKey) -> int:
+        relation = self._relations.get(key)
+        return relation.n_rows if relation is not None else 0
+
+    def position_candidates(
+        self, key: RelationKey, position: int, term: Term
+    ) -> frozenset[Atom]:
+        relation = self._relations.get(key)
+        if relation is None or relation.n_rows == 0:
+            return frozenset()
+        value = self._symtab._ids.get(term)
+        if value is None:
+            return frozenset()
+        return frozenset(
+            self._decode_row(key, relation.row(ordinal))
+            for ordinal in relation.sorted_probe(position, value)
+        )
+
+    def index_stats(self) -> dict[str, int]:
+        built_buckets = sum(
+            len(bucket)
+            for relation in self._relations.values()
+            for bucket in relation._buckets
+            if bucket is not None
+        )
+        return {
+            "atoms": self._n_atoms,
+            "relations": sum(
+                1 for relation in self._relations.values() if relation.n_rows
+            ),
+            "position_index_entries": built_buckets,
+            "terms": sum(self._symtab._occurs),
+        }
+
+    def store_stats(self) -> dict[str, int | str]:
+        """O(1) size summary for the ``store.*`` observability gauges."""
+        return {
+            "kind": "columnar",
+            "atoms": self._n_atoms,
+            "symbols": len(self._symtab),
+            "bytes": self._cells * 8,
+        }
+
+    def relations(self) -> set[RelationKey]:
+        return {
+            key
+            for key, relation in self._relations.items()
+            if relation.n_rows
+        }
+
+    def _constants_now(self) -> set[Constant]:
+        seen: set[int] = set()
+        for key, relation in self._relations.items():
+            if key[0] == ACDOM:
+                continue
+            for col in relation._cols:
+                seen.update(col)
+        terms = self._symtab._terms
+        return {
+            term
+            for i in seen
+            if isinstance((term := terms[i]), Constant)
+        }
+
+    # -- ACDom in ID space (for the columnar plan executors) -----------
+    def _acdom_id_set(self) -> frozenset[int]:
+        """IDs of the active-domain constants.  Membership implies the
+        symbol is a Constant, so the executors skip the type check."""
+        if self._acdom is not None:
+            cached = self._acdom_ids
+            if cached is not None:
+                return cached
+        intern = self._symtab.intern
+        ids = frozenset(intern(constant) for constant in self.active_constants())
+        if self._acdom is not None:
+            self._acdom_ids = ids
+        return ids
+
+    def _acdom_enum_ids(self) -> tuple[int, ...]:
+        """IDs of the active domain in term sort order (enumeration)."""
+        cached = self._acdom_ids_sorted
+        if cached is not None:
+            return cached
+        intern = self._symtab.intern
+        ids = tuple(intern(constant) for constant in self.acdom_sorted())
+        self._acdom_ids_sorted = ids
+        return ids
+
+    def has_term(self, term: Term) -> bool:
+        i = self._symtab._ids.get(term)
+        return i is not None and self._symtab._occurs[i] == 1
+
+    def terms(self) -> set[Term]:
+        return set(self._symtab.occurring())
+
+    def nulls(self) -> set[Null]:
+        return {t for t in self._symtab.occurring() if isinstance(t, Null)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self._symtab.occurring() if isinstance(t, Constant)}
+
+    # ------------------------------------------------------------------
+    # comparisons and copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "ColumnarDatabase":
+        clone = object.__new__(ColumnarDatabase)
+        clone._symtab = self._symtab.copy()
+        clone._relations = {
+            key: relation.copy() for key, relation in self._relations.items()
+        }
+        clone._n_atoms = self._n_atoms
+        clone._cells = self._cells
+        clone._acdom = self._acdom
+        clone._acdom_sorted = self._acdom_sorted
+        clone._acdom_ids = self._acdom_ids
+        clone._acdom_ids_sorted = self._acdom_ids_sorted
+        clone._content_hash = self._content_hash
+        clone._buffers = list(self._buffers)
+        return clone
+
+    def ground_atoms(self) -> frozenset[Atom]:
+        return frozenset(atom for atom in self if not atom.nulls())
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Database):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return self.atoms() == other.atoms()
+
+    def __repr__(self) -> str:
+        return f"ColumnarDatabase({self._n_atoms} atoms)"
+
+
+# ----------------------------------------------------------------------
+# snapshot persistence
+# ----------------------------------------------------------------------
+def _term_kind_byte(term: Term) -> int:
+    if isinstance(term, Constant):
+        return 0
+    if isinstance(term, Null):
+        return _KIND_NULL
+    raise SnapshotError(
+        f"only constants and nulls occur in databases, got {term!r}"
+    )
+
+
+def save_snapshot(
+    database: ColumnarDatabase,
+    path: str,
+    *,
+    theory: Optional[str] = None,
+    db_key: Optional[str] = None,
+    strategy: Optional[str] = None,
+) -> int:
+    """Serialize a columnar database to ``path``; returns bytes written.
+
+    The write lands in a temp file first and is published with
+    ``os.replace`` so a concurrent loader (or a crash mid-write) never
+    observes a torn snapshot under the final name.
+    """
+    if not getattr(database, "_columnar", False):
+        raise SnapshotError("snapshots require the columnar store")
+    import array as _array
+
+    symtab = database._symtab
+    relations = [
+        (key, relation)
+        for key, relation in sorted(database._relations.items())
+        if relation.n_rows
+    ]
+    acdom_ids = (
+        sorted(database._acdom_id_set()) if database._acdom is not None else None
+    )
+    header = {
+        "byteorder": sys.byteorder,
+        "symbols": len(symtab),
+        "relations": [
+            [key[0], key[1], key[2], relation.n_rows]
+            for key, relation in relations
+        ],
+        "acdom": acdom_ids,
+        "atoms": database._n_atoms,
+        "theory": theory,
+        "db_key": db_key,
+        "strategy": strategy,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+    hasher = hashlib.sha256()
+    parts: list[bytes] = [
+        SNAPSHOT_MAGIC,
+        struct.pack("<II", SNAPSHOT_VERSION, len(header_bytes)),
+        header_bytes,
+    ]
+    symbol_chunks: list[bytes] = []
+    occurs = symtab._occurs
+    for i, term in enumerate(symtab._terms):
+        name = term.name.encode("utf-8")
+        kind = _term_kind_byte(term) | (_KIND_OCCURS if occurs[i] else 0)
+        symbol_chunks.append(struct.pack("<BI", kind, len(name)) + name)
+    parts.append(b"".join(symbol_chunks))
+    prefix_len = sum(len(part) for part in parts)
+    parts.append(b"\x00" * (-prefix_len % 8))
+    for _, relation in relations:
+        for col in relation._cols:
+            if isinstance(col, memoryview):
+                parts.append(col.tobytes())
+            else:
+                parts.append(_array.array("q", col).tobytes())
+    for part in parts:
+        hasher.update(part)
+    digest = hasher.digest()
+
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    total = 0
+    with open(tmp_path, "wb") as handle:
+        for part in parts:
+            handle.write(part)
+            total += len(part)
+        handle.write(digest)
+        total += len(digest)
+    os.replace(tmp_path, path)
+    _snapshot_stats["saves"] += 1
+    _snapshot_stats["bytes_written"] += total
+    obs = _obs_current()
+    if obs is not None:
+        obs.inc("store.snapshot_saves")
+        obs.inc("store.snapshot_bytes", total)
+    return total
+
+
+def load_snapshot(
+    path: str,
+    *,
+    expect_theory: Optional[str] = None,
+    expect_db_key: Optional[str] = None,
+    expect_strategy: Optional[str] = None,
+) -> ColumnarDatabase:
+    """Load a snapshot written by :func:`save_snapshot` via ``mmap``.
+
+    Columns come up as zero-copy ``memoryview('q')`` windows into the
+    mapped file (copy-on-write on first append); the symbol table is the
+    only part materialized eagerly.  Raises :class:`SnapshotError` on
+    any validation failure and ``FileNotFoundError`` when the file does
+    not exist (an expected cache miss, not an error).
+    """
+    handle = open(path, "rb")
+    try:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length file
+            raise _load_error(f"empty snapshot file: {path}") from exc
+    finally:
+        handle.close()
+    view = memoryview(mapped)
+    try:
+        database = _parse_snapshot(
+            view,
+            mapped,
+            path,
+            expect_theory=expect_theory,
+            expect_db_key=expect_db_key,
+            expect_strategy=expect_strategy,
+        )
+    except SnapshotError:
+        view.release()
+        mapped.close()
+        raise
+    except Exception as exc:
+        view.release()
+        mapped.close()
+        raise _load_error(f"malformed snapshot {path}: {exc}") from exc
+    _snapshot_stats["loads"] += 1
+    _snapshot_stats["bytes_read"] += len(mapped)
+    obs = _obs_current()
+    if obs is not None:
+        obs.inc("store.snapshot_loads")
+        obs.inc("store.snapshot_bytes", len(mapped))
+    return database
+
+
+def _load_error(message: str) -> SnapshotError:
+    _snapshot_stats["load_errors"] += 1
+    obs = _obs_current()
+    if obs is not None:
+        obs.inc("store.snapshot_load_errors")
+    return SnapshotError(message)
+
+
+def _parse_snapshot(
+    view: memoryview,
+    mapped: mmap.mmap,
+    path: str,
+    *,
+    expect_theory: Optional[str],
+    expect_db_key: Optional[str],
+    expect_strategy: Optional[str],
+) -> ColumnarDatabase:
+    if len(view) < len(SNAPSHOT_MAGIC) + 8 + 32:
+        raise _load_error(f"truncated snapshot (too short): {path}")
+    if bytes(view[: len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
+        raise _load_error(f"not a repro snapshot (bad magic): {path}")
+    version, header_len = struct.unpack_from("<II", view, len(SNAPSHOT_MAGIC))
+    if version != SNAPSHOT_VERSION:
+        raise _load_error(
+            f"unsupported snapshot version {version} "
+            f"(this build reads {SNAPSHOT_VERSION}): {path}"
+        )
+    digest = hashlib.sha256(view[:-32]).digest()
+    if digest != bytes(view[-32:]):
+        raise _load_error(f"snapshot checksum mismatch: {path}")
+
+    offset = len(SNAPSHOT_MAGIC) + 8
+    header = json.loads(bytes(view[offset : offset + header_len]))
+    offset += header_len
+    if header.get("byteorder") != sys.byteorder:
+        raise _load_error(
+            f"snapshot byte order {header.get('byteorder')!r} does not "
+            f"match this host ({sys.byteorder}): {path}"
+        )
+    for expected, actual, label in (
+        (expect_theory, header.get("theory"), "theory"),
+        (expect_db_key, header.get("db_key"), "db_key"),
+        (expect_strategy, header.get("strategy"), "strategy"),
+    ):
+        if expected is not None and actual != expected:
+            raise _load_error(
+                f"snapshot {label} mismatch (cache-key contract): "
+                f"expected {expected!r}, file carries {actual!r}: {path}"
+            )
+
+    symtab = SymbolTable()
+    ids = symtab._ids
+    terms = symtab._terms
+    occurs = symtab._occurs
+    n_symbols = header["symbols"]
+    for _ in range(n_symbols):
+        kind, name_len = struct.unpack_from("<BI", view, offset)
+        offset += 5
+        name = bytes(view[offset : offset + name_len]).decode("utf-8")
+        offset += name_len
+        term = Null(name) if kind & _KIND_NULL else Constant(name)
+        ids[term] = len(terms)
+        terms.append(term)
+        occurs.append(1 if kind & _KIND_OCCURS else 0)
+    offset += -offset % 8  # padding to the 8-aligned column payload
+
+    database = object.__new__(ColumnarDatabase)
+    database._symtab = symtab
+    database._relations = {}
+    database._n_atoms = header["atoms"]
+    database._cells = 0
+    database._content_hash = None
+    database._buffers = [mapped]
+    for name, arity, annotation_arity, n_rows in header["relations"]:
+        key = (name, arity, annotation_arity)
+        relation = ColumnRelation(key)
+        relation.n_rows = n_rows
+        cols = []
+        for _ in range(relation.width):
+            end = offset + n_rows * 8
+            if end > len(view) - 32:
+                raise _load_error(f"truncated snapshot column payload: {path}")
+            cols.append(view[offset:end].cast("q"))
+            offset += n_rows * 8
+        relation._cols = cols
+        relation._frozen = True
+        database._relations[key] = relation
+        database._cells += n_rows * relation.width
+    acdom_ids = header.get("acdom")
+    if acdom_ids is None:
+        database._acdom = None
+        database._acdom_ids = None
+        database._acdom_ids_sorted = None
+        database._acdom_sorted = None
+    else:
+        acdom_terms = frozenset(terms[i] for i in acdom_ids)
+        if not all(isinstance(term, Constant) for term in acdom_terms):
+            raise _load_error(f"snapshot ACDom contains a non-constant: {path}")
+        database._acdom = acdom_terms
+        database._acdom_ids = frozenset(acdom_ids)
+        database._acdom_sorted = tuple(sorted(acdom_terms))
+        database._acdom_ids_sorted = tuple(
+            ids[term] for term in database._acdom_sorted
+        )
+    database._snapshot_meta = {
+        "theory": header.get("theory"),
+        "db_key": header.get("db_key"),
+        "strategy": header.get("strategy"),
+        "bytes": len(mapped),
+    }
+    return database

@@ -24,7 +24,9 @@ from typing import Optional
 
 from ..core.atoms import Atom
 from ..core.database import Database
-from ..core.homomorphism import homomorphisms
+from ..core.homomorphism import _naive_requested, homomorphisms
+from ..core.plan import derive_rule_rows
+from ..core.store import ColumnDelta
 from ..core.rules import Rule
 from ..core.terms import Constant
 from ..core.theory import Query, Theory
@@ -81,6 +83,73 @@ def _tick(
     return None
 
 
+def _ingest_delta(database: Database, delta: set[Atom]) -> dict[str, list]:
+    """Add the delta atoms and return them grouped by relation *name* for
+    delta pinning.
+
+    On the dict store the groups are plain atom lists.  On the columnar
+    store each group is a list of :class:`~repro.core.store.ColumnDelta`
+    row blocks obtained by an ordinal **range scan**: rows are append-only
+    and deduplicated, so the atoms added this iteration are exactly the
+    ordinals ``[mark, n_rows)`` of each touched relation — no re-boxing,
+    and the join executor consumes the encoded rows directly.
+    """
+    groups: dict[str, list] = defaultdict(list)
+    if not database._columnar:
+        for atom in delta:
+            database.add(atom)
+            groups[atom.relation].append(atom)
+        return groups
+    marks: dict = {}
+    for atom in delta:
+        key = atom.relation_key
+        if key not in marks:
+            marks[key] = database.relation_size(key)
+        database.add(atom)
+    for key, mark in marks.items():
+        relation = database._relations[key]
+        rows = relation.rows_between(mark, relation.n_rows)
+        if rows:
+            groups[key[0]].append(ColumnDelta(key, rows))
+    return groups
+
+
+def _ingest_mixed(
+    database: Database, staged: dict, delta: set[Atom]
+) -> tuple[dict[str, list], int]:
+    """Columnar ingestion for a mix of staged ID rows (from the row-path
+    rule executors) and boxed atoms (from negation rules).
+
+    Marks every touched relation before mutating, applies both payloads
+    (each deduplicates against the relation), and returns the range-scan
+    delta groups plus the number of genuinely new facts."""
+    marks: dict = {}
+    for key in staged:
+        marks[key] = database.relation_size(key)
+    for atom in delta:
+        key = atom.relation_key
+        if key not in marks:
+            marks[key] = database.relation_size(key)
+    added = 0
+    add_row = database._add_row
+    for key, rows in staged.items():
+        for row in rows:
+            if add_row(key, row):
+                added += 1
+    for atom in delta:
+        if database.add(atom):
+            added += 1
+    groups: dict[str, list] = defaultdict(list)
+    for key, mark in marks.items():
+        relation = database._relations.get(key)
+        if relation is None:
+            continue
+        rows = relation.rows_between(mark, relation.n_rows)
+        if rows:
+            groups[key[0]].append(ColumnDelta(key, rows))
+    return groups, added
+
+
 def _evaluate_stratum(
     stratum: Theory,
     database: Database,
@@ -105,55 +174,83 @@ def _evaluate_stratum(
         tuple(rule.positive_body()) for rule in stratum
     ]
 
+    # On columnar stores, negation-free rules fire through compiled
+    # ID-space executors: head rows are staged encoded, and nothing is
+    # boxed until a caller decodes.  Negation rules (they must consult
+    # the boxed membership of lower strata mid-match), instrumented
+    # runs, and REPRO_NAIVE_JOIN reference runs keep the assignment
+    # path.
+    row_path = (
+        database._columnar and obs is None and not _naive_requested()
+    )
+    in_rows = [
+        row_path and not rule.negative_body() for rule in stratum
+    ]
+    heads: list[tuple[Atom, ...]] = [tuple(rule.head) for rule in stratum]
+
     # Initial round: every rule fires against the full database.
+    staged: dict = {}
     delta: set[Atom] = set()
-    for rule, body in zip(stratum, bodies):
-        for assignment in homomorphisms(body, database):
-            if _negation_satisfied(rule, assignment, database):
-                _fire(rule, assignment, database, delta)
-    for atom in delta:
-        database.add(atom)
+    for rule_index, (rule, body) in enumerate(zip(stratum, bodies)):
+        if in_rows[rule_index]:
+            derive_rule_rows(body, heads[rule_index], database, None, staged)
+        else:
+            for assignment in homomorphisms(body, database):
+                if _negation_satisfied(rule, assignment, database):
+                    _fire(rule, assignment, database, delta)
+    if row_path:
+        delta_groups, added = _ingest_mixed(database, staged, delta)
+    else:
+        added = len(delta)
+        delta_groups = _ingest_delta(database, delta)
     if obs is not None:
-        obs.observe("delta_size", len(delta))
-        obs.inc("atoms_derived", len(delta))
+        obs.observe("delta_size", added)
+        obs.inc("atoms_derived", added)
 
     # Precompute, per rule, the body-atom indices matching this stratum's
     # IDB relations — the candidates for delta pinning.
-    recursive_rules: list[tuple[Rule, tuple[Atom, ...], list[int]]] = []
-    for rule, body in zip(stratum, bodies):
+    recursive_rules: list[tuple] = []
+    for rule_index, (rule, body) in enumerate(zip(stratum, bodies)):
         indices = [
             index
             for index, atom in enumerate(body)
             if atom.relation in defined_here
         ]
         if indices:
-            recursive_rules.append((rule, body, indices))
+            recursive_rules.append(
+                (rule, body, indices, in_rows[rule_index], heads[rule_index])
+            )
 
-    while delta:
+    while delta_groups:
         iterations += 1
         reason = _tick(governor, iterations, max_iterations)
         if reason is not None:
             return reason
-        delta_by_relation: dict[str, list[Atom]] = defaultdict(list)
-        for atom in delta:
-            delta_by_relation[atom.relation].append(atom)
+        staged = {}
         next_delta: set[Atom] = set()
-        for rule, body, indices in recursive_rules:
+        for rule, body, indices, use_rows, rule_heads in recursive_rules:
             for index in indices:
-                candidates = delta_by_relation.get(body[index].relation)
+                candidates = delta_groups.get(body[index].relation)
                 if not candidates:
+                    continue
+                if use_rows:
+                    derive_rule_rows(
+                        body, rule_heads, database, (index, candidates), staged
+                    )
                     continue
                 for assignment in homomorphisms(
                     body, database, forced=(index, candidates)
                 ):
                     if _negation_satisfied(rule, assignment, database):
                         _fire(rule, assignment, database, next_delta)
-        for atom in next_delta:
-            database.add(atom)
-        delta = next_delta
+        if row_path:
+            delta_groups, added = _ingest_mixed(database, staged, next_delta)
+        else:
+            added = len(next_delta)
+            delta_groups = _ingest_delta(database, next_delta)
         if obs is not None:
-            obs.observe("delta_size", len(delta))
-            obs.inc("atoms_derived", len(delta))
+            obs.observe("delta_size", added)
+            obs.inc("atoms_derived", added)
     return None
 
 

@@ -71,7 +71,6 @@ deployment cannot be crashed by request payload.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import queue
 import threading
@@ -116,6 +115,9 @@ class PoolConfig:
     strict_registry: bool = False
     max_rules: int = 100_000
     saturation_max_rules: int = 200_000
+    #: Directory for persistent materialization snapshots (``None`` off);
+    #: every worker's registry loads from and saves to it.
+    snapshot_dir: Optional[str] = None
     allow_faults: bool = False
     #: Seconds between health sweeps.
     health_interval: float = 0.25
@@ -215,6 +217,18 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
             "plan_cache_hits": plan_after["hits"] - plan_before["hits"],
             "plan_compile_calls": plan_after["misses"] - plan_before["misses"],
             "plan_cache_evictions": plan_after["evictions"] - plan_before["evictions"],
+            "materializations": registry_after["materializations"]
+            - registry_before["materializations"],
+            "snapshot_loads": registry_after["snapshot_loads"]
+            - registry_before["snapshot_loads"],
+            "snapshot_saves": registry_after["snapshot_saves"]
+            - registry_before["snapshot_saves"],
+            "snapshot_errors": registry_after["snapshot_errors"]
+            - registry_before["snapshot_errors"],
+            # Absolute gauges (resident size of cached materializations),
+            # not deltas — the server republishes the latest value.
+            "store_bytes": registry_after["store_bytes"],
+            "store_symbols": registry_after["store_symbols"],
         }
         if extra:
             payload.update(extra)
@@ -275,9 +289,10 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
             if kind == "register":
                 return {"ok": True, **compiled.describe(), "stats": stats()}
             database = parse_database(job.get("database", ""))
-            db_key = hashlib.sha256(
-                job.get("database", "").encode("utf-8")
-            ).hexdigest()
+            # Structural content hash, memoized on the store: equal fact
+            # sets share one materialization regardless of database-text
+            # formatting, and repeated lookups don't re-hash.
+            db_key = database.content_hash()
             budget = ChaseBudget(
                 max_steps=job.get("max_steps") or 100_000,
                 max_depth=job.get("max_depth"),
@@ -334,6 +349,7 @@ def worker_main(worker_id: int, inbox, results, config: PoolConfig) -> None:
         strict=config.strict_registry,
         max_rules=config.max_rules,
         saturation_max_rules=config.saturation_max_rules,
+        snapshot_dir=config.snapshot_dir,
     )
     while True:
         message = inbox.get()

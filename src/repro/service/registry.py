@@ -35,6 +35,7 @@ per-request deadlines reach every engine without new plumbing.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -44,6 +45,7 @@ from ..chase.runner import chase as run_chase
 from ..core.database import Database
 from ..core.parser import parse_theory
 from ..core.plan import cached_plan
+from ..core.store import SnapshotError, load_snapshot, save_snapshot
 from ..core.terms import Constant
 from ..core.theory import Theory
 from ..datalog.engine import evaluate
@@ -127,6 +129,13 @@ class CompiledTheory:
     #: blowup) and the registry fell back to the budgeted chase.
     advice_fallback: bool = False
     plans_compiled: int = field(default=0, compare=False)
+    #: Directory of persistent materialization snapshots (``None`` off).
+    snapshot_dir: Optional[str] = None
+    #: Registry-shared counter dict (``materializations`` /
+    #: ``snapshot_loads`` / ``snapshot_saves`` / ``snapshot_errors``);
+    #: ``None`` when compiled outside a registry.
+    counters: Optional[dict] = field(default=None, repr=False, compare=False)
+    snapshots_warmed: int = field(default=0, compare=False)
     _materialized: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
@@ -141,7 +150,113 @@ class CompiledTheory:
             "advice": dict(self.advice) if self.advice is not None else None,
             "advice_fallback": self.advice_fallback,
             "plans_compiled": self.plans_compiled,
+            "snapshots_warmed": self.snapshots_warmed,
         }
+
+    # ------------------------------------------------------------------
+    def _count(self, key: str) -> None:
+        counters = self.counters
+        if counters is not None:
+            counters[key] = counters.get(key, 0) + 1
+
+    def _snapshot_path(self, db_key: str) -> str:
+        # Theory SHA + database content hash + strategy *is* the cache
+        # key contract: all three are also embedded in the file header
+        # and re-verified on load, so a renamed or stale file can never
+        # serve the wrong model.
+        assert self.snapshot_dir is not None
+        return os.path.join(
+            self.snapshot_dir,
+            f"{self.content_hash[:20]}-{db_key[:20]}-{self.strategy}.snap",
+        )
+
+    def _snapshot_load(self, db_key: Optional[str]) -> Optional[Database]:
+        """Try the on-disk snapshot when the in-memory LRU misses."""
+        if self.snapshot_dir is None or db_key is None:
+            return None
+        path = self._snapshot_path(db_key)
+        try:
+            fixpoint = load_snapshot(
+                path,
+                expect_theory=self.content_hash,
+                expect_db_key=db_key,
+                expect_strategy=self.strategy,
+            )
+        except FileNotFoundError:
+            return None
+        except SnapshotError:
+            # Corrupted/truncated/mismatched: fall back to recomputing.
+            self._count("snapshot_errors")
+            return None
+        self._count("snapshot_loads")
+        self._cache_put(db_key, fixpoint)
+        return fixpoint
+
+    def _snapshot_save(self, db_key: Optional[str], fixpoint: Database) -> None:
+        """Persist a *complete* materialization (callers gate on
+        completeness — the PR 5/8 invariant: truncated models are never
+        cached, in memory or on disk)."""
+        if self.snapshot_dir is None or db_key is None:
+            return
+        if not getattr(fixpoint, "_columnar", False):
+            return  # dict-store escape hatch: nothing to serialize
+        path = self._snapshot_path(db_key)
+        if os.path.exists(path):
+            return
+        try:
+            save_snapshot(
+                fixpoint,
+                path,
+                theory=self.content_hash,
+                db_key=db_key,
+                strategy=self.strategy,
+            )
+        except (OSError, SnapshotError):
+            self._count("snapshot_errors")
+            return
+        self._count("snapshot_saves")
+
+    def warm_from_snapshots(self) -> int:
+        """Load this theory's persisted materializations into the LRU.
+
+        Called at registration time: a restarted worker answers its first
+        query from the mapped snapshot instead of re-chasing.  Scans the
+        snapshot directory for this theory's ``{sha}-{db}-{strategy}``
+        files, newest LRU slots first, bounded by the capacity."""
+        if self.snapshot_dir is None:
+            return 0
+        prefix = f"{self.content_hash[:20]}-"
+        suffix = f"-{self.strategy}.snap"
+        try:
+            names = sorted(os.listdir(self.snapshot_dir))
+        except OSError:
+            return 0
+        warmed = 0
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            if warmed >= self.materialization_capacity:
+                break
+            try:
+                fixpoint = load_snapshot(
+                    os.path.join(self.snapshot_dir, name),
+                    expect_theory=self.content_hash,
+                    expect_strategy=self.strategy,
+                )
+            except FileNotFoundError:
+                continue
+            except SnapshotError:
+                self._count("snapshot_errors")
+                continue
+            meta = fixpoint._snapshot_meta or {}
+            db_key = meta.get("db_key")
+            if not db_key:
+                continue
+            self._cache_put(db_key, fixpoint)
+            self._count("snapshot_loads")
+            warmed += 1
+        self.snapshots_warmed = warmed
+        return warmed
 
     # ------------------------------------------------------------------
     def _cache_get(self, key) -> Optional[Database]:
@@ -203,9 +318,13 @@ class CompiledTheory:
                 if span is not None:
                     span.set(cache_hit=fixpoint is not None)
                 if fixpoint is None:
+                    fixpoint = self._snapshot_load(db_key)
+                if fixpoint is None:
+                    self._count("materializations")
                     with _obs_span("service.materialize", strategy=self.strategy):
                         fixpoint = evaluate(self.program, database)
                     self._cache_put(db_key, fixpoint)
+                    self._snapshot_save(db_key, fixpoint)
                 with _obs_span("service.cq_eval", output=output):
                     return Outcome(
                         value=answers_in(fixpoint, output), complete=True
@@ -217,6 +336,9 @@ class CompiledTheory:
                 if span is not None:
                     span.set(cache_hit=fixpoint is not None)
                 if fixpoint is None:
+                    fixpoint = self._snapshot_load(db_key)
+                if fixpoint is None:
+                    self._count("materializations")
                     with _obs_span("service.materialize", strategy=self.strategy):
                         prepared = self.rewriting.prepare_database(database)
                         grounded = partial_grounding(
@@ -227,6 +349,7 @@ class CompiledTheory:
                         )
                         fixpoint = evaluate(datalog, prepared)
                     self._cache_put(db_key, fixpoint)
+                    self._snapshot_save(db_key, fixpoint)
                 with _obs_span("service.cq_eval", output=output):
                     answers = {
                         self.rewriting.restore_answer(output, answer)
@@ -240,11 +363,14 @@ class CompiledTheory:
             instance = self._cache_get(db_key)
             if span is not None:
                 span.set(cache_hit=instance is not None)
+            if instance is None:
+                instance = self._snapshot_load(db_key)
             if instance is not None:
                 with _obs_span("service.cq_eval", output=output):
                     return Outcome(
                         value=answers_in(instance, output), complete=True
                     )
+            self._count("materializations")
             with _obs_span("service.materialize", strategy=STRATEGY_CHASE):
                 # Restricted, not oblivious: the advisor's termination
                 # verdicts certify the restricted/skolem chases only, and
@@ -256,6 +382,7 @@ class CompiledTheory:
                 answers = answers_in(result.database, output)
             if result.complete:
                 self._cache_put(db_key, result.database)
+                self._snapshot_save(db_key, result.database)
                 return Outcome(value=answers, complete=True)
             return Outcome(
                 value=answers,
@@ -357,6 +484,8 @@ def compile_theory(
     max_rules: int = 100_000,
     saturation_max_rules: int = 200_000,
     materialization_capacity: int = 8,
+    snapshot_dir: Optional[str] = None,
+    counters: Optional[dict] = None,
 ) -> CompiledTheory:
     """The full preparation pipeline, run exactly once per content hash.
 
@@ -399,6 +528,8 @@ def compile_theory(
             requested_strategy=strategy,
             advice=advice.to_dict(),
             advice_fallback=fallback,
+            snapshot_dir=snapshot_dir,
+            counters=counters,
         )
         with _obs_span("service.compile.plans"):
             if program is not None:
@@ -424,6 +555,7 @@ class TheoryRegistry:
         strict: bool = False,
         max_rules: int = 100_000,
         saturation_max_rules: int = 200_000,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise InvalidRequestError("registry capacity must be >= 1")
@@ -431,13 +563,23 @@ class TheoryRegistry:
         self.strict = strict
         self.max_rules = max_rules
         self.saturation_max_rules = saturation_max_rules
+        self.snapshot_dir = snapshot_dir
+        if snapshot_dir is not None:
+            os.makedirs(snapshot_dir, exist_ok=True)
         self._entries: dict[str, CompiledTheory] = {}
+        # The snapshot/materialization keys are shared with every
+        # CompiledTheory this registry compiles (the ``counters`` field),
+        # so per-artifact activity folds into one stats surface.
         self._stats = {
             "hits": 0,
             "misses": 0,
             "evictions": 0,
             "advisor_predicted_chase": 0,
             "advisor_fallbacks": 0,
+            "materializations": 0,
+            "snapshot_loads": 0,
+            "snapshot_saves": 0,
+            "snapshot_errors": 0,
         }
 
     # ------------------------------------------------------------------
@@ -489,7 +631,10 @@ class TheoryRegistry:
             strategy=strategy,
             max_rules=self.max_rules,
             saturation_max_rules=self.saturation_max_rules,
+            snapshot_dir=self.snapshot_dir,
+            counters=self._stats,
         )
+        entry.warm_from_snapshots()
         if entry.advice_fallback:
             self._stats["advisor_fallbacks"] += 1
         elif (
@@ -511,4 +656,20 @@ class TheoryRegistry:
         return entry
 
     def stats(self) -> dict[str, int]:
-        return {"size": len(self._entries), "capacity": self.capacity, **self._stats}
+        # ``store_bytes`` / ``store_symbols`` are absolute gauges (the
+        # resident size of every cached materialization, O(1) per entry),
+        # not counters — consumers must not delta them.
+        store_bytes = 0
+        store_symbols = 0
+        for entry in self._entries.values():
+            for fixpoint in entry._materialized.values():
+                sizes = fixpoint.store_stats()
+                store_bytes += sizes["bytes"]
+                store_symbols += sizes["symbols"]
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            **self._stats,
+            "store_bytes": store_bytes,
+            "store_symbols": store_symbols,
+        }

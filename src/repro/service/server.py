@@ -70,7 +70,15 @@ _WORKER_STAT_KEYS = (
     "plan_cache_hits",
     "plan_compile_calls",
     "plan_cache_evictions",
+    "materializations",
+    "snapshot_loads",
+    "snapshot_saves",
+    "snapshot_errors",
 )
+
+#: Per-job stat keys that are absolute gauges (the worker's current
+#: value replaces the server's), not deltas to accumulate.
+_WORKER_GAUGE_KEYS = ("store_bytes", "store_symbols")
 
 
 @dataclass
@@ -99,6 +107,10 @@ class ServiceConfig:
     registry_capacity: int = 32
     max_rules: int = 100_000
     saturation_max_rules: int = 200_000
+    #: Persistent materialization snapshots: workers save every complete
+    #: materialization here and warm from it at registration, so a
+    #: restarted service answers its first query without re-chasing.
+    snapshot_dir: Optional[str] = None
     drain_grace: float = 10.0
     #: Baseline backoff hint carried by every shed response; when the
     #: shed is caused by a crash-looping pool the hint grows to cover
@@ -132,6 +144,7 @@ class ServiceConfig:
             strict_registry=self.strict,
             max_rules=self.max_rules,
             saturation_max_rules=self.saturation_max_rules,
+            snapshot_dir=self.snapshot_dir,
             allow_faults=self.allow_faults,
             drain_grace=self.drain_grace,
             crash_loop_window=self.crash_loop_window,
@@ -475,6 +488,10 @@ class ReasoningServer:
                 value = stats.get(key)
                 if value:
                     self.metrics.inc(f"service.worker.{key}", value)
+            for key in _WORKER_GAUGE_KEYS:
+                value = stats.get(key)
+                if value is not None:
+                    self.metrics.gauge(f"service.worker.{key}", value)
             elapsed = stats.get("elapsed_ms")
             if elapsed is not None:
                 # Histogram, not a series: constant memory under any
@@ -588,6 +605,22 @@ class ReasoningServer:
                 "respawn_backoff_ms": self.pool.respawn_backoff_remaining_ms(),
             },
             "theories": len(self._texts),
+            "store": {
+                "snapshot_dir": self.config.snapshot_dir,
+                "bytes": self.metrics.gauges.get("service.worker.store_bytes", 0),
+                "symbols": self.metrics.gauges.get(
+                    "service.worker.store_symbols", 0
+                ),
+                "snapshot_loads": self.metrics.counters.get(
+                    "service.worker.snapshot_loads", 0
+                ),
+                "snapshot_saves": self.metrics.counters.get(
+                    "service.worker.snapshot_saves", 0
+                ),
+                "snapshot_errors": self.metrics.counters.get(
+                    "service.worker.snapshot_errors", 0
+                ),
+            },
             "tracing": {
                 "enabled": self.config.trace,
                 "sample": self.config.trace_sample,
@@ -823,6 +856,24 @@ class ReasoningServer:
         ),
         "service.worker.advisor_fallbacks": (
             "Registrations that fell back to the budgeted chase reactively."
+        ),
+        "service.worker.materializations": (
+            "Full materialization computations (chase or fixpoint runs)."
+        ),
+        "service.worker.snapshot_loads": (
+            "Materializations warmed from on-disk snapshots."
+        ),
+        "service.worker.snapshot_saves": (
+            "Complete materializations persisted as snapshots."
+        ),
+        "service.worker.snapshot_errors": (
+            "Snapshot files rejected (corrupt/truncated/mismatched)."
+        ),
+        "service.worker.store_bytes": (
+            "Resident bytes of cached columnar materializations (gauge)."
+        ),
+        "service.worker.store_symbols": (
+            "Interned symbols across cached materializations (gauge)."
         ),
         "service.request_ms.query": "End-to-end query latency histogram.",
         "service.request_ms.register": "End-to-end register latency histogram.",
