@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""PR 10 benchmark record: cost-per-delta vs full recompute.
+
+Two experiments, one JSON record (``BENCH_PR10.json``):
+
+**Delta scaling** — a random-graph transitive-closure knowledge base at
+two database scales.  The maintained :class:`repro.incremental.LiveModel`
+absorbs insert and retract batches of 1/10/100 facts; the record shows
+the per-batch median against the from-scratch ``evaluate`` cost of the
+same post-update database.  The claim under test: *maintenance cost
+grows with the delta size, not the database size* — the insert columns
+are flat across scales while the full-recompute column grows with the
+model.  (Retraction carries the store's column-compaction term, which
+is O(relation) per physical removal round; the record reports it
+honestly rather than hiding it.)
+
+**Section 7 live pipeline** — the weakly-guarded reachability exemplar
+(``bench_section7_cq_pipeline.WG_THEORY_TEXT``) on chain data at medium
+and large sizes, maintained by the delta-restricted chase.  The
+acceptance bar for this PR: a 1-fact insert on the medium instance must
+be at least 10x cheaper (median) than re-chasing from scratch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_update.py --output BENCH_PR10.json
+    PYTHONPATH=src python benchmarks/bench_update.py --size tiny   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+sys.path.insert(0, HERE)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+SCHEMA = "repro-bench-pr10/1"
+
+TC_PROGRAM = "E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)"
+
+#: (database scale name, n_nodes, n_edges) per --size.
+DELTA_SCALES = {
+    "tiny": [("small", 60, 180)],
+    "medium": [("medium", 300, 900), ("large", 600, 1800)],
+    "large": [("medium", 300, 900), ("large", 600, 1800), ("xlarge", 1200, 3600)],
+}
+
+#: Section 7 chain lengths per --size.
+SECTION7_CHAINS = {
+    "tiny": [("small", 16)],
+    "medium": [("medium", 64), ("large", 128)],
+    "large": [("medium", 64), ("large", 128), ("xlarge", 256)],
+}
+
+DELTA_SIZES = (1, 10, 100)
+
+
+def _timed(fn, repeats: int) -> dict:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "stddev_s": statistics.pstdev(times) if len(times) > 1 else 0.0,
+        "repeats": repeats,
+    }
+
+
+def random_graph(n_nodes: int, n_edges: int, seed: int = 7):
+    from repro.core import Atom, Constant, Database
+
+    rng = random.Random(seed)
+    edges = {
+        Atom(
+            "E",
+            (
+                Constant(f"c{rng.randrange(n_nodes)}"),
+                Constant(f"c{rng.randrange(n_nodes)}"),
+            ),
+        )
+        for _ in range(n_edges)
+    }
+    return Database(sorted(edges))
+
+
+def run_delta_scaling(size: str, repeats: int) -> list[dict]:
+    """LiveModel insert/retract batches vs evaluate-from-scratch."""
+    from repro.core import Atom, Constant
+    from repro.core.parser import parse_theory
+    from repro.datalog.engine import evaluate
+    from repro.incremental import LiveModel
+
+    program = parse_theory(TC_PROGRAM)
+    rows = []
+    for scale, n_nodes, n_edges in DELTA_SCALES[size]:
+        database = random_graph(n_nodes, n_edges)
+        full = _timed(lambda: evaluate(program, database), repeats)
+        live = LiveModel(program, database)
+        # Warm the ordinal-aligned bookkeeping (built lazily on the
+        # first update) so the timed batches measure steady-state cost.
+        warm = Atom("E", (Constant("warm0"), Constant("warm1")))
+        live.apply(inserts=[warm])
+        live.apply(retracts=[warm])
+        model_atoms = len(live.model)
+        for delta in DELTA_SIZES:
+            insert_times, retract_times = [], []
+            for repeat in range(repeats):
+                batch = [
+                    Atom(
+                        "E",
+                        (
+                            Constant(f"d{delta}r{repeat}i{i}"),
+                            Constant(f"d{delta}r{repeat}j{i}"),
+                        ),
+                    )
+                    for i in range(delta)
+                ]
+                start = time.perf_counter()
+                live.apply(inserts=batch)
+                insert_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                live.apply(retracts=batch)
+                retract_times.append(time.perf_counter() - start)
+            insert_median = statistics.median(insert_times)
+            rows.append(
+                {
+                    "workload": "tc_random_graph",
+                    "scale": scale,
+                    "edb_atoms": n_edges,
+                    "model_atoms": model_atoms,
+                    "delta_size": delta,
+                    "insert": {
+                        "median_s": insert_median,
+                        "min_s": min(insert_times),
+                    },
+                    "retract": {
+                        "median_s": statistics.median(retract_times),
+                        "min_s": min(retract_times),
+                    },
+                    "full_recompute": full,
+                    "insert_speedup": round(
+                        full["median_s"] / max(insert_median, 1e-9), 1
+                    ),
+                }
+            )
+    return rows
+
+
+def run_section7_live(size: str, repeats: int) -> list[dict]:
+    """Delta-restricted chase on the WG exemplar vs full re-chase."""
+    from bench_section7_cq_pipeline import WG_THEORY_TEXT, chain_data
+    from repro.chase.runner import ChaseBudget, chase
+    from repro.core.parser import parse_atom, parse_database, parse_theory
+    from repro.incremental import ChaseLiveModel
+
+    theory = parse_theory(WG_THEORY_TEXT)
+    rows = []
+    for scale, chain in SECTION7_CHAINS[size]:
+        database = parse_database(chain_data(chain))
+        budget = ChaseBudget(max_steps=1_000_000)
+
+        def full_chase():
+            result = chase(theory, database, budget=budget)
+            assert result.complete
+            return result
+
+        full = _timed(full_chase, max(3, repeats // 2))
+        live = ChaseLiveModel(theory, database, budget=budget)
+        delta_times = []
+        modes = set()
+        for repeat in range(repeats):
+            # Each repeat extends the chain by one fresh edge: the
+            # maintained instance keeps growing, the delta stays 1 fact.
+            atom = parse_atom(
+                f"E(c{chain + repeat}, c{chain + repeat + 1})", data_mode=True
+            )
+            start = time.perf_counter()
+            stats = live.apply(inserts=[atom])
+            delta_times.append(time.perf_counter() - start)
+            modes.add(stats.mode)
+        median = statistics.median(delta_times)
+        rows.append(
+            {
+                "workload": "section7_live_pipeline",
+                "scale": scale,
+                "chain": chain,
+                "modes": sorted(modes),
+                "delta_size": 1,
+                "insert": {"median_s": median, "min_s": min(delta_times)},
+                "full_recompute": full,
+                "insert_speedup": round(
+                    full["median_s"] / max(median, 1e-9), 1
+                ),
+            }
+        )
+    return rows
+
+
+def current_commit() -> str:
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        return head + ("+dirty" if dirty else "")
+    except Exception:
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="medium",
+                        choices=("tiny", "medium", "large"))
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--label", default="current")
+    args = parser.parse_args()
+
+    record = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "commit": current_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "size": args.size,
+        "delta_scaling": run_delta_scaling(args.size, args.repeats),
+        "section7_live": run_section7_live(args.size, args.repeats),
+    }
+
+    medium_rows = [
+        row for row in record["section7_live"] if row["scale"] == "medium"
+    ]
+    if medium_rows:
+        speedup = medium_rows[0]["insert_speedup"]
+        record["acceptance"] = {
+            "criterion": "1-fact update on medium Section 7 >= 10x cheaper "
+                         "than full recompute",
+            "section7_medium_1fact_speedup": speedup,
+            "passes": speedup >= 10.0,
+        }
+
+    payload = json.dumps(record, indent=1)
+    if args.output:
+        with open(os.path.join(REPO_ROOT, args.output), "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}")
+    print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

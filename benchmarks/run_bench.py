@@ -214,6 +214,45 @@ def _store_join_fixpoint(params):
     return lambda: evaluate(theory, database)
 
 
+def _live_update_roundtrip(params):
+    """Delta maintenance: one insert batch absorbed and retracted by a
+    maintained :class:`~repro.incremental.LiveModel` over a transitive
+    closure (the ``bench_update`` delta-scaling cell as a trajectory
+    point — each call is insert + DRed retract of ``delta`` fresh
+    edges against a database of ``n_edges``)."""
+    from repro.core import Atom, Constant, Database, parse_theory
+    from repro.incremental import LiveModel
+
+    n_nodes, n_edges, delta = (
+        params["n_nodes"], params["n_edges"], params["delta"],
+    )
+    rng = random.Random(23)
+    edges = {
+        Atom(
+            "E",
+            (
+                Constant(f"c{rng.randrange(n_nodes)}"),
+                Constant(f"c{rng.randrange(n_nodes)}"),
+            ),
+        )
+        for _ in range(n_edges)
+    }
+    program = parse_theory("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)")
+    live = LiveModel(program, Database(sorted(edges)))
+    batch = [
+        Atom("E", (Constant(f"u{i}"), Constant(f"v{i}")))
+        for i in range(delta)
+    ]
+    live.apply(inserts=batch)  # warm the ordinal-aligned bookkeeping
+    live.apply(retracts=batch)
+
+    def run():
+        live.apply(inserts=batch)
+        live.apply(retracts=batch)
+
+    return run
+
+
 WORKLOADS = [
     {
         "name": "figure2_chase",
@@ -296,6 +335,16 @@ WORKLOADS = [
             "medium": {"n_nodes": 150, "degree": 2},
         },
         "repeats": {"tiny": 3, "medium": 5},
+    },
+    {
+        "name": "live_update_roundtrip",
+        "suite": "bench_update",
+        "factory": _live_update_roundtrip,
+        "sizes": {
+            "tiny": {"n_nodes": 60, "n_edges": 180, "delta": 10},
+            "medium": {"n_nodes": 300, "n_edges": 900, "delta": 10},
+        },
+        "repeats": {"tiny": 5, "medium": 10},
     },
 ]
 

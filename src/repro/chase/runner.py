@@ -58,6 +58,7 @@ __all__ = [
     "ChaseStats",
     "RoundStats",
     "chase",
+    "extend_chase",
     "resume_chase",
     "entails",
     "certain_answers",
@@ -591,6 +592,51 @@ def chase(
         _allow_negation,
         governor=resolve_governor(governor),
     )
+    return engine.run()
+
+
+def extend_chase(
+    theory: Theory,
+    database: Database,
+    new_facts,
+    *,
+    policy: str = RESTRICTED,
+    budget: Optional[ChaseBudget] = None,
+    null_prefix: str = "n",
+    governor: Optional[ResourceGovernor] = None,
+) -> ChaseResult:
+    """Resume a *terminated* chase fixpoint after inserting base facts.
+
+    ``database`` must be a completed chase result of ``theory`` (under
+    the same policy); ``new_facts`` are the freshly inserted base facts.
+    The engine seeds the semi-naive frontier with the genuinely new
+    atoms and fires only triggers that involve at least one of them —
+    the delta-restricted chase behind ``repro.incremental``.  Triggers
+    over pre-existing atoms alone need no revisit: insertion is
+    monotone, so a head satisfied in the old fixpoint stays satisfied
+    (the engine runs ``RESTRICTED`` by default for exactly this
+    reason).  Returns a :class:`ChaseResult` whose database is the new
+    fixpoint; the input database is not mutated.
+
+    Not sound after a *retraction*: removed atoms may have supported
+    null-introducing derivations, so callers must fall back to a full
+    recompute (``repro.incremental`` reports that fallback explicitly).
+    """
+    engine = _Engine(
+        theory,
+        database,
+        policy,
+        budget or ChaseBudget(),
+        null_prefix,
+        False,
+        governor=resolve_governor(governor),
+    )
+    added: set[Atom] = set()
+    for fact in new_facts:
+        if engine.database.add(fact):
+            added.add(fact)
+    engine._started = True
+    engine._delta = added
     return engine.run()
 
 

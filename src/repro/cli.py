@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro lint theory.rules --format json --fail-on warning
     repro lint --print-schema                (the lint report's JSON Schema)
     repro serve theory.rules --workers 4
+    repro update 127.0.0.1:7464 --insert "e(a, b)" --retract "e(c, d)"
     repro tail 127.0.0.1:7465                (the server's ops port)
     repro soak --seed 7 --duration 30 --faults crash,delay,truncate,stall
 
@@ -430,6 +431,80 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         return EXIT_OK
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Apply an insert/retract batch to a running server's live
+    database (``repro update``)."""
+    from .service.client import ServiceClient, ServiceError
+
+    if not args.insert and not args.retract:
+        print(
+            "error: update needs at least one --insert or --retract fact",
+            file=sys.stderr,
+        )
+        return EXIT_PARSE
+    host, port = _parse_ops_address(args.address)
+    theory_text = None
+    if args.theory is not None:
+        theory_text = Path(args.theory).read_text()
+        parse_theory(theory_text, source=args.theory)  # fail fast, exit 2
+    database = None
+    if args.database is not None:
+        database = Path(args.database).read_text()
+        parse_database(database)
+    try:
+        with ServiceClient(host, port, timeout=args.request_timeout) as client:
+            response = client.update(
+                insert=args.insert,
+                retract=args.retract,
+                theory=args.theory_hash,
+                theory_text=theory_text,
+                database=database,
+                timeout=args.request_timeout,
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(
+            f"error ({error.get('code', 'unknown')}): "
+            f"{error.get('message', response)}",
+            file=sys.stderr,
+        )
+        code = error.get("code")
+        return EXIT_PARSE if code == "parse_error" else EXIT_FAILED
+    if "db_key" not in response:
+        # The worker exhausted a budget mid-update: the batch was not
+        # applied; the reason rides in the standard exhausted shape.
+        print(
+            f"# exhausted ({response.get('exhausted', 'budget')}): "
+            "update not applied",
+            file=sys.stderr,
+        )
+        return EXIT_EXHAUSTED
+    update = response.get("update", {})
+    print(
+        json.dumps(
+            {
+                "theory": response.get("theory"),
+                "strategy": response.get("strategy"),
+                "db_key": response.get("db_key"),
+                "old_db_key": response.get("old_db_key"),
+                "update": update,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    if update.get("fallback"):
+        print(
+            f"# fallback ({update['fallback']}): maintained by full "
+            "recompute, not delta propagation",
+            file=sys.stderr,
+        )
+    return EXIT_OK
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     """Seeded chaos soak against a live server (``repro soak``)."""
     from .chaos.soak import SOAK_FAULTS, SoakConfig, run_soak
@@ -708,6 +783,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll interval in seconds while following (default 1.0)",
     )
     p.set_defaults(handler=_cmd_tail, stats=False, trace_json=None, timeout=None)
+
+    p = commands.add_parser(
+        "update",
+        help="apply an insert/retract batch to a running server's live "
+        "database (incremental maintenance; see repro.incremental)",
+    )
+    p.add_argument(
+        "address",
+        help="query-plane address of a running server, host:port",
+    )
+    p.add_argument(
+        "--insert", action="append", default=[], metavar="FACT",
+        help="fact to insert, e.g. --insert 'e(a, b)' (repeatable)",
+    )
+    p.add_argument(
+        "--retract", action="append", default=[], metavar="FACT",
+        help="fact to retract (repeatable)",
+    )
+    p.add_argument(
+        "--theory", default=None, metavar="FILE",
+        help="rule file naming the theory to update (inline registration)",
+    )
+    p.add_argument(
+        "--theory-hash", default=None, metavar="SHA256",
+        help="content hash of an already-registered theory",
+    )
+    p.add_argument(
+        "--database", default=None, metavar="FILE",
+        help="data file (re)seeding the live database before the batch "
+        "(default: the server's current live state)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=60.0,
+        help="per-request client timeout in seconds (default 60)",
+    )
+    p.set_defaults(handler=_cmd_update, stats=False, trace_json=None, timeout=None)
 
     p = commands.add_parser(
         "soak",

@@ -145,6 +145,32 @@ class Database:
     def add_all(self, atoms: Iterable[Atom]) -> int:
         return sum(1 for atom in atoms if self.add(atom))
 
+    def remove(self, atom: Atom) -> bool:
+        """Delete an atom; returns True if it was present.
+
+        The term-occurrence set (``has_term``) stays conservative: terms
+        of removed atoms remain marked as occurring.  Freshness probes
+        (the chase's null loop) only require "never free when taken", so
+        a stale-taken name costs at most a skipped candidate.  The
+        frozen ACDom extension likewise keeps the *input* database's
+        constants — per the paper it is fixed at construction, not
+        tracked through deletions.
+        """
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        key = atom.relation_key
+        self._by_relation[key].discard(atom)
+        by_position = self._by_position
+        for position, term in enumerate(atom.all_terms):
+            entry = by_position.get((key, position, term))
+            if entry is not None:
+                entry.discard(atom)
+        self._content_hash = None
+        if self._acdom is None:
+            self._acdom_sorted = None
+        return True
+
     def freeze_acdom(self) -> None:
         """Fix the ACDom extension to the constants currently present."""
         self._acdom = frozenset(self._constants_now())

@@ -600,6 +600,7 @@ def _generate_col(
     plan: JoinPlan,
     instrumented: bool,
     heads: Optional[tuple[Atom, ...]] = None,
+    all_rows: bool = False,
 ):
     """Emit, compile and return the *columnar* executor for ``plan``.
 
@@ -618,7 +619,11 @@ def _generate_col(
     (skipping rows already in the database) into a per-relation staging
     set — nothing is boxed at all.  Used by the Datalog engine's
     fixpoint loop (see :func:`derive_rule_rows`); requires an unadorned
-    plan and no instrumentation.
+    plan and no instrumentation.  ``all_rows`` drops the existing-row
+    skip so *every* derived head row is staged, present or not — the
+    incremental engine's overdelete/affected-row discovery needs head
+    rows that are already (or still) in the model (see
+    :func:`derive_rule_rows_all`).
     """
     e = _Emitter()
     steps = plan.steps
@@ -638,7 +643,8 @@ def _generate_col(
         emissions: list[tuple[str, str]] = []
         for j, atom in enumerate(heads):
             key = e.ref(atom.relation_key, "HK")
-            e.emit(f"RS{j} = database._existing_rows({key})")
+            if not all_rows:
+                e.emit(f"RS{j} = database._existing_rows({key})")
             e.emit(f"O{j} = out.get({key})")
             e.emit(f"if O{j} is None:")
             e.indent += 1
@@ -662,8 +668,11 @@ def _generate_col(
 
     def emit_head_rows(emissions):
         for j, (rs, row) in enumerate(emissions):
-            e.emit(f"hr{j} = {row}")
-            e.emit(f"if hr{j} not in {rs}: A{j}(hr{j})")
+            if all_rows:
+                e.emit(f"A{j}({row})")
+            else:
+                e.emit(f"hr{j} = {row}")
+                e.emit(f"if hr{j} not in {rs}: A{j}(hr{j})")
 
     if not steps:
         if heads is not None:
@@ -917,6 +926,29 @@ def derive_rule_rows(
     round or ``(body_index, delta_blocks)`` for semi-naive iteration;
     the compiled executor is cached on the plan keyed by the head tuple.
     """
+    _derive_rows(body, heads, database, forced, out, all_rows=False)
+
+
+def derive_rule_rows_all(
+    body: Sequence[Atom],
+    heads: Sequence[Atom],
+    database: Database,
+    forced,
+    out: dict,
+) -> None:
+    """Like :func:`derive_rule_rows`, but stage *every* derived head row
+    — including rows already present in the database.
+
+    The incremental engine (``repro.incremental``) uses this to discover
+    which existing model rows are *derivable from* a delta: during
+    overdeletion the affected heads are by definition still present, so
+    the existing-row skip of the normal executor would hide exactly the
+    rows being sought.  Executors are cached per ``(heads, mode)``.
+    """
+    _derive_rows(body, heads, database, forced, out, all_rows=True)
+
+
+def _derive_rows(body, heads, database, forced, out, all_rows: bool) -> None:
     atoms = tuple(body)
     if forced is not None:
         index, candidates = forced
@@ -931,9 +963,12 @@ def derive_rule_rows(
     fns = plan._row_fns
     if fns is None:
         fns = plan._row_fns = {}
-    fn = fns.get(head_key)
+    cache_key = (head_key, "all") if all_rows else head_key
+    fn = fns.get(cache_key)
     if fn is None:
-        fn = fns[head_key] = _generate_col(plan, False, heads=head_key)
+        fn = fns[cache_key] = _generate_col(
+            plan, False, heads=head_key, all_rows=all_rows
+        )
     fn(database, rows, out)
 
 

@@ -215,6 +215,8 @@ class ColumnRelation:
         "key",
         "width",
         "n_rows",
+        "supports",
+        "edb",
         "_cols",
         "_frozen",
         "_rowset",
@@ -228,6 +230,15 @@ class ColumnRelation:
         self.key = key
         self.width = key[1] + key[2]
         self.n_rows = 0
+        #: Ordinal-aligned support bookkeeping for incremental
+        #: maintenance (``repro.incremental``): ``supports[o]`` is the
+        #: number of distinct rule derivations of row ``o`` and
+        #: ``edb[o]`` flags an explicitly inserted (extensional) row.
+        #: ``None`` until :meth:`ensure_counts` — batch evaluation never
+        #: pays for them.  Not persisted in snapshots; the incremental
+        #: engine rebuilds them when it adopts a materialization.
+        self.supports: Optional[list[int]] = None
+        self.edb: Optional[bytearray] = None
         self._cols: list = [[] for _ in range(self.width)]
         #: True while columns are immutable memoryviews over a snapshot.
         self._frozen = False
@@ -283,13 +294,90 @@ class ColumnRelation:
                     bucket[value] = [ordinal]
                 else:
                     existing.append(ordinal)
+        if self.supports is not None:
+            self.supports.append(0)
+            self.edb.append(0)
         self.n_rows = ordinal + 1
         self._atoms_cache = None
         return True
 
+    def ensure_counts(self) -> None:
+        """Allocate the ordinal-aligned support/EDB arrays (zeroed) if
+        this relation has not carried them yet."""
+        if self.supports is None:
+            self.supports = [0] * self.n_rows
+            self.edb = bytearray(self.n_rows)
+
+    def remove_rows(self, dead_rows: Iterable[tuple[int, ...]]) -> int:
+        """Delete the given rows by compaction; returns how many were
+        actually present.
+
+        Retraction rebuilds the relation's columns without the dead
+        ordinals and renumbers the survivors.  Tombstones were rejected
+        deliberately: ordinals are load-bearing everywhere (bucket
+        ordinal lists, ``rows_between`` range deltas, the sorted tier,
+        snapshot payloads), so a hole-tolerant encoding would tax every
+        scan forever, while compaction is an O(n_rows) memcpy-shaped
+        pass paid only on the relations a delta actually touches.  All
+        derived indexes reset and rebuild lazily; the support/EDB
+        arrays and the decoded-atom cache compact in the same pass so
+        they stay ordinal-aligned.
+        """
+        rowset = self._rowset
+        if rowset is None:
+            rowset = self._build_rowset()
+        dead = {row for row in dead_rows if row in rowset}
+        if not dead:
+            return 0
+        if self._frozen:
+            self._thaw()
+        keep = [
+            ordinal
+            for ordinal, row in enumerate(self.iter_rows())
+            if row not in dead
+        ]
+        self._cols = [[col[o] for o in keep] for col in self._cols]
+        decoded = self._decoded
+        n_decoded = len(decoded)
+        self._decoded = [
+            decoded[o] if o < n_decoded else None for o in keep
+        ]
+        if self.supports is not None:
+            supports = self.supports
+            edb = self.edb
+            self.supports = [supports[o] for o in keep]
+            self.edb = bytearray(edb[o] for o in keep)
+        rowset.difference_update(dead)
+        self.n_rows = len(keep)
+        self._buckets = [None] * self.width
+        self._sorted = [None] * self.width
+        self._atoms_cache = None
+        return len(dead)
+
     # -- row access ----------------------------------------------------
     def row(self, ordinal: int) -> tuple[int, ...]:
         return tuple(col[ordinal] for col in self._cols)
+
+    def ordinal_of(self, row: tuple[int, ...]) -> int:
+        """The ordinal holding ``row``, or ``-1`` when absent — a hash
+        bucket probe on position 0 verified against the remaining
+        columns.  Backs the incremental engine's per-row support/EDB
+        flag lookups (only delta rows are ever probed)."""
+        if self.width == 0:
+            return 0 if self.n_rows else -1
+        candidates = self.bucket(0).get(row[0])
+        if not candidates:
+            return -1
+        if self.width == 1:
+            return candidates[0]
+        cols = self._cols
+        for ordinal in candidates:
+            for position in range(1, self.width):
+                if cols[position][ordinal] != row[position]:
+                    break
+            else:
+                return ordinal
+        return -1
 
     def iter_rows(self) -> Iterator[tuple[int, ...]]:
         if self.width == 0:
@@ -357,6 +445,8 @@ class ColumnRelation:
         clone.key = self.key
         clone.width = self.width
         clone.n_rows = self.n_rows
+        clone.supports = list(self.supports) if self.supports is not None else None
+        clone.edb = bytearray(self.edb) if self.edb is not None else None
         if self._frozen:
             # Immutable snapshot views are shared; the copy thaws on its
             # own first append without disturbing this relation.
@@ -477,6 +567,47 @@ class ColumnarDatabase(Database):
             self._acdom_ids = None
             self._acdom_ids_sorted = None
         return True
+
+    def remove(self, atom: Atom) -> bool:
+        """Delete an atom; returns True if it was present.
+
+        Mirrors the dict store's :meth:`Database.remove` contract: the
+        symbol table's occurrence bits stay conservative (a term of a
+        removed atom still reads as occurring — safe for the chase's
+        fresh-null probe, which must never call a taken name free), and
+        a frozen ACDom extension is untouched.
+        """
+        relation = self._relations.get(atom.relation_key)
+        if relation is None or relation.n_rows == 0:
+            return False
+        ids = self._symtab._ids
+        row = []
+        for term in atom.all_terms:
+            i = ids.get(term)
+            if i is None:
+                return False
+            row.append(i)
+        return self._remove_rows(atom.relation_key, ((tuple(row)),)) == 1
+
+    def _remove_rows(
+        self, key: RelationKey, rows: Iterable[tuple[int, ...]]
+    ) -> int:
+        """Delete already-encoded rows — the ID-space twin of
+        :meth:`remove`, used by the incremental engine's compaction.
+        Returns how many rows were actually present and removed."""
+        relation = self._relations.get(key)
+        if relation is None:
+            return 0
+        removed = relation.remove_rows(rows)
+        if removed:
+            self._n_atoms -= removed
+            self._cells -= removed * relation.width
+            self._content_hash = None
+            if self._acdom is None:
+                self._acdom_sorted = None
+                self._acdom_ids = None
+                self._acdom_ids_sorted = None
+        return removed
 
     def freeze_acdom(self) -> None:
         self._acdom = frozenset(self._constants_now())

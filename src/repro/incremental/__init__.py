@@ -1,0 +1,23 @@
+"""repro.incremental — delta maintenance and streaming updates.
+
+Maintains materialized models (Datalog fixpoints and terminating chase
+instances) under ``insert``/``retract`` fact batches in time
+proportional to the delta.  See :mod:`repro.incremental.engine` for the
+maintenance algorithms and the fallback contract.
+"""
+
+from .engine import (
+    ChaseLiveModel,
+    LiveModel,
+    RecomputeLiveModel,
+    UpdateStats,
+    incremental_stats,
+)
+
+__all__ = [
+    "ChaseLiveModel",
+    "LiveModel",
+    "RecomputeLiveModel",
+    "UpdateStats",
+    "incremental_stats",
+]

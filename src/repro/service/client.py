@@ -379,6 +379,112 @@ class ServiceClient:
             req["inject"] = inject
         return self.request(req)
 
+    def update(
+        self,
+        *,
+        insert: Optional[list[str]] = None,
+        retract: Optional[list[str]] = None,
+        theory: Optional[str] = None,
+        theory_text: Optional[str] = None,
+        database: Optional[str] = None,
+        timeout: Optional[float] = None,
+        request_id: Any = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """Apply one insert/retract batch to a theory's live database.
+
+        NOT idempotent — with a retry policy attached, a transport
+        failure raises instead of resending (the client cannot know
+        whether the server applied the batch)."""
+        req: dict[str, Any] = {"op": "update"}
+        if insert:
+            req["insert"] = list(insert)
+        if retract:
+            req["retract"] = list(retract)
+        if theory is not None:
+            req["theory"] = theory
+        if theory_text is not None:
+            req["theory_text"] = theory_text
+        if database is not None:
+            req["database"] = database
+        if timeout is not None:
+            req["timeout"] = timeout
+        if request_id is not None:
+            req["id"] = request_id
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        return self.request(req)
+
+    def subscribe(
+        self,
+        output: str,
+        *,
+        theory: Optional[str] = None,
+        theory_text: Optional[str] = None,
+        database: Optional[str] = None,
+        timeout: Optional[float] = None,
+        request_id: Any = None,
+    ) -> dict:
+        """Register a continuous query on this connection.
+
+        The response carries the current answers and a ``subscription``
+        id; afterwards the server pushes unsolicited ``event:
+        "subscription"`` diff lines on this connection whenever an
+        update changes the answers — read them with
+        :meth:`next_event`."""
+        req: dict[str, Any] = {"op": "subscribe", "output": output}
+        if theory is not None:
+            req["theory"] = theory
+        if theory_text is not None:
+            req["theory_text"] = theory_text
+        if database is not None:
+            req["database"] = database
+        if timeout is not None:
+            req["timeout"] = timeout
+        if request_id is not None:
+            req["id"] = request_id
+        return self.request(req)
+
+    def next_event(self, *, timeout: Optional[float] = None) -> dict:
+        """Block until the server pushes one line on this connection —
+        a subscription diff event (``event: "subscription"``).
+
+        Only meaningful on a connection with no request outstanding
+        (responses and events share the stream; a pipelined request's
+        response would be consumed here instead).  Raises
+        :class:`TransportError` when ``timeout`` elapses or the
+        connection drops."""
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise TransportError(
+                f"no event within the wait: {exc}",
+                host=self.host, port=self.port, op="next_event",
+            ) from exc
+        finally:
+            if self._sock is not None and timeout is not None:
+                self._sock.settimeout(previous)
+        if not line:
+            self.close()
+            raise TransportError(
+                "server closed the connection while waiting for an event",
+                host=self.host, port=self.port, op="next_event",
+            )
+        try:
+            return protocol.decode(line)
+        except ValueError as exc:
+            self.close()
+            raise TransportError(
+                f"malformed event frame: {exc}",
+                host=self.host, port=self.port, op="next_event",
+            ) from exc
+
 
 def http_get(
     host: str, port: int, path: str, *, timeout: float = 10.0

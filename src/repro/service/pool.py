@@ -184,9 +184,10 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
     """The untraced body of :func:`run_job` (see its contract)."""
     # Imported lazily so the module stays importable for type checking
     # without triggering package cycles at spawn time.
-    from ..core.parser import ParseError, parse_database
+    from ..core.parser import ParseError, parse_atom, parse_database
     from ..chase.runner import ChaseBudget
     from ..core.plan import plan_cache_stats
+    from ..incremental import incremental_stats
     from ..robustness.errors import (
         BudgetExceeded,
         Cancelled,
@@ -200,10 +201,12 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
     started = time.perf_counter()
     plan_before = plan_cache_stats()
     registry_before = registry.stats()
+    incremental_before = incremental_stats()
 
     def stats(extra: Optional[dict] = None) -> dict:
         plan_after = plan_cache_stats()
         registry_after = registry.stats()
+        incremental_after = incremental_stats()
         payload = {
             "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
             "registry_hits": registry_after["hits"] - registry_before["hits"],
@@ -230,6 +233,10 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
             "store_bytes": registry_after["store_bytes"],
             "store_symbols": registry_after["store_symbols"],
         }
+        # Incremental-maintenance deltas (repro.incremental process
+        # counters), folded into ``service.worker.incremental_*``.
+        for key, after in incremental_after.items():
+            payload[f"incremental_{key}"] = after - incremental_before[key]
         if extra:
             payload.update(extra)
         return payload
@@ -288,6 +295,40 @@ def _run_job_inner(registry: TheoryRegistry, job: dict, *, allow_faults: bool) -
             )
             if kind == "register":
                 return {"ok": True, **compiled.describe(), "stats": stats()}
+            if kind == "update":
+                database = parse_database(job.get("database", ""))
+                old_key = database.content_hash()
+                inserts = [
+                    parse_atom(text, data_mode=True)
+                    for text in job.get("insert", ())
+                ]
+                retracts = [
+                    parse_atom(text, data_mode=True)
+                    for text in job.get("retract", ())
+                ]
+                budget = ChaseBudget(
+                    max_steps=job.get("max_steps") or 100_000,
+                    max_depth=job.get("max_depth"),
+                )
+                new_key, ustats, live = compiled.update(
+                    database, inserts, retracts, db_key=old_key, budget=budget
+                )
+                # The post-update database rendered back as data text:
+                # the server's authoritative live copy (structural
+                # hashing makes the round-trip key-stable).
+                rendered = "\n".join(
+                    f"{atom}." for atom in sorted(live.edb)
+                )
+                return {
+                    "ok": True,
+                    "theory": compiled.content_hash,
+                    "strategy": compiled.strategy,
+                    "db_key": new_key,
+                    "old_db_key": old_key,
+                    "update": ustats.to_dict(),
+                    "database": rendered,
+                    "stats": stats(),
+                }
             database = parse_database(job.get("database", ""))
             # Structural content hash, memoized on the store: equal fact
             # sets share one materialization regardless of database-text
@@ -486,9 +527,21 @@ class WorkerPool:
             pass
 
     # ------------------------------------------------------------------
-    def dispatch(self, theory_text: str, jobs: list[dict]) -> int:
+    def dispatch(
+        self,
+        theory_text: str,
+        jobs: list[dict],
+        *,
+        prefer: Optional[int] = None,
+    ) -> int:
         """Send one same-theory batch to the least-loaded live worker;
-        returns that worker's id (for trace attribution)."""
+        returns that worker's id (for trace attribution).
+
+        ``prefer`` names a worker to favour when it is still alive —
+        the server's sticky affinity for live (incrementally updated)
+        databases, whose in-memory state lives on exactly one worker.
+        A dead preference silently falls back to least-loaded (the
+        replacement rebuilds the live model from the shipped text)."""
         now = time.monotonic()
         with self._lock:
             live = [
@@ -498,7 +551,14 @@ class WorkerPool:
             ]
             if not live:
                 raise NoLiveWorkers("no live workers")
-            _, worker_id, worker = min(live, key=lambda item: (item[0], item[1]))
+            preferred = [
+                entry for entry in live if prefer is not None and entry[1] == prefer
+            ]
+            _, worker_id, worker = (
+                preferred[0]
+                if preferred
+                else min(live, key=lambda item: (item[0], item[1]))
+            )
             for job in jobs:
                 worker.in_flight[job["job_id"]] = (
                     job,

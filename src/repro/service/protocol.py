@@ -37,6 +37,31 @@ JSON value; echoed verbatim on the response so clients may pipeline):
     Operational snapshot: queue depth, worker liveness, registry and
     admission counters.
 
+``{"op": "update", "insert": [...], "retract": [...], …}``
+    Mutate the live database of a theory (named like ``query``: by
+    ``theory`` hash, inline ``theory_text``, or the server default) by a
+    batch of fact strings, maintaining the materialized model
+    incrementally (see :mod:`repro.incremental`).  ``database``
+    optionally (re)seeds the live database; otherwise the server's
+    current live state (initially the default database) is the base.
+    Answers the new database content hash (``db_key``), the previous
+    one (``old_db_key``) and the per-update maintenance statistics
+    under ``update`` (mode taken, rows added/removed, fallback reason
+    when the engine had to recompute).
+
+``{"op": "subscribe", "output": "Q", …}``
+    Register a continuous query on *this connection*: answers the
+    current result set plus a ``subscription`` id, and from then on
+    every ``update`` that changes the subscribed relation's answers
+    pushes an unsolicited event line on the connection::
+
+        {"event": "subscription", "subscription": …, "added": [...],
+         "removed": [...], "db_key": …}
+
+    Event lines carry ``event`` instead of ``id`` — a client reading a
+    subscribed connection must dispatch on that field.  Subscriptions
+    die with their connection.
+
 Trace context
 -------------
 ``register`` and ``query`` accept distributed-tracing fields: a client
@@ -68,15 +93,18 @@ ignoring it is legal but impolite.
 
 Retry safety
 ------------
-All four current ops are **idempotent** (:data:`IDEMPOTENT_OPS`), so a
-client that got no response may blindly resend: ``ping``/``status`` are
-read-only, ``query`` computes certain answers over immutable inputs,
-and ``register`` is content-addressed (registering the same rule text
-twice lands on the same SHA-256 entry — the second call is a cache
-hit).  A future mutating op (``update``) must NOT be listed here until
-it carries a deduplication token; the client's retry policy refuses to
-retry ops outside this tuple.  See DESIGN.md §13 for the full
-retry-safety matrix.
+``ping``/``status`` are read-only, ``query`` computes certain answers
+over immutable inputs, and ``register`` is content-addressed
+(registering the same rule text twice lands on the same SHA-256 entry —
+the second call is a cache hit), so those four are **idempotent**
+(:data:`IDEMPOTENT_OPS`) and a client that got no response may blindly
+resend.  ``update`` is NOT: resending an ambiguous update could apply
+the delta twice (retracts are no-ops the second time, but a duplicate
+insert that raced a concurrent retract is not), and it stays off the
+list until it carries a deduplication token.  ``subscribe`` is NOT:
+a blind resend would register a second subscription on the connection.
+The client's retry policy refuses to retry ops outside the idempotent
+tuple.  See DESIGN.md §13 for the full retry-safety matrix.
 """
 
 from __future__ import annotations
@@ -115,11 +143,12 @@ PROTOCOL_VERSION = 1
 #: misbehaving client from ballooning server memory.
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
-OPS = ("ping", "register", "query", "status")
+OPS = ("ping", "register", "query", "status", "update", "subscribe")
 
 #: Ops a client may safely resend after an ambiguous failure (see the
-#: "Retry safety" section above).  Currently all of them: queries are
-#: read-only and register is content-addressed.
+#: "Retry safety" section above).  ``update`` (mutating, no dedup
+#: token) and ``subscribe`` (registers connection state) are
+#: deliberately absent.
 IDEMPOTENT_OPS = ("ping", "register", "query", "status")
 
 #: Fallback ``retry_after_ms`` for shed responses built without an
@@ -214,7 +243,7 @@ def validate_request(obj: dict) -> Optional[str]:
     op = obj.get("op")
     if op not in OPS:
         return f"unknown op {op!r}; expected one of {OPS}"
-    if op in ("register", "query"):
+    if op in ("register", "query", "update", "subscribe"):
         trace_id = obj.get("trace_id")
         if trace_id is not None:
             if not isinstance(trace_id, str) or not trace_id:
@@ -248,4 +277,23 @@ def validate_request(obj: dict) -> Optional[str]:
                 return f"'{field}' must be an integer"
         if "inject" in obj and not isinstance(obj["inject"], str):
             return "'inject' must be a fault-spec string (tests/CI only)"
+    if op in ("update", "subscribe"):
+        for field in ("theory", "theory_text", "database"):
+            if field in obj and not isinstance(obj[field], str):
+                return f"'{field}' must be a string"
+        if "timeout" in obj and not isinstance(obj["timeout"], (int, float)):
+            return "'timeout' must be a number"
+    if op == "update":
+        inserts = obj.get("insert", [])
+        retracts = obj.get("retract", [])
+        for name, batch in (("insert", inserts), ("retract", retracts)):
+            if not isinstance(batch, list) or not all(
+                isinstance(item, str) and item.strip() for item in batch
+            ):
+                return f"'{name}' must be a list of non-empty fact strings"
+        if not inserts and not retracts:
+            return "update requires a non-empty 'insert' or 'retract' batch"
+    if op == "subscribe":
+        if not isinstance(obj.get("output"), str) or not obj["output"]:
+            return "subscribe requires an 'output' relation name"
     return None

@@ -51,6 +51,12 @@ from ..core.theory import Theory
 from ..datalog.engine import evaluate
 from ..guardedness.classify import Classification, classify
 from ..guardedness.normalize import normalize
+from ..incremental.engine import (
+    ChaseLiveModel,
+    LiveModel,
+    RecomputeLiveModel,
+    UpdateStats,
+)
 from ..obs.runtime import current as _obs_current
 from ..obs.runtime import span as _obs_span
 from ..robustness.errors import (
@@ -137,6 +143,10 @@ class CompiledTheory:
     counters: Optional[dict] = field(default=None, repr=False, compare=False)
     snapshots_warmed: int = field(default=0, compare=False)
     _materialized: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Live (incrementally maintained) models keyed by the *current*
+    #: database content hash; every successful update re-keys the entry
+    #: to the post-update hash.  Bounded like the materialization LRU.
+    _live: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def describe(self) -> dict:
@@ -392,6 +402,88 @@ class CompiledTheory:
                 snapshot=result.snapshot,
             )
 
+    # ------------------------------------------------------------------
+    # incremental updates (repro.incremental)
+    # ------------------------------------------------------------------
+    def _wfg_materialize(self, database: Database) -> Database:
+        """The WFG pipeline's database-dependent half (mirrors
+        :meth:`answer`'s materialization exactly, so live-model state
+        and query-path caches stay interchangeable)."""
+        assert self.rewriting is not None
+        prepared = self.rewriting.prepare_database(database)
+        grounded = partial_grounding(self.rewriting.theory, prepared)
+        datalog = nearly_guarded_to_datalog(
+            grounded, max_rules=self.saturation_max_rules
+        )
+        return evaluate(datalog, prepared)
+
+    def _build_live(
+        self,
+        database: Database,
+        db_key: Optional[str],
+        *,
+        budget: Optional[ChaseBudget] = None,
+    ):
+        """Construct the live model for ``database``, adopting an
+        existing materialization (LRU or snapshot) when one exists —
+        entering live maintenance then costs nothing beyond the deltas.
+
+        Ownership of the adopted fixpoint transfers to the live model
+        (updates mutate it in place), so it is *popped* from the LRU:
+        the old db hash must never serve the mutated object."""
+        seed = self._materialized.pop(db_key, None) if db_key else None
+        if seed is None and db_key is not None:
+            seed = self._snapshot_load(db_key)
+            if seed is not None:
+                self._materialized.pop(db_key, None)
+        if self.strategy in (STRATEGY_DATALOG, STRATEGY_TRANSLATE):
+            assert self.program is not None
+            return LiveModel(self.program, database, model=seed)
+        if self.strategy == STRATEGY_WFG:
+            return RecomputeLiveModel(
+                self._wfg_materialize,
+                database,
+                reason="wfg_grounding",
+                model=seed,
+            )
+        return ChaseLiveModel(
+            self.theory, database, budget=budget or ChaseBudget(), model=seed
+        )
+
+    def update(
+        self,
+        database: Database,
+        inserts,
+        retracts,
+        *,
+        db_key: Optional[str] = None,
+        budget: Optional[ChaseBudget] = None,
+    ) -> tuple[str, UpdateStats, object]:
+        """Apply one insert/retract batch against ``database``'s live
+        model; returns ``(new_db_key, stats, live)``.
+
+        Every cache the pre-update hash owned is re-derived from the
+        post-update hash: the live entry and the materialization LRU
+        slot are re-keyed, and the post-update model is persisted under
+        the new ``{theory}-{db}-{strategy}`` snapshot key — a stale
+        pre-update snapshot can never answer a post-update query,
+        because nothing ever asks for the old key again."""
+        key = db_key if db_key is not None else database.content_hash()
+        live = self._live.pop(key, None)
+        if live is None:
+            live = self._build_live(database, key, budget=budget)
+        with _obs_span("service.update", strategy=self.strategy):
+            stats = live.apply(inserts, retracts)
+        new_key = live.edb.content_hash()
+        self._count("updates")
+        self._materialized.pop(key, None)
+        while len(self._live) >= self.materialization_capacity:
+            self._live.pop(next(iter(self._live)))
+        self._live[new_key] = live
+        self._cache_put(new_key, live.model)
+        self._snapshot_save(new_key, live.model)
+        return new_key, stats, live
+
 
 def _pick_strategy(
     theory: Theory,
@@ -580,6 +672,7 @@ class TheoryRegistry:
             "snapshot_loads": 0,
             "snapshot_saves": 0,
             "snapshot_errors": 0,
+            "updates": 0,
         }
 
     # ------------------------------------------------------------------

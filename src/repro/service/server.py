@@ -57,6 +57,17 @@ from .pool import NoLiveWorkers, PoolConfig, WorkerPool
 from .registry import REQUESTABLE_STRATEGIES, content_hash
 from .tracing import FlightRecorder, RequestTrace
 
+#: One registered continuous query: the connection to push to, the
+#: theory it watches, and the last answer set delivered (diff base).
+@dataclass
+class _Subscription:
+    sub_id: int
+    writer: asyncio.StreamWriter = field(repr=False)
+    theory: str
+    theory_text: str
+    output: str
+    answers: list = field(default_factory=list)
+
 __all__ = ["ServiceConfig", "ReasoningServer", "serve"]
 
 #: Per-job stat keys folded into the server's ``service.worker.*``
@@ -74,6 +85,15 @@ _WORKER_STAT_KEYS = (
     "snapshot_loads",
     "snapshot_saves",
     "snapshot_errors",
+    "updates",
+    "incremental_updates",
+    "incremental_inserted",
+    "incremental_retracted",
+    "incremental_derived_added",
+    "incremental_derived_removed",
+    "incremental_overdeleted",
+    "incremental_rederived",
+    "incremental_fallbacks",
 )
 
 #: Per-job stat keys that are absolute gauges (the worker's current
@@ -189,6 +209,14 @@ class ReasoningServer:
             self._texts[self._default_hash] = config.theory_text
         self._pending: list[_Job] = []
         self._in_flight: dict[str, _Job] = {}
+        #: theory hash -> {"text", "db_key"}: the authoritative live
+        #: database per theory, advanced by every successful update.
+        self._live_dbs: dict[str, dict] = {}
+        #: theory hash -> worker id holding that theory's live models
+        #: (sticky dispatch; falls back when the worker died).
+        self._affinity: dict[str, int] = {}
+        self._subscriptions: dict[int, _Subscription] = {}
+        self._sub_ids = itertools.count(1)
         self._job_ids = itertools.count(1)
         self._trace_seq = itertools.count()
         self._dispatch_wakeup: Optional[asyncio.Event] = None
@@ -395,14 +423,16 @@ class ReasoningServer:
             groups: dict[str, list[_Job]] = {}
             for job in batch:
                 groups.setdefault(content_hash(job.theory_text), []).append(job)
-            for jobs in groups.values():
+            for digest, jobs in groups.items():
                 self.metrics.inc("service.batches")
                 self.metrics.inc("service.batched_jobs", len(jobs))
                 for job in jobs:
                     self._in_flight[job.job_id] = job
                 try:
                     worker_id = self.pool.dispatch(
-                        jobs[0].theory_text, [job.payload for job in jobs]
+                        jobs[0].theory_text,
+                        [job.payload for job in jobs],
+                        prefer=self._affinity.get(digest),
                     )
                 except NoLiveWorkers as exc:
                     # Degraded-but-serving: with every worker dead (or
@@ -435,6 +465,12 @@ class ReasoningServer:
                                 )
                             )
                 else:
+                    if any(
+                        job.payload.get("kind") == "update" for job in jobs
+                    ):
+                        # The worker now holds this theory's live models;
+                        # later updates/queries stick to it while alive.
+                        self._affinity[digest] = worker_id
                     for job in jobs:
                         if job.trace is not None:
                             job.trace.mark("dispatched")
@@ -538,19 +574,28 @@ class ReasoningServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._handle_request_line(line)
+                response = await self._handle_request_line(line, writer)
                 writer.write(protocol.encode(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            dead_subs = [
+                sub_id
+                for sub_id, sub in self._subscriptions.items()
+                if sub.writer is writer
+            ]
+            for sub_id in dead_subs:
+                del self._subscriptions[sub_id]
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _handle_request_line(self, line: bytes) -> dict:
+    async def _handle_request_line(
+        self, line: bytes, writer: Optional[asyncio.StreamWriter] = None
+    ) -> dict:
         self.metrics.inc("service.requests")
         try:
             request = protocol.decode(line)
@@ -569,7 +614,11 @@ class ReasoningServer:
         op = request["op"]
         handler = getattr(self, f"_op_{op}")
         try:
-            response = await handler(request)
+            if op == "subscribe":
+                # Subscriptions bind to the connection they arrived on.
+                response = await handler(request, writer)
+            else:
+                response = await handler(request)
         except Exception as exc:  # noqa: BLE001 - no-traceback boundary
             self.metrics.inc("service.internal_errors")
             response = protocol.error_response(
@@ -605,6 +654,8 @@ class ReasoningServer:
                 "respawn_backoff_ms": self.pool.respawn_backoff_remaining_ms(),
             },
             "theories": len(self._texts),
+            "live_databases": len(self._live_dbs),
+            "subscriptions": len(self._subscriptions),
             "store": {
                 "snapshot_dir": self.config.snapshot_dir,
                 "bytes": self.metrics.gauges.get("service.worker.store_bytes", 0),
@@ -781,7 +832,9 @@ class ReasoningServer:
         payload = {
             "kind": "query",
             "output": request["output"],
-            "database": request.get("database", self.config.database_text),
+            "database": self._live_database_text(
+                content_hash(theory_text), request
+            ),
             "strategy": request.get("strategy", self.config.strategy),
             "timeout": timeout,
             "max_steps": request.get("max_steps", self.config.default_max_steps),
@@ -795,6 +848,196 @@ class ReasoningServer:
         job = self._admit(payload, theory_text, trace=trace)
         result = await self._await_job(job, timeout=timeout)
         return self._finish_trace(trace, result, explain=explain)
+
+    # -- incremental updates & subscriptions ---------------------------
+    def _live_database_text(self, digest: str, request: dict) -> str:
+        """The base database an update/subscribe applies to: an explicit
+        ``database`` in the request, else the theory's live state, else
+        the server default."""
+        if "database" in request:
+            return request["database"]
+        live = self._live_dbs.get(digest)
+        if live is not None:
+            return live["text"]
+        return self.config.database_text
+
+    async def _op_update(self, request: dict) -> dict:
+        request_id = request.get("id")
+        trace = self._begin_trace("update", request)
+        shed = self._shed_or_none(request_id)
+        if shed is not None:
+            return self._finish_trace(trace, shed)
+        theory_text = self._resolve_theory(request)
+        if theory_text is None:
+            return self._finish_trace(
+                trace,
+                protocol.error_response(
+                    protocol.ERR_UNKNOWN_THEORY,
+                    "no theory: name a registered content hash in 'theory', "
+                    "inline rules in 'theory_text', or start the server with "
+                    "a default theory",
+                    request_id=request_id,
+                ),
+            )
+        digest = content_hash(theory_text)
+        timeout = request.get("timeout", self.config.default_timeout)
+        payload = {
+            "kind": "update",
+            "database": self._live_database_text(digest, request),
+            "insert": request.get("insert", []),
+            "retract": request.get("retract", []),
+            "strategy": request.get("strategy", self.config.strategy),
+            "timeout": timeout,
+            "max_steps": request.get("max_steps", self.config.default_max_steps),
+            "max_depth": request.get("max_depth"),
+        }
+        self.metrics.inc("service.updates")
+        job = self._admit(payload, theory_text, trace=trace)
+        result = await self._await_job(job, timeout=timeout)
+        if result.get("ok") and "db_key" in result:
+            # The rendered post-update database is server-side material
+            # (the new authoritative live text), not client payload.
+            new_text = result.pop("database", None)
+            if new_text is not None:
+                self._live_dbs[digest] = {
+                    "text": new_text,
+                    "db_key": result["db_key"],
+                }
+            await self._refresh_subscriptions(digest, result["db_key"])
+        return self._finish_trace(trace, result)
+
+    async def _op_subscribe(
+        self, request: dict, writer: Optional[asyncio.StreamWriter]
+    ) -> dict:
+        request_id = request.get("id")
+        trace = self._begin_trace("subscribe", request)
+        shed = self._shed_or_none(request_id)
+        if shed is not None:
+            return self._finish_trace(trace, shed)
+        if writer is None:
+            return self._finish_trace(
+                trace,
+                protocol.error_response(
+                    protocol.ERR_INVALID_REQUEST,
+                    "subscribe needs a live query-plane connection to push to",
+                    request_id=request_id,
+                ),
+            )
+        theory_text = self._resolve_theory(request)
+        if theory_text is None:
+            return self._finish_trace(
+                trace,
+                protocol.error_response(
+                    protocol.ERR_UNKNOWN_THEORY,
+                    "no theory to subscribe against: name a registered hash, "
+                    "inline rules, or start the server with a default theory",
+                    request_id=request_id,
+                ),
+            )
+        digest = content_hash(theory_text)
+        timeout = request.get("timeout", self.config.default_timeout)
+        payload = {
+            "kind": "query",
+            "output": request["output"],
+            "database": self._live_database_text(digest, request),
+            "strategy": request.get("strategy", self.config.strategy),
+            "timeout": timeout,
+            "max_steps": self.config.default_max_steps,
+            "max_depth": None,
+        }
+        self.metrics.inc("service.subscriptions")
+        job = self._admit(payload, theory_text, trace=trace)
+        result = await self._await_job(job, timeout=timeout)
+        if not result.get("ok"):
+            return self._finish_trace(trace, result)
+        sub_id = next(self._sub_ids)
+        self._subscriptions[sub_id] = _Subscription(
+            sub_id=sub_id,
+            writer=writer,
+            theory=digest,
+            theory_text=theory_text,
+            output=request["output"],
+            answers=result.get("answers", []),
+        )
+        response = {
+            "ok": True,
+            "subscription": sub_id,
+            "theory": digest,
+            "output": request["output"],
+            "answers": result.get("answers", []),
+            "complete": result.get("complete", True),
+        }
+        return self._finish_trace(trace, response)
+
+    async def _refresh_subscriptions(self, digest: str, db_key: str) -> None:
+        """Re-evaluate every continuous query of an updated theory and
+        push the answer diff to its connection.
+
+        Refresh queries are internal work admitted past the cap
+        (``force``) — an update that was admitted must be allowed to
+        deliver its consequences.  Delivery is per-subscription ordered:
+        this coroutine completes before the update response returns, so
+        a subscriber always sees the diff for update *n* before any
+        client that waited on update *n*'s response can issue a new one."""
+        subs = [
+            sub
+            for sub in self._subscriptions.values()
+            if sub.theory == digest
+        ]
+        if not subs:
+            return
+        live = self._live_dbs.get(digest)
+        database_text = live["text"] if live else self.config.database_text
+        for sub in subs:
+            payload = {
+                "kind": "query",
+                "output": sub.output,
+                "database": database_text,
+                "strategy": self.config.strategy,
+                "timeout": self.config.default_timeout,
+                "max_steps": self.config.default_max_steps,
+                "max_depth": None,
+            }
+            job = self._admit(payload, sub.theory_text, force=True)
+            self._pending.remove(job)
+            self._in_flight[job.job_id] = job
+            try:
+                self.pool.dispatch(
+                    sub.theory_text,
+                    [job.payload],
+                    prefer=self._affinity.get(digest),
+                )
+            except (NoLiveWorkers, RuntimeError):
+                self._in_flight.pop(job.job_id, None)
+                continue
+            result = await self._await_job(
+                job, timeout=self.config.default_timeout
+            )
+            if not result.get("ok"):
+                continue
+            answers = result.get("answers", [])
+            before = {tuple(answer) for answer in sub.answers}
+            after = {tuple(answer) for answer in answers}
+            added = sorted(list(answer) for answer in after - before)
+            removed = sorted(list(answer) for answer in before - after)
+            sub.answers = answers
+            if not added and not removed:
+                continue
+            event = {
+                "event": "subscription",
+                "subscription": sub.sub_id,
+                "theory": digest,
+                "output": sub.output,
+                "added": added,
+                "removed": removed,
+                "db_key": db_key,
+            }
+            try:
+                sub.writer.write(protocol.encode(event))
+                await sub.writer.drain()
+                self.metrics.inc("service.subscription_pushes")
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                self._subscriptions.pop(sub.sub_id, None)
 
     def _resolve_theory(self, request: dict) -> Optional[str]:
         if "theory_text" in request:
@@ -850,6 +1093,27 @@ class ReasoningServer:
     _METRIC_HELP = {
         "service.requests": "NDJSON requests received on the query plane.",
         "service.queries": "Query ops admitted past validation.",
+        "service.updates": "Update ops (insert/retract batches) admitted.",
+        "service.subscriptions": "Subscribe ops registered.",
+        "service.subscription_pushes": (
+            "Subscription diff events pushed to connections."
+        ),
+        "service.request_ms.update": "End-to-end update latency histogram.",
+        "service.worker.updates": (
+            "Registry-level live-model updates applied by workers."
+        ),
+        "service.worker.incremental_updates": (
+            "Incremental maintenance batches applied (repro.incremental)."
+        ),
+        "service.worker.incremental_overdeleted": (
+            "Rows overdeleted by the DRed delete closure."
+        ),
+        "service.worker.incremental_rederived": (
+            "Overdeleted rows restored by the rederivation pass."
+        ),
+        "service.worker.incremental_fallbacks": (
+            "Updates that fell back to a reported full recompute."
+        ),
         "service.worker.elapsed_ms": "Worker-side job latency histogram.",
         "service.worker.advisor_predicted_chase": (
             "Registrations auto-routed to the chase by a termination proof."

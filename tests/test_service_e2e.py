@@ -274,3 +274,86 @@ def test_service_resumes_after_worker_crash():
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+def test_update_and_subscribe_end_to_end(tmp_path):
+    """The live-update loop out of process: serve → subscribe → update
+    (insert, then retract) → the subscriber sees ordered diffs → queries
+    reflect the delta → the ``repro update`` CLI works against the same
+    server → SIGTERM drains cleanly."""
+    import json as json_mod
+
+    (tmp_path / "t.rules").write_text(
+        "e(x,y) -> t(x,y)\ne(x,y), t(y,z) -> t(x,z)\n"
+    )
+    (tmp_path / "d.db").write_text("e(a, b). e(b, c).\n")
+    port = free_port()
+    http_port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            str(tmp_path / "t.rules"), "--data", str(tmp_path / "d.db"),
+            "--workers", "1",
+            "--port", str(port), "--http-port", str(http_port),
+        ],
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    try:
+        wait_until_ready("127.0.0.1", port, timeout=60)
+        with ServiceClient("127.0.0.1", port) as sub, \
+                ServiceClient("127.0.0.1", port) as client:
+            ack = sub.subscribe("t")
+            assert ack["ok"]
+            assert ack["answers"] == [["a", "b"], ["a", "c"], ["b", "c"]]
+
+            updated = client.update(insert=["e(c, d)"])
+            assert updated["ok"] and updated["update"]["mode"] == "counting"
+            assert updated["db_key"] != updated["old_db_key"]
+
+            event = sub.next_event(timeout=30)
+            assert event["event"] == "subscription"
+            assert event["added"] == [["a", "d"], ["b", "d"], ["c", "d"]]
+            assert event["removed"] == []
+
+            answer = client.query("t")
+            assert ["c", "d"] in answer["answers"]
+            assert answer["stats"]["materializations"] == 0
+
+            retracted = client.update(retract=["e(a, b)"])
+            assert retracted["ok"]
+            event = sub.next_event(timeout=30)
+            assert event["removed"] == [["a", "b"], ["a", "c"], ["a", "d"]]
+
+            answer = client.query("t")
+            assert answer["answers"] == [["b", "c"], ["b", "d"], ["c", "d"]]
+
+        # The CLI against the live server.
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "update",
+                f"127.0.0.1:{port}", "--insert", "e(d, e)",
+            ],
+            cwd=REPO, env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        payload = json_mod.loads(result.stdout)
+        assert payload["update"]["inserted"] == 1
+
+        status, body = http_get("127.0.0.1", http_port, "/metrics")
+        assert status == 200
+        assert "repro_service_updates" in body
+        assert "repro_service_subscription_pushes" in body
+        assert "repro_service_worker_incremental_updates" in body
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+        stderr = proc.stderr.read().decode()
+        assert "drained cleanly" in stderr
+        assert "Traceback" not in stderr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
